@@ -1,0 +1,36 @@
+//! # ale-baselines — comparator leader-election protocols
+//!
+//! The related-work baselines the paper's Table 1 compares against, built
+//! on the same anonymous CONGEST simulator as the main protocols so that
+//! message/round counts are directly comparable:
+//!
+//! * [`flood_max`] — folklore all-nodes flood-max (knows `n`, `D`).
+//! * [`kutten`] — Kutten et al. (J.ACM'15, [16]) style candidate flooding:
+//!   `O(m)` messages, `O(D)` time with known `n`, `D`.
+//! * [`gilbert`] — Gilbert–Robinson–Sourav (PODC'18, [10]) style random-walk
+//!   token election: `O(t_mix·√n·polylog n)` messages with known `n` —
+//!   the direct comparison target of Theorem 1.
+//!
+//! ## Example
+//!
+//! ```
+//! use ale_baselines::flood_max::{run_flood_max, FloodMaxConfig};
+//! use ale_graph::generators;
+//!
+//! let g = generators::hypercube(4)?;
+//! let cfg = FloodMaxConfig::for_graph(&g);
+//! let outcome = run_flood_max(&g, &cfg, 3)?;
+//! assert_eq!(outcome.leader_count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flood_max;
+pub mod gilbert;
+pub mod kutten;
+
+pub use flood_max::{run_flood_max, FloodMaxConfig};
+pub use gilbert::{run_gilbert, GilbertConfig};
+pub use kutten::{run_kutten, KuttenConfig};

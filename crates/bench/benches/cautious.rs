@@ -1,0 +1,51 @@
+//! Criterion bench: single-candidate cautious broadcast (E-L1 workload).
+
+use ale_congest::{congest_budget, Network};
+use ale_core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
+use ale_graph::{NetworkKnowledge, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_cautious(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cautious_broadcast");
+    group.sample_size(10);
+    for (topo, tmix, phi) in [
+        (Topology::RandomRegular { n: 128, d: 4 }, 32u64, 0.08f64),
+        (
+            Topology::Grid2d {
+                rows: 8,
+                cols: 8,
+                torus: true,
+            },
+            40,
+            0.12,
+        ),
+    ] {
+        let graph = topo.build(3).expect("graph");
+        let knowledge = NetworkKnowledge {
+            n: graph.n(),
+            tmix,
+            phi,
+        };
+        let cfg = IrrevocableConfig::from_knowledge(knowledge);
+        let budget = congest_budget(graph.n(), cfg.congest_factor);
+        group.bench_function(BenchmarkId::from_parameter(topo), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let procs: Vec<IrrevocableProcess> = (0..graph.n())
+                    .map(|v| {
+                        let p = cfg.protocol_params(graph.degree(v)).expect("params");
+                        IrrevocableProcess::with_candidacy(p, 1 + v as u64, v == 0)
+                    })
+                    .collect();
+                let mut net = Network::new(&graph, procs, seed, budget).expect("net");
+                net.run_for(cfg.broadcast_rounds()).expect("run");
+                net.metrics().messages
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cautious);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench: diffusion steps of the `Avg` procedure (E-L34 unit).
+
+use ale_graph::Topology;
+use ale_markov::MarkovChain;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_diffusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diffusion_step");
+    for n in [64usize, 256, 1024] {
+        let graph = Topology::RandomRegular { n, d: 4 }
+            .build(1)
+            .expect("graph");
+        let chain = MarkovChain::diffusion(&graph.adjacency(), 1.0 / 64.0).expect("chain");
+        let pot: Vec<f64> = (0..n).map(|i| if i % 7 == 0 { 0.0 } else { 1.0 }).collect();
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| chain.step(&pot).expect("step"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diffusion);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: graph property computation (substrates S2/S3).
+
+use ale_graph::{GraphProps, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_props(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_props");
+    group.sample_size(10);
+    for topo in [
+        Topology::Complete { n: 64 },
+        Topology::Cycle { n: 64 },
+        Topology::RandomRegular { n: 256, d: 4 },
+        Topology::Grid2d {
+            rows: 16,
+            cols: 16,
+            torus: true,
+        },
+    ] {
+        let graph = topo.build(1).expect("graph");
+        group.bench_function(BenchmarkId::from_parameter(topo), |b| {
+            b.iter(|| GraphProps::compute_for(&graph, &topo).expect("props"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_props);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench: full irrevocable elections (the E-T1 workload unit).
+
+use ale_core::irrevocable::{run_irrevocable, IrrevocableConfig};
+use ale_graph::{GraphProps, NetworkKnowledge, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_irrevocable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("irrevocable_election");
+    group.sample_size(10);
+    for topo in [
+        Topology::Complete { n: 32 },
+        Topology::Hypercube { dim: 5 },
+        Topology::Cycle { n: 16 },
+        Topology::RandomRegular { n: 64, d: 4 },
+    ] {
+        let graph = topo.build(1).expect("graph");
+        let props = GraphProps::compute_for(&graph, &topo).expect("props");
+        let cfg = IrrevocableConfig::from_knowledge(NetworkKnowledge::from_props(&props));
+        group.bench_function(BenchmarkId::from_parameter(topo), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_irrevocable(&graph, &cfg, seed).expect("run")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_irrevocable);
+criterion_main!(benches);

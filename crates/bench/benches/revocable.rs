@@ -1,0 +1,42 @@
+//! Criterion bench: revocable elections to stabilization (E-T1c workload).
+
+use ale_core::revocable::{run_revocable, RevocableParams};
+use ale_graph::Topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_revocable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("revocable_election");
+    group.sample_size(10);
+
+    // Scaled blind mode on small graphs.
+    for topo in [
+        Topology::Complete { n: 4 },
+        Topology::Complete { n: 8 },
+        Topology::Cycle { n: 6 },
+    ] {
+        let graph = topo.build(0).expect("graph");
+        let params = RevocableParams::paper_blind(1.0, 0.2).with_scales(0.02, 0.25, 1.0);
+        group.bench_function(BenchmarkId::new("scaled_blind", topo), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_revocable(&graph, &params, seed, 16).expect("run")
+            });
+        });
+    }
+
+    // Theorem 3 variant with known isoperimetric number.
+    let graph = Topology::Complete { n: 8 }.build(0).expect("graph");
+    let params = RevocableParams::paper_with_ig(1.0, 0.2, 4.0).with_scales(1.0, 0.25, 1.0);
+    group.bench_function("thm3_exact_r/complete(n=8)", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_revocable(&graph, &params, seed, 16).expect("run")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_revocable);
+criterion_main!(benches);

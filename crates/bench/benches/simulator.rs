@@ -1,0 +1,46 @@
+//! Criterion bench: raw simulator round throughput (substrate S1).
+
+use ale_congest::{Incoming, Network, NodeCtx, Outbox, Process};
+use ale_graph::Topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Minimal all-ports gossip process: the simulator-overhead yardstick.
+#[derive(Debug, Clone)]
+struct Gossip(u64);
+
+impl Process for Gossip {
+    type Msg = u64;
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>]) -> Outbox<u64> {
+        for m in inbox {
+            self.0 = self.0.wrapping_add(m.msg);
+        }
+        (0..ctx.degree).map(|p| (p, self.0)).collect()
+    }
+
+    fn output(&self) -> u64 {
+        self.0
+    }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_rounds");
+    for n in [64usize, 256, 1024] {
+        let graph = Topology::RandomRegular { n, d: 4 }
+            .build(1)
+            .expect("graph");
+        group.throughput(criterion::Throughput::Elements(100));
+        group.bench_function(BenchmarkId::new("gossip_100_rounds", n), |b| {
+            b.iter(|| {
+                let mut net = Network::from_fn(&graph, 1, 64, |_d, _r| Gossip(1));
+                net.run_for(100).expect("run");
+                net.metrics().messages
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: the random-walk probing phase in isolation (E-L2 unit).
+//!
+//! Skips the broadcast phase (schedule override) so walk traffic dominates.
+
+use ale_congest::{congest_budget, Network};
+use ale_core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
+use ale_graph::{NetworkKnowledge, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_phase");
+    group.sample_size(10);
+    for x in [4u64, 16, 64] {
+        let topo = Topology::RandomRegular { n: 128, d: 4 };
+        let graph = topo.build(3).expect("graph");
+        let knowledge = NetworkKnowledge {
+            n: graph.n(),
+            tmix: 32,
+            phi: 0.08,
+        };
+        let cfg = IrrevocableConfig::from_knowledge(knowledge);
+        let budget = congest_budget(graph.n(), cfg.congest_factor);
+        group.bench_function(BenchmarkId::new("x", x), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let procs: Vec<IrrevocableProcess> = (0..graph.n())
+                    .map(|v| {
+                        let mut p = cfg.protocol_params(graph.degree(v)).expect("params");
+                        p.x = x;
+                        // Skip the broadcast phase entirely to isolate walks.
+                        p.broadcast_rounds = 0;
+                        IrrevocableProcess::with_candidacy(p, 1 + v as u64, v < 4)
+                    })
+                    .collect();
+                let mut net = Network::new(&graph, procs, seed, budget).expect("net");
+                net.run_to_halt(cfg.total_rounds() + 4).expect("run");
+                net.metrics().messages
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

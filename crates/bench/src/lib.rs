@@ -1,0 +1,31 @@
+//! # ale-bench — experiment harness
+//!
+//! Regenerates every table and figure of Kowalski & Mosteiro (ICDCS 2021)
+//! plus the lemma-level experiments listed in `DESIGN.md` §5. The library
+//! holds the shared plumbing; each experiment is a binary in `src/bin/`:
+//!
+//! | binary | experiment |
+//! |--------|------------|
+//! | `table1` | Table 1 shootout: this work vs baselines across families |
+//! | `fig_scaling` | message-complexity exponents (Theorem 1 shape) |
+//! | `fig_revocable` | revocable LE cost growth (Theorem 3 / Corollary 1) |
+//! | `fig_impossibility` | split-brain series (Theorem 2, Figures 1–2) |
+//! | `fig_cautious` | cautious-broadcast cost/coverage (Lemma 1) |
+//! | `fig_walks` | walk hitting rates vs `x` (Lemma 2) |
+//! | `fig_diffusion` | diffusion convergence vs `(2/φ²)·log(n/γ)` (Lemmas 3–4) |
+//! | `fig_thresholds` | `τ(k)` detection (Lemma 5) |
+//! | `fig_certification` | white-iteration counting (Lemmas 6–8) |
+//!
+//! Criterion benches (`benches/`) time the same workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod runners;
+pub mod sweep;
+pub mod table;
+
+pub use fit::{exponent_close, power_fit, PowerFit};
+pub use runners::{Algorithm, CellSummary, GraphContext};
+pub use table::Table;

@@ -1,0 +1,123 @@
+//! Parallel seed fleets.
+//!
+//! Every experiment in the harness repeats a trial across many seeds. Each
+//! trial is an independent deterministic simulation, so the fleet is
+//! embarrassingly parallel: seeds are distributed to worker threads over a
+//! crossbeam channel and results collected under a `parking_lot` mutex
+//! (both crates are vendored for exactly this; see DESIGN.md).
+
+use parking_lot::Mutex;
+
+/// Runs `trial(seed)` for each seed in `0..seeds`, in parallel, returning
+/// results ordered by seed.
+///
+/// # Examples
+///
+/// ```
+/// let squares = ale_bench::sweep::parallel_trials(8, 4, |seed| seed * seed);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn parallel_trials<T, F>(seeds: u64, workers: usize, trial: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let workers = workers.clamp(1, 64);
+    let (tx, rx) = crossbeam::channel::unbounded::<u64>();
+    for seed in 0..seeds {
+        tx.send(seed).expect("channel open");
+    }
+    drop(tx);
+
+    let results: Mutex<Vec<Option<T>>> =
+        Mutex::new((0..seeds).map(|_| None).collect::<Vec<_>>());
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let results = &results;
+            let trial = &trial;
+            scope.spawn(move |_| {
+                while let Ok(seed) = rx.recv() {
+                    let out = trial(seed);
+                    results.lock()[seed as usize] = Some(out);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every seed processed"))
+        .collect()
+}
+
+/// Mean of a float sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator; 0 for fewer than 2 points).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Median (averaging the middle pair for even sizes).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in experiment data"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_results_are_seed_ordered() {
+        let out = parallel_trials(100, 8, |s| s + 1);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let out = parallel_trials(5, 1, |s| s * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn zero_seeds_is_empty() {
+        let out: Vec<u64> = parallel_trials(0, 4, |s| s);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the `ale-congest` simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when wiring or running a simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CongestError {
+    /// The number of supplied processes does not match the graph size.
+    ProcessCountMismatch {
+        /// Number of nodes in the graph.
+        nodes: usize,
+        /// Number of processes supplied.
+        processes: usize,
+    },
+    /// A process emitted a message on a port it does not have.
+    InvalidPort {
+        /// The sending node (host-side id, for diagnostics only).
+        node: usize,
+        /// The offending port.
+        port: usize,
+        /// The node's degree.
+        degree: usize,
+    },
+    /// The run hit its round cap before the stop condition was met.
+    RoundLimitExceeded {
+        /// The cap that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for CongestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestError::ProcessCountMismatch { nodes, processes } => write!(
+                f,
+                "process count {processes} does not match node count {nodes}"
+            ),
+            CongestError::InvalidPort { node, port, degree } => write!(
+                f,
+                "node {node} sent on port {port} but has degree {degree}"
+            ),
+            CongestError::RoundLimitExceeded { limit } => {
+                write!(f, "round limit {limit} exceeded before stop condition")
+            }
+        }
+    }
+}
+
+impl Error for CongestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        for e in [
+            CongestError::ProcessCountMismatch {
+                nodes: 3,
+                processes: 2,
+            },
+            CongestError::InvalidPort {
+                node: 1,
+                port: 9,
+                degree: 2,
+            },
+            CongestError::RoundLimitExceeded { limit: 100 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

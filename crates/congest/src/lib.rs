@@ -1,0 +1,70 @@
+//! # ale-congest — synchronous anonymous CONGEST simulator
+//!
+//! A discrete, round-driven simulator of the model in Section 2 of
+//! Kowalski & Mosteiro (ICDCS 2021): a connected undirected network of
+//! **anonymous** nodes with port-numbered links, globally synchronous
+//! rounds, reliable communication, and an `O(log n)`-bit per-link-per-round
+//! CONGEST budget.
+//!
+//! * [`Process`] — one node's protocol state machine; sees only its degree,
+//!   the round number, port-tagged messages, and private randomness.
+//! * [`Network`] — wires processes to a graph and drives rounds.
+//! * [`Metrics`] — rounds, CONGEST-charged rounds, messages, and bits; the
+//!   units Theorems 1 and 3 of the paper bound.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ale_congest::{Network, Process, NodeCtx, Incoming, Outbox};
+//! use ale_graph::generators;
+//!
+//! /// Every node forwards the maximum value it has seen for 3 rounds.
+//! #[derive(Debug)]
+//! struct Max(u64, u64);
+//! impl Process for Max {
+//!     type Msg = u64;
+//!     type Output = u64;
+//!     fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>]) -> Outbox<u64> {
+//!         for m in inbox { self.0 = self.0.max(m.msg); }
+//!         if self.1 == 0 { return Vec::new(); }
+//!         self.1 -= 1;
+//!         (0..ctx.degree).map(|p| (p, self.0)).collect()
+//!     }
+//!     fn is_halted(&self) -> bool { self.1 == 0 }
+//!     fn output(&self) -> u64 { self.0 }
+//! }
+//!
+//! let g = generators::complete(4)?;
+//! let mut net = Network::from_fn(&g, 0, 32, |_d, _rng| Max(7, 3));
+//! net.run_to_halt(10)?;
+//! assert!(net.outputs().iter().all(|&v| v == 7));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod message;
+pub mod metrics;
+pub mod network;
+pub mod process;
+
+pub use error::CongestError;
+pub use message::{congest_budget, Payload};
+pub use metrics::{Metrics, RoundTrace};
+pub use network::{Network, RunStatus};
+pub use process::{Incoming, NodeCtx, Outbox, Process};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn error_and_metrics_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CongestError>();
+        assert_send_sync::<Metrics>();
+        assert_send_sync::<RunStatus>();
+    }
+}

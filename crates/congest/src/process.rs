@@ -1,0 +1,148 @@
+//! The anonymous process abstraction.
+//!
+//! A [`Process`] is one node's protocol state machine. Anonymity is enforced
+//! structurally: the only information a process can observe is
+//!
+//! * its own degree (port count),
+//! * the current round number (the network is globally synchronous),
+//! * messages received this round, tagged with the **local port** they
+//!   arrived through, and
+//! * its private random bits.
+//!
+//! Host-side node ids never reach the process; they exist only to seed RNGs
+//! and to let the harness inspect outcomes.
+
+use crate::message::Payload;
+use rand::rngs::StdRng;
+
+/// Per-round execution context handed to a process.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    /// The node's degree; ports are `0..degree`.
+    pub degree: usize,
+    /// Current round number (0 for the first round).
+    pub round: u64,
+    /// The node's private randomness (seeded by the harness; the seed path
+    /// is invisible to the protocol, standing in for physical noise).
+    pub rng: &'a mut StdRng,
+}
+
+/// A message delivered to a process, tagged with the arrival port.
+#[derive(Debug, Clone)]
+pub struct Incoming<M> {
+    /// The local port the message arrived through.
+    pub port: usize,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Messages a process wants to send this round: `(port, payload)` pairs.
+///
+/// At most one message per port per round is legal in the CONGEST model;
+/// the simulator records violations (see
+/// [`Metrics::multi_send_violations`](crate::metrics::Metrics)).
+pub type Outbox<M> = Vec<(usize, M)>;
+
+/// One node's protocol state machine.
+///
+/// The simulator drives every process in lock-step: each round it calls
+/// [`Process::round`] with the messages that arrived, collects the outbox,
+/// and delivers synchronously for the next round. Round 0 is called with an
+/// empty inbox (it plays the role of `init`).
+pub trait Process {
+    /// Message payload type.
+    type Msg: Payload;
+    /// Final output extracted by the harness (e.g. a leader flag).
+    type Output: Clone;
+
+    /// Executes one synchronous round, returning messages to send.
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<Self::Msg>])
+        -> Outbox<Self::Msg>;
+
+    /// Whether this process has terminated (stopped sending and deciding).
+    ///
+    /// Irrevocable protocols halt (Definition 1 requires all nodes to stop);
+    /// revocable protocols may never halt (Definition 2) — the default
+    /// `false` models that.
+    fn is_halted(&self) -> bool {
+        false
+    }
+
+    /// The process's current output (may change over time for revocable
+    /// protocols — that is the point of revocability).
+    fn output(&self) -> Self::Output;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// A process that counts messages and echoes on port 0.
+    #[derive(Debug, Default)]
+    struct Echo {
+        seen: u64,
+        done: bool,
+    }
+
+    impl Process for Echo {
+        type Msg = u64;
+        type Output = u64;
+
+        fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>]) -> Outbox<u64> {
+            self.seen += inbox.len() as u64;
+            if ctx.round >= 3 {
+                self.done = true;
+                return Vec::new();
+            }
+            vec![(0, ctx.round)]
+        }
+
+        fn is_halted(&self) -> bool {
+            self.done
+        }
+
+        fn output(&self) -> u64 {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn process_trait_is_usable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Echo::default();
+        let mut ctx = NodeCtx {
+            degree: 1,
+            round: 0,
+            rng: &mut rng,
+        };
+        let out = p.round(&mut ctx, &[]);
+        assert_eq!(out, vec![(0, 0)]);
+        assert!(!p.is_halted());
+        let mut ctx3 = NodeCtx {
+            degree: 1,
+            round: 3,
+            rng: &mut rng,
+        };
+        let out = p.round(
+            &mut ctx3,
+            &[Incoming { port: 0, msg: 9 }, Incoming { port: 0, msg: 8 }],
+        );
+        assert!(out.is_empty());
+        assert!(p.is_halted());
+        assert_eq!(p.output(), 2);
+    }
+
+    #[test]
+    fn ctx_rng_is_usable() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ctx = NodeCtx {
+            degree: 4,
+            round: 0,
+            rng: &mut rng,
+        };
+        let x: f64 = ctx.rng.gen();
+        assert!((0.0..1.0).contains(&x));
+    }
+}

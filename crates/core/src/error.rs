@@ -1,0 +1,70 @@
+//! Error types for the `ale-core` protocol crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by protocol configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Invalid protocol configuration.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The underlying graph layer failed.
+    Graph(ale_graph::GraphError),
+    /// The simulator failed.
+    Congest(ale_congest::CongestError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Congest(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Congest(e) => Some(e),
+            CoreError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<ale_graph::GraphError> for CoreError {
+    fn from(e: ale_graph::GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<ale_congest::CongestError> for CoreError {
+    fn from(e: ale_congest::CongestError) -> Self {
+        CoreError::Congest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::InvalidConfig {
+            reason: "x must be positive".into(),
+        };
+        assert!(e.to_string().contains("x must be positive"));
+        assert!(e.source().is_none());
+
+        let g: CoreError = ale_graph::GraphError::Disconnected.into();
+        assert!(g.source().is_some());
+
+        let c: CoreError = ale_congest::CongestError::RoundLimitExceeded { limit: 5 }.into();
+        assert!(c.to_string().contains("round limit"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Explicit leader election: flood the elected leader's ID so every node
+//! learns it (the implicit → explicit reduction of Section 3).
+//!
+//! Input: each node knows whether it is the leader (the elected node's
+//! flag from the irrevocable protocol) and an upper bound on the diameter
+//! (computable from the known `n` as `n − 1`, or supplied exactly).
+//! The leader floods `⟨its ID⟩`; nodes adopt the first value heard and
+//! forward once — `O(m)` messages, `O(D)` rounds, `O(log n)` bits per
+//! message.
+
+use crate::error::CoreError;
+use ale_congest::message::bits_for_u64;
+use ale_congest::{congest_budget, Incoming, Network, NodeCtx, Outbox, Payload, Process};
+use ale_graph::Graph;
+
+/// Flood message: the leader's ID plus hop count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaderAnnounce {
+    /// The leader's random ID.
+    pub leader_id: u64,
+    /// Hops travelled so far.
+    pub distance: u64,
+}
+
+impl Payload for LeaderAnnounce {
+    fn bit_size(&self) -> usize {
+        bits_for_u64(self.leader_id) + bits_for_u64(self.distance)
+    }
+}
+
+/// Per-node result of the explicit phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExplicitOutcome {
+    /// The leader's ID as learned by this node (None = never reached —
+    /// cannot happen on a connected graph with enough rounds).
+    pub leader_id: Option<u64>,
+    /// BFS distance to the leader (hops the flood travelled).
+    pub distance: Option<u64>,
+}
+
+/// One node of the explicit-election flood.
+#[derive(Debug, Clone)]
+struct ExplicitProcess {
+    is_leader: bool,
+    own_id: u64,
+    rounds: u64,
+    learned: Option<LeaderAnnounce>,
+    forwarded: bool,
+    halted: bool,
+}
+
+impl Process for ExplicitProcess {
+    type Msg = LeaderAnnounce;
+    type Output = ExplicitOutcome;
+
+    fn round(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        inbox: &[Incoming<LeaderAnnounce>],
+    ) -> Outbox<LeaderAnnounce> {
+        for m in inbox {
+            if self.learned.is_none() {
+                self.learned = Some(m.msg);
+            }
+        }
+        if ctx.round >= self.rounds {
+            self.halted = true;
+            return Vec::new();
+        }
+        if ctx.round == 0 && self.is_leader {
+            self.learned = Some(LeaderAnnounce {
+                leader_id: self.own_id,
+                distance: 0,
+            });
+            self.forwarded = true;
+            let msg = LeaderAnnounce {
+                leader_id: self.own_id,
+                distance: 1,
+            };
+            return (0..ctx.degree).map(|p| (p, msg)).collect();
+        }
+        if !self.forwarded {
+            if let Some(a) = self.learned {
+                self.forwarded = true;
+                let msg = LeaderAnnounce {
+                    leader_id: a.leader_id,
+                    distance: a.distance + 1,
+                };
+                return (0..ctx.degree).map(|p| (p, msg)).collect();
+            }
+        }
+        Vec::new()
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn output(&self) -> ExplicitOutcome {
+        ExplicitOutcome {
+            leader_id: self.learned.map(|a| a.leader_id),
+            distance: self.learned.map(|a| a.distance),
+        }
+    }
+}
+
+/// Runs the explicit phase after an election: `leader` is the elected
+/// node (host-side id), `leader_id` its random ID, `diameter_bound` the
+/// flood duration.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidConfig`] when `leader` is out of range or the bound
+/// is zero; simulation errors are propagated.
+pub fn run_explicit_phase(
+    graph: &Graph,
+    leader: usize,
+    leader_id: u64,
+    diameter_bound: u64,
+    seed: u64,
+) -> Result<Vec<ExplicitOutcome>, CoreError> {
+    if leader >= graph.n() {
+        return Err(CoreError::InvalidConfig {
+            reason: format!("leader {leader} out of range for n = {}", graph.n()),
+        });
+    }
+    if diameter_bound == 0 {
+        return Err(CoreError::InvalidConfig {
+            reason: "diameter bound must be positive".into(),
+        });
+    }
+    let budget = congest_budget(graph.n(), 8);
+    let procs: Vec<ExplicitProcess> = (0..graph.n())
+        .map(|v| ExplicitProcess {
+            is_leader: v == leader,
+            own_id: leader_id,
+            rounds: diameter_bound + 1,
+            learned: None,
+            forwarded: false,
+            halted: false,
+        })
+        .collect();
+    let mut net = Network::new(graph, procs, seed, budget)?;
+    net.run_to_halt(diameter_bound + 4)?;
+    Ok(net.outputs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ale_graph::generators;
+
+    #[test]
+    fn every_node_learns_the_leader() {
+        let g = generators::grid2d(4, 5, false).unwrap();
+        let outs = run_explicit_phase(&g, 7, 12345, g.diameter() as u64, 3).unwrap();
+        for (v, o) in outs.iter().enumerate() {
+            assert_eq!(o.leader_id, Some(12345), "node {v} missed the flood");
+        }
+    }
+
+    #[test]
+    fn distances_match_bfs() {
+        let g = generators::cycle(9).unwrap();
+        let leader = 2usize;
+        let outs = run_explicit_phase(&g, leader, 7, g.diameter() as u64, 1).unwrap();
+        let bfs = g.bfs_distances(leader);
+        for (v, o) in outs.iter().enumerate() {
+            assert_eq!(
+                o.distance,
+                Some(bfs[v] as u64),
+                "node {v}: flood distance must equal BFS distance"
+            );
+        }
+    }
+
+    #[test]
+    fn message_cost_is_linear_in_edges() {
+        // Each node forwards exactly once: ≤ 2m messages total.
+        let g = generators::complete(10).unwrap();
+        let budget = congest_budget(g.n(), 8);
+        let procs: Vec<ExplicitProcess> = (0..g.n())
+            .map(|v| ExplicitProcess {
+                is_leader: v == 0,
+                own_id: 5,
+                rounds: 4,
+                learned: None,
+                forwarded: false,
+                halted: false,
+            })
+            .collect();
+        let mut net = Network::new(&g, procs, 0, budget).unwrap();
+        net.run_to_halt(10).unwrap();
+        assert!(net.metrics().messages <= 2 * g.m() as u64);
+    }
+
+    #[test]
+    fn announce_payload_size() {
+        let a = LeaderAnnounce {
+            leader_id: 255,
+            distance: 3,
+        };
+        assert_eq!(a.bit_size(), 8 + 2);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::cycle(5).unwrap();
+        assert!(run_explicit_phase(&g, 9, 1, 3, 0).is_err());
+        assert!(run_explicit_phase(&g, 1, 1, 0, 0).is_err());
+    }
+}

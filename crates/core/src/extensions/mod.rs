@@ -1,0 +1,21 @@
+//! Post-election extensions the paper points to (Section 3): "Some of the
+//! results above are extended to other problems, such as Broadcast, tree
+//! construction and explicit Leader Election, once a leader has been
+//! elected."
+//!
+//! These are the standard reductions, built on the same anonymous CONGEST
+//! substrate:
+//!
+//! * [`explicit`] — turn an implicit election into an explicit one: the
+//!   leader floods its random ID; every node learns the leader's ID and
+//!   its own BFS distance to it. `O(m)` messages, `O(D)` rounds.
+//! * [`tree`] — BFS spanning-tree construction rooted at the leader:
+//!   every non-leader learns its parent port, level, and subtree size
+//!   (via a convergecast echo). The tree enables `O(n)`-message broadcast
+//!   afterwards.
+
+pub mod explicit;
+pub mod tree;
+
+pub use explicit::{run_explicit_phase, ExplicitOutcome};
+pub use tree::{run_tree_construction, TreeNode, TreeOutcome};

@@ -1,0 +1,357 @@
+//! BFS spanning-tree construction rooted at the elected leader
+//! (the "tree construction" extension of Section 3).
+//!
+//! Two phases on the anonymous CONGEST substrate:
+//!
+//! 1. **Flood**: the root floods a `Join(level)` wave; each node adopts the
+//!    first sender as parent and records its level — `O(m)` messages,
+//!    `O(D)` rounds.
+//! 2. **Echo**: leaves report subtree size 1; internal nodes report
+//!    `1 + Σ children` once all confirmed children have reported — `O(n)`
+//!    messages, `O(D)` additional rounds. The root learns `n`, which is
+//!    how an elected leader can *verify* a believed network size.
+//!
+//! The resulting parent pointers support `O(n)`-message broadcast and
+//! convergecast thereafter — the reductions the paper alludes to.
+
+use crate::error::CoreError;
+use ale_congest::message::bits_for_u64;
+use ale_congest::{congest_budget, Incoming, Network, NodeCtx, Outbox, Payload, Process};
+use ale_graph::{Graph, Port};
+
+/// Tree-construction messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeMsg {
+    /// Flood wave carrying the sender's level.
+    Join {
+        /// Sender's BFS level.
+        level: u64,
+    },
+    /// Child → parent: "my subtree is complete and has `size` nodes".
+    Echo {
+        /// Subtree size.
+        size: u64,
+    },
+    /// Parent → child acknowledgement of adoption (so nodes know which
+    /// neighbors are children vs mere flood duplicates).
+    Adopt,
+}
+
+impl Payload for TreeMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            TreeMsg::Join { level } => 2 + bits_for_u64(*level),
+            TreeMsg::Echo { size } => 2 + bits_for_u64(*size),
+            TreeMsg::Adopt => 2,
+        }
+    }
+}
+
+/// Per-node view of the constructed tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeNode {
+    /// Parent port (None at the root).
+    pub parent: Option<Port>,
+    /// BFS level (0 at the root).
+    pub level: Option<u64>,
+    /// Size of this node's subtree (populated by the echo phase).
+    pub subtree_size: Option<u64>,
+    /// Child ports.
+    pub children: Vec<Port>,
+}
+
+/// Aggregate outcome of tree construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeOutcome {
+    /// Per-node views, indexed by host-side node id.
+    pub nodes: Vec<TreeNode>,
+    /// The size the root counted (should equal `n`).
+    pub root_count: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct TreeProcess {
+    rounds: u64,
+    parent: Option<Port>,
+    level: Option<u64>,
+    // Ports we sent Join to and who adopted us (confirmed children).
+    children: Vec<Port>,
+    // Ports that sent us Join after we already had a parent (non-children
+    // neighbors in the tree sense); used to know when echo can fire:
+    // every neighbor is eventually parent, child, or co-flooded.
+    resolved_ports: Vec<bool>,
+    pending_adopt: Option<Port>,
+    flooded: bool,
+    echo_sizes: Vec<Option<u64>>, // per child port index
+    echoed: bool,
+    subtree: Option<u64>,
+    halted: bool,
+}
+
+impl TreeProcess {
+    fn new(is_root: bool, degree: usize, rounds: u64) -> Self {
+        TreeProcess {
+            rounds,
+            parent: None,
+            level: if is_root { Some(0) } else { None },
+            children: Vec::new(),
+            resolved_ports: vec![false; degree],
+            pending_adopt: None,
+            flooded: false,
+            echo_sizes: Vec::new(),
+            echoed: false,
+            subtree: None,
+            halted: false,
+        }
+    }
+
+    fn try_echo(&mut self) -> Option<u64> {
+        if self.echoed || !self.flooded {
+            return None;
+        }
+        // All ports must be resolved (we know who our children are — they
+        // sent Adopt...no: we adopt children when THEY echo or adopt us).
+        // Echo fires when every confirmed child has reported.
+        if self
+            .echo_sizes
+            .iter()
+            .zip(&self.children)
+            .any(|(s, _)| s.is_none())
+        {
+            return None;
+        }
+        // And all neighbor ports are resolved (parent / co-flooded / child),
+        // so no more children can appear.
+        if self.resolved_ports.iter().any(|r| !r) {
+            return None;
+        }
+        let size = 1 + self
+            .echo_sizes
+            .iter()
+            .map(|s| s.unwrap_or(0))
+            .sum::<u64>();
+        self.echoed = true;
+        self.subtree = Some(size);
+        Some(size)
+    }
+}
+
+impl Process for TreeProcess {
+    type Msg = TreeMsg;
+    type Output = TreeNode;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<TreeMsg>]) -> Outbox<TreeMsg> {
+        let mut out: Outbox<TreeMsg> = Vec::new();
+        for m in inbox {
+            match m.msg {
+                TreeMsg::Join { level } => {
+                    self.resolved_ports[m.port] = true;
+                    if self.level.is_none() {
+                        self.level = Some(level + 1);
+                        self.parent = Some(m.port);
+                        self.pending_adopt = Some(m.port);
+                    }
+                }
+                TreeMsg::Adopt => {
+                    // The neighbor on this port became our child.
+                    self.resolved_ports[m.port] = true;
+                    self.children.push(m.port);
+                    self.echo_sizes.push(None);
+                }
+                TreeMsg::Echo { size } => {
+                    if let Some(idx) = self.children.iter().position(|&c| c == m.port) {
+                        self.echo_sizes[idx] = Some(size);
+                    }
+                }
+            }
+        }
+
+        if ctx.round >= self.rounds {
+            self.halted = true;
+            return Vec::new();
+        }
+
+        if let Some(p) = self.pending_adopt.take() {
+            out.push((p, TreeMsg::Adopt));
+        }
+
+        if !self.flooded {
+            if let Some(level) = self.level {
+                self.flooded = true;
+                // Mark the parent port resolved; flood the rest.
+                if let Some(pp) = self.parent {
+                    self.resolved_ports[pp] = true;
+                }
+                for p in 0..ctx.degree {
+                    if Some(p) != self.parent {
+                        // Port conflict with the Adopt above is impossible:
+                        // Adopt goes to the parent, Join to non-parents.
+                        out.push((p, TreeMsg::Join { level }));
+                    }
+                }
+                return out;
+            }
+        }
+
+        if let Some(size) = self.try_echo() {
+            if let Some(pp) = self.parent {
+                out.push((pp, TreeMsg::Echo { size }));
+            }
+        }
+        out
+    }
+
+    fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    fn output(&self) -> TreeNode {
+        TreeNode {
+            parent: self.parent,
+            level: self.level,
+            subtree_size: self.subtree,
+            children: self.children.clone(),
+        }
+    }
+}
+
+/// Builds a BFS tree rooted at `root` and runs the echo phase.
+///
+/// `rounds` should be at least `2·D + 4`; use `2·(n − 1) + 4` when only
+/// `n` is known.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidConfig`] for out-of-range root or zero rounds;
+/// simulation errors are propagated.
+pub fn run_tree_construction(
+    graph: &Graph,
+    root: usize,
+    rounds: u64,
+    seed: u64,
+) -> Result<TreeOutcome, CoreError> {
+    if root >= graph.n() {
+        return Err(CoreError::InvalidConfig {
+            reason: format!("root {root} out of range for n = {}", graph.n()),
+        });
+    }
+    if rounds == 0 {
+        return Err(CoreError::InvalidConfig {
+            reason: "round budget must be positive".into(),
+        });
+    }
+    let budget = congest_budget(graph.n(), 8);
+    let procs: Vec<TreeProcess> = (0..graph.n())
+        .map(|v| TreeProcess::new(v == root, graph.degree(v), rounds))
+        .collect();
+    let mut net = Network::new(graph, procs, seed, budget)?;
+    net.run_to_halt(rounds + 4)?;
+    let nodes: Vec<TreeNode> = net.outputs();
+    let root_count = nodes[root].subtree_size;
+    Ok(TreeOutcome { nodes, root_count })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ale_graph::generators;
+
+    fn tree_on(g: &Graph, root: usize) -> TreeOutcome {
+        run_tree_construction(g, root, 2 * g.n() as u64 + 4, 1).unwrap()
+    }
+
+    #[test]
+    fn levels_match_bfs_distances() {
+        let g = generators::grid2d(4, 4, false).unwrap();
+        let out = tree_on(&g, 5);
+        let bfs = g.bfs_distances(5);
+        for (v, node) in out.nodes.iter().enumerate() {
+            assert_eq!(node.level, Some(bfs[v] as u64), "node {v} level");
+        }
+    }
+
+    #[test]
+    fn root_counts_the_whole_network() {
+        for g in [
+            generators::cycle(11).unwrap(),
+            generators::complete(9).unwrap(),
+            generators::binary_tree(13).unwrap(),
+            generators::barbell(5).unwrap(),
+        ] {
+            let out = tree_on(&g, 0);
+            assert_eq!(
+                out.root_count,
+                Some(g.n() as u64),
+                "root must count n = {}",
+                g.n()
+            );
+        }
+    }
+
+    #[test]
+    fn parent_pointers_form_a_tree() {
+        let g = generators::random_regular(20, 3, 4).unwrap();
+        let out = tree_on(&g, 3);
+        let mut edges = 0;
+        for (v, node) in out.nodes.iter().enumerate() {
+            if v == 3 {
+                assert_eq!(node.parent, None);
+                continue;
+            }
+            let p = node.parent.expect("non-root has a parent");
+            let u = g.port_target(v, p);
+            // Parent is one level up.
+            assert_eq!(
+                out.nodes[u].level.unwrap() + 1,
+                node.level.unwrap(),
+                "node {v}'s parent must be one level up"
+            );
+            edges += 1;
+        }
+        assert_eq!(edges, g.n() - 1, "a tree has n-1 edges");
+    }
+
+    #[test]
+    fn children_lists_are_consistent_with_parents() {
+        let g = generators::cycle(8).unwrap();
+        let out = tree_on(&g, 0);
+        for (v, node) in out.nodes.iter().enumerate() {
+            for &c in &node.children {
+                let u = g.port_target(v, c);
+                let back = g.reverse_port(v, c);
+                assert_eq!(
+                    out.nodes[u].parent,
+                    Some(back),
+                    "child {u} must point back to {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_add_up() {
+        let g = generators::binary_tree(15).unwrap();
+        let out = tree_on(&g, 0);
+        for (v, node) in out.nodes.iter().enumerate() {
+            let kids: u64 = node
+                .children
+                .iter()
+                .map(|&c| out.nodes[g.port_target(v, c)].subtree_size.unwrap())
+                .sum();
+            assert_eq!(node.subtree_size, Some(kids + 1));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::cycle(5).unwrap();
+        assert!(run_tree_construction(&g, 7, 10, 0).is_err());
+        assert!(run_tree_construction(&g, 1, 0, 0).is_err());
+    }
+
+    #[test]
+    fn msg_sizes() {
+        assert!(TreeMsg::Join { level: 100 }.bit_size() > TreeMsg::Adopt.bit_size());
+        assert_eq!(TreeMsg::Adopt.bit_size(), 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Revocable Leader Election for **unknown network size**
+//! (paper Section 5.2–5.3).
+//!
+//! No algorithm can solve irrevocable leader election without knowing `n`
+//! (Theorem 2; see the `ale-impossibility` crate), so the paper defines the
+//! revocable variant: the final leader must be elected within bounded time,
+//! but nodes may never know their decision is final and may revoke it.
+//!
+//! **Blind Leader Election with Certificates via Diffusion with Thresholds**
+//! probes doubling estimates `k` of the network size. Each estimate runs
+//! `f(k)` certification iterations — a white/black coloring, a potential
+//! diffusion with threshold alarms, and a dissemination — and nodes that
+//! fail to detect `k` as low choose an ID in a range polynomial in `k`,
+//! compounded with `k` as a *certificate*. The best record (largest
+//! certificate, then smallest ID) is the leader.
+//!
+//! * [`RevocableParams`] — the paper's `p(k)`, `τ(k)`, `f(k)`, `r(k)`
+//!   functions (Theorem 3 with known `i(G)` or blind Corollary 1), plus
+//!   documented scale knobs for tractable shape experiments.
+//! * [`RevocableProcess`] — the never-halting per-node machine.
+//! * [`run_revocable`] — drives a network until the host-side oracle
+//!   observes stabilization (all IDs chosen, all views equal).
+//!
+//! ## Example
+//!
+//! ```
+//! use ale_core::revocable::{run_revocable, RevocableParams};
+//! use ale_graph::generators;
+//!
+//! let g = generators::complete(4)?;
+//! // Scaled parameters keep the demo fast; see DESIGN.md for modes.
+//! let params = RevocableParams::paper_blind(1.0, 0.2).with_scales(0.02, 0.05, 1.0);
+//! let result = run_revocable(&g, &params, 7, 64)?;
+//! assert!(result.stabilized);
+//! assert_eq!(result.outcome.leader_count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod msg;
+pub mod params;
+pub mod process;
+pub mod record;
+
+use crate::error::CoreError;
+use crate::outcome::ElectionOutcome;
+use ale_congest::{congest_budget, Network, RunStatus};
+use ale_graph::Graph;
+
+pub use msg::RevMsg;
+pub use params::RevocableParams;
+pub use process::{RevocableProcess, RevocableVerdict};
+pub use record::LeaderRecord;
+
+/// Result of driving the revocable protocol to (attempted) stabilization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RevocableOutcome {
+    /// Leaders / candidates / cost summary. `candidates` lists every node
+    /// that chose an ID (they all "stand" in this protocol).
+    pub outcome: ElectionOutcome,
+    /// Whether the stabilization oracle fired: every node chose an ID and
+    /// all views agree (an absorbing state — certificates only improve).
+    pub stabilized: bool,
+    /// The largest estimate `k` reached by any node.
+    pub final_k: u64,
+    /// Round at which stabilization was first observed.
+    pub rounds_at_stability: Option<u64>,
+    /// Full per-node verdicts for downstream analysis.
+    pub verdicts: Vec<RevocableVerdict>,
+}
+
+/// Runs the revocable protocol until stabilization or until every estimate
+/// up to `max_k` has been exhausted.
+///
+/// The protocol itself never halts (Definition 2); `max_k` is the host-side
+/// simulation horizon. Theory predicts stabilization once `k^{1+ε} > 4n`,
+/// so pass a `max_k` at least a constant factor above `(4n)^{1/(1+ε)}`.
+///
+/// # Errors
+///
+/// Propagates parameter-validation and simulation failures.
+pub fn run_revocable(
+    graph: &Graph,
+    params: &RevocableParams,
+    seed: u64,
+    max_k: u64,
+) -> Result<RevocableOutcome, CoreError> {
+    params.validate()?;
+    if max_k < 2 {
+        return Err(CoreError::InvalidConfig {
+            reason: "max_k must be at least 2".into(),
+        });
+    }
+    let budget = congest_budget(graph.n().max(2), params.congest_factor);
+    let p = *params;
+    let mut net = Network::from_fn(graph, seed, budget, |deg, _rng| {
+        // The horizon freezes nodes before they execute estimates beyond
+        // max_k, whose per-estimate cost grows like k^{2(2+ε)} (blind).
+        RevocableProcess::with_horizon(p, deg, Some(max_k))
+    });
+    let round_budget = params.rounds_through(max_k).saturating_add(64);
+    let mut rounds_at_stability = None;
+
+    // Stops on: stabilization (checked sparsely — the recorded round is at
+    // most 16 late), the horizon freeze (all nodes halt in lockstep), or
+    // the round cap (defensive; unreachable given the freeze).
+    let status = net.run_until(round_budget, |n| {
+        n.round() % 16 == 0 && stabilized(&n.outputs())
+    })?;
+    let verdicts_now = net.outputs();
+    if status == RunStatus::PredicateMet && stabilized(&verdicts_now) {
+        rounds_at_stability = Some(net.round());
+    }
+
+    let verdicts = verdicts_now;
+    let leaders = verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.leader)
+        .map(|(i, _)| i)
+        .collect();
+    let candidates = verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.id.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    let final_k = verdicts.iter().map(|v| v.k).max().unwrap_or(2);
+    let outcome = ElectionOutcome::new(leaders, candidates, net.metrics().clone(), status);
+    Ok(RevocableOutcome {
+        stabilized: rounds_at_stability.is_some(),
+        final_k,
+        rounds_at_stability,
+        verdicts,
+        outcome,
+    })
+}
+
+/// The stabilization oracle: all nodes chose IDs and share the same view.
+///
+/// This is an absorbing predicate: IDs are never re-chosen and views only
+/// move toward the globally best record.
+pub fn stabilized(verdicts: &[RevocableVerdict]) -> bool {
+    if verdicts.is_empty() {
+        return false;
+    }
+    if verdicts.iter().any(|v| v.id.is_none() || v.view.is_none()) {
+        return false;
+    }
+    let first = verdicts[0].view;
+    verdicts.iter().all(|v| v.view == first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ale_graph::generators;
+
+    fn fast_params() -> RevocableParams {
+        RevocableParams::paper_blind(1.0, 0.2).with_scales(0.02, 0.05, 1.0)
+    }
+
+    #[test]
+    fn stabilizes_on_tiny_complete_graph() {
+        let g = generators::complete(4).unwrap();
+        let r = run_revocable(&g, &fast_params(), 3, 64).unwrap();
+        assert!(r.stabilized, "did not stabilize: final_k = {}", r.final_k);
+        assert_eq!(r.outcome.leader_count(), 1);
+        assert_eq!(r.outcome.candidates.len(), 4, "all nodes choose IDs");
+        // The leader's record must be the best one.
+        let best = r
+            .verdicts
+            .iter()
+            .filter_map(|v| v.view)
+            .next()
+            .expect("stabilized implies views");
+        for v in &r.verdicts {
+            assert_eq!(v.view, Some(best));
+        }
+    }
+
+    #[test]
+    fn explicit_election_all_nodes_know_leader() {
+        let g = generators::cycle(5).unwrap();
+        let r = run_revocable(&g, &fast_params(), 11, 64).unwrap();
+        assert!(r.stabilized);
+        let views: Vec<_> = r.verdicts.iter().map(|v| v.view).collect();
+        assert!(views.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn leader_has_best_record() {
+        let g = generators::path(4).unwrap();
+        let r = run_revocable(&g, &fast_params(), 5, 64).unwrap();
+        assert!(r.stabilized);
+        let leader = r.outcome.unique_leader().expect("unique leader");
+        let lv = &r.verdicts[leader];
+        assert_eq!(
+            Some(LeaderRecord::new(lv.cert.unwrap(), lv.id.unwrap())),
+            lv.view
+        );
+    }
+
+    #[test]
+    fn unstabilized_run_reports_false() {
+        let g = generators::complete(4).unwrap();
+        // max_k = 2 gives the protocol no room to reach k^{1+ε} > 4n.
+        let r = run_revocable(&g, &fast_params(), 3, 2).unwrap();
+        assert!(!r.stabilized);
+        assert_eq!(r.rounds_at_stability, None);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let g = generators::complete(4).unwrap();
+        let bad = RevocableParams::paper_blind(0.0, 0.1);
+        assert!(run_revocable(&g, &bad, 0, 64).is_err());
+        assert!(run_revocable(&g, &fast_params(), 0, 1).is_err());
+    }
+
+    #[test]
+    fn stabilized_predicate_logic() {
+        use process::RevocableVerdict;
+        let v = |id: Option<u128>, view: Option<LeaderRecord>| RevocableVerdict {
+            id,
+            cert: id.map(|_| 4),
+            leader: false,
+            view,
+            k: 8,
+            revocations: 0,
+        };
+        assert!(!stabilized(&[]));
+        let rec = LeaderRecord::new(4, 9);
+        assert!(!stabilized(&[v(None, Some(rec))]));
+        assert!(!stabilized(&[v(Some(1), None)]));
+        assert!(stabilized(&[v(Some(1), Some(rec)), v(Some(2), Some(rec))]));
+        let other = LeaderRecord::new(8, 1);
+        assert!(!stabilized(&[
+            v(Some(1), Some(rec)),
+            v(Some(2), Some(other))
+        ]));
+    }
+}

@@ -1,0 +1,105 @@
+//! Leader records: ID + certificate pairs.
+//!
+//! The revocable protocol compounds each chosen ID with the estimate `k`
+//! ("certificate") used to choose it. The leader is the node with the
+//! **smallest ID among those with the largest certificate** (Section 5.2:
+//! "The node with smallest ID, among those with largest estimate, is the
+//! leader").
+
+use ale_congest::message::{bits_for_u128, bits_for_u64};
+
+/// A candidate leader: `(certificate, id)` with the paper's ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeaderRecord {
+    /// The estimate `k` in force when the ID was chosen (the certificate).
+    pub cert: u64,
+    /// The chosen ID.
+    pub id: u128,
+}
+
+impl LeaderRecord {
+    /// Creates a record.
+    pub fn new(cert: u64, id: u128) -> Self {
+        LeaderRecord { cert, id }
+    }
+
+    /// The paper's preference order: larger certificate wins; ties broken
+    /// by smaller ID.
+    pub fn beats(&self, other: &LeaderRecord) -> bool {
+        self.cert > other.cert || (self.cert == other.cert && self.id < other.id)
+    }
+
+    /// Merges `other` into `self` if it is preferable; returns whether an
+    /// update happened (drives send-on-change logic and revocations).
+    pub fn merge(&mut self, other: &LeaderRecord) -> bool {
+        if other.beats(self) {
+            *self = *other;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Wire size in bits.
+    pub fn bit_size(&self) -> usize {
+        bits_for_u64(self.cert) + bits_for_u128(self.id)
+    }
+}
+
+/// Merges an optional incoming record into an optional current view.
+/// Returns whether the view changed.
+pub fn merge_view(view: &mut Option<LeaderRecord>, incoming: Option<&LeaderRecord>) -> bool {
+    match (view.as_mut(), incoming) {
+        (_, None) => false,
+        (None, Some(r)) => {
+            *view = Some(*r);
+            true
+        }
+        (Some(cur), Some(r)) => cur.merge(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_prefers_bigger_cert_then_smaller_id() {
+        let a = LeaderRecord::new(8, 100);
+        let b = LeaderRecord::new(4, 1);
+        assert!(a.beats(&b));
+        assert!(!b.beats(&a));
+        let c = LeaderRecord::new(8, 50);
+        assert!(c.beats(&a));
+        assert!(!a.beats(&c));
+        assert!(!a.beats(&a), "a record does not beat itself");
+    }
+
+    #[test]
+    fn merge_updates_only_on_improvement() {
+        let mut v = LeaderRecord::new(4, 10);
+        assert!(!v.merge(&LeaderRecord::new(4, 11)));
+        assert_eq!(v.id, 10);
+        assert!(v.merge(&LeaderRecord::new(4, 3)));
+        assert_eq!(v.id, 3);
+        assert!(v.merge(&LeaderRecord::new(16, 99)));
+        assert_eq!(v.cert, 16);
+    }
+
+    #[test]
+    fn merge_view_handles_none() {
+        let mut view = None;
+        assert!(!merge_view(&mut view, None));
+        assert!(merge_view(&mut view, Some(&LeaderRecord::new(2, 5))));
+        assert_eq!(view, Some(LeaderRecord::new(2, 5)));
+        assert!(!merge_view(&mut view, Some(&LeaderRecord::new(2, 9))));
+        assert!(merge_view(&mut view, Some(&LeaderRecord::new(2, 1))));
+    }
+
+    #[test]
+    fn bit_size_scales() {
+        let small = LeaderRecord::new(2, 3);
+        let big = LeaderRecord::new(1 << 40, u128::MAX);
+        assert!(big.bit_size() > small.bit_size());
+    }
+}

@@ -1,0 +1,208 @@
+//! Closed-form property hints for generated topology families.
+//!
+//! The paper's protocols only need **linear upper bounds** on `n`, `t_mix`
+//! and lower-bound-style estimates of `Φ` (Section 4: "it is enough to have
+//! linear upper bounds on n, t_mix, and Φ"). For the deterministic families
+//! these are textbook quantities; supplying them avoids expensive spectral
+//! estimation inside large sweeps and pins the experiment parameterization
+//! to the same asymptotics the paper manipulates.
+//!
+//! Hints are intentionally conservative: conductance/isoperimetric hints are
+//! exact cut values for the obvious optimal cut (proved optimal for cycle,
+//! path, complete, star, hypercube; within a factor 2 for torus and trees —
+//! all that the protocols require), and `t_mix` hints over-approximate.
+
+use crate::generators::Topology;
+
+/// Optional closed-form hints for a topology; `None` fields mean "compute
+/// numerically".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AnalyticHints {
+    /// Graph conductance `Φ(G)` (paper's volume-normalized definition).
+    pub conductance: Option<f64>,
+    /// Isoperimetric number `i(G)`.
+    pub isoperimetric: Option<f64>,
+    /// Upper bound on the lazy-walk mixing time.
+    pub tmix_upper: Option<u64>,
+}
+
+/// Returns closed-form hints for `t`, where known.
+///
+/// # Examples
+///
+/// ```
+/// use ale_graph::{analytic, Topology};
+/// let h = analytic::hints(&Topology::Cycle { n: 100 });
+/// assert!((h.conductance.unwrap() - 1.0 / 50.0).abs() < 1e-12);
+/// assert!(h.tmix_upper.unwrap() >= 100 * 100 / 2);
+/// ```
+pub fn hints(t: &Topology) -> AnalyticHints {
+    match *t {
+        Topology::Cycle { n } if n >= 3 => {
+            let half = (n / 2) as f64;
+            AnalyticHints {
+                // Optimal cut is an arc of ⌊n/2⌋ nodes: |∂S| = 2, Vol = 2⌊n/2⌋.
+                conductance: Some(1.0 / half),
+                isoperimetric: Some(2.0 / half),
+                // Lazy cycle mixes in Θ(n²); 2n² is a safe upper bound for
+                // the paper's 1/(2n) max-norm threshold at all n ≥ 3.
+                tmix_upper: Some(2 * (n as u64) * (n as u64)),
+            }
+        }
+        Topology::Path { n } if n >= 2 => {
+            let half = (n / 2) as f64;
+            AnalyticHints {
+                conductance: Some(1.0 / (n as f64 - 1.0)),
+                isoperimetric: Some(1.0 / half),
+                tmix_upper: Some(4 * (n as u64) * (n as u64)),
+            }
+        }
+        Topology::Complete { n } if n >= 2 => {
+            let half = (n / 2) as f64;
+            AnalyticHints {
+                // |S| = ⌊n/2⌋: |∂S|/Vol(S) = (n − ⌊n/2⌋)/(n − 1).
+                conductance: Some((n as f64 - half) / (n as f64 - 1.0)),
+                isoperimetric: Some(n as f64 - half),
+                // Lazy K_n spectral gap ≈ 1/2 ⇒ t ≤ 2·ln(2n), padded.
+                tmix_upper: Some((2.0 * (2.0 * n as f64).ln()).ceil() as u64 + 2),
+            }
+        }
+        Topology::Star { n } if n >= 2 => AnalyticHints {
+            conductance: Some(1.0),
+            isoperimetric: Some(1.0),
+            tmix_upper: Some((2.0 * (2.0 * n as f64).ln()).ceil() as u64 + 2),
+        },
+        Topology::Hypercube { dim } if dim >= 1 => {
+            let d = dim as f64;
+            let n = 1u64 << dim;
+            AnalyticHints {
+                // Dimension cut: |∂S| = n/2 edges over Vol(S) = d·n/2.
+                conductance: Some(1.0 / d),
+                isoperimetric: Some(1.0),
+                // Lazy gap = 1/d ⇒ t ≤ d·ln(2n) = d(dim+1)·ln 2, padded.
+                tmix_upper: Some((d * (2.0 * n as f64).ln()).ceil() as u64 + 2),
+            }
+        }
+        Topology::Grid2d { rows, cols, torus: true } if rows >= 3 && cols >= 3 => {
+            let long = rows.max(cols) as f64;
+            let short = rows.min(cols) as f64;
+            AnalyticHints {
+                // Cut the long dimension in half: |∂S| = 2·short,
+                // Vol(S) = 4·short·⌊long/2⌋ ⇒ Φ ≈ 1/long (within 2×).
+                conductance: Some(1.0 / long),
+                isoperimetric: Some(4.0 / long),
+                // Torus mixes in Θ(max(r,c)²); padded constant.
+                tmix_upper: Some((4.0 * long * long * (short).ln().max(1.0)) as u64),
+            }
+        }
+        Topology::Barbell { k } if k >= 2 => {
+            let kk = k as f64;
+            AnalyticHints {
+                // Bridge cut: 1 edge; Vol(side) = k(k−1) + 1.
+                conductance: Some(1.0 / (kk * (kk - 1.0) + 1.0)),
+                isoperimetric: Some(1.0 / kk),
+                tmix_upper: None,
+            }
+        }
+        Topology::RingOfCliques { cliques, k } if cliques >= 3 && k >= 2 => {
+            let c = cliques as f64;
+            let kk = k as f64;
+            AnalyticHints {
+                // Half-ring cut: 2 inter-clique edges;
+                // Vol(S) = (k(k−1) + 2)·c/2.
+                conductance: Some(4.0 / (c * (kk * (kk - 1.0) + 2.0))),
+                isoperimetric: Some(4.0 / (c * kk)),
+                tmix_upper: None,
+            }
+        }
+        _ => AnalyticHints::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cuts;
+
+    #[test]
+    fn hints_match_exact_cut_values_where_claimed_exact() {
+        let cases = [
+            Topology::Cycle { n: 12 },
+            Topology::Path { n: 10 },
+            Topology::Complete { n: 8 },
+            Topology::Star { n: 9 },
+            Topology::Hypercube { dim: 4 },
+        ];
+        for t in cases {
+            let g = t.build(0).unwrap();
+            let h = hints(&t);
+            let phi = cuts::conductance_exact(&g).unwrap();
+            let i = cuts::isoperimetric_exact(&g).unwrap();
+            assert!(
+                (h.conductance.unwrap() - phi).abs() < 1e-9,
+                "{t}: hint Φ {} vs exact {phi}",
+                h.conductance.unwrap()
+            );
+            assert!(
+                (h.isoperimetric.unwrap() - i).abs() < 1e-9,
+                "{t}: hint i {} vs exact {i}",
+                h.isoperimetric.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn barbell_hints_exact() {
+        let t = Topology::Barbell { k: 4 };
+        let g = t.build(0).unwrap();
+        let h = hints(&t);
+        assert!(
+            (h.conductance.unwrap() - cuts::conductance_exact(&g).unwrap()).abs() < 1e-9
+        );
+        assert!(
+            (h.isoperimetric.unwrap() - cuts::isoperimetric_exact(&g).unwrap()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn tmix_hints_dominate_exact_small() {
+        use ale_markov::{mixing, MarkovChain};
+        for t in [
+            Topology::Cycle { n: 10 },
+            Topology::Complete { n: 10 },
+            Topology::Star { n: 10 },
+            Topology::Hypercube { dim: 3 },
+        ] {
+            let g = t.build(0).unwrap();
+            let chain = MarkovChain::lazy_random_walk(&g.adjacency()).unwrap();
+            let exact = mixing::mixing_time_exact(&chain, 1 << 24).unwrap();
+            let hint = hints(&t).tmix_upper.unwrap();
+            assert!(hint >= exact, "{t}: hint {hint} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn random_families_have_no_hints() {
+        assert_eq!(
+            hints(&Topology::RandomRegular { n: 16, d: 3 }),
+            AnalyticHints::default()
+        );
+        assert_eq!(
+            hints(&Topology::Gnp { n: 16, ppm: 300_000 }),
+            AnalyticHints::default()
+        );
+    }
+
+    #[test]
+    fn ring_of_cliques_hint_close_to_exact() {
+        let t = Topology::RingOfCliques { cliques: 4, k: 3 };
+        let g = t.build(0).unwrap();
+        let h = hints(&t);
+        let phi = cuts::conductance_exact(&g).unwrap();
+        let ratio = h.conductance.unwrap() / phi;
+        assert!(
+            (0.45..=2.2).contains(&ratio),
+            "ring-of-cliques hint off by more than 2x: {ratio}"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Incremental graph construction.
+//!
+//! [`GraphBuilder`] is the convenient front door for custom topologies
+//! (generated families live in [`crate::generators`]): accumulate edges,
+//! then validate once at [`GraphBuilder::build`].
+//!
+//! ```
+//! use ale_graph::GraphBuilder;
+//!
+//! // A 4-node diamond.
+//! let g = GraphBuilder::new(4)
+//!     .edge(0, 1)
+//!     .edge(0, 2)
+//!     .edge(1, 3)
+//!     .edge(2, 3)
+//!     .build()?;
+//! assert_eq!(g.m(), 4);
+//! assert_eq!(g.diameter(), 2);
+//! # Ok::<(), ale_graph::GraphError>(())
+//! ```
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+
+/// A non-consuming builder for [`Graph`] (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds one undirected edge.
+    pub fn edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds many edges.
+    pub fn edges<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: I) -> &mut Self {
+        self.edges.extend(iter);
+        self
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validates and builds the graph.
+    ///
+    /// # Errors
+    ///
+    /// The same conditions as [`Graph::from_edges`]: out-of-range nodes,
+    /// self-loops, duplicate edges, or a disconnected result.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        Graph::from_edges(self.n, &self.edges)
+    }
+}
+
+impl Extend<(NodeId, NodeId)> for GraphBuilder {
+    fn extend<T: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: T) {
+        self.edges.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chained_and_bulk_edges() {
+        let mut b = GraphBuilder::new(5);
+        b.edge(0, 1).edge(1, 2);
+        b.edges([(2, 3), (3, 4)]);
+        assert_eq!(b.edge_count(), 4);
+        let g = b.build().unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+    }
+
+    #[test]
+    fn builder_is_reusable() {
+        let mut b = GraphBuilder::new(3);
+        b.edge(0, 1).edge(1, 2);
+        let g1 = b.build().unwrap();
+        b.edge(0, 2); // complete the triangle
+        let g2 = b.build().unwrap();
+        assert_eq!(g1.m(), 2);
+        assert_eq!(g2.m(), 3);
+    }
+
+    #[test]
+    fn extend_impl() {
+        let mut b = GraphBuilder::new(3);
+        b.extend(vec![(0, 1), (1, 2)]);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn propagates_validation_errors() {
+        assert!(GraphBuilder::new(2).edge(0, 0).build().is_err());
+        assert!(GraphBuilder::new(4).edge(0, 1).build().is_err()); // disconnected
+        let mut dup = GraphBuilder::new(2);
+        dup.edge(0, 1).edge(1, 0);
+        assert!(dup.build().is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Error types for the `ale-graph` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and property computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// The requested topology parameters are invalid (e.g. a 3-regular graph
+    /// on 3 nodes, a cycle on fewer than 3 nodes).
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// An edge references a node id `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop was supplied; the paper's model uses simple graphs.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// The graph is not connected, but the operation requires connectivity
+    /// (the paper's model assumes a connected network).
+    Disconnected,
+    /// A randomized generator exhausted its retry budget (e.g. the pairing
+    /// model kept producing self-loops/multi-edges).
+    GenerationFailed {
+        /// Number of attempts made.
+        attempts: usize,
+    },
+    /// A property computation was asked for an exact answer on a graph too
+    /// large for the exponential brute force.
+    TooLargeForExact {
+        /// Maximum supported size.
+        limit: usize,
+        /// Actual size.
+        n: usize,
+    },
+    /// An underlying spectral/Markov computation failed.
+    Numeric {
+        /// Message from the numeric layer.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidParameters { reason } => {
+                write!(f, "invalid topology parameters: {reason}")
+            }
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for n = {n}")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge ({u}, {v})")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::GenerationFailed { attempts } => {
+                write!(f, "random generation failed after {attempts} attempts")
+            }
+            GraphError::TooLargeForExact { limit, n } => {
+                write!(f, "graph too large for exact computation: n = {n} > {limit}")
+            }
+            GraphError::Numeric { reason } => write!(f, "numeric failure: {reason}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+impl From<ale_markov::MarkovError> for GraphError {
+    fn from(e: ale_markov::MarkovError) -> Self {
+        GraphError::Numeric {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let variants = vec![
+            GraphError::InvalidParameters {
+                reason: "n too small".into(),
+            },
+            GraphError::NodeOutOfRange { node: 5, n: 3 },
+            GraphError::SelfLoop { node: 1 },
+            GraphError::DuplicateEdge { u: 0, v: 1 },
+            GraphError::Disconnected,
+            GraphError::GenerationFailed { attempts: 10 },
+            GraphError::TooLargeForExact { limit: 22, n: 100 },
+            GraphError::Numeric {
+                reason: "overflow".into(),
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_markov_error() {
+        let e: GraphError = ale_markov::MarkovError::Empty.into();
+        assert!(matches!(e, GraphError::Numeric { .. }));
+    }
+}

@@ -1,0 +1,403 @@
+//! The core [`Graph`] type: a simple connected undirected graph with
+//! per-node **port numbering**.
+//!
+//! The paper's model (Section 2) gives nodes no identifiers — only a local
+//! labeling of their incident links ("port numbers"). The simulator and
+//! protocols address neighbors exclusively through ports; node ids exist
+//! only on the host side (for wiring and analysis), never inside a protocol.
+
+use crate::error::GraphError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A node identifier, visible only to the host/simulator side.
+pub type NodeId = usize;
+
+/// A port index in `0..degree(v)`, the only way a protocol can address a
+/// neighbor. (The paper numbers ports `1..=N`; we use 0-based indices.)
+pub type Port = usize;
+
+/// A simple, connected, undirected graph with explicit port numbering.
+///
+/// Construction validates simplicity (no self-loops, no duplicate edges) and
+/// connectivity, matching the paper's network model. Port numberings are
+/// arbitrary per node and can be re-randomized with
+/// [`Graph::with_shuffled_ports`] — protocol behaviour must be invariant
+/// under such permutations (anonymity), which the property tests exploit.
+///
+/// # Examples
+///
+/// ```
+/// use ale_graph::Graph;
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])?;
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 3);
+/// assert_eq!(g.degree(0), 2);
+/// // Port p of node v leads to a neighbor; the reverse port leads back.
+/// let u = g.port_target(0, 0);
+/// let back = g.reverse_port(0, 0);
+/// assert_eq!(g.port_target(u, back), 0);
+/// # Ok::<(), ale_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `ports[v][p]` is the node reached from `v` through port `p`.
+    ports: Vec<Vec<NodeId>>,
+    /// `reverse[v][p]` is the port at `ports[v][p]` that leads back to `v`.
+    reverse: Vec<Vec<Port>>,
+    /// Number of undirected edges.
+    m: usize,
+}
+
+impl Graph {
+    /// Builds a graph from an explicit undirected edge list.
+    ///
+    /// Ports at each node are numbered in the order edges are supplied.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::InvalidParameters`] if `n == 0`.
+    /// * [`GraphError::NodeOutOfRange`] for edges referencing ids `>= n`.
+    /// * [`GraphError::SelfLoop`] / [`GraphError::DuplicateEdge`] for
+    ///   non-simple input.
+    /// * [`GraphError::Disconnected`] if the resulting graph is not
+    ///   connected (the paper's model requires connectivity).
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        if n == 0 {
+            return Err(GraphError::InvalidParameters {
+                reason: "graph must have at least one node".into(),
+            });
+        }
+        let mut ports: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+            let key = (u.min(v), u.max(v));
+            if !seen.insert(key) {
+                return Err(GraphError::DuplicateEdge { u, v });
+            }
+            ports[u].push(v);
+            ports[v].push(u);
+        }
+        let g = Self::from_ports(ports, edges.len())?;
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(g)
+    }
+
+    /// Internal constructor: computes reverse ports from a port table.
+    fn from_ports(ports: Vec<Vec<NodeId>>, m: usize) -> Result<Self, GraphError> {
+        let n = ports.len();
+        let mut reverse: Vec<Vec<Port>> = ports.iter().map(|p| vec![usize::MAX; p.len()]).collect();
+        // For each node u and port p, find the port q at v = ports[u][p]
+        // with ports[v][q] == u. Ports to the same neighbor are unique in a
+        // simple graph, so a linear scan per edge endpoint suffices; build a
+        // map to keep it O(m).
+        let mut port_of: Vec<std::collections::HashMap<NodeId, Port>> =
+            vec![std::collections::HashMap::new(); n];
+        for (u, nbrs) in ports.iter().enumerate() {
+            for (p, &v) in nbrs.iter().enumerate() {
+                port_of[u].insert(v, p);
+            }
+        }
+        for (u, nbrs) in ports.iter().enumerate() {
+            for (p, &v) in nbrs.iter().enumerate() {
+                let q = *port_of[v].get(&u).ok_or(GraphError::InvalidParameters {
+                    reason: format!("asymmetric adjacency between {u} and {v}"),
+                })?;
+                reverse[u][p] = q;
+            }
+        }
+        Ok(Graph { ports, reverse, m })
+    }
+
+    /// Number of nodes `n = |V|`.
+    pub fn n(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of node `v` (also its number of ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.ports[v].len()
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.ports.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The node reached from `v` through port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `p` is out of range.
+    pub fn port_target(&self, v: NodeId, p: Port) -> NodeId {
+        self.ports[v][p]
+    }
+
+    /// The port at `port_target(v, p)` that leads back to `v`.
+    ///
+    /// This is what the simulator uses to tell a receiver *through which of
+    /// its own ports* a message arrived — the only addressing information
+    /// the anonymous model grants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `p` is out of range.
+    pub fn reverse_port(&self, v: NodeId, p: Port) -> Port {
+        self.reverse[v][p]
+    }
+
+    /// Neighbors of `v` in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.ports[v]
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.ports.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| (u, v))
+        })
+    }
+
+    /// Plain adjacency lists (neighbor ids per node, in port order) — the
+    /// format consumed by `ale-markov` chain constructors.
+    pub fn adjacency(&self) -> Vec<Vec<NodeId>> {
+        self.ports.clone()
+    }
+
+    /// Sum of degrees of the nodes in `set` (the paper's `Vol(S)`).
+    pub fn volume(&self, set: &[NodeId]) -> usize {
+        set.iter().map(|&v| self.degree(v)).sum()
+    }
+
+    /// Number of edges with exactly one endpoint in `set` (the paper's
+    /// `|∂S|`).
+    pub fn boundary(&self, set: &[NodeId]) -> usize {
+        let mut in_set = vec![false; self.n()];
+        for &v in set {
+            in_set[v] = true;
+        }
+        let mut cut = 0;
+        for &v in set {
+            for &u in self.neighbors(v) {
+                if !in_set[u] {
+                    cut += 1;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Breadth-first connectivity check.
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        if n == 0 {
+            return false;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Returns an isomorphic graph whose port numberings are independently
+    /// permuted at every node (deterministically from `seed`).
+    ///
+    /// Anonymity means no protocol may behave differently under such a
+    /// permutation beyond what its own randomness induces; property tests
+    /// use this to hunt for accidental dependence on port order.
+    pub fn with_shuffled_ports(&self, seed: u64) -> Graph {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = self.n();
+        let mut ports: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut nbrs = self.ports[v].clone();
+            nbrs.shuffle(&mut rng);
+            ports.push(nbrs);
+        }
+        Self::from_ports(ports, self.m).expect("permuting ports preserves validity")
+    }
+
+    /// All-pairs-free single-source BFS distances from `src`
+    /// (`usize::MAX` for unreachable — cannot happen on validated graphs).
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<usize> {
+        let n = self.n();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::from([src]);
+        dist[src] = 0;
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Exact diameter by BFS from every node — `O(n·m)`, fine for simulated
+    /// sizes.
+    pub fn diameter(&self) -> usize {
+        (0..self.n())
+            .map(|v| {
+                self.bfs_distances(v)
+                    .into_iter()
+                    .filter(|&d| d != usize::MAX)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_loops_dups_disconnected() {
+        assert!(matches!(
+            Graph::from_edges(0, &[]),
+            Err(GraphError::InvalidParameters { .. })
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 0)]),
+            Err(GraphError::SelfLoop { node: 0 })
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            Graph::from_edges(4, &[(0, 1), (2, 3)]),
+            Err(GraphError::Disconnected)
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn port_reverse_roundtrip() {
+        let g = triangle();
+        for v in 0..g.n() {
+            for p in 0..g.degree(v) {
+                let u = g.port_target(v, p);
+                let q = g.reverse_port(v, p);
+                assert_eq!(g.port_target(u, q), v, "reverse port must lead back");
+                assert_eq!(g.reverse_port(u, q), p, "reverse is an involution");
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn volume_and_boundary() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(g.volume(&[0, 1]), 4);
+        assert_eq!(g.boundary(&[0, 1]), 2);
+        assert_eq!(g.boundary(&[0, 1, 2, 3]), 0);
+        assert_eq!(g.boundary(&[0]), 2);
+    }
+
+    #[test]
+    fn bfs_and_diameter() {
+        // Path 0-1-2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        assert_eq!(g.diameter(), 3);
+        assert_eq!(triangle().diameter(), 1);
+    }
+
+    #[test]
+    fn shuffled_ports_preserve_topology() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap();
+        let s = g.with_shuffled_ports(99);
+        assert_eq!(s.n(), g.n());
+        assert_eq!(s.m(), g.m());
+        for v in 0..g.n() {
+            let mut a: Vec<_> = g.neighbors(v).to_vec();
+            let mut b: Vec<_> = s.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "node {v} neighborhood changed");
+        }
+        // Reverse ports must stay consistent after shuffling.
+        for v in 0..s.n() {
+            for p in 0..s.degree(v) {
+                let u = s.port_target(v, p);
+                assert_eq!(s.port_target(u, s.reverse_port(v, p)), v);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_matches_ports() {
+        let g = triangle();
+        let adj = g.adjacency();
+        for v in 0..3 {
+            assert_eq!(adj[v], g.neighbors(v));
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Sparse spectral computations that scale to large graphs.
+//!
+//! The dense Jacobi/power tools in `ale-markov` cost `O(n²)` memory; for the
+//! larger networks in the experiment sweeps we instead run power iteration
+//! against the **normalized lazy walk operator** applied sparsely in `O(m)`
+//! per step:
+//!
+//! `N = ½I + ½ D^{-1/2} A D^{-1/2}`
+//!
+//! `N` is symmetric and similar to the lazy walk `P = ½I + ½D⁻¹A`
+//! (via `N = D^{1/2} P D^{-1/2}`), so they share eigenvalues; the principal
+//! eigenvector of `N` is `D^{1/2}𝟙` (∝ `√deg`), which we deflate against to
+//! extract `λ₂`.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+
+/// Second-largest eigenvalue `λ₂` of the lazy random walk on `g`, computed
+/// by sparse deflated power iteration.
+///
+/// # Errors
+///
+/// [`GraphError::Numeric`] if the iteration fails to converge within
+/// `max_iters` (tiny spectral gaps; callers should increase the budget or
+/// fall back to dense methods for small graphs).
+///
+/// # Examples
+///
+/// ```
+/// use ale_graph::{generators, spectral_sparse};
+/// let g = generators::complete(16)?;
+/// let l2 = spectral_sparse::lambda2_lazy(&g, 1e-10, 100_000)?;
+/// // Lazy K_n: λ₂ = 1/2 − 1/(2(n−1)).
+/// assert!((l2 - (0.5 - 0.5 / 15.0)).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lambda2_lazy(g: &Graph, tol: f64, max_iters: usize) -> Result<f64, GraphError> {
+    let n = g.n();
+    if n == 1 {
+        return Ok(0.0);
+    }
+    let sqrt_deg: Vec<f64> = (0..n).map(|v| (g.degree(v) as f64).sqrt()).collect();
+    let principal_norm: f64 = sqrt_deg.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let principal: Vec<f64> = sqrt_deg.iter().map(|x| x / principal_norm).collect();
+
+    let apply = |x: &[f64], out: &mut [f64]| {
+        for v in 0..n {
+            let mut acc = 0.0;
+            for p in 0..g.degree(v) {
+                let u = g.port_target(v, p);
+                acc += x[u] / (sqrt_deg[v] * sqrt_deg[u]);
+            }
+            out[v] = 0.5 * x[v] + 0.5 * acc;
+        }
+    };
+
+    // Deterministic start vector, deflated against the principal direction.
+    let mut v: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
+    deflate(&mut v, &principal);
+    normalize(&mut v)?;
+
+    let mut buf = vec![0.0; n];
+    let mut lambda = 0.0f64;
+    for it in 0..max_iters {
+        apply(&v, &mut buf);
+        deflate(&mut buf, &principal);
+        let norm = l2norm(&buf);
+        if norm < 1e-300 {
+            return Ok(0.0);
+        }
+        for x in buf.iter_mut() {
+            *x /= norm;
+        }
+        // Rayleigh quotient for the current iterate.
+        apply(&buf, &mut v);
+        let new_lambda = dot(&buf, &v);
+        std::mem::swap(&mut v, &mut buf);
+        // v now holds the normalized iterate; buf holds N*iterate (stale).
+        let diff = (new_lambda - lambda).abs();
+        lambda = new_lambda;
+        if it > 2 && diff < tol {
+            return Ok(lambda);
+        }
+    }
+    Err(GraphError::Numeric {
+        reason: format!("lambda2 power iteration did not converge in {max_iters} iterations"),
+    })
+}
+
+/// Spectral gap `1 − λ₂` of the lazy walk.
+///
+/// # Errors
+///
+/// Propagates [`lambda2_lazy`] failures.
+pub fn lazy_spectral_gap(g: &Graph, tol: f64, max_iters: usize) -> Result<f64, GraphError> {
+    Ok(1.0 - lambda2_lazy(g, tol, max_iters)?)
+}
+
+/// Upper bound on the paper's mixing time from the lazy spectral gap:
+/// `t_mix ≤ ⌈(ln(2n) + ½·ln(d_max/d_min)) / gap⌉`.
+///
+/// Derived from the reversible bound
+/// `|Pᵗ(i,j) − π_j| ≤ λ₂ᵗ √(π_j/π_i) ≤ λ₂ᵗ √(d_max/d_min)` and the paper's
+/// `1/(2n)` max-norm threshold with `π_j ≥ d_min/(2m) ≥ 1/n²`-style slack
+/// absorbed into the degree ratio.
+///
+/// # Errors
+///
+/// Propagates [`lambda2_lazy`] failures.
+pub fn mixing_time_upper(g: &Graph, tol: f64, max_iters: usize) -> Result<u64, GraphError> {
+    let n = g.n();
+    if n == 1 {
+        return Ok(0);
+    }
+    let gap = lazy_spectral_gap(g, tol, max_iters)?;
+    if gap <= 0.0 {
+        return Err(GraphError::Numeric {
+            reason: "non-positive spectral gap".into(),
+        });
+    }
+    let d_max = g.max_degree() as f64;
+    let d_min = (0..n).map(|v| g.degree(v)).min().unwrap_or(1) as f64;
+    let t = ((2.0 * n as f64).ln() + 0.5 * (d_max / d_min).ln()) / gap;
+    Ok(t.ceil().max(1.0) as u64)
+}
+
+/// Cheeger-style band for graph conductance from the lazy spectral gap:
+/// `gap ≤ Φ(G)` and `Φ(G) ≤ √(8·gap)` (constants folded per the
+/// Sinclair–Jerrum inequalities with the ½ laziness factor).
+///
+/// Returns `(lo, hi)`.
+///
+/// # Errors
+///
+/// Propagates [`lambda2_lazy`] failures.
+pub fn conductance_band(g: &Graph, tol: f64, max_iters: usize) -> Result<(f64, f64), GraphError> {
+    let gap = lazy_spectral_gap(g, tol, max_iters)?;
+    Ok((gap.max(0.0), (8.0 * gap).sqrt().min(1.0)))
+}
+
+fn deflate(v: &mut [f64], unit: &[f64]) {
+    let proj = dot(v, unit);
+    for (x, u) in v.iter_mut().zip(unit) {
+        *x -= proj * u;
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn l2norm(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+fn normalize(v: &mut [f64]) -> Result<(), GraphError> {
+    let norm = l2norm(v);
+    if norm == 0.0 {
+        return Err(GraphError::Numeric {
+            reason: "degenerate start vector".into(),
+        });
+    }
+    for x in v.iter_mut() {
+        *x /= norm;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use ale_markov::{spectral, MarkovChain};
+
+    fn dense_lambda2(g: &Graph) -> f64 {
+        // Dense oracle via the symmetric normalized operator is only easy
+        // for regular graphs (P itself symmetric); use those in tests.
+        let chain = MarkovChain::lazy_random_walk(&g.adjacency()).unwrap();
+        spectral::jacobi_eigen(chain.matrix(), 300).unwrap().values[1]
+    }
+
+    #[test]
+    fn matches_dense_on_regular_graphs() {
+        for g in [
+            generators::cycle(12).unwrap(),
+            generators::complete(10).unwrap(),
+            generators::hypercube(4).unwrap(),
+            generators::grid2d(4, 4, true).unwrap(),
+        ] {
+            let sparse = lambda2_lazy(&g, 1e-12, 2_000_000).unwrap();
+            let dense = dense_lambda2(&g);
+            assert!(
+                (sparse - dense).abs() < 1e-6,
+                "sparse {sparse} vs dense {dense} on n={}",
+                g.n()
+            );
+        }
+    }
+
+    #[test]
+    fn nonregular_graph_converges() {
+        let g = generators::star(16).unwrap();
+        let l2 = lambda2_lazy(&g, 1e-11, 1_000_000).unwrap();
+        // Lazy star: nonlazy eigenvalues {1, 0, −1}; lazy: {1, 1/2, 0}.
+        assert!((l2 - 0.5).abs() < 1e-6, "star λ₂ = {l2}");
+    }
+
+    #[test]
+    fn gap_positive_on_connected_graphs() {
+        for g in [
+            generators::binary_tree(31).unwrap(),
+            generators::barbell(6).unwrap(),
+            generators::lollipop(5, 8).unwrap(),
+        ] {
+            let gap = lazy_spectral_gap(&g, 1e-11, 2_000_000).unwrap();
+            assert!(gap > 0.0, "gap must be positive, got {gap}");
+            assert!(gap < 1.0);
+        }
+    }
+
+    #[test]
+    fn mixing_upper_dominates_exact_small() {
+        use ale_markov::mixing::mixing_time_exact;
+        for g in [
+            generators::cycle(10).unwrap(),
+            generators::complete(8).unwrap(),
+            generators::hypercube(3).unwrap(),
+        ] {
+            let chain = MarkovChain::lazy_random_walk(&g.adjacency()).unwrap();
+            let exact = mixing_time_exact(&chain, 1 << 24).unwrap();
+            let upper = mixing_time_upper(&g, 1e-12, 2_000_000).unwrap();
+            assert!(
+                upper >= exact,
+                "upper {upper} < exact {exact} on {}",
+                g.n()
+            );
+        }
+    }
+
+    #[test]
+    fn conductance_band_brackets_exact() {
+        use crate::cuts::conductance_exact;
+        for g in [
+            generators::cycle(12).unwrap(),
+            generators::complete(8).unwrap(),
+            generators::hypercube(4).unwrap(),
+        ] {
+            let (lo, hi) = conductance_band(&g, 1e-12, 2_000_000).unwrap();
+            let phi = conductance_exact(&g).unwrap();
+            assert!(
+                lo <= phi + 1e-9 && phi <= hi + 1e-9,
+                "band [{lo}, {hi}] misses Φ = {phi}"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_trivial() {
+        // Cannot build a 1-node graph through validated constructors, so
+        // exercise the n == 1 guards directly through a tiny K2.
+        let g = generators::complete(2).unwrap();
+        let l2 = lambda2_lazy(&g, 1e-12, 10_000).unwrap();
+        // Lazy K2: eigenvalues 1 and 0.
+        assert!(l2.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,363 @@
+//! Finite Markov chains over graph state spaces.
+//!
+//! The paper's analysis uses two chains built from the network graph
+//! `G = (V, E)`:
+//!
+//! * the **lazy random walk** `P = ½I + ½D⁻¹A` used by the random-walk
+//!   probing phase of the irrevocable protocol (Section 4), and
+//! * the **diffusion matrix** `S` with `s_ij = α` for each edge and
+//!   `s_ii = 1 − α·deg(i)` used by the `Avg` procedure of the revocable
+//!   protocol (Section 5.2), where the paper sets `α = 1/(2k^{1+ε})`.
+//!
+//! `S` is symmetric and doubly stochastic whenever `α·deg(i) ≤ 1` for all
+//! `i`, which makes its stationary distribution uniform — the fact Lemma 3
+//! rests on.
+
+use crate::error::MarkovError;
+use crate::matrix::{vecops, Matrix, EPS};
+
+/// A finite Markov chain given by a row-stochastic transition matrix.
+///
+/// # Examples
+///
+/// ```
+/// use ale_markov::MarkovChain;
+///
+/// // Lazy walk on a triangle: every state keeps probability 1/2 in place.
+/// let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+/// let chain = MarkovChain::lazy_random_walk(&adj)?;
+/// assert_eq!(chain.len(), 3);
+/// assert!(chain.matrix().is_doubly_stochastic());
+/// # Ok::<(), ale_markov::MarkovError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovChain {
+    p: Matrix,
+}
+
+impl MarkovChain {
+    /// Wraps an explicit transition matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::NotSquare`] for non-square input and
+    /// [`MarkovError::NotStochastic`] when a row does not describe a
+    /// probability distribution.
+    pub fn from_matrix(p: Matrix) -> Result<Self, MarkovError> {
+        if !p.is_square() {
+            return Err(MarkovError::NotSquare {
+                rows: p.rows(),
+                cols: p.cols(),
+            });
+        }
+        if let Some((row, sum)) = p.stochastic_violation() {
+            return Err(MarkovError::NotStochastic { row, sum });
+        }
+        Ok(MarkovChain { p })
+    }
+
+    /// Builds the lazy random walk `P = ½I + ½D⁻¹A` over an adjacency list.
+    ///
+    /// This is exactly the walk used by the paper's random-walk probing: the
+    /// token stays put with probability ½ and otherwise moves to a uniformly
+    /// random neighbor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Empty`] for an empty graph or if any node has
+    /// no neighbors (the walk would be undefined there).
+    pub fn lazy_random_walk(adj: &[Vec<usize>]) -> Result<Self, MarkovError> {
+        if adj.is_empty() {
+            return Err(MarkovError::Empty);
+        }
+        let n = adj.len();
+        let mut p = Matrix::zeros(n, n);
+        for (i, nbrs) in adj.iter().enumerate() {
+            if nbrs.is_empty() {
+                return Err(MarkovError::Empty);
+            }
+            p[(i, i)] = 0.5;
+            let w = 0.5 / nbrs.len() as f64;
+            for &j in nbrs {
+                p[(i, j)] += w;
+            }
+        }
+        MarkovChain::from_matrix(p)
+    }
+
+    /// Builds the diffusion matrix `S` of the `Avg` procedure: `s_ij = α`
+    /// for every edge `{i, j}` and `s_ii = 1 − α·deg(i)`.
+    ///
+    /// With `α = 1/(2k^{1+ε})` this is the potential-averaging step in
+    /// Algorithm 7 line 8 of the paper. `S` is symmetric (hence doubly
+    /// stochastic) whenever `α·deg(i) ≤ 1` for every node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Empty`] for an empty graph,
+    /// [`MarkovError::NotStochastic`] if `α·deg(i) > 1` for some node
+    /// (negative self-loop probability).
+    pub fn diffusion(adj: &[Vec<usize>], alpha: f64) -> Result<Self, MarkovError> {
+        if adj.is_empty() {
+            return Err(MarkovError::Empty);
+        }
+        let n = adj.len();
+        let mut p = Matrix::zeros(n, n);
+        for (i, nbrs) in adj.iter().enumerate() {
+            let self_weight = 1.0 - alpha * nbrs.len() as f64;
+            if self_weight < -EPS {
+                return Err(MarkovError::NotStochastic {
+                    row: i,
+                    sum: self_weight,
+                });
+            }
+            p[(i, i)] = self_weight.max(0.0);
+            for &j in nbrs {
+                p[(i, j)] += alpha;
+            }
+        }
+        MarkovChain::from_matrix(p)
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// Returns `true` when the chain has no states.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows the transition matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// Consumes the chain and returns the transition matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.p
+    }
+
+    /// Evolves a distribution one step: returns `µ·P`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] if `mu.len() != self.len()`.
+    pub fn step(&self, mu: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        self.p.vec_mul(mu)
+    }
+
+    /// Checks irreducibility: the support digraph of `P` must be strongly
+    /// connected. For the symmetric chains used in this workspace this is
+    /// plain graph connectivity.
+    pub fn is_irreducible(&self) -> bool {
+        let n = self.len();
+        if n == 0 {
+            return false;
+        }
+        // Forward reachability from state 0.
+        let forward = self.reachable_from(0, false);
+        if forward.iter().any(|&r| !r) {
+            return false;
+        }
+        // Backward reachability (reachability in the transpose).
+        let backward = self.reachable_from(0, true);
+        backward.iter().all(|&r| r)
+    }
+
+    fn reachable_from(&self, start: usize, transpose: bool) -> Vec<bool> {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            for v in 0..n {
+                let w = if transpose {
+                    self.p[(v, u)]
+                } else {
+                    self.p[(u, v)]
+                };
+                if w > EPS && !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Checks aperiodicity via the sufficient condition used throughout the
+    /// paper: some state has a self-loop (`p_ii > 0`). Lazy walks and
+    /// diffusion matrices always satisfy it.
+    pub fn has_self_loop(&self) -> bool {
+        (0..self.len()).any(|i| self.p[(i, i)] > EPS)
+    }
+
+    /// Computes the stationary distribution by power iteration on `µ ↦ µP`.
+    ///
+    /// For the doubly-stochastic chains in this workspace the result is the
+    /// uniform distribution; the general implementation doubles as a test
+    /// oracle for that fact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Reducible`] when the chain is reducible, and
+    /// [`MarkovError::NotConverged`] if `max_iters` steps do not reach the
+    /// requested tolerance `tol`.
+    pub fn stationary_distribution(
+        &self,
+        tol: f64,
+        max_iters: usize,
+    ) -> Result<Vec<f64>, MarkovError> {
+        if !self.is_irreducible() {
+            return Err(MarkovError::Reducible);
+        }
+        let n = self.len();
+        let mut mu = vec![1.0 / n as f64; n];
+        let mut residual = f64::INFINITY;
+        for _ in 0..max_iters {
+            let next = self.step(&mu)?;
+            residual = vecops::max_abs_diff(&mu, &next);
+            mu = next;
+            if residual < tol {
+                vecops::normalize_l1(&mut mu);
+                return Ok(mu);
+            }
+        }
+        Err(MarkovError::NotConverged {
+            iterations: max_iters,
+            residual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Vec<Vec<usize>> {
+        vec![vec![1], vec![0, 2], vec![1]]
+    }
+
+    fn triangle() -> Vec<Vec<usize>> {
+        vec![vec![1, 2], vec![0, 2], vec![0, 1]]
+    }
+
+    #[test]
+    fn lazy_walk_rows_stochastic_and_lazy() {
+        let c = MarkovChain::lazy_random_walk(&path3()).unwrap();
+        assert!(c.matrix().is_row_stochastic());
+        for i in 0..3 {
+            assert!((c.matrix()[(i, i)] - 0.5).abs() < 1e-12);
+        }
+        // Degree-1 endpoints put the other half on their single neighbor.
+        assert!((c.matrix()[(0, 1)] - 0.5).abs() < 1e-12);
+        assert!((c.matrix()[(1, 0)] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lazy_walk_regular_graph_is_doubly_stochastic() {
+        let c = MarkovChain::lazy_random_walk(&triangle()).unwrap();
+        assert!(c.matrix().is_doubly_stochastic());
+        assert!(c.matrix().is_symmetric());
+    }
+
+    #[test]
+    fn lazy_walk_rejects_isolated_node() {
+        let adj = vec![vec![1], vec![0], vec![]];
+        assert!(MarkovChain::lazy_random_walk(&adj).is_err());
+        assert!(MarkovChain::lazy_random_walk(&[]).is_err());
+    }
+
+    #[test]
+    fn diffusion_is_symmetric_doubly_stochastic() {
+        let c = MarkovChain::diffusion(&path3(), 0.25).unwrap();
+        assert!(c.matrix().is_symmetric());
+        assert!(c.matrix().is_doubly_stochastic());
+        assert_eq!(c.matrix()[(0, 1)], 0.25);
+        assert_eq!(c.matrix()[(1, 1)], 0.5);
+    }
+
+    #[test]
+    fn diffusion_rejects_overweight_alpha() {
+        // Middle node has degree 2; alpha = 0.75 would give s_ii = -0.5.
+        assert!(matches!(
+            MarkovChain::diffusion(&path3(), 0.75),
+            Err(MarkovError::NotStochastic { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn from_matrix_validates() {
+        let bad = Matrix::from_rows(&[vec![0.5, 0.4], vec![0.5, 0.5]]).unwrap();
+        assert!(matches!(
+            MarkovChain::from_matrix(bad),
+            Err(MarkovError::NotStochastic { row: 0, .. })
+        ));
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            MarkovChain::from_matrix(rect),
+            Err(MarkovError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn irreducibility_detects_disconnection() {
+        let p = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 0.5, 0.5],
+            vec![0.0, 0.5, 0.5],
+        ])
+        .unwrap();
+        let c = MarkovChain::from_matrix(p).unwrap();
+        assert!(!c.is_irreducible());
+        let c2 = MarkovChain::lazy_random_walk(&path3()).unwrap();
+        assert!(c2.is_irreducible());
+    }
+
+    #[test]
+    fn self_loops_present_on_lazy_chains() {
+        assert!(MarkovChain::lazy_random_walk(&triangle())
+            .unwrap()
+            .has_self_loop());
+    }
+
+    #[test]
+    fn stationary_uniform_on_doubly_stochastic() {
+        let c = MarkovChain::diffusion(&triangle(), 0.2).unwrap();
+        let pi = c.stationary_distribution(1e-12, 10_000).unwrap();
+        for x in pi {
+            assert!((x - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stationary_weighted_on_path() {
+        // Lazy walk on a path: stationary ∝ degree = (1, 2, 1)/4.
+        let c = MarkovChain::lazy_random_walk(&path3()).unwrap();
+        let pi = c.stationary_distribution(1e-13, 100_000).unwrap();
+        assert!((pi[0] - 0.25).abs() < 1e-6);
+        assert!((pi[1] - 0.5).abs() < 1e-6);
+        assert!((pi[2] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stationary_rejects_reducible() {
+        let p = Matrix::identity(2);
+        let c = MarkovChain::from_matrix(p).unwrap();
+        assert!(matches!(
+            c.stationary_distribution(1e-9, 100),
+            Err(MarkovError::Reducible)
+        ));
+    }
+
+    #[test]
+    fn step_moves_mass() {
+        let c = MarkovChain::lazy_random_walk(&path3()).unwrap();
+        let mu = c.step(&[1.0, 0.0, 0.0]).unwrap();
+        assert!((mu[0] - 0.5).abs() < 1e-12);
+        assert!((mu[1] - 0.5).abs() < 1e-12);
+        assert_eq!(mu[2], 0.0);
+    }
+}

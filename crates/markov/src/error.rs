@@ -1,0 +1,116 @@
+//! Error types for the `ale-markov` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by matrix and Markov-chain operations.
+///
+/// Every fallible public function in this crate returns
+/// [`Result<T, MarkovError>`](MarkovError). The variants carry enough context
+/// to diagnose the failing invariant without re-running the computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// A matrix that must be square is not (`rows != cols`).
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// A matrix expected to be (row-)stochastic has a row that does not sum
+    /// to one within tolerance, or contains a negative entry.
+    NotStochastic {
+        /// Index of the offending row.
+        row: usize,
+        /// The sum of that row.
+        sum: f64,
+    },
+    /// An iterative method failed to reach the requested tolerance within
+    /// its iteration budget.
+    NotConverged {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+    /// The operation requires a non-empty matrix or vector.
+    Empty,
+    /// The chain is not irreducible (its support graph is disconnected), so
+    /// the requested quantity (stationary distribution, mixing time) is not
+    /// well defined.
+    Reducible,
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            MarkovError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            MarkovError::NotStochastic { row, sum } => {
+                write!(f, "row {row} is not stochastic: sums to {sum}")
+            }
+            MarkovError::NotConverged {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "iteration did not converge after {iterations} steps (residual {residual:e})"
+                )
+            }
+            MarkovError::Empty => write!(f, "operation requires a non-empty operand"),
+            MarkovError::Reducible => {
+                write!(f, "chain is reducible; quantity is not well defined")
+            }
+        }
+    }
+}
+
+impl Error for MarkovError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants: Vec<MarkovError> = vec![
+            MarkovError::NotSquare { rows: 2, cols: 3 },
+            MarkovError::DimensionMismatch {
+                expected: 4,
+                found: 5,
+            },
+            MarkovError::NotStochastic { row: 1, sum: 0.9 },
+            MarkovError::NotConverged {
+                iterations: 100,
+                residual: 1e-3,
+            },
+            MarkovError::Empty,
+            MarkovError::Reducible,
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MarkovError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! # ale-markov — Markov-chain and linear-algebra substrate
+//!
+//! Dense matrices, finite Markov chains, spectral analysis, mixing times,
+//! and chain conductance — the mathematical substrate behind the graph
+//! properties (`ale-graph`) and protocol analyses (`ale-core`) of this
+//! workspace's reproduction of Kowalski & Mosteiro, *Time and Communication
+//! Complexity of Leader Election in Anonymous Networks* (ICDCS 2021).
+//!
+//! The paper's algorithms take the network's mixing time `t_mix` and
+//! conductance `Φ` as inputs (Theorem 1) and its analysis reasons about the
+//! diffusion matrix of the `Avg` procedure (Lemmas 3–4). This crate provides
+//! exact and spectral implementations of all of those quantities.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ale_markov::{MarkovChain, mixing, spectral};
+//!
+//! // Lazy random walk on the 4-cycle.
+//! let adj: Vec<Vec<usize>> = (0..4).map(|i| vec![(i + 3) % 4, (i + 1) % 4]).collect();
+//! let chain = MarkovChain::lazy_random_walk(&adj)?;
+//!
+//! let t_mix = mixing::mixing_time_exact(&chain, 1 << 20)?;
+//! let gap = spectral::spectral_gap(chain.matrix())?;
+//! assert!(t_mix >= 1);
+//! assert!(gap > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod conductance;
+pub mod error;
+pub mod hitting;
+pub mod matrix;
+pub mod mixing;
+pub mod simulate;
+pub mod spectral;
+
+pub use chain::MarkovChain;
+pub use error::MarkovError;
+pub use matrix::{vecops, Matrix};
+pub use spectral::Eigen;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Matrix>();
+        assert_send_sync::<MarkovChain>();
+        assert_send_sync::<MarkovError>();
+        assert_send_sync::<Eigen>();
+    }
+}

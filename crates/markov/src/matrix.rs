@@ -1,0 +1,581 @@
+//! Dense row-major `f64` matrices.
+//!
+//! This module provides the minimal dense linear algebra the rest of the
+//! workspace needs: multiplication, powering, stochasticity checks, and norm
+//! computations. Sizes are small (matrices are `n x n` for simulated network
+//! sizes up to a few thousand), so a straightforward dense representation is
+//! both simpler and faster than sparse structures at this scale.
+
+use crate::error::MarkovError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Tolerance used by stochasticity and symmetry checks.
+pub const EPS: f64 = 1e-9;
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use ale_markov::Matrix;
+///
+/// let m = Matrix::identity(3);
+/// assert_eq!(m[(0, 0)], 1.0);
+/// assert_eq!(m[(0, 1)], 0.0);
+/// assert_eq!(m.rows(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ale_markov::Matrix;
+    /// let z = Matrix::zeros(2, 3);
+    /// assert_eq!(z.cols(), 3);
+    /// assert_eq!(z[(1, 2)], 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ale_markov::Matrix;
+    /// let i = Matrix::identity(4);
+    /// assert_eq!(i[(2, 2)], 1.0);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Empty`] if `rows` is empty, or
+    /// [`MarkovError::DimensionMismatch`] if the rows have unequal lengths.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ale_markov::Matrix;
+    /// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+    /// assert_eq!(m[(1, 0)], 3.0);
+    /// # Ok::<(), ale_markov::MarkovError>(())
+    /// ```
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, MarkovError> {
+        if rows.is_empty() {
+            return Err(MarkovError::Empty);
+        }
+        let cols = rows[0].len();
+        if cols == 0 {
+            return Err(MarkovError::Empty);
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(MarkovError::DimensionMismatch {
+                    expected: cols,
+                    found: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds {}", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds {}", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] when
+    /// `self.cols() != rhs.rows()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ale_markov::Matrix;
+    /// let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 1.0]])?;
+    /// let b = a.multiply(&a)?;
+    /// assert_eq!(b[(0, 1)], 2.0);
+    /// # Ok::<(), ale_markov::MarkovError>(())
+    /// ```
+    pub fn multiply(&self, rhs: &Matrix) -> Result<Matrix, MarkovError> {
+        if self.cols != rhs.rows {
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.cols,
+                found: rhs.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // ikj loop order: streams through `rhs` rows for cache friendliness.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        if v.len() != self.cols {
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.cols,
+                found: v.len(),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Row-vector-matrix product `v * self` (distribution evolution).
+    ///
+    /// This is the natural operation for Markov chains: if `v` is a
+    /// probability distribution over states and `self` a transition matrix,
+    /// the result is the distribution after one step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] when `v.len() != self.rows()`.
+    pub fn vec_mul(&self, v: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        if v.len() != self.rows {
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.rows,
+                found: v.len(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let row = self.row(i);
+            for (o, r) in out.iter_mut().zip(row) {
+                *o += vi * r;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix power `self^e` by repeated squaring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::NotSquare`] if the matrix is not square.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ale_markov::Matrix;
+    /// let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 1.0]])?;
+    /// let p = a.power(5)?;
+    /// assert_eq!(p[(0, 1)], 5.0);
+    /// # Ok::<(), ale_markov::MarkovError>(())
+    /// ```
+    pub fn power(&self, e: u32) -> Result<Matrix, MarkovError> {
+        if !self.is_square() {
+            return Err(MarkovError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let mut result = Matrix::identity(self.rows);
+        let mut base = self.clone();
+        let mut e = e;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.multiply(&base)?;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.multiply(&base)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Checks whether every row sums to 1 (within [`EPS`]) with all entries
+    /// non-negative.
+    pub fn is_row_stochastic(&self) -> bool {
+        self.stochastic_violation().is_none()
+    }
+
+    /// Returns the first row violating row-stochasticity, if any.
+    ///
+    /// Exposes the intermediate result so callers building error messages do
+    /// not need to re-scan the matrix.
+    pub fn stochastic_violation(&self) -> Option<(usize, f64)> {
+        for i in 0..self.rows {
+            let row = self.row(i);
+            if row.iter().any(|&x| x < -EPS) {
+                return Some((i, f64::NAN));
+            }
+            let s: f64 = row.iter().sum();
+            if (s - 1.0).abs() > EPS * self.cols as f64 {
+                return Some((i, s));
+            }
+        }
+        None
+    }
+
+    /// Checks whether the matrix is doubly stochastic (rows and columns all
+    /// sum to 1, entries non-negative).
+    pub fn is_doubly_stochastic(&self) -> bool {
+        if !self.is_square() || !self.is_row_stochastic() {
+            return false;
+        }
+        for j in 0..self.cols {
+            let s: f64 = (0..self.rows).map(|i| self[(i, j)]).sum();
+            if (s - 1.0).abs() > EPS * self.rows as f64 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Checks symmetry within [`EPS`].
+    pub fn is_symmetric(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > EPS {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Largest absolute entry-wise difference to `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] when the shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f64, MarkovError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.rows * self.cols,
+                found: other.rows * other.cols,
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let formatted: Vec<String> = row.iter().map(|x| format!("{x:.4}")).collect();
+            writeln!(f, "[{}]", formatted.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Vector helpers shared across the crate.
+pub mod vecops {
+    /// L1 norm (sum of absolute values).
+    pub fn norm_l1(v: &[f64]) -> f64 {
+        v.iter().map(|x| x.abs()).sum()
+    }
+
+    /// L2 (Euclidean) norm.
+    pub fn norm_l2(v: &[f64]) -> f64 {
+        v.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum (infinity) norm.
+    pub fn norm_inf(v: &[f64]) -> f64 {
+        v.iter().map(|x| x.abs()).fold(0.0, f64::max)
+    }
+
+    /// Dot product. Panics if lengths differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a.len() != b.len()`.
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dot product length mismatch");
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    /// Largest absolute component-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a.len() != b.len()`.
+    pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Scales `v` in place so it sums to 1. No-op on the zero vector.
+    pub fn normalize_l1(v: &mut [f64]) {
+        let s = norm_l1(v);
+        if s > 0.0 {
+            for x in v.iter_mut() {
+                *x /= s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::vecops::*;
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(3, 2);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 2);
+        assert!(!z.is_square());
+        let i = Matrix::identity(3);
+        assert!(i.is_square());
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, MarkovError::DimensionMismatch { .. }));
+        assert!(matches!(
+            Matrix::from_rows(&[]).unwrap_err(),
+            MarkovError::Empty
+        ));
+    }
+
+    #[test]
+    fn multiply_identity_is_noop() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.multiply(&i).unwrap(), a);
+        assert_eq!(i.multiply(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn multiply_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.multiply(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn multiply_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.multiply(&b).is_err());
+    }
+
+    #[test]
+    fn power_of_nilpotent_and_shift() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 1.0]]).unwrap();
+        let p = a.power(10).unwrap();
+        assert_eq!(p[(0, 1)], 10.0);
+        let p0 = a.power(0).unwrap();
+        assert_eq!(p0, Matrix::identity(2));
+    }
+
+    #[test]
+    fn power_requires_square() {
+        assert!(Matrix::zeros(2, 3).power(2).is_err());
+    }
+
+    #[test]
+    fn vec_mul_evolves_distribution() {
+        // Two-state chain that swaps states deterministically.
+        let p = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let d = p.vec_mul(&[1.0, 0.0]).unwrap();
+        assert_eq!(d, vec![0.0, 1.0]);
+        let d2 = p.vec_mul(&d).unwrap();
+        assert_eq!(d2, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(a.mul_vec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(a.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn stochastic_checks() {
+        let p = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.25, 0.75]]).unwrap();
+        assert!(p.is_row_stochastic());
+        assert!(!p.is_doubly_stochastic());
+        let d = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
+        assert!(d.is_doubly_stochastic());
+        let neg = Matrix::from_rows(&[vec![-0.5, 1.5], vec![0.5, 0.5]]).unwrap();
+        assert!(!neg.is_row_stochastic());
+        assert!(neg.stochastic_violation().is_some());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(s.is_symmetric());
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 1.0]]).unwrap();
+        assert!(!a.is_symmetric());
+        assert!(!Matrix::zeros(2, 3).is_symmetric());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        let a = Matrix::identity(2);
+        let mut b = Matrix::identity(2);
+        b[(0, 1)] = 0.25;
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.25);
+        assert!(a.max_abs_diff(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn display_contains_entries() {
+        let a = Matrix::identity(2);
+        let s = a.to_string();
+        assert!(s.contains("1.0000"));
+        assert!(s.contains("0.0000"));
+    }
+
+    #[test]
+    fn vecops_norms() {
+        let v = [3.0, -4.0];
+        assert_eq!(norm_l1(&v), 7.0);
+        assert_eq!(norm_l2(&v), 5.0);
+        assert_eq!(norm_inf(&v), 4.0);
+        assert_eq!(dot(&v, &[1.0, 1.0]), -1.0);
+        assert_eq!(max_abs_diff(&v, &[3.0, 0.0]), 4.0);
+        let mut u = vec![1.0, 3.0];
+        normalize_l1(&mut u);
+        assert!((u[0] - 0.25).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize_l1(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Mixing-time computation.
+//!
+//! The paper (Section 2) defines the mixing time of an `n`-node graph `G` as
+//! the minimum `t` such that for every starting distribution `π₀`,
+//! `‖π₀Pᵗ − π*‖_∞ ≤ 1/(2n)`, where `P` is the transition matrix of the
+//! (lazy) random walk. Because the maximum over starting distributions is
+//! attained at point masses, the condition is equivalent to every **row** of
+//! `Pᵗ` being within `1/(2n)` of the stationary distribution in max-norm.
+//!
+//! Two methods are provided:
+//!
+//! * [`mixing_time_exact`] — doubling + binary search on matrix powers,
+//!   exact per the definition, cost `O(n³ log t_mix)`; and
+//! * [`mixing_time_spectral_upper`] — the reversible-chain bound
+//!   `|Pᵗ(i,j) − 1/n| ≤ λ₂ᵗ` for symmetric doubly-stochastic `P`, giving
+//!   `t_mix ≤ ⌈ln(2n)/(1 − λ₂)⌉`, cheap enough for large graphs.
+
+use crate::chain::MarkovChain;
+use crate::error::MarkovError;
+use crate::matrix::Matrix;
+
+/// Maximum over rows of the max-norm distance between `Pᵗ` rows and the
+/// stationary distribution `pi`.
+fn max_row_distance(pt: &Matrix, pi: &[f64]) -> f64 {
+    let n = pt.rows();
+    let mut worst: f64 = 0.0;
+    for i in 0..n {
+        let row = pt.row(i);
+        for (a, b) in row.iter().zip(pi) {
+            worst = worst.max((a - b).abs());
+        }
+    }
+    worst
+}
+
+/// Computes the exact mixing time per the paper's definition.
+///
+/// Uses doubling to find a power `2^k` that mixes, then binary-searches the
+/// minimal `t` in `(2^{k−1}, 2^k]`. The stationary distribution is taken as
+/// uniform when `p` is doubly stochastic and computed by power iteration
+/// otherwise.
+///
+/// # Errors
+///
+/// * [`MarkovError::Reducible`] if the chain cannot mix at all.
+/// * [`MarkovError::NotConverged`] if `cap` is exceeded before mixing; the
+///   `iterations` field carries the cap.
+///
+/// # Examples
+///
+/// ```
+/// use ale_markov::{MarkovChain, mixing};
+/// let adj = vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]];
+/// let chain = MarkovChain::lazy_random_walk(&adj)?;
+/// let t = mixing::mixing_time_exact(&chain, 1 << 20)?;
+/// assert!(t <= 8, "lazy K4 mixes very fast, got {t}");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn mixing_time_exact(chain: &MarkovChain, cap: u64) -> Result<u64, MarkovError> {
+    let p = chain.matrix();
+    let n = p.rows();
+    if n == 0 {
+        return Err(MarkovError::Empty);
+    }
+    if n == 1 {
+        return Ok(0);
+    }
+    if !chain.is_irreducible() {
+        return Err(MarkovError::Reducible);
+    }
+    let pi = if p.is_doubly_stochastic() {
+        vec![1.0 / n as f64; n]
+    } else {
+        chain.stationary_distribution(1e-13, 1_000_000)?
+    };
+    let target = 1.0 / (2.0 * n as f64);
+
+    // Doubling phase: find k with P^(2^k) mixed.
+    let mut power_matrices: Vec<Matrix> = vec![p.clone()]; // P^(2^0)
+    let mut t: u64 = 1;
+    if max_row_distance(&power_matrices[0], &pi) <= target {
+        return Ok(1);
+    }
+    loop {
+        let last = power_matrices.last().expect("non-empty by construction");
+        let next = last.multiply(last)?;
+        t *= 2;
+        if t > cap {
+            return Err(MarkovError::NotConverged {
+                iterations: cap as usize,
+                residual: max_row_distance(&next, &pi),
+            });
+        }
+        let mixed = max_row_distance(&next, &pi) <= target;
+        power_matrices.push(next);
+        if mixed {
+            break;
+        }
+    }
+
+    // Binary search in (t/2, t] using the stored binary powers.
+    let mut lo = t / 2; // known unmixed
+    let mut hi = t; // known mixed
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let pm = power_from_binary(&power_matrices, mid)?;
+        if max_row_distance(&pm, &pi) <= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(hi)
+}
+
+/// Reconstructs `P^e` from stored binary powers `P^(2^i)`.
+fn power_from_binary(powers: &[Matrix], e: u64) -> Result<Matrix, MarkovError> {
+    let n = powers[0].rows();
+    let mut result = Matrix::identity(n);
+    let mut bit = 0usize;
+    let mut e = e;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = result.multiply(&powers[bit])?;
+        }
+        e >>= 1;
+        bit += 1;
+    }
+    Ok(result)
+}
+
+/// Spectral upper bound on mixing time for symmetric doubly-stochastic
+/// chains: `t_mix ≤ ⌈ln(2n)/(1 − λ₂)⌉`.
+///
+/// Derived from `|Pᵗ(i,j) − 1/n| ≤ λ₂ᵗ` (reversible chain with uniform
+/// stationary distribution) and `ln(1/λ) ≥ 1 − λ`.
+///
+/// # Panics
+///
+/// Panics if `lambda2` is not in `[0, 1)` or `n == 0` — both indicate caller
+/// bugs rather than data-dependent failures.
+pub fn mixing_time_spectral_upper(lambda2: f64, n: usize) -> u64 {
+    assert!(n > 0, "graph must be non-empty");
+    assert!(
+        (0.0..1.0).contains(&lambda2),
+        "lambda2 must be in [0,1), got {lambda2}"
+    );
+    if n == 1 {
+        return 0;
+    }
+    let gap = 1.0 - lambda2;
+    ((2.0 * n as f64).ln() / gap).ceil() as u64
+}
+
+/// Checks the Montenegro–Tetali band `1/Φ ≤ t_mix ≤ c/Φ²` the paper cites
+/// ([24]); returns the pair of violated-side flags `(below, above)` so tests
+/// can assert both directions with an explicit slack constant.
+///
+/// The lower inequality is asymptotic; `slack_lo`/`slack_hi` absorb the
+/// constants (the paper's statement hides them too).
+pub fn mixing_band_check(
+    tmix: f64,
+    phi: f64,
+    slack_lo: f64,
+    slack_hi: f64,
+) -> (bool, bool) {
+    let below_ok = tmix * slack_lo >= 1.0 / phi;
+    let above_ok = tmix <= slack_hi / (phi * phi);
+    (below_ok, above_ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lazy(adj: &[Vec<usize>]) -> MarkovChain {
+        MarkovChain::lazy_random_walk(adj).unwrap()
+    }
+
+    fn cycle_adj(n: usize) -> Vec<Vec<usize>> {
+        (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect()
+    }
+
+    fn complete_adj(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).collect())
+            .collect()
+    }
+
+    #[test]
+    fn singleton_mixes_instantly() {
+        let p = Matrix::identity(1);
+        let c = MarkovChain::from_matrix(p).unwrap();
+        assert_eq!(mixing_time_exact(&c, 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn complete_graph_mixes_in_constant_time() {
+        let c = lazy(&complete_adj(16));
+        let t = mixing_time_exact(&c, 1 << 20).unwrap();
+        assert!(t <= 16, "lazy K16 should mix fast, got {t}");
+    }
+
+    #[test]
+    fn cycle_mixing_grows_quadratically() {
+        let t8 = mixing_time_exact(&lazy(&cycle_adj(8)), 1 << 24).unwrap();
+        let t16 = mixing_time_exact(&lazy(&cycle_adj(16)), 1 << 24).unwrap();
+        let t32 = mixing_time_exact(&lazy(&cycle_adj(32)), 1 << 24).unwrap();
+        // Ratios approach 4 for a quadratic; allow a generous band at small n.
+        let r1 = t16 as f64 / t8 as f64;
+        let r2 = t32 as f64 / t16 as f64;
+        assert!(r1 > 2.5 && r1 < 6.0, "t16/t8 = {r1}");
+        assert!(r2 > 2.5 && r2 < 6.0, "t32/t16 = {r2}");
+    }
+
+    #[test]
+    fn mixing_monotone_in_definition() {
+        // After t_mix rounds the distance stays below the threshold for lazy
+        // (positive semidefinite-like) chains; check at t_mix and t_mix + 3.
+        let c = lazy(&cycle_adj(10));
+        let t = mixing_time_exact(&c, 1 << 22).unwrap();
+        let n = 10;
+        let pi = vec![1.0 / n as f64; n];
+        let pt = c.matrix().power(t as u32).unwrap();
+        assert!(max_row_distance(&pt, &pi) <= 1.0 / (2.0 * n as f64) + 1e-12);
+        let pt1 = c.matrix().power(t as u32 + 3).unwrap();
+        assert!(max_row_distance(&pt1, &pi) <= 1.0 / (2.0 * n as f64) + 1e-12);
+        if t > 1 {
+            let pt_less = c.matrix().power(t as u32 - 1).unwrap();
+            assert!(
+                max_row_distance(&pt_less, &pi) > 1.0 / (2.0 * n as f64),
+                "t_mix must be minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn cap_is_honored() {
+        let c = lazy(&cycle_adj(64));
+        assert!(matches!(
+            mixing_time_exact(&c, 4),
+            Err(MarkovError::NotConverged { .. })
+        ));
+    }
+
+    #[test]
+    fn reducible_chain_rejected() {
+        let p = Matrix::identity(3);
+        let c = MarkovChain::from_matrix(p).unwrap();
+        assert!(matches!(
+            mixing_time_exact(&c, 100),
+            Err(MarkovError::Reducible)
+        ));
+    }
+
+    #[test]
+    fn spectral_upper_bound_dominates_exact() {
+        for n in [4usize, 8, 12] {
+            let c = lazy(&cycle_adj(n));
+            let exact = mixing_time_exact(&c, 1 << 24).unwrap();
+            let l2 = crate::spectral::lambda2_power(c.matrix(), 1e-12, 1_000_000).unwrap();
+            let upper = mixing_time_spectral_upper(l2, n);
+            assert!(
+                upper >= exact,
+                "spectral bound {upper} below exact {exact} for C{n}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda2 must be in [0,1)")]
+    fn spectral_upper_rejects_bad_lambda() {
+        mixing_time_spectral_upper(1.5, 4);
+    }
+
+    #[test]
+    fn band_check_flags() {
+        // t = 1/phi exactly: lower side tight, upper holds.
+        let (lo, hi) = mixing_band_check(10.0, 0.1, 1.0, 1.0);
+        assert!(lo && hi);
+        // Implausibly fast mixing violates the lower bound.
+        let (lo, _) = mixing_band_check(1.0, 0.01, 1.0, 1.0);
+        assert!(!lo);
+        // Implausibly slow mixing violates the upper bound.
+        let (_, hi) = mixing_band_check(1e6, 0.1, 1.0, 1.0);
+        assert!(!hi);
+    }
+}

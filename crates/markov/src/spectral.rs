@@ -1,0 +1,339 @@
+//! Spectral tools for symmetric matrices: Jacobi eigendecomposition and
+//! power iteration with deflation.
+//!
+//! The second-largest eigenvalue `λ₂` of a lazy-walk or diffusion matrix
+//! controls mixing (Lemma 4 of the paper uses
+//! `r ≥ log(n/γ)/log(1/λ₁)` with `log 1/λ ≥ 1 − λ` and the Cheeger-type
+//! bound `1 − λ ≥ φ²/2` from Sinclair–Jerrum). This module computes `λ₂`
+//! either exactly (cyclic Jacobi, reliable for the symmetric matrices we
+//! build) or iteratively (power iteration deflated against the known
+//! all-ones principal eigenvector of doubly-stochastic matrices).
+
+use crate::error::MarkovError;
+use crate::matrix::{vecops, Matrix};
+
+/// Result of a full symmetric eigendecomposition.
+///
+/// Eigenvalues are sorted in descending order; `vectors.row(i)` is the
+/// normalized eigenvector for `values[i]`.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Row-major eigenvectors aligned with `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes the full eigendecomposition of a symmetric matrix with the
+/// cyclic Jacobi rotation method.
+///
+/// Intended for the moderate sizes used in property computation (n up to a
+/// couple of thousand; cost is `O(n³)` per sweep with a handful of sweeps).
+///
+/// # Errors
+///
+/// * [`MarkovError::NotSquare`] if `m` is not square.
+/// * [`MarkovError::NotConverged`] if off-diagonal mass does not vanish
+///   within the sweep budget (does not happen for symmetric input).
+///
+/// # Examples
+///
+/// ```
+/// use ale_markov::{Matrix, spectral};
+/// let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]])?;
+/// let eig = spectral::jacobi_eigen(&m, 100)?;
+/// assert!((eig.values[0] - 3.0).abs() < 1e-10);
+/// assert!((eig.values[1] - 1.0).abs() < 1e-10);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn jacobi_eigen(m: &Matrix, max_sweeps: usize) -> Result<Eigen, MarkovError> {
+    if !m.is_square() {
+        return Err(MarkovError::NotSquare {
+            rows: m.rows(),
+            cols: m.cols(),
+        });
+    }
+    let n = m.rows();
+    if n == 0 {
+        return Err(MarkovError::Empty);
+    }
+    let mut a = m.clone();
+    let mut v = Matrix::identity(n);
+    let tol = 1e-12 * n as f64;
+
+    for _sweep in 0..max_sweeps {
+        let off: f64 = off_diagonal_norm(&a);
+        if off < tol {
+            return Ok(sorted_eigen(a, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                // Classic Jacobi rotation zeroing a[(p, q)].
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                apply_rotation(&mut a, p, q, c, s);
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    Err(MarkovError::NotConverged {
+        iterations: max_sweeps,
+        residual: off_diagonal_norm(&a),
+    })
+}
+
+fn off_diagonal_norm(a: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += a[(i, j)] * a[(i, j)];
+        }
+    }
+    s.sqrt()
+}
+
+fn apply_rotation(a: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = a.rows();
+    for k in 0..n {
+        let akp = a[(k, p)];
+        let akq = a[(k, q)];
+        a[(k, p)] = c * akp - s * akq;
+        a[(k, q)] = s * akp + c * akq;
+    }
+    for k in 0..n {
+        let apk = a[(p, k)];
+        let aqk = a[(q, k)];
+        a[(p, k)] = c * apk - s * aqk;
+        a[(q, k)] = s * apk + c * aqk;
+    }
+}
+
+fn sorted_eigen(a: Matrix, v: Matrix) -> Eigen {
+    let n = a.rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+    idx.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap());
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (r, &i) in idx.iter().enumerate() {
+        for k in 0..n {
+            vectors[(r, k)] = v[(k, i)];
+        }
+    }
+    Eigen { values, vectors }
+}
+
+/// Second-largest eigenvalue of a **symmetric doubly-stochastic** matrix by
+/// power iteration deflated against the all-ones principal eigenvector.
+///
+/// Returns `λ₂` (by algebraic value; for lazy matrices all eigenvalues are
+/// non-negative so this is also the second-largest modulus).
+///
+/// # Errors
+///
+/// * [`MarkovError::NotSquare`] / [`MarkovError::Empty`] on malformed input.
+/// * [`MarkovError::NotConverged`] when the eigengap is too small for the
+///   iteration budget; callers should fall back to [`jacobi_eigen`].
+///
+/// # Examples
+///
+/// ```
+/// use ale_markov::{MarkovChain, spectral};
+/// let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+/// let c = MarkovChain::lazy_random_walk(&adj)?;
+/// let l2 = spectral::lambda2_power(c.matrix(), 1e-10, 100_000)?;
+/// // Lazy triangle: eigenvalues are 1, 1/4, 1/4.
+/// assert!((l2 - 0.25).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lambda2_power(p: &Matrix, tol: f64, max_iters: usize) -> Result<f64, MarkovError> {
+    if !p.is_square() {
+        return Err(MarkovError::NotSquare {
+            rows: p.rows(),
+            cols: p.cols(),
+        });
+    }
+    let n = p.rows();
+    if n == 0 {
+        return Err(MarkovError::Empty);
+    }
+    if n == 1 {
+        return Ok(0.0);
+    }
+    // Deterministic, non-uniform start vector orthogonal to 1.
+    let mut v: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).sin()).collect();
+    project_off_ones(&mut v);
+    let norm = vecops::norm_l2(&v);
+    if norm == 0.0 {
+        return Err(MarkovError::Empty);
+    }
+    for x in v.iter_mut() {
+        *x /= norm;
+    }
+    let mut lambda = 0.0;
+    for it in 0..max_iters {
+        let mut w = p.mul_vec(&v)?;
+        project_off_ones(&mut w);
+        let norm = vecops::norm_l2(&w);
+        if norm < 1e-300 {
+            // The matrix annihilates everything orthogonal to 1: λ₂ = 0.
+            return Ok(0.0);
+        }
+        for x in w.iter_mut() {
+            *x /= norm;
+        }
+        let new_lambda = rayleigh(p, &w)?;
+        let diff = (new_lambda - lambda).abs();
+        lambda = new_lambda;
+        v = w;
+        if it > 2 && diff < tol {
+            return Ok(lambda);
+        }
+    }
+    Err(MarkovError::NotConverged {
+        iterations: max_iters,
+        residual: tol,
+    })
+}
+
+fn project_off_ones(v: &mut [f64]) {
+    let mean: f64 = v.iter().sum::<f64>() / v.len() as f64;
+    for x in v.iter_mut() {
+        *x -= mean;
+    }
+}
+
+fn rayleigh(p: &Matrix, v: &[f64]) -> Result<f64, MarkovError> {
+    let pv = p.mul_vec(v)?;
+    Ok(vecops::dot(v, &pv) / vecops::dot(v, v))
+}
+
+/// Spectral gap `1 − λ₂` of a symmetric doubly-stochastic matrix, trying the
+/// fast power iteration first and falling back to Jacobi.
+///
+/// # Errors
+///
+/// Propagates errors from both methods if neither converges.
+pub fn spectral_gap(p: &Matrix) -> Result<f64, MarkovError> {
+    match lambda2_power(p, 1e-11, 200_000) {
+        Ok(l2) => Ok(1.0 - l2),
+        Err(MarkovError::NotConverged { .. }) => {
+            let eig = jacobi_eigen(p, 200)?;
+            Ok(1.0 - eig.values[1])
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::MarkovChain;
+
+    #[test]
+    fn jacobi_diagonalizes_2x2() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let eig = jacobi_eigen(&m, 100).unwrap();
+        assert!((eig.values[0] - 3.0).abs() < 1e-10);
+        assert!((eig.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_identity_eigenvalues_all_one() {
+        let eig = jacobi_eigen(&Matrix::identity(5), 10).unwrap();
+        for v in eig.values {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jacobi_rejects_rectangular() {
+        assert!(jacobi_eigen(&Matrix::zeros(2, 3), 10).is_err());
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_satisfy_definition() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let eig = jacobi_eigen(&m, 200).unwrap();
+        for r in 0..3 {
+            let v: Vec<f64> = eig.vectors.row(r).to_vec();
+            let mv = m.mul_vec(&v).unwrap();
+            for k in 0..3 {
+                assert!(
+                    (mv[k] - eig.values[r] * v[k]).abs() < 1e-8,
+                    "eigenpair {r} violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lambda2_of_lazy_triangle() {
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let c = MarkovChain::lazy_random_walk(&adj).unwrap();
+        let l2 = lambda2_power(c.matrix(), 1e-11, 100_000).unwrap();
+        assert!((l2 - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda2_agrees_with_jacobi_on_cycle() {
+        // Lazy walk on C6.
+        let adj: Vec<Vec<usize>> = (0..6).map(|i| vec![(i + 5) % 6, (i + 1) % 6]).collect();
+        let c = MarkovChain::lazy_random_walk(&adj).unwrap();
+        let l2 = lambda2_power(c.matrix(), 1e-12, 1_000_000).unwrap();
+        let eig = jacobi_eigen(c.matrix(), 200).unwrap();
+        assert!((l2 - eig.values[1]).abs() < 1e-7);
+        // Lazy C6: λ₂ = 1/2 + cos(2π/6)/2 = 0.75.
+        assert!((l2 - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lambda2_singleton_is_zero() {
+        let p = Matrix::identity(1);
+        assert_eq!(lambda2_power(&p, 1e-9, 10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn spectral_gap_matches_direct() {
+        let adj = vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]];
+        let c = MarkovChain::lazy_random_walk(&adj).unwrap();
+        let gap = spectral_gap(c.matrix()).unwrap();
+        // Lazy K4: non-principal eigenvalues are 1/2 - 1/6 = 1/3; gap 2/3.
+        assert!((gap - 2.0 / 3.0).abs() < 1e-6, "gap = {gap}");
+    }
+
+    #[test]
+    fn complete_bipartite_lazy_no_negative_issue() {
+        // K_{2,2} lazy walk: eigenvalues 1, 1/2, 1/2, 0. λ₂ = 1/2.
+        let adj = vec![vec![2, 3], vec![2, 3], vec![0, 1], vec![0, 1]];
+        let c = MarkovChain::lazy_random_walk(&adj).unwrap();
+        let eig = jacobi_eigen(c.matrix(), 200).unwrap();
+        assert!((eig.values[1] - 0.5).abs() < 1e-9);
+        let l2 = lambda2_power(c.matrix(), 1e-11, 200_000).unwrap();
+        assert!((l2 - 0.5).abs() < 1e-6);
+    }
+}

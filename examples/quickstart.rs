@@ -1,0 +1,49 @@
+//! Quickstart: elect a leader in an anonymous network in a few lines.
+//!
+//! Builds a 64-node random-regular "ad-hoc mesh", derives the knowledge
+//! bundle `(n, t_mix, Φ)` the paper's Theorem 1 protocol assumes, runs the
+//! election, and prints who won and what it cost.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ale::core::irrevocable::{run_irrevocable, IrrevocableConfig};
+use ale::graph::Topology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An anonymous network: nodes have no IDs, only port-numbered links.
+    let topology = Topology::RandomRegular { n: 64, d: 4 };
+    let graph = topology.build(42)?;
+
+    // The protocol needs (upper bounds on) n, t_mix and Φ — Theorem 1's
+    // knowledge assumption. `derive_for` computes them from the graph.
+    let config = IrrevocableConfig::derive_for(&graph, &topology)?;
+    println!(
+        "knowledge: n = {}, t_mix ≤ {}, Φ ≈ {:.4}",
+        config.knowledge.n, config.knowledge.tmix, config.knowledge.phi
+    );
+    println!(
+        "derived:   x = {} walks/candidate, territory target = {}, {} rounds total",
+        config.x(),
+        config.final_threshold(),
+        config.total_rounds()
+    );
+
+    // Run the election (seed makes it reproducible).
+    let outcome = run_irrevocable(&graph, &config, 7)?;
+
+    match outcome.unique_leader() {
+        Some(leader) => println!("elected node {leader} as the unique leader"),
+        None => println!(
+            "election failed ({} leaders) — a whp event's bad case; rerun with another seed",
+            outcome.leader_count()
+        ),
+    }
+    println!(
+        "cost: {} messages, {} bits, {} CONGEST rounds (clean: {})",
+        outcome.metrics.messages,
+        outcome.metrics.bits,
+        outcome.metrics.congest_rounds,
+        outcome.metrics.congest_clean()
+    );
+    Ok(())
+}

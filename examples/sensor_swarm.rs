@@ -1,0 +1,92 @@
+//! Sensor swarm: the paper's motivating scenario (massive ad-hoc networks,
+//! IoT) — a deployed swarm of identical, unlabeled sensors arranged in a
+//! grid-with-wraparound field must elect a coordinator for duty-cycling.
+//!
+//! Energy is the scarce resource, so the example compares the *message*
+//! (≈ radio energy) cost of the paper's protocol against the baselines a
+//! practitioner might reach for first — across multiple elections, since a
+//! coordinator is re-elected every epoch.
+//!
+//! Run with: `cargo run --release --example sensor_swarm`
+
+use ale::baselines::flood_max::{run_flood_max, FloodMaxConfig};
+use ale::baselines::kutten::{run_kutten, KuttenConfig};
+use ale::core::irrevocable::{run_irrevocable, IrrevocableConfig};
+use ale::core::SuccessStats;
+use ale::graph::Topology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 12x12 torus of sensors: 144 nodes, degree 4 radio neighborhoods.
+    let topology = Topology::Grid2d {
+        rows: 12,
+        cols: 12,
+        torus: true,
+    };
+    let field = topology.build(2024)?;
+    let epochs = 20u64;
+
+    println!("sensor field: {} nodes, {} links", field.n(), field.m());
+
+    // This paper's protocol (knowledge derived once, offline).
+    let cfg = IrrevocableConfig::derive_for(&field, &topology)?;
+    let mut stats = SuccessStats::default();
+    let mut msgs = 0u64;
+    let mut bits = 0u64;
+    for epoch in 0..epochs {
+        let o = run_irrevocable(&field, &cfg, epoch)?;
+        stats.record(&o);
+        msgs += o.metrics.messages;
+        bits += o.metrics.bits;
+    }
+    println!(
+        "this-work : {}/{} unique coordinators | {:>8} msgs/epoch | {:>9} bits/epoch",
+        stats.unique,
+        stats.runs,
+        msgs / epochs,
+        bits / epochs
+    );
+
+    // Kutten-style candidate flooding (needs diameter knowledge too).
+    let kcfg = KuttenConfig::for_graph(&field);
+    let mut kstats = SuccessStats::default();
+    let mut kmsgs = 0u64;
+    let mut kbits = 0u64;
+    for epoch in 0..epochs {
+        let o = run_kutten(&field, &kcfg, epoch)?;
+        kstats.record(&o);
+        kmsgs += o.metrics.messages;
+        kbits += o.metrics.bits;
+    }
+    println!(
+        "kutten15  : {}/{} unique coordinators | {:>8} msgs/epoch | {:>9} bits/epoch",
+        kstats.unique,
+        kstats.runs,
+        kmsgs / epochs,
+        kbits / epochs
+    );
+
+    // Naive flood-max: every sensor shouts.
+    let fcfg = FloodMaxConfig::for_graph(&field);
+    let mut fstats = SuccessStats::default();
+    let mut fmsgs = 0u64;
+    let mut fbits = 0u64;
+    for epoch in 0..epochs {
+        let o = run_flood_max(&field, &fcfg, epoch)?;
+        fstats.record(&o);
+        fmsgs += o.metrics.messages;
+        fbits += o.metrics.bits;
+    }
+    println!(
+        "flood-max : {}/{} unique coordinators | {:>8} msgs/epoch | {:>9} bits/epoch",
+        fstats.unique,
+        fstats.runs,
+        fmsgs / epochs,
+        fbits / epochs
+    );
+
+    println!(
+        "\nNote: the torus is an intermediate-conductance topology (Φ ≈ 1/√n);\n\
+         the paper's advantage grows on better-mixing meshes and with network size."
+    );
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! # ale — Anonymous Leader Election
+//!
+//! Umbrella crate re-exporting the whole workspace: a production-quality
+//! reproduction of Kowalski & Mosteiro, *Time and Communication Complexity
+//! of Leader Election in Anonymous Networks* (ICDCS 2021, arXiv:2101.04400).
+//!
+//! See the individual crates for the pieces:
+//!
+//! * [`graph`] — topology generators and graph properties (`Φ`, `i(G)`,
+//!   `t_mix`, diameter).
+//! * [`congest`] — the synchronous anonymous CONGEST simulator.
+//! * [`core`] — the paper's two protocols: irrevocable (known `n`) and
+//!   revocable (unknown `n`) leader election.
+//! * [`baselines`] — comparators from the related work.
+//! * [`impossibility`] — the pumping-wheel construction of Theorem 2.
+//! * [`markov`] — matrices, chains, spectral tools.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ale::graph::Topology;
+//! use ale::core::irrevocable::{IrrevocableConfig, run_irrevocable};
+//!
+//! let graph = Topology::Complete { n: 32 }.build(7)?;
+//! let cfg = IrrevocableConfig::derive(&graph)?;
+//! let outcome = run_irrevocable(&graph, &cfg, 42)?;
+//! assert_eq!(outcome.leaders().len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ale_baselines as baselines;
+pub use ale_congest as congest;
+pub use ale_core as core;
+pub use ale_graph as graph;
+pub use ale_impossibility as impossibility;
+pub use ale_markov as markov;

@@ -1,0 +1,85 @@
+//! CONGEST-model compliance audits: message sizes against the O(log n)
+//! budget, port discipline, and serialization charging.
+
+use ale::baselines::flood_max::{run_flood_max, FloodMaxConfig};
+use ale::baselines::gilbert::{run_gilbert, GilbertConfig};
+use ale::baselines::kutten::{run_kutten, KuttenConfig};
+use ale::core::irrevocable::{run_irrevocable, IrrevocableConfig};
+use ale::core::revocable::{run_revocable, RevocableParams};
+use ale::graph::Topology;
+
+#[test]
+fn irrevocable_runs_are_congest_clean() {
+    // All message fields are O(log n) bits (IDs in n^4, counters in x), so
+    // with the default budget factor every message must fit and no port
+    // may be double-used.
+    for topo in [
+        Topology::Complete { n: 24 },
+        Topology::Hypercube { dim: 4 },
+        Topology::Cycle { n: 12 },
+    ] {
+        let g = topo.build(1).expect("graph");
+        let cfg = IrrevocableConfig::derive_for(&g, &topo).expect("config");
+        for seed in 0..4 {
+            let o = run_irrevocable(&g, &cfg, seed).expect("run");
+            assert!(
+                o.metrics.congest_clean(),
+                "{topo} seed {seed}: oversize={} multi={}",
+                o.metrics.oversize_messages,
+                o.metrics.multi_send_violations
+            );
+            assert_eq!(
+                o.metrics.congest_rounds, o.metrics.rounds,
+                "clean runs charge exactly one CONGEST round per round"
+            );
+        }
+    }
+}
+
+#[test]
+fn baselines_are_congest_clean() {
+    let topo = Topology::RandomRegular { n: 32, d: 4 };
+    let g = topo.build(1).expect("graph");
+    let f = FloodMaxConfig::for_graph(&g);
+    let k = KuttenConfig::for_graph(&g);
+    let gl = GilbertConfig::new(32, 8);
+    for seed in 0..4 {
+        assert!(run_flood_max(&g, &f, seed).expect("run").metrics.congest_clean());
+        assert!(run_kutten(&g, &k, seed).expect("run").metrics.congest_clean());
+        let o = run_gilbert(&g, &gl, seed).expect("run");
+        assert!(
+            o.metrics.multi_send_violations == 0,
+            "gilbert violates port discipline"
+        );
+        assert!(o.metrics.congest_clean(), "gilbert oversize messages");
+    }
+}
+
+#[test]
+fn revocable_potentials_are_charged_not_smuggled() {
+    // Potentials exceed O(log n) bits in later diffusion rounds; the run
+    // must record oversize messages AND charge serialized rounds — the
+    // paper's own time accounting (Theorem 3 proof).
+    let g = Topology::Complete { n: 4 }.build(0).expect("graph");
+    let params = RevocableParams::paper_blind(1.0, 0.2).with_scales(0.02, 0.25, 1.0);
+    let r = run_revocable(&g, &params, 1, 8).expect("run");
+    assert!(r.outcome.metrics.oversize_messages > 0);
+    assert!(r.outcome.metrics.congest_rounds > r.outcome.metrics.rounds);
+    assert_eq!(r.outcome.metrics.multi_send_violations, 0);
+}
+
+#[test]
+fn max_message_bits_bounded_by_field_widths() {
+    let topo = Topology::Complete { n: 32 };
+    let g = topo.build(1).expect("graph");
+    let cfg = IrrevocableConfig::derive_for(&g, &topo).expect("config");
+    let o = run_irrevocable(&g, &cfg, 2).expect("run");
+    // Walk message: 2 tag + 4·log2(n) id + log2(total walks) count; give
+    // the audit a safe ceiling of 8·log2(n) + 16.
+    let ceiling = 8 * 5 + 16;
+    assert!(
+        o.metrics.max_message_bits <= ceiling,
+        "widest message {} exceeds field-width ceiling {ceiling}",
+        o.metrics.max_message_bits
+    );
+}

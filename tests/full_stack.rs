@@ -1,0 +1,78 @@
+//! Full-stack pipeline: elect (implicit) → announce (explicit) → build a
+//! BFS tree from the leader — the complete reduction chain Section 3 of
+//! the paper sketches, run end to end over the public API.
+
+use ale::core::extensions::{run_explicit_phase, run_tree_construction};
+use ale::core::irrevocable::{run_irrevocable, IrrevocableConfig};
+use ale::graph::{GraphBuilder, Topology};
+
+#[test]
+fn elect_announce_and_build_tree() {
+    let topology = Topology::RandomRegular { n: 32, d: 4 };
+    let graph = topology.build(5).expect("graph");
+    let cfg = IrrevocableConfig::derive_for(&graph, &topology).expect("config");
+
+    // Phase 1: implicit election (Theorem 1).
+    let election = run_irrevocable(&graph, &cfg, 3).expect("election");
+    let leader = election.unique_leader().expect("unique leader");
+
+    // Phase 2: explicit announcement (Section 3 reduction).
+    let diameter = graph.diameter() as u64;
+    let outs = run_explicit_phase(&graph, leader, 424242, diameter, 9).expect("explicit");
+    assert!(outs.iter().all(|o| o.leader_id == Some(424242)));
+    let bfs = graph.bfs_distances(leader);
+    for (v, o) in outs.iter().enumerate() {
+        assert_eq!(o.distance, Some(bfs[v] as u64), "node {v}");
+    }
+
+    // Phase 3: spanning tree rooted at the leader; the echo verifies n.
+    let tree = run_tree_construction(&graph, leader, 2 * diameter + 8, 9).expect("tree");
+    assert_eq!(tree.root_count, Some(graph.n() as u64));
+    let tree_edges = tree
+        .nodes
+        .iter()
+        .filter(|t| t.parent.is_some())
+        .count();
+    assert_eq!(tree_edges, graph.n() - 1);
+}
+
+#[test]
+fn pipeline_works_on_custom_built_graph() {
+    // A hand-built topology through the builder API: two triangles joined
+    // by a bridge — low conductance, still a valid pipeline.
+    let graph = GraphBuilder::new(6)
+        .edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+        .build()
+        .expect("graph");
+    let cfg = IrrevocableConfig::derive(&graph).expect("config");
+    let mut elected = 0;
+    for seed in 0..6 {
+        let o = run_irrevocable(&graph, &cfg, seed).expect("run");
+        assert!(o.leader_count() <= 1, "no split brain on tiny graphs");
+        if let Some(leader) = o.unique_leader() {
+            elected += 1;
+            let tree =
+                run_tree_construction(&graph, leader, 2 * graph.n() as u64, seed).expect("tree");
+            assert_eq!(tree.root_count, Some(6));
+        }
+    }
+    assert!(elected >= 4, "only {elected}/6 runs elected");
+}
+
+#[test]
+fn explicit_phase_is_cheap_relative_to_election() {
+    // The reduction's appeal: the explicit phase costs O(m) messages —
+    // negligible next to the election on well-connected graphs.
+    let topology = Topology::Hypercube { dim: 5 };
+    let graph = topology.build(0).expect("graph");
+    let cfg = IrrevocableConfig::derive_for(&graph, &topology).expect("config");
+    let election = run_irrevocable(&graph, &cfg, 1).expect("election");
+    let leader = election.unique_leader().expect("leader");
+    // Count explicit-phase messages via a fresh run of just that phase.
+    use ale::congest::congest_budget;
+    let _ = congest_budget(graph.n(), 8);
+    let outs = run_explicit_phase(&graph, leader, 7, graph.diameter() as u64, 2).expect("explicit");
+    assert_eq!(outs.len(), graph.n());
+    // 2m is the hard ceiling for one flood; the election pays much more.
+    assert!(election.metrics.messages > 2 * graph.m() as u64);
+}

@@ -1,0 +1,241 @@
+//! Property-based tests (proptest) on cross-crate invariants: generator
+//! validity, port-map consistency, spectral bounds, simulator conservation,
+//! and cautious-broadcast tree structure.
+
+use ale::congest::{congest_budget, Incoming, Network, NodeCtx, Outbox, Process};
+use ale::core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
+use ale::graph::{GraphProps, NetworkKnowledge, Topology};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (3usize..24).prop_map(|n| Topology::Cycle { n }),
+        (2usize..20).prop_map(|n| Topology::Path { n }),
+        (2usize..16).prop_map(|n| Topology::Complete { n }),
+        (2usize..16).prop_map(|n| Topology::Star { n }),
+        (1usize..5).prop_map(|dim| Topology::Hypercube { dim }),
+        (2usize..16).prop_map(|n| Topology::BinaryTree { n }),
+        (2usize..7).prop_map(|k| Topology::Barbell { k }),
+        ((3usize..5), (2usize..5)).prop_map(|(cliques, k)| Topology::RingOfCliques { cliques, k }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generators_produce_connected_simple_graphs(topo in arb_topology(), seed in 0u64..4) {
+        let g = topo.build(seed).expect("build");
+        prop_assert_eq!(g.n(), topo.node_count());
+        prop_assert!(g.is_connected());
+        // Simplicity: no self-loops, no duplicate neighbor entries.
+        for v in 0..g.n() {
+            let mut nbrs: Vec<_> = g.neighbors(v).to_vec();
+            prop_assert!(nbrs.iter().all(|&u| u != v), "self-loop at {}", v);
+            nbrs.sort_unstable();
+            let before = nbrs.len();
+            nbrs.dedup();
+            prop_assert_eq!(before, nbrs.len(), "multi-edge at {}", v);
+        }
+    }
+
+    #[test]
+    fn reverse_ports_are_involutions(topo in arb_topology(), seed in 0u64..4, shuffle in 0u64..4) {
+        let g = topo.build(seed).expect("build").with_shuffled_ports(shuffle);
+        for v in 0..g.n() {
+            for p in 0..g.degree(v) {
+                let u = g.port_target(v, p);
+                let q = g.reverse_port(v, p);
+                prop_assert_eq!(g.port_target(u, q), v);
+                prop_assert_eq!(g.reverse_port(u, q), p);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_degree_sum(topo in arb_topology(), seed in 0u64..4) {
+        let g = topo.build(seed).expect("build");
+        let degree_sum: usize = (0..g.n()).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.m());
+        prop_assert_eq!(g.edges().count(), g.m());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn graph_properties_respect_theory_bands(topo in arb_topology(), seed in 0u64..3) {
+        let g = topo.build(seed).expect("build");
+        if g.n() < 3 { return Ok(()); }
+        let props = GraphProps::compute_for(&g, &topo).expect("props");
+        prop_assert!(props.conductance.value > 0.0 && props.conductance.value <= 1.0 + 1e-9);
+        prop_assert!(props.spectral_gap > 0.0 && props.spectral_gap < 1.0 + 1e-9);
+        // i(G) >= 2/n on connected graphs (paper, proof of Corollary 1).
+        prop_assert!(props.isoperimetric.value >= 2.0 / g.n() as f64 - 1e-9);
+        // Diameter sanity: at least 1, at most n-1.
+        prop_assert!(props.diameter >= 1 && props.diameter <= g.n() - 1);
+        prop_assert!(props.tmix >= 1);
+    }
+}
+
+/// A process that forwards a fixed number of tokens and counts arrivals —
+/// used to check the simulator's conservation law.
+#[derive(Debug, Clone)]
+struct TokenForward {
+    held: u64,
+    sent_total: u64,
+    received_total: u64,
+    rounds_left: u64,
+}
+
+impl Process for TokenForward {
+    type Msg = u64;
+    type Output = (u64, u64, u64); // (held, sent, received)
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>]) -> Outbox<u64> {
+        for m in inbox {
+            self.held += m.msg;
+            self.received_total += m.msg;
+        }
+        if self.rounds_left == 0 {
+            return Vec::new();
+        }
+        self.rounds_left -= 1;
+        let mut out = Vec::new();
+        // Send one token per port while supplies last.
+        for p in 0..ctx.degree {
+            if self.held == 0 {
+                break;
+            }
+            self.held -= 1;
+            self.sent_total += 1;
+            out.push((p, 1u64));
+        }
+        out
+    }
+
+    fn is_halted(&self) -> bool {
+        self.rounds_left == 0
+    }
+
+    fn output(&self) -> (u64, u64, u64) {
+        (self.held, self.sent_total, self.received_total)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulator_conserves_tokens(topo in arb_topology(), seed in 0u64..4, start in 1u64..8) {
+        let g = topo.build(seed).expect("build");
+        let rounds = 6u64;
+        let mut net = Network::from_fn(&g, seed, 32, |_deg, _rng| TokenForward {
+            held: start,
+            sent_total: 0,
+            received_total: 0,
+            rounds_left: rounds,
+        });
+        net.run_to_halt(rounds + 2).expect("run");
+        let outs = net.outputs();
+        let held: u64 = outs.iter().map(|o| o.0).sum();
+        let sent: u64 = outs.iter().map(|o| o.1).sum();
+        let received: u64 = outs.iter().map(|o| o.2).sum();
+        // Tokens in flight at halt: sent but not yet absorbed (stuck in
+        // inboxes of halted processes). Everything else conserves.
+        let in_flight = sent - received;
+        prop_assert_eq!(held + in_flight, start * g.n() as u64);
+        prop_assert_eq!(net.metrics().messages, sent);
+    }
+}
+
+/// Runs a single-candidate cautious broadcast and returns the processes.
+fn broadcast_once(topo: Topology, seed: u64) -> (ale::graph::Graph, Vec<IrrevocableProcess>) {
+    let g = topo.build(seed).expect("build");
+    let knowledge = NetworkKnowledge {
+        n: g.n(),
+        tmix: 8,
+        phi: 0.25,
+    };
+    let cfg = IrrevocableConfig::from_knowledge(knowledge);
+    let procs: Vec<IrrevocableProcess> = (0..g.n())
+        .map(|v| {
+            let mut p = cfg.protocol_params(g.degree(v)).expect("params");
+            p.degree = g.degree(v);
+            IrrevocableProcess::with_candidacy(p, 1 + v as u64, v == 0)
+        })
+        .collect();
+    let budget = congest_budget(g.n(), cfg.congest_factor);
+    let mut net = Network::new(&g, procs, seed, budget).expect("network");
+    net.run_for(cfg.broadcast_rounds()).expect("run");
+    let procs = net.processes().to_vec();
+    (g, procs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cautious_broadcast_builds_a_tree(topo in arb_topology(), seed in 0u64..3) {
+        let (g, procs) = broadcast_once(topo, seed);
+        let src_id = 1u64; // node 0's ID
+        // Every member's parent port must point to another member; chains
+        // must terminate at the root without cycles.
+        for (v, proc_v) in procs.iter().enumerate() {
+            if !proc_v.known_sources().contains(&src_id) {
+                continue;
+            }
+            let mut cur = v;
+            let mut hops = 0;
+            loop {
+                let parent_port = procs[cur].tree_parent(src_id);
+                match parent_port {
+                    None => {
+                        prop_assert_eq!(cur, 0, "only the candidate may be parentless");
+                        break;
+                    }
+                    Some(p) => {
+                        let next = g.port_target(cur, p);
+                        prop_assert!(
+                            procs[next].known_sources().contains(&src_id),
+                            "parent {} of {} is not a member", next, cur
+                        );
+                        cur = next;
+                        hops += 1;
+                        prop_assert!(hops <= g.n(), "parent chain cycles");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn territory_respects_doubling_overshoot(topo in arb_topology(), seed in 0u64..3) {
+        let (_, procs) = broadcast_once(topo, seed);
+        let src_id = 1u64;
+        let territory = procs
+            .iter()
+            .filter(|p| p.known_sources().contains(&src_id))
+            .count();
+        let cfg = IrrevocableConfig::from_knowledge(NetworkKnowledge {
+            n: procs.len(),
+            tmix: 8,
+            phi: 0.25,
+        });
+        // Lemma 1's doubling control bounds the overshoot. The paper's
+        // prose claims a factor 2 assuming per-step size reports; with the
+        // message-optimal crossing-only reports (the reading consistent
+        // with the paper's own message accounting) each tree level can lag
+        // a factor below its threshold, relaxing the constant — measured
+        // overshoot stays below ~4x across all families (EXPERIMENTS.md,
+        // E-L1).
+        let cap = 4 * cfg.final_threshold() as usize + 8;
+        prop_assert!(
+            territory <= cap.max(procs.len().min(cap)),
+            "territory {} exceeds overshoot cap {}",
+            territory,
+            cap
+        );
+    }
+}
