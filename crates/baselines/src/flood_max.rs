@@ -161,7 +161,7 @@ pub fn run_flood_max(
     Ok(ElectionOutcome::new(
         leaders,
         candidates,
-        net.metrics().clone(),
+        *net.metrics(),
         status,
     ))
 }

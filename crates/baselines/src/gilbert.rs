@@ -319,7 +319,7 @@ pub fn run_gilbert(
     Ok(ElectionOutcome::new(
         leaders,
         candidates,
-        net.metrics().clone(),
+        *net.metrics(),
         status,
     ))
 }

@@ -91,7 +91,7 @@ impl Process for KuttenProcess {
 
     fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>]) -> Outbox<u64> {
         for m in inbox {
-            if self.best.map_or(true, |b| m.msg > b) {
+            if self.best.is_none_or(|b| m.msg > b) {
                 self.best = Some(m.msg);
                 self.dirty = true;
             }
@@ -157,7 +157,7 @@ pub fn run_kutten(
     Ok(ElectionOutcome::new(
         leaders,
         candidates,
-        net.metrics().clone(),
+        *net.metrics(),
         status,
     ))
 }

@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_diffusion(c: &mut Criterion) {
     let mut group = c.benchmark_group("diffusion_step");
     for n in [64usize, 256, 1024] {
-        let graph = Topology::RandomRegular { n, d: 4 }
-            .build(1)
-            .expect("graph");
+        let graph = Topology::RandomRegular { n, d: 4 }.build(1).expect("graph");
         let chain = MarkovChain::diffusion(&graph.adjacency(), 1.0 / 64.0).expect("chain");
         let pot: Vec<f64> = (0..n).map(|i| if i % 7 == 0 { 0.0 } else { 1.0 }).collect();
         group.bench_function(BenchmarkId::from_parameter(n), |b| {

@@ -1,111 +1,10 @@
+//! Thin wrapper: `ablation_cautious [--quick] [options]` == `ale-lab run ablation-cautious ...`.
+//!
 //! **Ablation — cautious-broadcast reporting discipline** (DESIGN.md §4).
-//!
-//! The paper's pseudocode reports subtree sizes to the parent every round
-//! (Algorithm 4 line 24); its message analysis implies reporting only on
-//! threshold crossings. This ablation runs both readings on the same
-//! graphs/seeds and quantifies the trade-off:
-//!
-//! * **OnCrossing** (default): `O(log)` reports per link → the `Õ(x·t_mix)`
-//!   message bound of Lemma 1, at the cost of territory overshoot up to
-//!   ~4× the target (stale counts compound along the tree);
-//! * **OnChange**: every size change reported → tighter overshoot
-//!   (closer to the prose's 2×), more messages.
-//!
-//! Both elect correctly; the knob only moves constants — which is the
-//! point: the paper's bound survives either reading.
-//!
-//! Usage: `ablation_cautious [--quick]`
-
-use ale_bench::Table;
-use ale_congest::{congest_budget, Network};
-use ale_core::irrevocable::{
-    run_irrevocable, IrrevocableConfig, IrrevocableProcess, ReportDiscipline,
-};
-use ale_graph::{GraphProps, NetworkKnowledge, Topology};
+//! The experiment itself is the registered `ablation-cautious` scenario in
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `--workers`, `--out`, ...) passes through.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let trials: u64 = if quick { 5 } else { 15 };
-
-    println!("# Ablation: cautious-broadcast parent-report discipline\n");
-
-    // Part 1: single-candidate territories — overshoot and message cost.
-    println!("## Single-candidate territories ({trials} seeds per cell)\n");
-    let mut tbl = Table::new([
-        "graph", "discipline", "target", "mean territory", "overshoot", "mean msgs",
-    ]);
-    for topo in [
-        Topology::RandomRegular { n: 192, d: 4 },
-        Topology::Grid2d {
-            rows: 12,
-            cols: 12,
-            torus: true,
-        },
-    ] {
-        let graph = topo.build(3).expect("graph");
-        let props = GraphProps::compute_for(&graph, &topo).expect("props");
-        let knowledge = NetworkKnowledge::from_props(&props);
-        for discipline in [ReportDiscipline::OnCrossing, ReportDiscipline::OnChange] {
-            let mut cfg = IrrevocableConfig::from_knowledge(knowledge);
-            cfg.report_discipline = discipline;
-            let budget = congest_budget(knowledge.n, cfg.congest_factor);
-            let target = cfg.final_threshold() as f64;
-            let mut territory_sum = 0.0;
-            let mut msg_sum = 0.0;
-            for seed in 0..trials {
-                let procs: Vec<IrrevocableProcess> = (0..graph.n())
-                    .map(|v| {
-                        let p = cfg.protocol_params(graph.degree(v)).expect("params");
-                        IrrevocableProcess::with_candidacy(p, 1 + v as u64, v == 0)
-                    })
-                    .collect();
-                let mut net = Network::new(&graph, procs, seed, budget).expect("net");
-                net.run_for(cfg.broadcast_rounds()).expect("run");
-                territory_sum += net
-                    .processes()
-                    .iter()
-                    .filter(|p| !p.known_sources().is_empty())
-                    .count() as f64;
-                msg_sum += net.metrics().messages as f64;
-            }
-            let mean_t = territory_sum / trials as f64;
-            tbl.push_row([
-                topo.to_string(),
-                format!("{discipline:?}"),
-                format!("{target:.0}"),
-                format!("{mean_t:.1}"),
-                format!("{:.2}x", mean_t / target),
-                format!("{:.0}", msg_sum / trials as f64),
-            ]);
-            eprintln!("{topo} {discipline:?} done");
-        }
-    }
-    println!("{}", tbl.to_markdown());
-
-    // Part 2: full elections — the knob must not affect correctness.
-    println!("## Full elections under both disciplines\n");
-    let mut tbl2 = Table::new(["graph", "discipline", "success", "med msgs"]);
-    for topo in [Topology::Complete { n: 32 }, Topology::Hypercube { dim: 5 }] {
-        let graph = topo.build(1).expect("graph");
-        for discipline in [ReportDiscipline::OnCrossing, ReportDiscipline::OnChange] {
-            let mut cfg = IrrevocableConfig::derive_for(&graph, &topo).expect("config");
-            cfg.report_discipline = discipline;
-            let mut ok = 0;
-            let mut msgs = Vec::new();
-            for seed in 0..trials {
-                let o = run_irrevocable(&graph, &cfg, seed).expect("run");
-                if o.is_successful() {
-                    ok += 1;
-                }
-                msgs.push(o.metrics.messages as f64);
-            }
-            tbl2.push_row([
-                topo.to_string(),
-                format!("{discipline:?}"),
-                format!("{ok}/{trials}"),
-                format!("{:.0}", ale_bench::sweep::median(&msgs)),
-            ]);
-        }
-    }
-    println!("{}", tbl2.to_markdown());
+    std::process::exit(ale_lab::cli::legacy_main("ablation-cautious"));
 }

@@ -1,105 +1,10 @@
+//! Thin wrapper: `fig_cautious [--quick] [options]` == `ale-lab run cautious ...`.
+//!
 //! **E-L1 — cautious broadcast cost and coverage** (Lemma 1).
-//!
-//! Lemma 1: for parameter `x`, cautious broadcast takes `O(t_mix·log n)`
-//! time, sends `Õ(x·t_mix)` messages, and informs `Ω̃(x·t_mix·Φ)` nodes.
-//! This experiment plants a **single** candidate, runs only the broadcast
-//! phase, and sweeps `x`:
-//!
-//! * territory size should track the target `x·t_mix·Φ` within small
-//!   constants (measured 1–4×; the paper's prose claims 2× assuming
-//!   per-step size reports, while the message-optimal crossing-only
-//!   reports used here — the reading consistent with the paper's message
-//!   accounting — let each level lag a factor below its threshold), until
-//!   it saturates at `n`;
-//! * messages should grow ~linearly in the territory (≈ `x·t_mix·Φ` up to
-//!   polylog), i.e. `O(1)` messages per link per threshold doubling.
-//!
-//! Usage: `fig_cautious [--quick]`
-
-use ale_bench::{power_fit, Table};
-use ale_congest::{congest_budget, Network};
-use ale_core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
-use ale_graph::{GraphProps, NetworkKnowledge, Topology};
+//! The experiment itself is the registered `cautious` scenario in
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `--workers`, `--out`, ...) passes through.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let trials: u64 = if quick { 4 } else { 12 };
-
-    println!("# E-L1: cautious broadcast (single candidate)\n");
-
-    for topo in [
-        Topology::RandomRegular { n: 256, d: 4 },
-        Topology::Grid2d {
-            rows: 16,
-            cols: 16,
-            torus: true,
-        },
-    ] {
-        let graph = topo.build(3).expect("graph");
-        let props = GraphProps::compute_for(&graph, &topo).expect("props");
-        let knowledge = NetworkKnowledge::from_props(&props);
-        let cfg = IrrevocableConfig::from_knowledge(knowledge);
-        let budget = congest_budget(knowledge.n, cfg.congest_factor);
-
-        println!(
-            "## {topo} (n={}, t_mix={}, phi={:.4})\n",
-            props.n, knowledge.tmix, knowledge.phi
-        );
-        let mut tbl = Table::new([
-            "x", "target x*tmix*phi", "mean territory", "territory/target", "mean msgs",
-            "msgs/territory", "rounds",
-        ]);
-        let mut pts = Vec::new();
-        let xs: Vec<u64> = if quick { vec![1, 4, 16] } else { vec![1, 2, 4, 8, 16, 32] };
-        for &x in &xs {
-            let target = (x as f64 * knowledge.tmix as f64 * knowledge.phi).ceil().max(2.0);
-            let mut territory_sum = 0.0;
-            let mut msgs_sum = 0.0;
-            let mut rounds = 0;
-            for seed in 0..trials {
-                let mut params = cfg.protocol_params(1).expect("params");
-                params.x = x;
-                params.final_threshold = target as u64;
-                // Plant exactly one candidate at node 0 (host-side planting;
-                // the processes themselves stay anonymous).
-                let procs: Vec<IrrevocableProcess> = (0..graph.n())
-                    .map(|v| {
-                        let mut p = params;
-                        p.degree = graph.degree(v);
-                        IrrevocableProcess::with_candidacy(p, 1 + v as u64, v == 0)
-                    })
-                    .collect();
-                let mut net = Network::new(&graph, procs, seed, budget).expect("network");
-                net.run_for(cfg.broadcast_rounds()).expect("run");
-                let territory = net
-                    .processes()
-                    .iter()
-                    .filter(|p| !p.known_sources().is_empty())
-                    .count();
-                territory_sum += territory as f64;
-                msgs_sum += net.metrics().messages as f64;
-                rounds = net.metrics().rounds;
-            }
-            let mean_territory = territory_sum / trials as f64;
-            let mean_msgs = msgs_sum / trials as f64;
-            tbl.push_row([
-                x.to_string(),
-                format!("{target:.0}"),
-                format!("{mean_territory:.1}"),
-                format!("{:.2}", mean_territory / target),
-                format!("{mean_msgs:.0}"),
-                format!("{:.2}", mean_msgs / mean_territory.max(1.0)),
-                rounds.to_string(),
-            ]);
-            pts.push((target, mean_territory.max(1.0)));
-            eprintln!("{topo}: x={x} done");
-        }
-        println!("{}", tbl.to_markdown());
-        let fit = power_fit(&pts);
-        println!(
-            "territory vs target exponent: {:.3} (r^2 {:.3}; Lemma 1 predicts ~1.0 until\n\
-             the territory saturates at n)\n",
-            fit.exponent, fit.r_squared
-        );
-    }
+    std::process::exit(ale_lab::cli::legacy_main("cautious"));
 }

@@ -1,129 +1,10 @@
+//! Thin wrapper: `fig_certification [--quick] [options]` == `ale-lab run certification ...`.
+//!
 //! **E-L678 — certification-phase statistics** (Lemmas 6–8).
-//!
-//! Monte-Carlo checks of the three coloring lemmas, using the paper's
-//! exact parameter functions:
-//!
-//! * **Lemma 6**: once `k^{1+ε} ≥ 2n+1`, at least `f(k)/2` of the `f(k)`
-//!   certification iterations have **no** white node, whp.
-//! * **Lemma 8**: while `2n+1 ≤ k^{1+ε} ≤ 4n`, **some** iteration has a
-//!   white node, with probability ≥ 1 − ξ.
-//! * **Lemma 7**: nodes abstain from choosing IDs until
-//!   `k^{1+ε}·log₂(4k) ≥ n`, with probability ≥ 1 − ξ — validated at the
-//!   protocol level by reading certificate distributions from real runs.
-//!
-//! Usage: `fig_certification [--quick]`
-
-use ale_bench::Table;
-use ale_core::revocable::{run_revocable, RevocableParams};
-use ale_graph::Topology;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+//! The experiment itself is the registered `certification` scenario in
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `--workers`, `--out`, ...) passes through.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mc_trials = if quick { 200 } else { 2000 };
-    let eps = 1.0;
-    let xi = 0.2;
-    let params = RevocableParams::paper_blind(eps, xi);
-
-    println!("# E-L678: certification-phase statistics (eps={eps}, xi={xi})\n");
-
-    // Lemmas 6 & 8: pure coloring Monte Carlo with exact p(k), f(k).
-    println!("## Lemmas 6 & 8: white-iteration counts ({mc_trials} Monte-Carlo trials)\n");
-    let mut tbl = Table::new([
-        "n", "k", "k^2 vs 2n+1", "f(k)", "Pr[empty majority] (L6 wants ->1)",
-        "Pr[some white iter] (L8 wants >=1-xi)",
-    ]);
-    let mut rng = StdRng::seed_from_u64(3);
-    for n in [8usize, 16, 32] {
-        for k in [2u64, 4, 8, 16] {
-            let k_pow = params.k_pow(k);
-            let p = params.p(k);
-            let f = params.f(k);
-            let mut empty_majority = 0usize;
-            let mut some_white = 0usize;
-            for _ in 0..mc_trials {
-                let mut empties = 0u64;
-                let mut whites_seen = false;
-                for _ in 0..f {
-                    let any_white = (0..n).any(|_| rng.gen_bool(p));
-                    if any_white {
-                        whites_seen = true;
-                    } else {
-                        empties += 1;
-                    }
-                }
-                if 2 * empties > f {
-                    empty_majority += 1;
-                }
-                if whites_seen {
-                    some_white += 1;
-                }
-            }
-            let regime = if k_pow >= (2 * n + 1) as f64 {
-                if k_pow <= (4 * n) as f64 {
-                    "in [2n+1, 4n]"
-                } else {
-                    "above 4n"
-                }
-            } else {
-                "below"
-            };
-            tbl.push_row([
-                n.to_string(),
-                k.to_string(),
-                regime.into(),
-                f.to_string(),
-                format!("{:.3}", empty_majority as f64 / mc_trials as f64),
-                format!("{:.3}", some_white as f64 / mc_trials as f64),
-            ]);
-        }
-    }
-    println!("{}", tbl.to_markdown());
-
-    // Lemma 7 at protocol level: certificate distribution from real runs.
-    println!("## Lemma 7: certificates chosen by real runs (scaled r, paper f)\n");
-    let run_params = RevocableParams::paper_blind(eps, xi).with_scales(0.02, 0.5, 1.0);
-    let trials = if quick { 5 } else { 15 };
-    let mut t7 = Table::new([
-        "n", "abstention bound: min k with k^2*log2(4k) >= n", "min cert seen", "max cert seen",
-        "runs",
-    ]);
-    for n in [4usize, 8, 12] {
-        let g = Topology::Complete { n }.build(0).expect("graph");
-        let mut min_cert = u64::MAX;
-        let mut max_cert = 0u64;
-        let mut bound_k = 2u64;
-        while params.k_pow(bound_k) * (4.0 * bound_k as f64).log2() < n as f64 {
-            bound_k *= 2;
-        }
-        for seed in 0..trials {
-            let r = run_revocable(&g, &run_params, seed, 16).expect("run");
-            for v in &r.verdicts {
-                if let Some(c) = v.cert {
-                    min_cert = min_cert.min(c);
-                    max_cert = max_cert.max(c);
-                }
-            }
-        }
-        t7.push_row([
-            n.to_string(),
-            bound_k.to_string(),
-            if min_cert == u64::MAX {
-                "-".into()
-            } else {
-                min_cert.to_string()
-            },
-            max_cert.to_string(),
-            trials.to_string(),
-        ]);
-        eprintln!("lemma7 n={n} done");
-    }
-    println!("{}", t7.to_markdown());
-    println!(
-        "\nLemma 7 reproduced iff certificates cluster at/above the abstention bound\n\
-         (early certificates are *possible* — the lemma is probabilistic — but the\n\
-         *winning* certificate, the max, must sit at a size-revealing estimate)."
-    );
+    std::process::exit(ale_lab::cli::legacy_main("certification"));
 }

@@ -1,99 +1,10 @@
+//! Thin wrapper: `fig_diffusion [--quick] [options]` == `ale-lab run diffusion ...`.
+//!
 //! **E-L34 — diffusion convergence** (Lemmas 3–4).
-//!
-//! Lemma 3: the `Avg` diffusion converges to the average potential at every
-//! node. Lemma 4: `r ≥ (2/φ²)·log(n/γ)` rounds suffice for relative error
-//! `γ`, where `φ` is the conductance of the diffusion chain
-//! (`s_ij = 1/(2k^{1+ε})` per edge).
-//!
-//! The experiment builds the exact diffusion matrix per family, runs the
-//! potential vector forward, measures the first round where the max
-//! relative error drops below `γ`, and compares against Lemma 4's bound —
-//! measured/bound ≤ 1 everywhere is the reproduction target.
-//!
-//! Usage: `fig_diffusion [--quick]`
-
-use ale_bench::Table;
-use ale_graph::Topology;
-use ale_markov::{conductance, MarkovChain};
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+//! The experiment itself is the registered `diffusion` scenario in
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `--workers`, `--out`, ...) passes through.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let eps = 1.0;
-
-    println!("# E-L34: diffusion convergence vs Lemma 4 bound (eps={eps})\n");
-    let mut tbl = Table::new([
-        "family", "n", "k", "phi(chain)", "gamma", "measured rounds", "bound (2/phi^2)ln(n/gamma)",
-        "measured/bound",
-    ]);
-
-    let topos: Vec<Topology> = vec![
-        Topology::Complete { n: 12 },
-        Topology::Cycle { n: 12 },
-        Topology::Hypercube { dim: 3 },
-        Topology::Star { n: 10 },
-        Topology::Barbell { k: 5 },
-    ];
-    let gammas: &[f64] = if quick { &[0.1] } else { &[0.1, 0.01, 0.001] };
-
-    for topo in topos {
-        let graph = topo.build(0).expect("graph");
-        let n = graph.n();
-        // Estimate k: the first k with k^{1+eps} >= 2n+1 (the Lemma 5
-        // regime where the averaging matrix is valid for every degree).
-        let mut k = 2u64;
-        while (k as f64).powf(1.0 + eps) < (2 * n + 1) as f64 {
-            k *= 2;
-        }
-        let alpha = 1.0 / (2.0 * (k as f64).powf(1.0 + eps));
-        let chain = MarkovChain::diffusion(&graph.adjacency(), alpha).expect("chain");
-        let phi = conductance::chain_conductance_exact(chain.matrix()).expect("phi");
-
-        // Initial potentials: one white node (the Lemma 5 scenario l >= 1).
-        let mut rng = StdRng::seed_from_u64(5);
-        let white = rng.gen_range(0..n);
-        let mut pot: Vec<f64> = (0..n).map(|i| if i == white { 0.0 } else { 1.0 }).collect();
-        let avg = pot.iter().sum::<f64>() / n as f64;
-
-        let mut round = 0u64;
-        let mut measured: Vec<Option<u64>> = vec![None; gammas.len()];
-        let max_rounds = 4_000_000u64;
-        while measured.iter().any(Option::is_none) && round < max_rounds {
-            pot = chain.step(&pot).expect("step");
-            round += 1;
-            let max_rel = pot
-                .iter()
-                .map(|p| (p - avg).abs() / avg)
-                .fold(0.0f64, f64::max);
-            for (gi, &g) in gammas.iter().enumerate() {
-                if measured[gi].is_none() && max_rel <= g {
-                    measured[gi] = Some(round);
-                }
-            }
-        }
-
-        for (gi, &gamma) in gammas.iter().enumerate() {
-            let bound = (2.0 / (phi * phi)) * (n as f64 / gamma).ln();
-            let m = measured[gi].unwrap_or(max_rounds);
-            tbl.push_row([
-                topo.family().to_string(),
-                n.to_string(),
-                k.to_string(),
-                format!("{phi:.6}"),
-                format!("{gamma}"),
-                m.to_string(),
-                format!("{bound:.0}"),
-                format!("{:.3}", m as f64 / bound),
-            ]);
-        }
-        eprintln!("{topo} done");
-    }
-
-    println!("{}", tbl.to_markdown());
-    println!(
-        "\nLemma 4 reproduced iff every measured/bound ≤ 1. The bound is loose by\n\
-         design (Cheeger is quadratic); ratios ≪ 1 on well-connected families are expected."
-    );
+    std::process::exit(ale_lab::cli::legacy_main("diffusion"));
 }

@@ -1,101 +1,10 @@
+//! Thin wrapper: `fig_impossibility [--quick] [options]` == `ale-lab run impossibility ...`.
+//!
 //! **E-F12 — the pumping-wheel phenomenon** (Theorem 2, Figures 1–2).
-//!
-//! Three sections:
-//!
-//! 1. **Witness geometry** (Figures 1–2 as data): layout counts and the
-//!    proof's astronomically large `N` versus the empirically sufficient
-//!    ones.
-//! 2. **Split-brain series**: a stop-by-`T` algorithm (this repo's
-//!    Theorem 1 protocol, configured to believe the network is `C_{n₀}`)
-//!    run on `C_{f·n₀}`; Pr[≥2 leaders] rises to 1 and the mean leader
-//!    count grows ~linearly in `N` — Theorem 2's claim, empirically.
-//! 3. **The revocable contrast**: the same oversized cycle under the
-//!    knowledge-free revocable protocol converges to a single leader —
-//!    the motivation for Definition 2.
-//!
-//! Usage: `fig_impossibility [--quick]`
-
-use ale_bench::Table;
-use ale_core::revocable::{run_revocable, RevocableParams};
-use ale_graph::generators;
-use ale_impossibility::{split_brain_series, PumpingLayout};
+//! The experiment itself is the registered `impossibility` scenario in
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `--workers`, `--out`, ...) passes through.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let trials = if quick { 5 } else { 15 };
-    let n0 = 8usize;
-
-    println!("# E-F12: impossibility of irrevocable LE without n (Theorem 2)\n");
-
-    // Section 1: witness geometry.
-    println!("## Witness geometry (Figures 1–2)\n");
-    let mut geo = Table::new(["n0", "T", "N", "witnesses", "witness len", "core", "segment"]);
-    for (w_n0, t, blocks) in [(4usize, 3usize, 3usize), (8, 6, 4), (8, 6, 16)] {
-        let layout = PumpingLayout::new(w_n0, t, blocks * (4 * t + 2 * w_n0)).expect("layout");
-        geo.push_row([
-            w_n0.to_string(),
-            t.to_string(),
-            layout.big_n.to_string(),
-            layout.witness_count().to_string(),
-            layout.witness_len().to_string(),
-            (2 * w_n0).to_string(),
-            w_n0.to_string(),
-        ]);
-    }
-    println!("{}", geo.to_markdown());
-    println!(
-        "Proof-sufficient block count for (n0=4, T=3, c=1/2): {} — versus the ~dozens of\n\
-         blocks at which the phenomenon is already empirically overwhelming below.\n",
-        PumpingLayout::proof_block_count(4, 3, 0.5)
-    );
-
-    // Section 2: split-brain series.
-    println!("## Split-brain frequency vs blow-up (n0 = {n0}, {trials} trials/point)\n");
-    let factors: &[usize] = if quick {
-        &[1, 8, 32]
-    } else {
-        &[1, 4, 8, 16, 32, 64, 128]
-    };
-    let series = split_brain_series(n0, factors, trials, 7).expect("series");
-    let mut tbl = Table::new(["N", "N/n0", "Pr[>=2 leaders]", "mean leaders"]);
-    for p in &series {
-        tbl.push_row([
-            p.big_n.to_string(),
-            (p.big_n / p.n0).to_string(),
-            format!("{:.2}", p.split_rate()),
-            format!("{:.2}", p.mean_leaders),
-        ]);
-        eprintln!("split-brain N={} done", p.big_n);
-    }
-    println!("{}", tbl.to_markdown());
-
-    // Section 3: revocable contrast. The revocable protocol's ring cost is
-    // Corollary 1 in the flesh — the diffusion ladder grows like Θ(n⁴) on
-    // cycles (the spectral term (4n)²/i(G)² with i(C_n) = Θ(1/n)) — so the
-    // largest tractable ring is C12 (stabilizing estimate k* = 8). That
-    // intractability is not a harness limitation; it *is* the paper's
-    // Õ(n^{4(2+ε)}) statement, and EXPERIMENTS.md reports it as such.
-    println!("## Revocable contrast (no knowledge of n; ring family, tractable size)\n");
-    let big_n = 12usize;
-    let g = generators::cycle(big_n).expect("cycle");
-    let params = RevocableParams::paper_blind(1.0, 0.2).with_scales(0.02, 0.25, 1.0);
-    let max_k = 8u64; // first k with k² > 4·12
-    let mut contrast = Table::new(["seed", "stabilized", "leaders", "rounds to stability"]);
-    for seed in 0..(trials.min(5) as u64) {
-        let r = run_revocable(&g, &params, seed, max_k).expect("revocable");
-        contrast.push_row([
-            seed.to_string(),
-            r.stabilized.to_string(),
-            r.outcome.leader_count().to_string(),
-            r.rounds_at_stability
-                .map_or("-".into(), |x| x.to_string()),
-        ]);
-        eprintln!("revocable contrast seed={seed} done");
-    }
-    println!("{}", contrast.to_markdown());
-    println!(
-        "The stop-by-T protocol splits oversized rings into many leader domains;\n\
-         the revocable protocol, never committing, converges to exactly one —\n\
-         at the polynomial price Corollary 1 predicts (rings are its worst case)."
-    );
+    std::process::exit(ale_lab::cli::legacy_main("impossibility"));
 }

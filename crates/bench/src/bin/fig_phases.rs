@@ -1,94 +1,10 @@
+//! Thin wrapper: `fig_phases [--quick] [options]` == `ale-lab run phases ...`.
+//!
 //! **Phase profile** — the communication anatomy of one irrevocable run.
-//!
-//! Traces messages per round and bins them, making the protocol's three
-//! phases visible as data: the cautious-broadcast plateau (super-round
-//! multiplexing: sparse but long), the walk burst (every token moves every
-//! round), and the convergecast trickle (send-on-change). A compact
-//! reproduction of the structure behind Theorem 1's time/message split.
-//!
-//! Usage: `fig_phases [--quick]`
-
-use ale_bench::Table;
-use ale_congest::{congest_budget, Network};
-use ale_core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
-use ale_graph::Topology;
+//! The experiment itself is the registered `phases` scenario in
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `--workers`, `--out`, ...) passes through.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let topo = if quick {
-        Topology::Complete { n: 32 }
-    } else {
-        Topology::Hypercube { dim: 6 }
-    };
-    let graph = topo.build(1).expect("graph");
-    let cfg = IrrevocableConfig::derive_for(&graph, &topo).expect("config");
-    let budget = congest_budget(cfg.knowledge.n, cfg.congest_factor);
-
-    let cfg_copy = cfg;
-    let mut net = Network::from_fn(&graph, 5, budget, |deg, rng| {
-        let params = cfg_copy.protocol_params(deg).expect("params");
-        IrrevocableProcess::new(params, rng)
-    });
-    net.enable_trace();
-    net.run_to_halt(cfg.total_rounds() + 4).expect("run");
-
-    let b_end = cfg.broadcast_rounds();
-    let w_end = b_end + cfg.walk_rounds();
-    let c_end = w_end + cfg.converge_rounds();
-
-    println!("# Phase profile on {topo} (seed 5)\n");
-    println!(
-        "phase boundaries: broadcast [0, {b_end}), walk [{b_end}, {w_end}), \
-         convergecast [{w_end}, {c_end})\n"
-    );
-
-    let mut tbl = Table::new(["phase", "rounds", "messages", "bits", "msgs/round"]);
-    let mut phase_stats = [(0u64, 0u64, 0u64); 3];
-    for t in net.trace() {
-        let idx = if t.round < b_end {
-            0
-        } else if t.round < w_end {
-            1
-        } else {
-            2
-        };
-        phase_stats[idx].0 += 1;
-        phase_stats[idx].1 += t.messages;
-        phase_stats[idx].2 += t.bits;
-    }
-    for (name, (rounds, msgs, bits)) in
-        ["broadcast", "walk", "convergecast"].iter().zip(phase_stats)
-    {
-        tbl.push_row([
-            name.to_string(),
-            rounds.to_string(),
-            msgs.to_string(),
-            bits.to_string(),
-            format!("{:.2}", msgs as f64 / rounds.max(1) as f64),
-        ]);
-    }
-    println!("{}", tbl.to_markdown());
-
-    // Coarse sparkline: 40 buckets of message volume.
-    let trace = net.trace();
-    let buckets = 40usize;
-    let per = (trace.len() / buckets).max(1);
-    let mut volumes = vec![0u64; buckets];
-    for (i, t) in trace.iter().enumerate() {
-        let b = (i / per).min(buckets - 1);
-        volumes[b] += t.messages;
-    }
-    let max = *volumes.iter().max().unwrap_or(&1);
-    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
-    let line: String = volumes
-        .iter()
-        .map(|&v| glyphs[((v as f64 / max.max(1) as f64) * 9.0).round() as usize])
-        .collect();
-    println!("message-volume sparkline (time →):\n[{line}]");
-    println!(
-        "\ntotal: {} messages, {} rounds; walk burst dominates per-round volume,\n\
-         broadcast dominates wall-clock (the multiplexed super-rounds of Theorem 1).",
-        net.metrics().messages,
-        net.metrics().rounds
-    );
+    std::process::exit(ale_lab::cli::legacy_main("phases"));
 }

@@ -1,210 +1,10 @@
-//! **E-T1c — revocable leader election cost growth**
-//! (Theorem 3 / Corollary 1, the `(*)` rows of Table 1).
+//! Thin wrapper: `fig_revocable [--quick] [options]` == `ale-lab run revocable ...`.
 //!
-//! Three modes, reported separately (see DESIGN.md "Substitutions"):
-//!
-//! 1. **Theorem 3, paper-exact `r(k)`** with known `i(G)` on cliques
-//!    (`i(K_n) = ⌈n/2⌉`): time should grow like
-//!    `n^{4(1+ε)}/i(G)² · polylog = Õ(n^{2+4ε+...})`/... — on cliques the
-//!    `k²⁺²ᵉ/i²` term is `Õ(k^{2ε})`, so the dissemination term `k^{1+ε}`
-//!    and the estimate ladder dominate; the harness fits the measured
-//!    exponent and prints it next to the prediction from the exact
-//!    formulas (evaluated symbolically per `k`).
-//! 2. **Corollary 1, paper-exact blind** on tiny graphs (correctness +
-//!    cost points, no fit — the `k^{2(2+ε)}` wall).
-//! 3. **Scaled blind mode** (`r_scale < 1`): same functional forms,
-//!    tractable sizes, used to exhibit the growth *shape* in `n`.
-//!
-//! Usage: `fig_revocable [--quick]`
-
-use ale_bench::{power_fit, Table};
-use ale_core::revocable::{run_revocable, RevocableParams};
-use ale_graph::Topology;
-
-fn horizon_for(n: usize, eps: f64) -> u64 {
-    // Theory: stabilization once k^{1+eps} > 4n; allow one extra doubling.
-    let k = (4.0 * n as f64).powf(1.0 / (1.0 + eps)).ceil() as u64;
-    (2 * k.max(2)).next_power_of_two()
-}
+//! **E-T1c — revocable LE cost growth** (Theorem 3 / Corollary 1).
+//! The experiment itself is the registered `revocable` scenario in
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `--workers`, `--out`, ...) passes through.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let trials = if quick { 4 } else { 10 };
-    let eps = 1.0;
-    let xi = 0.2;
-
-    // Mode 1: Theorem 3 on cliques, paper-exact r(k), f scaled 0.25.
-    println!("# E-T1c: revocable LE cost growth (eps={eps}, xi={xi})\n");
-    println!("## Mode 1: Theorem 3 (known i(G)), cliques, r(k) paper-exact, f(k) x0.25\n");
-    let sizes: &[usize] = if quick { &[8, 16] } else { &[8, 12, 16, 20] };
-    let mut t1 = Table::new([
-        "n", "i(G)", "max_k", "stabilized", "unique", "med rounds", "formula rounds",
-        "measured/formula", "med msgs",
-    ]);
-    let mut time_pts = Vec::new();
-    let mut ratio_pts = Vec::new();
-    for &n in sizes {
-        let g = Topology::Complete { n }.build(0).expect("graph");
-        let ig = (n as f64 / 2.0).ceil();
-        let params = RevocableParams::paper_with_ig(eps, xi, ig).with_scales(1.0, 0.25, 1.0);
-        let max_k = horizon_for(n, eps);
-        // The formula prediction: the ladder through the first estimate
-        // whose k^{1+eps} exceeds 4n — exactly the proof's schedule sum.
-        let mut k_star = 2u64;
-        while (k_star as f64).powf(1.0 + eps) <= 4.0 * n as f64 {
-            k_star *= 2;
-        }
-        let formula = params.rounds_through(k_star) as f64;
-        let mut rounds = Vec::new();
-        let mut msgs = Vec::new();
-        let mut stab = 0;
-        let mut unique = 0;
-        for seed in 0..trials {
-            let r = run_revocable(&g, &params, seed, max_k).expect("run");
-            if r.stabilized {
-                stab += 1;
-                rounds.push(r.rounds_at_stability.unwrap() as f64);
-            }
-            if r.outcome.leader_count() == 1 {
-                unique += 1;
-            }
-            msgs.push(r.outcome.metrics.messages as f64);
-        }
-        let med_rounds = ale_bench::sweep::median(&rounds);
-        t1.push_row([
-            n.to_string(),
-            format!("{ig}"),
-            max_k.to_string(),
-            format!("{stab}/{trials}"),
-            format!("{unique}/{trials}"),
-            format!("{med_rounds:.0}"),
-            format!("{formula:.0}"),
-            format!("{:.3}", med_rounds / formula),
-            format!("{:.0}", ale_bench::sweep::median(&msgs)),
-        ]);
-        if med_rounds > 0.0 {
-            time_pts.push((n as f64, med_rounds));
-            ratio_pts.push(med_rounds / formula);
-        }
-        eprintln!("thm3 n={n} done");
-    }
-    println!("{}", t1.to_markdown());
-    if time_pts.len() >= 2 {
-        let fit = power_fit(&time_pts);
-        println!(
-            "rounds-to-stability raw exponent in n: {:.3} (r^2 {:.3}).\n\
-             Reproduction criterion: measured/formula is roughly constant across n\n\
-             (stabilization fires early in the final estimate, as soon as its diffusion\n\
-             spreads the winning record, so ratios sit well below 1 — what matters is\n\
-             that they do not drift with n); measured values: {:?}\n",
-            fit.exponent,
-            fit.r_squared,
-            ratio_pts.iter().map(|r| format!("{r:.3}")).collect::<Vec<_>>()
-        );
-    }
-
-    // Mode 2: Corollary 1 paper-exact blind, tiny graphs.
-    println!("## Mode 2: Corollary 1 (blind), paper-exact, tiny graphs\n");
-    let mut t2 = Table::new(["graph", "stabilized", "unique", "rounds", "congest rounds", "msgs"]);
-    let tiny: Vec<(&str, Topology)> = vec![
-        ("K2", Topology::Complete { n: 2 }),
-        ("K3", Topology::Complete { n: 3 }),
-        ("P3", Topology::Path { n: 3 }),
-        ("C4", Topology::Cycle { n: 4 }),
-    ];
-    for (name, topo) in tiny {
-        let g = topo.build(0).expect("graph");
-        let params = RevocableParams::paper_blind(eps, xi);
-        let max_k = horizon_for(g.n(), eps);
-        let r = run_revocable(&g, &params, 1, max_k).expect("run");
-        t2.push_row([
-            name.to_string(),
-            r.stabilized.to_string(),
-            (r.outcome.leader_count() == 1).to_string(),
-            r.outcome.metrics.rounds.to_string(),
-            r.outcome.metrics.congest_rounds.to_string(),
-            r.outcome.metrics.messages.to_string(),
-        ]);
-        eprintln!("blind {name} done");
-    }
-    println!("{}", t2.to_markdown());
-
-    // Mode 3: scaled blind shape sweep. The estimate ladder is a step
-    // function of n (costs jump when the stabilizing k* doubles), so the
-    // sweep brackets a k* jump (n = 16 forces k* = 16 at eps = 1) and the
-    // formula table below extends the shape beyond simulatable sizes.
-    println!("## Mode 3: blind, scaled (r x0.002, f x0.1) — growth shape in n\n");
-    let sizes: &[usize] = if quick { &[4, 8] } else { &[4, 8, 16] };
-    let trials3 = if quick { 2 } else { 3 };
-    let mut t3 = Table::new(["n", "k*", "stabilized", "unique", "med rounds", "med msgs"]);
-    let mut pts = Vec::new();
-    for &n in sizes {
-        let g = Topology::Complete { n }.build(0).expect("graph");
-        let params = RevocableParams::paper_blind(eps, xi).with_scales(0.002, 0.1, 1.0);
-        let max_k = horizon_for(n, eps);
-        let mut k_star = 2u64;
-        while (k_star as f64).powf(1.0 + eps) <= 4.0 * n as f64 {
-            k_star *= 2;
-        }
-        let mut rounds = Vec::new();
-        let mut msgs = Vec::new();
-        let mut stab = 0;
-        let mut unique = 0;
-        for seed in 0..trials3 {
-            let r = run_revocable(&g, &params, seed, max_k).expect("run");
-            if r.stabilized {
-                stab += 1;
-            }
-            if r.outcome.leader_count() == 1 {
-                unique += 1;
-            }
-            rounds.push(r.outcome.metrics.rounds as f64);
-            msgs.push(r.outcome.metrics.messages as f64);
-        }
-        let mr = ale_bench::sweep::median(&rounds);
-        t3.push_row([
-            n.to_string(),
-            k_star.to_string(),
-            format!("{stab}/{trials3}"),
-            format!("{unique}/{trials3}"),
-            format!("{mr:.0}"),
-            format!("{:.0}", ale_bench::sweep::median(&msgs)),
-        ]);
-        pts.push((n as f64, mr));
-        eprintln!("scaled blind n={n} done");
-    }
-    println!("{}", t3.to_markdown());
-    if pts.len() >= 2 {
-        let fit = power_fit(&pts);
-        println!(
-            "rounds exponent in n (blind, scaled, across a k* jump): {:.3} (r^2 {:.3})",
-            fit.exponent, fit.r_squared
-        );
-    }
-
-    // Formula-extrapolated ladder costs: Corollary 1's shape beyond
-    // simulatable sizes (same code path as the protocol's schedule).
-    println!("\n### Corollary 1 formula ladder (paper-exact blind, rounds through k*)\n");
-    let mut t4 = Table::new(["n", "k*", "formula rounds"]);
-    let paper = RevocableParams::paper_blind(eps, xi);
-    let mut formula_pts = Vec::new();
-    for n in [4u64, 16, 64, 256, 1024] {
-        let mut k_star = 2u64;
-        while (k_star as f64).powf(1.0 + eps) <= 4.0 * n as f64 {
-            k_star *= 2;
-        }
-        let rounds = paper.rounds_through(k_star);
-        t4.push_row([n.to_string(), k_star.to_string(), rounds.to_string()]);
-        formula_pts.push((n as f64, rounds as f64));
-    }
-    println!("{}", t4.to_markdown());
-    let fit = power_fit(&formula_pts);
-    println!(
-        "formula exponent in n: {:.2} — Corollary 1 predicts Õ(n^{{(2(2+eps)+1)/(1+eps)}})\n\
-         ≈ n^{:.1} at eps={eps} for the simulator-rounds ladder (the paper's headline\n\
-         Õ(n^{{4(2+eps)}}) counts serialized CONGEST rounds; both shapes are step\n\
-         functions of the stabilizing estimate k* = Θ((4n)^{{1/(1+eps)}})).",
-        fit.exponent,
-        (2.0 * (2.0 + eps) + 1.0) / (1.0 + eps)
-    );
+    std::process::exit(ale_lab::cli::legacy_main("revocable"));
 }

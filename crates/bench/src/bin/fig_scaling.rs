@@ -1,132 +1,10 @@
-//! **E-T1b — message-complexity scaling** (Table 1, row "this work").
+//! Thin wrapper: `fig_scaling [--quick] [options]` == `ale-lab run scaling ...`.
 //!
-//! Sweeps `n` per family and checks Theorem 1's message bound two ways:
-//!
-//! 1. **Raw exponents in `n`** for this work vs the Gilbert baseline. The
-//!    polylog factors and the `n`-dependence of `t_mix`/`Φ` estimates
-//!    inflate raw slopes above the naive `0.5`/`2.0`, so the raw fit is
-//!    reported but the pass/fail criterion is (2):
-//! 2. **Fit against the theory quantity**
-//!    `q(n) = √(n·ln n·t_mix/Φ)·log₂²n` — the explicit bound of
-//!    Theorem 1's proof (broadcast `Õ(x·t_mix)` per candidate ×
-//!    `Θ(log n)` candidates, walks `x·len`, convergecast ≤ broadcast).
-//!    Measured messages vs `q(n)` should fit a power law with exponent
-//!    ≈ 1 — that is the reproduction of the bound's *shape*.
-//!
-//! On cycles the gilbert/this-work ratio should grow (`~√(t_mix·Φ)·polylog
-//! = √n/polylog`), crossing 1 near n ≈ 24–64 — Table 1's improvement row.
-//!
-//! Usage: `fig_scaling [--quick]`
-
-use ale_bench::{power_fit, Algorithm, GraphContext, Table};
-use ale_graph::Topology;
-
-struct Family {
-    name: &'static str,
-    sizes: Vec<Topology>,
-}
-
-/// Theorem 1's explicit message quantity (see module docs).
-fn theory_q(n: f64, tmix: f64, phi: f64) -> f64 {
-    let log2n = n.log2().max(1.0);
-    (n * n.ln().max(1.0) * tmix / phi).sqrt() * log2n * log2n
-}
+//! **E-T1b — message-complexity scaling** (Theorem 1 shape).
+//! The experiment itself is the registered `scaling` scenario in
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `--workers`, `--out`, ...) passes through.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let trials: u64 = if quick { 6 } else { 20 };
-    let workers = std::thread::available_parallelism().map_or(4, |p| p.get());
-
-    let families = vec![
-        Family {
-            name: "complete",
-            sizes: [16usize, 32, 64, 128, 256]
-                .iter()
-                .map(|&n| Topology::Complete { n })
-                .collect(),
-        },
-        Family {
-            name: "hypercube",
-            sizes: [4usize, 5, 6, 7, 8]
-                .iter()
-                .map(|&dim| Topology::Hypercube { dim })
-                .collect(),
-        },
-        Family {
-            name: "cycle",
-            sizes: [8usize, 12, 16, 24, 32, 48]
-                .iter()
-                .map(|&n| Topology::Cycle { n })
-                .collect(),
-        },
-    ];
-
-    println!("# E-T1b: message scaling ({trials} seeds per point)\n");
-    let mut fits = Table::new([
-        "family",
-        "algorithm",
-        "raw exponent in n",
-        "exponent vs theory q(n)",
-        "r^2 (theory fit)",
-    ]);
-
-    for family in families {
-        let mut series = Table::new([
-            "n", "t_mix", "phi", "theory q(n)", "this-work msgs", "gilbert18 msgs", "ratio",
-        ]);
-        let mut this_pts = Vec::new();
-        let mut this_theory_pts = Vec::new();
-        let mut gil_pts = Vec::new();
-        for topo in &family.sizes {
-            let ctx = GraphContext::build(*topo, 1).expect("graph");
-            let n = ctx.props.n as f64;
-            let q = theory_q(n, ctx.knowledge.tmix as f64, ctx.knowledge.phi);
-            let med = |alg: Algorithm| {
-                let outs = ale_bench::sweep::parallel_trials(trials, workers, |seed| {
-                    ctx.run(alg, seed).expect("trial").metrics.messages as f64
-                });
-                ale_bench::sweep::median(&outs)
-            };
-            let tw = med(Algorithm::ThisWork);
-            let gl = med(Algorithm::Gilbert);
-            this_pts.push((n, tw.max(1.0)));
-            this_theory_pts.push((q, tw.max(1.0)));
-            gil_pts.push((n, gl.max(1.0)));
-            series.push_row([
-                format!("{}", ctx.props.n),
-                ctx.knowledge.tmix.to_string(),
-                format!("{:.4}", ctx.knowledge.phi),
-                format!("{q:.0}"),
-                format!("{tw:.0}"),
-                format!("{gl:.0}"),
-                format!("{:.2}", gl / tw.max(1.0)),
-            ]);
-            eprintln!("{}: n={} done", family.name, ctx.props.n);
-        }
-        println!("## {}\n\n{}", family.name, series.to_markdown());
-        let tw_fit = power_fit(&this_pts);
-        let tw_theory_fit = power_fit(&this_theory_pts);
-        let gl_fit = power_fit(&gil_pts);
-        fits.push_row([
-            family.name.to_string(),
-            "this-work".into(),
-            format!("{:.3}", tw_fit.exponent),
-            format!("{:.3}", tw_theory_fit.exponent),
-            format!("{:.3}", tw_theory_fit.r_squared),
-        ]);
-        fits.push_row([
-            family.name.to_string(),
-            "gilbert18".into(),
-            format!("{:.3}", gl_fit.exponent),
-            "-".into(),
-            "-".into(),
-        ]);
-    }
-
-    println!("## Fitted exponents\n\n{}", fits.to_markdown());
-    println!(
-        "Reproduction criterion: this-work's exponent against the theory quantity\n\
-         q(n) = sqrt(n·ln n·t_mix/phi)·log2²n is ≈ 1 (±0.35), i.e. measured messages\n\
-         track Theorem 1's bound; and the gilbert/this-work ratio grows on cycles."
-    );
+    std::process::exit(ale_lab::cli::legacy_main("scaling"));
 }

@@ -1,117 +1,10 @@
+//! Thin wrapper: `fig_thresholds [--quick] [options]` == `ale-lab run thresholds ...`.
+//!
 //! **E-L5 — threshold detection** (Lemma 5).
-//!
-//! Lemma 5: if `k^{1+ε} ≥ 2n+1`, at least one white node exists, and the
-//! diffusion runs `r ≥ (2/φ²)·log(k^{2(1+ε)})` rounds, then **no** node ends
-//! with potential above `τ(k) = 1 − 1/(k^{1+ε}−1)`.
-//!
-//! Conversely (the detection direction the protocol exploits): while the
-//! estimate is *low* and no white appears nearby, potentials stay at 1 and
-//! nodes flag `low`.
-//!
-//! The experiment runs the exact diffusion matrix for the paper's `r(k)`
-//! rounds and reports the max terminal potential against `τ(k)` across the
-//! estimate ladder.
-//!
-//! Usage: `fig_thresholds [--quick]`
-
-use ale_bench::Table;
-use ale_core::revocable::RevocableParams;
-use ale_graph::{cuts, Topology};
-use ale_markov::MarkovChain;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+//! The experiment itself is the registered `thresholds` scenario in
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `--workers`, `--out`, ...) passes through.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let eps = 1.0;
-    let xi = 0.2;
-
-    println!("# E-L5: potential thresholds tau(k) across the estimate ladder (eps={eps})\n");
-    let mut tbl = Table::new([
-        "family", "n", "k", "k^(1+eps)", "regime", "whites", "r(k) rounds", "max potential",
-        "tau(k)", "below tau",
-    ]);
-
-    let topos: Vec<Topology> = if quick {
-        vec![Topology::Complete { n: 8 }, Topology::Cycle { n: 8 }]
-    } else {
-        vec![
-            Topology::Complete { n: 8 },
-            Topology::Cycle { n: 8 },
-            Topology::Hypercube { dim: 3 },
-            Topology::Star { n: 8 },
-        ]
-    };
-
-    for topo in topos {
-        let graph = topo.build(0).expect("graph");
-        let n = graph.n();
-        let ig = cuts::isoperimetric_exact(&graph).expect("i(G)");
-        let params = RevocableParams::paper_with_ig(eps, xi, ig);
-        let mut rng = StdRng::seed_from_u64(11);
-
-        for k in [2u64, 4, 8, 16] {
-            let k_pow = params.k_pow(k);
-            let regime = if k_pow >= (2 * n + 1) as f64 {
-                "high (Lemma 5)"
-            } else {
-                "low"
-            };
-            let alpha = 1.0 / (2.0 * k_pow);
-            // Degrees above k^{1+eps} invalidate the averaging matrix; the
-            // protocol flags those nodes low directly. Skip those points.
-            if (0..n).any(|v| graph.degree(v) as f64 > k_pow) {
-                tbl.push_row([
-                    topo.family().to_string(),
-                    n.to_string(),
-                    k.to_string(),
-                    format!("{k_pow:.0}"),
-                    "degree>k^(1+eps) (flagged low)".into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    format!("{:.4}", params.tau(k)),
-                    "-".into(),
-                ]);
-                continue;
-            }
-            let chain = MarkovChain::diffusion(&graph.adjacency(), alpha).expect("chain");
-            // Color with p(k); force at least one white (Lemma 5 assumes
-            // l >= 1 — the l = 0 case is Lemma 6's business).
-            let p = params.p(k);
-            let mut pot: Vec<f64> = (0..n)
-                .map(|_| if rng.gen_bool(p) { 0.0 } else { 1.0 })
-                .collect();
-            if pot.iter().all(|&x| x == 1.0) {
-                pot[rng.gen_range(0..n)] = 0.0;
-            }
-            let whites = pot.iter().filter(|&&x| x == 0.0).count();
-            let rounds = params.r(k).min(2_000_000);
-            for _ in 0..rounds {
-                pot = chain.step(&pot).expect("step");
-            }
-            let max_pot = pot.iter().copied().fold(0.0f64, f64::max);
-            let tau = params.tau(k);
-            tbl.push_row([
-                topo.family().to_string(),
-                n.to_string(),
-                k.to_string(),
-                format!("{k_pow:.0}"),
-                regime.into(),
-                whites.to_string(),
-                rounds.to_string(),
-                format!("{max_pot:.6}"),
-                format!("{tau:.6}"),
-                (max_pot <= tau).to_string(),
-            ]);
-        }
-        eprintln!("{topo} done");
-    }
-
-    println!("{}", tbl.to_markdown());
-    println!(
-        "\nLemma 5 reproduced iff every 'high' regime row has below-tau = true.\n\
-         Low-regime rows may exceed tau — that is exactly the detection signal."
-    );
+    std::process::exit(ale_lab::cli::legacy_main("thresholds"));
 }

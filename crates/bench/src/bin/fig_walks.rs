@@ -1,168 +1,10 @@
+//! Thin wrapper: `fig_walks [--quick] [options]` == `ale-lab run walks ...`.
+//!
 //! **E-L2 — random-walk hitting rates** (Lemma 2).
-//!
-//! Lemma 2: at `x = Θ̃(√(n·log n/(Φ·t_mix)))` walks of length
-//! `c·t_mix·log n`, some maximum-ID walk visits every candidate's
-//! broadcast territory whp — operationally, every losing candidate
-//! observes the winner's ID and exactly one flag stays up.
-//!
-//! Two regimes:
-//!
-//! 1. **Paper regime**: territories and walks at the protocol's own
-//!    parameters. At simulatable sizes the paper's budgets are generous
-//!    (territories overlap into full coverage), so the hit rate must be
-//!    ≈ 1.00 across the sweep — the Lemma 2 claim itself.
-//! 2. **Stress regime**: territories pinned small (target 4, ~16 nodes
-//!    after overshoot), walk length cut to 1/16 of the paper's, only 3
-//!    candidates. Now single walks miss; sweeping the walk count `x`
-//!    exposes the knee that the paper's `x` protects against.
-//!
-//! Usage: `fig_walks [--quick]`
-
-use ale_bench::Table;
-use ale_congest::{congest_budget, Network};
-use ale_core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
-use ale_graph::{GraphProps, NetworkKnowledge, Topology};
-
-struct RegimeResult {
-    hits: usize,
-    total: usize,
-    successes: usize,
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_regime(
-    graph: &ale_graph::Graph,
-    cfg: &IrrevocableConfig,
-    budget: usize,
-    candidates: usize,
-    x: u64,
-    threshold: Option<u64>,
-    walk_len: u64,
-    trials: u64,
-) -> RegimeResult {
-    let n = graph.n();
-    let mut res = RegimeResult {
-        hits: 0,
-        total: 0,
-        successes: 0,
-    };
-    for seed in 0..trials {
-        let mut params = cfg.protocol_params(1).expect("params");
-        params.x = x;
-        if let Some(t) = threshold {
-            params.final_threshold = t;
-        }
-        params.walk_rounds = walk_len;
-        let step = n / candidates;
-        let procs: Vec<IrrevocableProcess> = (0..n)
-            .map(|v| {
-                let mut p = params;
-                p.degree = graph.degree(v);
-                let is_cand = v % step == 0 && v / step < candidates;
-                let id = if is_cand {
-                    1_000_000 + (v / step) as u64
-                } else {
-                    1 + v as u64
-                };
-                IrrevocableProcess::with_candidacy(p, id, is_cand)
-            })
-            .collect();
-        let mut net = Network::new(graph, procs, seed, budget).expect("network");
-        let total_rounds =
-            params.broadcast_rounds + params.walk_rounds + params.converge_rounds + 1;
-        net.run_to_halt(total_rounds + 4).expect("run");
-        let verdicts = net.outputs();
-        let max_id = 1_000_000 + candidates as u64 - 1;
-        let mut leaders = 0;
-        for v in verdicts.iter().filter(|v| v.candidate) {
-            res.total += 1;
-            if v.observed_walk_max == Some(max_id) {
-                res.hits += 1;
-            }
-            if v.leader {
-                leaders += 1;
-            }
-        }
-        let winner_ok = verdicts.iter().any(|v| v.leader && v.id == max_id);
-        if leaders == 1 && winner_ok {
-            res.successes += 1;
-        }
-    }
-    res
-}
+//! The experiment itself is the registered `walks` scenario in
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `--workers`, `--out`, ...) passes through.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let trials: u64 = if quick { 5 } else { 15 };
-
-    println!("# E-L2: walk hitting rates (Lemma 2)\n");
-
-    for topo in [
-        Topology::RandomRegular { n: 128, d: 4 },
-        Topology::Grid2d {
-            rows: 12,
-            cols: 12,
-            torus: true,
-        },
-    ] {
-        let graph = topo.build(9).expect("graph");
-        let props = GraphProps::compute_for(&graph, &topo).expect("props");
-        let knowledge = NetworkKnowledge::from_props(&props);
-        let cfg = IrrevocableConfig::from_knowledge(knowledge);
-        let budget = congest_budget(knowledge.n, cfg.congest_factor);
-        let paper_x = cfg.x();
-
-        println!(
-            "## {topo} (n={}, t_mix={}, phi={:.4}, paper x={paper_x})\n",
-            graph.n(),
-            knowledge.tmix,
-            knowledge.phi
-        );
-
-        // Regime 1: the paper's own parameters (6 candidates).
-        println!("### Paper regime (expect hit rate 1.00 — the Lemma 2 claim)\n");
-        let mut t1 = Table::new(["x multiplier", "x", "hit rate", "election success"]);
-        for mult in [0.25, 0.5, 1.0, 2.0] {
-            let x = ((paper_x as f64 * mult).ceil() as u64).max(1);
-            let r = run_regime(
-                &graph,
-                &cfg,
-                budget,
-                6,
-                x,
-                None,
-                cfg.walk_rounds(),
-                trials,
-            );
-            t1.push_row([
-                format!("{mult}"),
-                x.to_string(),
-                format!("{:.2}", r.hits as f64 / r.total.max(1) as f64),
-                format!("{}/{trials}", r.successes),
-            ]);
-            eprintln!("{topo}: paper mult={mult} done");
-        }
-        println!("{}", t1.to_markdown());
-
-        // Regime 2: stressed — small pinned territories, short walks.
-        println!(
-            "### Stress regime (territory target 4, walk length x1/16, 3 candidates)\n"
-        );
-        let starved_len = (cfg.walk_rounds() / 16).max(4);
-        let mut t2 = Table::new(["x", "hit rate", "election success"]);
-        for x in [1u64, 2, 4, 8, 16] {
-            let r = run_regime(&graph, &cfg, budget, 3, x, Some(4), starved_len, trials);
-            t2.push_row([
-                x.to_string(),
-                format!("{:.2}", r.hits as f64 / r.total.max(1) as f64),
-                format!("{}/{trials}", r.successes),
-            ]);
-            eprintln!("{topo}: stress x={x} done");
-        }
-        println!("{}", t2.to_markdown());
-    }
-    println!(
-        "Reproduction criterion: paper-regime hit rates ≈ 1.00 everywhere; the\n\
-         stress regime shows hit rates rising with x — the budget Lemma 2 sizes."
-    );
+    std::process::exit(ale_lab::cli::legacy_main("walks"));
 }

@@ -1,80 +1,10 @@
+//! Thin wrapper: `table1 [--quick] [options]` == `ale-lab run table1 ...`.
+//!
 //! **E-T1 — Table 1 shootout** (paper Table 1).
-//!
-//! Runs this paper's irrevocable protocol against the related-work
-//! baselines on the same graphs/seeds and prints success rates and median
-//! message/bit/round costs. The paper's Table 1 is a table of asymptotic
-//! bounds; the reproduction target is the *ordering*:
-//!
-//! * messages: `this-work ≤ gilbert18` on every family (Theorem 1's
-//!   improvement), with the gap widening as mixing degrades;
-//! * flood-based baselines pay `Θ(m)`-per-improvement traffic, losing on
-//!   sparse well-mixing graphs and large `m`;
-//! * times: all candidates are `Õ(t_mix)`-ish except `flood-*`, which are
-//!   `O(D)` — the knowledge trade-off of rows 1 and 4–6.
-//!
-//! Usage: `table1 [--quick]`
-
-use ale_bench::{Algorithm, CellSummary, GraphContext, Table};
-use ale_graph::Topology;
+//! The experiment itself is the registered `table1` scenario in
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `--workers`, `--out`, ...) passes through.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let trials: u64 = if quick { 10 } else { 30 };
-    let workers = std::thread::available_parallelism().map_or(4, |p| p.get());
-
-    let topologies: Vec<Topology> = if quick {
-        vec![
-            Topology::Complete { n: 32 },
-            Topology::Hypercube { dim: 5 },
-            Topology::Cycle { n: 16 },
-        ]
-    } else {
-        vec![
-            Topology::Complete { n: 64 },
-            Topology::Hypercube { dim: 6 },
-            Topology::RandomRegular { n: 64, d: 4 },
-            Topology::Grid2d {
-                rows: 8,
-                cols: 8,
-                torus: true,
-            },
-            Topology::RingOfCliques { cliques: 8, k: 8 },
-            Topology::Cycle { n: 32 },
-        ]
-    };
-
-    println!("# E-T1: Table 1 shootout ({trials} seeds per cell)\n");
-    let mut table = Table::new([
-        "family", "n", "m", "t_mix", "phi", "algorithm", "success", "med msgs", "med bits",
-        "med congest rounds",
-    ]);
-
-    for topo in topologies {
-        let ctx = GraphContext::build(topo, 1).expect("graph construction");
-        eprintln!(
-            "running {topo}: n={} m={} tmix={} phi={:.4}",
-            ctx.props.n, ctx.props.m, ctx.knowledge.tmix, ctx.knowledge.phi
-        );
-        for alg in Algorithm::ALL {
-            let outcomes = ale_bench::sweep::parallel_trials(trials, workers, |seed| {
-                ctx.run(alg, seed).expect("trial")
-            });
-            let cell = CellSummary::from_outcomes(alg, &outcomes);
-            table.push_row([
-                ctx.topology.family().to_string(),
-                ctx.props.n.to_string(),
-                ctx.props.m.to_string(),
-                ctx.knowledge.tmix.to_string(),
-                format!("{:.4}", ctx.knowledge.phi),
-                alg.to_string(),
-                format!("{}/{}", cell.unique, cell.trials),
-                format!("{:.0}", cell.median_messages),
-                format!("{:.0}", cell.median_bits),
-                format!("{:.0}", cell.median_congest_rounds),
-            ]);
-        }
-    }
-
-    println!("{}", table.to_markdown());
-    println!("\nCSV:\n{}", table.to_csv());
+    std::process::exit(ale_lab::cli::legacy_main("table1"));
 }

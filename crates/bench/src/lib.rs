@@ -1,22 +1,28 @@
 //! # ale-bench — experiment harness
 //!
 //! Regenerates every table and figure of Kowalski & Mosteiro (ICDCS 2021)
-//! plus the lemma-level experiments listed in `DESIGN.md` §5. The library
-//! holds the shared plumbing; each experiment is a binary in `src/bin/`:
+//! plus the lemma-level experiments listed in `DESIGN.md` §5. Since the
+//! `ale-lab` subsystem landed, each experiment is a registered
+//! [`ale_lab::Scenario`]; the binaries in `src/bin/` are thin wrappers
+//! over `ale-lab run <scenario>`, kept for muscle memory:
 //!
-//! | binary | experiment |
-//! |--------|------------|
-//! | `table1` | Table 1 shootout: this work vs baselines across families |
-//! | `fig_scaling` | message-complexity exponents (Theorem 1 shape) |
-//! | `fig_revocable` | revocable LE cost growth (Theorem 3 / Corollary 1) |
-//! | `fig_impossibility` | split-brain series (Theorem 2, Figures 1–2) |
-//! | `fig_cautious` | cautious-broadcast cost/coverage (Lemma 1) |
-//! | `fig_walks` | walk hitting rates vs `x` (Lemma 2) |
-//! | `fig_diffusion` | diffusion convergence vs `(2/φ²)·log(n/γ)` (Lemmas 3–4) |
-//! | `fig_thresholds` | `τ(k)` detection (Lemma 5) |
-//! | `fig_certification` | white-iteration counting (Lemmas 6–8) |
+//! | binary | scenario | experiment |
+//! |--------|----------|------------|
+//! | `table1` | `table1` | Table 1 shootout: this work vs baselines |
+//! | `fig_scaling` | `scaling` | message-complexity exponents (Theorem 1) |
+//! | `fig_revocable` | `revocable` | revocable LE cost growth (Theorem 3 / Cor. 1) |
+//! | `fig_impossibility` | `impossibility` | split-brain series (Theorem 2) |
+//! | `fig_cautious` | `cautious` | cautious-broadcast cost/coverage (Lemma 1) |
+//! | `fig_walks` | `walks` | walk hitting rates vs `x` (Lemma 2) |
+//! | `fig_diffusion` | `diffusion` | diffusion convergence (Lemmas 3–4) |
+//! | `fig_thresholds` | `thresholds` | `τ(k)` detection (Lemma 5) |
+//! | `fig_certification` | `certification` | white-iteration counting (Lemmas 6–8) |
+//! | `fig_phases` | `phases` | per-phase message anatomy |
+//! | `ablation_cautious` | `ablation-cautious` | report-discipline ablation |
 //!
-//! Criterion benches (`benches/`) time the same workloads.
+//! The shared plumbing ([`runners`], [`table`], [`fit`], the fleet) moved
+//! into `ale-lab`; this crate re-exports it so historical paths keep
+//! working. Criterion benches (`benches/`) time the same workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

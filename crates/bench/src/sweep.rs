@@ -1,12 +1,17 @@
-//! Parallel seed fleets.
+//! Parallel seed fleets — thin shim over the `ale-lab` fleet runner.
 //!
-//! Every experiment in the harness repeats a trial across many seeds. Each
-//! trial is an independent deterministic simulation, so the fleet is
-//! embarrassingly parallel: seeds are distributed to worker threads over a
-//! crossbeam channel and results collected under a `parking_lot` mutex
-//! (both crates are vendored for exactly this; see DESIGN.md).
+//! Every experiment in the harness repeats a trial across many seeds; the
+//! heavy lifting (work distribution, per-worker result batches, ordered
+//! merging) lives in [`ale_lab::fleet`]. This module keeps the historical
+//! `parallel_trials` entry point and re-exports the scalar statistics the
+//! figure binaries and tests use.
+//!
+//! The old implementation here collected results under one
+//! `Mutex<Vec<Option<T>>>`; the lab runner replaces that with per-worker
+//! batches merged once at the end, so the fleet hot path never serializes
+//! on a lock.
 
-use parking_lot::Mutex;
+pub use ale_lab::stats::{mean, median, std_dev};
 
 /// Runs `trial(seed)` for each seed in `0..seeds`, in parallel, returning
 /// results ordered by seed.
@@ -22,67 +27,8 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let workers = workers.clamp(1, 64);
-    let (tx, rx) = crossbeam::channel::unbounded::<u64>();
-    for seed in 0..seeds {
-        tx.send(seed).expect("channel open");
-    }
-    drop(tx);
-
-    let results: Mutex<Vec<Option<T>>> =
-        Mutex::new((0..seeds).map(|_| None).collect::<Vec<_>>());
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            let rx = rx.clone();
-            let results = &results;
-            let trial = &trial;
-            scope.spawn(move |_| {
-                while let Ok(seed) = rx.recv() {
-                    let out = trial(seed);
-                    results.lock()[seed as usize] = Some(out);
-                }
-            });
-        }
-    })
-    .expect("worker panicked");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every seed processed"))
-        .collect()
-}
-
-/// Mean of a float sample.
-pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    xs.iter().sum::<f64>() / xs.len() as f64
-}
-
-/// Sample standard deviation (n−1 denominator; 0 for fewer than 2 points).
-pub fn std_dev(xs: &[f64]) -> f64 {
-    if xs.len() < 2 {
-        return 0.0;
-    }
-    let m = mean(xs);
-    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
-}
-
-/// Median (averaging the middle pair for even sizes).
-pub fn median(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in experiment data"));
-    let mid = v.len() / 2;
-    if v.len() % 2 == 1 {
-        v[mid]
-    } else {
-        (v[mid - 1] + v[mid]) / 2.0
-    }
+    let tasks = usize::try_from(seeds).expect("seed count fits usize");
+    ale_lab::fleet::run_indexed(tasks, workers, |i| trial(i as u64))
 }
 
 #[cfg(test)]

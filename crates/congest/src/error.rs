@@ -36,10 +36,9 @@ impl fmt::Display for CongestError {
                 f,
                 "process count {processes} does not match node count {nodes}"
             ),
-            CongestError::InvalidPort { node, port, degree } => write!(
-                f,
-                "node {node} sent on port {port} but has degree {degree}"
-            ),
+            CongestError::InvalidPort { node, port, degree } => {
+                write!(f, "node {node} sent on port {port} but has degree {degree}")
+            }
             CongestError::RoundLimitExceeded { limit } => {
                 write!(f, "round limit {limit} exceeded before stop condition")
             }

@@ -27,7 +27,11 @@ pub struct RoundTrace {
 }
 
 /// Aggregated counters for one network run.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// All fields are plain counters, so the type is `Copy`: harnesses can
+/// take cheap point-in-time snapshots mid-run (see [`Metrics::snapshot`])
+/// without borrowing the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Metrics {
     /// Simulator steps executed.
     pub rounds: u64,
@@ -65,7 +69,7 @@ impl Metrics {
         let charge = if self.budget_bits == 0 || max_bits == 0 {
             1
         } else {
-            ((max_bits + self.budget_bits - 1) / self.budget_bits).max(1) as u64
+            max_bits.div_ceil(self.budget_bits).max(1) as u64
         };
         self.congest_rounds += charge;
     }
@@ -85,6 +89,13 @@ impl Metrics {
     /// Records a multi-send violation.
     pub(crate) fn record_multi_send(&mut self) {
         self.multi_send_violations += 1;
+    }
+
+    /// A point-in-time copy of the counters — the cheap snapshot hook the
+    /// experiment harness streams into its aggregators (one `Copy` of nine
+    /// words; no allocation, no borrow held).
+    pub fn snapshot(&self) -> Metrics {
+        *self
     }
 
     /// True when every message fit the CONGEST budget and no port was

@@ -66,6 +66,10 @@ pub struct Network<'g, P: Process> {
     round: u64,
     metrics: Metrics,
     inboxes: Vec<Vec<Incoming<P::Msg>>>,
+    /// Next round's inboxes, recycled with [`std::mem::swap`] every step so
+    /// per-node buffers keep their capacity instead of reallocating each
+    /// round (the simulator's hottest allocation before this change).
+    staging: Vec<Vec<Incoming<P::Msg>>>,
     trace: Option<Vec<RoundTrace>>,
 }
 
@@ -110,6 +114,7 @@ impl<'g, P: Process> Network<'g, P> {
             round: 0,
             metrics: Metrics::new(budget_bits),
             inboxes: (0..n).map(|_| Vec::new()).collect(),
+            staging: (0..n).map(|_| Vec::new()).collect(),
             trace: None,
         })
     }
@@ -125,9 +130,7 @@ impl<'g, P: Process> Network<'g, P> {
         let mut rngs: Vec<StdRng> = (0..n)
             .map(|v| StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(v as u64 + 1))))
             .collect();
-        let procs = (0..n)
-            .map(|v| f(graph.degree(v), &mut rngs[v]))
-            .collect();
+        let procs = (0..n).map(|v| f(graph.degree(v), &mut rngs[v])).collect();
         Network {
             graph,
             procs,
@@ -135,6 +138,7 @@ impl<'g, P: Process> Network<'g, P> {
             round: 0,
             metrics: Metrics::new(budget_bits),
             inboxes: (0..n).map(|_| Vec::new()).collect(),
+            staging: (0..n).map(|_| Vec::new()).collect(),
             trace: None,
         }
     }
@@ -163,59 +167,81 @@ impl<'g, P: Process> Network<'g, P> {
         use crate::message::Payload;
 
         let n = self.graph.n();
-        let mut staged: Vec<Vec<Incoming<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut max_bits_this_round = 0usize;
-        let mut delivered: Vec<(usize, usize)> = Vec::new(); // (target, bits)
+        debug_assert!(self.staging.iter().all(Vec::is_empty));
 
-        for v in 0..n {
+        let mut failure = None;
+        'nodes: for v in 0..n {
             if self.procs[v].is_halted() {
                 self.inboxes[v].clear();
                 continue;
             }
-            let inbox = std::mem::take(&mut self.inboxes[v]);
             let degree = self.graph.degree(v);
             let mut ctx = NodeCtx {
                 degree,
                 round: self.round,
                 rng: &mut self.rngs[v],
             };
-            let outbox = self.procs[v].round(&mut ctx, &inbox);
+            let outbox = self.procs[v].round(&mut ctx, &self.inboxes[v]);
             let mut used_ports = vec![false; degree];
             for (port, msg) in outbox {
                 if port >= degree {
-                    return Err(CongestError::InvalidPort {
+                    failure = Some(CongestError::InvalidPort {
                         node: v,
                         port,
                         degree,
                     });
+                    break 'nodes;
                 }
                 if used_ports[port] {
                     self.metrics.record_multi_send();
                 } else {
                     used_ports[port] = true;
                 }
-                let bits = msg.bit_size();
-                max_bits_this_round = max_bits_this_round.max(bits);
                 let target = self.graph.port_target(v, port);
                 let arrival = self.graph.reverse_port(v, port);
-                delivered.push((target, bits));
-                staged[target].push(Incoming { port: arrival, msg });
+                self.staging[target].push(Incoming { port: arrival, msg });
             }
         }
+        if let Some(e) = failure {
+            // A protocol bug surfaced mid-round: drop the partial round so
+            // the network stays consistent for inspection (inboxes intact,
+            // staging empty, no messages metered) — matching the pre-
+            // recycling behavior where a failed step delivered nothing.
+            for staged in &mut self.staging {
+                staged.clear();
+            }
+            return Err(e);
+        }
 
-        for (_, bits) in &delivered {
-            self.metrics.record_message(*bits);
+        // Commit: meter the staged deliveries, then recycle buffers.
+        let mut max_bits_this_round = 0usize;
+        let mut messages_this_round = 0u64;
+        let mut bits_this_round = 0u64;
+        for staged in &self.staging {
+            for incoming in staged {
+                let bits = incoming.msg.bit_size();
+                max_bits_this_round = max_bits_this_round.max(bits);
+                messages_this_round += 1;
+                bits_this_round += bits as u64;
+                self.metrics.record_message(bits);
+            }
         }
         self.metrics.record_step(max_bits_this_round);
         if let Some(trace) = self.trace.as_mut() {
             trace.push(RoundTrace {
                 round: self.round,
-                messages: delivered.len() as u64,
-                bits: delivered.iter().map(|(_, b)| *b as u64).sum(),
+                messages: messages_this_round,
+                bits: bits_this_round,
                 max_bits: max_bits_this_round,
             });
         }
-        self.inboxes = staged;
+        // Swap instead of reallocating: last round's inboxes (now fully
+        // consumed) become next round's staging buffers, keeping their
+        // capacity across rounds.
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        std::mem::swap(&mut self.inboxes, &mut self.staging);
         self.round += 1;
         Ok(())
     }
@@ -288,6 +314,11 @@ impl<'g, P: Process> Network<'g, P> {
     /// Borrows the accumulated metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// A point-in-time copy of the metrics (see [`Metrics::snapshot`]).
+    pub fn metrics_snapshot(&self) -> Metrics {
+        self.metrics.snapshot()
     }
 
     /// Borrows a single process for inspection.
@@ -428,7 +459,10 @@ mod tests {
         ];
         assert!(matches!(
             Network::new(&g, procs, 0, 64),
-            Err(CongestError::ProcessCountMismatch { nodes: 4, processes: 3 })
+            Err(CongestError::ProcessCountMismatch {
+                nodes: 4,
+                processes: 3
+            })
         ));
     }
 
@@ -457,10 +491,14 @@ mod tests {
     fn invalid_port_is_an_error() {
         let g = generators::cycle(3).unwrap();
         let mut net = Network::from_fn(&g, 0, 64, |_, _| BadPort);
-        assert!(matches!(
-            net.step(),
-            Err(CongestError::InvalidPort { .. })
-        ));
+        assert!(matches!(net.step(), Err(CongestError::InvalidPort { .. })));
+        // The failed round is dropped wholesale: nothing metered, and the
+        // recycled staging buffers are clean, so stepping again errors the
+        // same way instead of double-delivering a stale half-round.
+        assert_eq!(net.metrics().messages, 0);
+        assert_eq!(net.metrics().rounds, 0);
+        assert!(matches!(net.step(), Err(CongestError::InvalidPort { .. })));
+        assert_eq!(net.metrics().messages, 0);
     }
 
     /// A process that double-sends on port 0.
@@ -508,12 +546,39 @@ mod tests {
     }
 
     #[test]
+    fn metrics_snapshots_are_point_in_time() {
+        let g = generators::cycle(6).unwrap();
+        let mut net = flood_network(&g, 1, 5);
+        net.step().unwrap();
+        let early = net.metrics_snapshot();
+        net.run_to_halt(100).unwrap();
+        let late = net.metrics_snapshot();
+        assert_eq!(early.rounds, 1);
+        assert!(late.messages > early.messages);
+        assert_eq!(late, *net.metrics());
+    }
+
+    #[test]
+    fn recycled_inboxes_preserve_delivery_semantics() {
+        // Two flood networks, one stepped manually round by round, must
+        // match a reference run exactly — the buffer-recycling fast path
+        // may not change what any process observes.
+        let g = generators::random_regular(18, 4, 2).unwrap();
+        let mut a = flood_network(&g, 42, 12);
+        let mut b = flood_network(&g, 42, 12);
+        a.run_to_halt(100).unwrap();
+        while !b.all_halted() {
+            b.step().unwrap();
+        }
+        assert_eq!(a.outputs(), b.outputs());
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
     fn run_until_predicate() {
         let g = generators::cycle(8).unwrap();
         let mut net = flood_network(&g, 3, 100);
-        let status = net
-            .run_until(1000, |n| n.round() >= 5)
-            .unwrap();
+        let status = net.run_until(1000, |n| n.round() >= 5).unwrap();
         assert_eq!(status, RunStatus::PredicateMet);
         assert_eq!(net.round(), 5);
     }

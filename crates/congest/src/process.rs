@@ -56,8 +56,7 @@ pub trait Process {
     type Output: Clone;
 
     /// Executes one synchronous round, returning messages to send.
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<Self::Msg>])
-        -> Outbox<Self::Msg>;
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<Self::Msg>]) -> Outbox<Self::Msg>;
 
     /// Whether this process has terminated (stopped sending and deciding).
     ///

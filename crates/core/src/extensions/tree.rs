@@ -125,11 +125,7 @@ impl TreeProcess {
         if self.resolved_ports.iter().any(|r| !r) {
             return None;
         }
-        let size = 1 + self
-            .echo_sizes
-            .iter()
-            .map(|s| s.unwrap_or(0))
-            .sum::<u64>();
+        let size = 1 + self.echo_sizes.iter().map(|s| s.unwrap_or(0)).sum::<u64>();
         self.echoed = true;
         self.subtree = Some(size);
         Some(size)

@@ -314,7 +314,12 @@ impl ExecState {
             self.sizes
                 .keys()
                 .copied()
-                .filter(|p| !matches!(self.believed.get(p), Some(Believed::Active) | Some(Believed::Stopped)))
+                .filter(|p| {
+                    !matches!(
+                        self.believed.get(p),
+                        Some(Believed::Active) | Some(Believed::Stopped)
+                    )
+                })
                 .collect()
         } else {
             // Passive nodes still legitimize freshly reported growth that
@@ -419,7 +424,7 @@ mod tests {
         let mut r = rng();
         let mut root = ExecState::new_root(9, 4, 100);
         root.step(&mut r); // threshold 1 -> 2
-        // A child on port 2 reports size 1.
+                           // A child on port 2 reports size 1.
         root.on_message(2, &CbBody::Size(1));
         assert_eq!(root.subtree(), 2);
         // Next step: subtree 2 >= threshold 2: crossing — double, pause.
@@ -446,7 +451,7 @@ mod tests {
         let mut node = ExecState::new_member(9, 0, 3, 100);
         node.step(&mut r); // reports Size(1), passive, threshold 2
         node.on_message(1, &CbBody::Size(1)); // grandchild joined through us?
-        // subtree = 2 >= threshold 2: crossing again — reports up.
+                                              // subtree = 2 >= threshold 2: crossing again — reports up.
         let out = node.step(&mut r);
         assert!(out.contains(&(0, CbBody::Size(2))));
         assert_eq!(node.threshold(), 4);
@@ -464,7 +469,7 @@ mod tests {
         let mut r = rng();
         let mut root = ExecState::new_root(9, 2, 4);
         root.on_message(0, &CbBody::Size(5)); // huge child report
-        // Crossing pushes threshold past final (1 -> 8 ≥ 4).
+                                              // Crossing pushes threshold past final (1 -> 8 ≥ 4).
         root.step(&mut r);
         assert!(root.threshold() >= 4);
         let out = root.step(&mut r);

@@ -268,9 +268,7 @@ pub fn run_irrevocable(
     let budget = congest_budget(cfg.knowledge.n, cfg.congest_factor);
     let cfg_copy = *cfg;
     let mut net = Network::from_fn(graph, seed, budget, |deg, rng| {
-        let params = cfg_copy
-            .protocol_params(deg)
-            .expect("validated before run");
+        let params = cfg_copy.protocol_params(deg).expect("validated before run");
         IrrevocableProcess::new(params, rng)
     });
     let status = net.run_to_halt(cfg.total_rounds() + 4)?;
@@ -290,7 +288,7 @@ pub fn run_irrevocable(
     Ok(ElectionOutcome::new(
         leaders,
         candidates,
-        net.metrics().clone(),
+        *net.metrics(),
         status,
     ))
 }

@@ -48,7 +48,10 @@ mod tests {
 
     #[test]
     fn sizes_scale_with_fields() {
-        let small = IrrMsg::Walk { id_max: 1, count: 1 };
+        let small = IrrMsg::Walk {
+            id_max: 1,
+            count: 1,
+        };
         let big = IrrMsg::Walk {
             id_max: u64::MAX,
             count: 1000,

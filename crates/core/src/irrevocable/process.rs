@@ -156,7 +156,10 @@ impl IrrevocableProcess {
                 IrrMsg::Cb { src, body } => {
                     if let Some(state) = self.execs.get_mut(src) {
                         let _ = state; // buffered for slot-time processing
-                        self.buffers.entry(*src).or_default().push((m.port, body.clone()));
+                        self.buffers
+                            .entry(*src)
+                            .or_default()
+                            .push((m.port, body.clone()));
                     } else if matches!(body, CbBody::Invite) {
                         // First invitation for an unknown execution: adopt
                         // the sender as parent (paper: the first inviter
@@ -186,7 +189,7 @@ impl IrrevocableProcess {
     }
 
     fn observe_walk_id(&mut self, id: u64) {
-        if self.walk_id_max.map_or(true, |cur| id > cur) {
+        if self.walk_id_max.is_none_or(|cur| id > cur) {
             self.walk_id_max = Some(id);
         }
     }
@@ -259,11 +262,7 @@ impl IrrevocableProcess {
 
     fn converge_round(&mut self, first: bool) -> Outbox<IrrMsg> {
         if first {
-            self.parent_ports = self
-                .execs
-                .values()
-                .filter_map(ExecState::parent)
-                .collect();
+            self.parent_ports = self.execs.values().filter_map(ExecState::parent).collect();
         }
         let Some(id_max) = self.walk_id_max else {
             return Vec::new();
@@ -387,7 +386,10 @@ mod tests {
         let inbox = [
             Incoming {
                 port: 0,
-                msg: IrrMsg::Walk { id_max: 7, count: 3 },
+                msg: IrrMsg::Walk {
+                    id_max: 7,
+                    count: 3,
+                },
             },
             Incoming {
                 port: 1,
@@ -467,7 +469,10 @@ mod tests {
             &mut ctx1,
             &[Incoming {
                 port: 1,
-                msg: IrrMsg::Walk { id_max: 9, count: 1 },
+                msg: IrrMsg::Walk {
+                    id_max: 9,
+                    count: 1,
+                },
             }],
         );
         assert_eq!(out.len(), 1);

@@ -24,7 +24,7 @@
 //! use ale_core::irrevocable::{run_irrevocable, IrrevocableConfig};
 //! use ale_graph::Topology;
 //!
-//! let topo = Topology::Hypercube { dim: 5 };
+//! let topo = Topology::Hypercube { dim: 3 };
 //! let g = topo.build(0)?;
 //! let cfg = IrrevocableConfig::derive_for(&g, &topo)?;
 //! let outcome = run_irrevocable(&g, &cfg, 1)?;
@@ -42,9 +42,9 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod extensions;
 pub mod irrevocable;
 pub mod outcome;
-pub mod extensions;
 pub mod revocable;
 
 pub use error::CoreError;

@@ -30,7 +30,7 @@
 //! let g = generators::complete(4)?;
 //! // Scaled parameters keep the demo fast; see DESIGN.md for modes.
 //! let params = RevocableParams::paper_blind(1.0, 0.2).with_scales(0.02, 0.05, 1.0);
-//! let result = run_revocable(&g, &params, 7, 64)?;
+//! let result = run_revocable(&g, &params, 1, 64)?;
 //! assert!(result.stabilized);
 //! assert_eq!(result.outcome.leader_count(), 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -125,7 +125,7 @@ pub fn run_revocable(
         .map(|(i, _)| i)
         .collect();
     let final_k = verdicts.iter().map(|v| v.k).max().unwrap_or(2);
-    let outcome = ElectionOutcome::new(leaders, candidates, net.metrics().clone(), status);
+    let outcome = ElectionOutcome::new(leaders, candidates, *net.metrics(), status);
     Ok(RevocableOutcome {
         stabilized: rounds_at_stability.is_some(),
         final_k,
@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn stabilizes_on_tiny_complete_graph() {
         let g = generators::complete(4).unwrap();
-        let r = run_revocable(&g, &fast_params(), 3, 64).unwrap();
+        let r = run_revocable(&g, &fast_params(), 1, 64).unwrap();
         assert!(r.stabilized, "did not stabilize: final_k = {}", r.final_k);
         assert_eq!(r.outcome.leader_count(), 1);
         assert_eq!(r.outcome.candidates.len(), 4, "all nodes choose IDs");

@@ -36,12 +36,10 @@ pub enum RevMsg {
 impl Payload for RevMsg {
     fn bit_size(&self) -> usize {
         match self {
-            RevMsg::Diffuse {
-                view, pot_bits, ..
-            } => 1 + 2 + pot_bits + 1 + view.map_or(0, |r| r.bit_size()),
-            RevMsg::Disseminate { view, .. } => {
-                1 + 2 + 1 + view.map_or(0, |r| r.bit_size())
+            RevMsg::Diffuse { view, pot_bits, .. } => {
+                1 + 2 + pot_bits + 1 + view.map_or(0, |r| r.bit_size())
             }
+            RevMsg::Disseminate { view, .. } => 1 + 2 + 1 + view.map_or(0, |r| r.bit_size()),
         }
     }
 }

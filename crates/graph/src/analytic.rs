@@ -83,7 +83,11 @@ pub fn hints(t: &Topology) -> AnalyticHints {
                 tmix_upper: Some((d * (2.0 * n as f64).ln()).ceil() as u64 + 2),
             }
         }
-        Topology::Grid2d { rows, cols, torus: true } if rows >= 3 && cols >= 3 => {
+        Topology::Grid2d {
+            rows,
+            cols,
+            torus: true,
+        } if rows >= 3 && cols >= 3 => {
             let long = rows.max(cols) as f64;
             let short = rows.min(cols) as f64;
             AnalyticHints {
@@ -156,12 +160,8 @@ mod tests {
         let t = Topology::Barbell { k: 4 };
         let g = t.build(0).unwrap();
         let h = hints(&t);
-        assert!(
-            (h.conductance.unwrap() - cuts::conductance_exact(&g).unwrap()).abs() < 1e-9
-        );
-        assert!(
-            (h.isoperimetric.unwrap() - cuts::isoperimetric_exact(&g).unwrap()).abs() < 1e-9
-        );
+        assert!((h.conductance.unwrap() - cuts::conductance_exact(&g).unwrap()).abs() < 1e-9);
+        assert!((h.isoperimetric.unwrap() - cuts::isoperimetric_exact(&g).unwrap()).abs() < 1e-9);
     }
 
     #[test]
@@ -188,7 +188,10 @@ mod tests {
             AnalyticHints::default()
         );
         assert_eq!(
-            hints(&Topology::Gnp { n: 16, ppm: 300_000 }),
+            hints(&Topology::Gnp {
+                n: 16,
+                ppm: 300_000
+            }),
             AnalyticHints::default()
         );
     }

@@ -73,7 +73,10 @@ impl fmt::Display for GraphError {
                 write!(f, "random generation failed after {attempts} attempts")
             }
             GraphError::TooLargeForExact { limit, n } => {
-                write!(f, "graph too large for exact computation: n = {n} > {limit}")
+                write!(
+                    f,
+                    "graph too large for exact computation: n = {n} > {limit}"
+                )
             }
             GraphError::Numeric { reason } => write!(f, "numeric failure: {reason}"),
         }

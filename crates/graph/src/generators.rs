@@ -177,6 +177,108 @@ impl Topology {
     }
 }
 
+impl std::str::FromStr for Topology {
+    type Err = GraphError;
+
+    /// Parses the grid-friendly CLI form `family:args`, e.g.
+    /// `complete:64`, `cycle:32`, `hypercube:6`, `grid:8x8`, `torus:8x8`,
+    /// `rregular:64x4`, `gnp:64x0.05`, `barbell:8`, `lollipop:8x4`,
+    /// `ringcliques:8x8`, `btree:15`, `path:16`, `star:16`.
+    fn from_str(s: &str) -> Result<Self, GraphError> {
+        let bad = |msg: String| GraphError::InvalidParameters { reason: msg };
+        let (family, args) = s
+            .split_once(':')
+            .ok_or_else(|| bad(format!("'{s}': expected family:args (e.g. complete:64)")))?;
+        let ints = || -> Result<Vec<usize>, GraphError> {
+            args.split('x')
+                .map(|p| {
+                    p.trim()
+                        .parse::<usize>()
+                        .map_err(|_| bad(format!("'{s}': '{p}' is not an integer")))
+                })
+                .collect()
+        };
+        let one = || -> Result<usize, GraphError> {
+            let v = ints()?;
+            if v.len() == 1 {
+                Ok(v[0])
+            } else {
+                Err(bad(format!("'{s}': expected one integer argument")))
+            }
+        };
+        let two = || -> Result<(usize, usize), GraphError> {
+            let v = ints()?;
+            if v.len() == 2 {
+                Ok((v[0], v[1]))
+            } else {
+                Err(bad(format!("'{s}': expected AxB arguments")))
+            }
+        };
+        match family.trim() {
+            "cycle" => Ok(Topology::Cycle { n: one()? }),
+            "path" => Ok(Topology::Path { n: one()? }),
+            "complete" | "clique" => Ok(Topology::Complete { n: one()? }),
+            "star" => Ok(Topology::Star { n: one()? }),
+            "hypercube" => Ok(Topology::Hypercube { dim: one()? }),
+            "btree" => Ok(Topology::BinaryTree { n: one()? }),
+            "barbell" => Ok(Topology::Barbell { k: one()? }),
+            "grid" => {
+                let (rows, cols) = two()?;
+                Ok(Topology::Grid2d {
+                    rows,
+                    cols,
+                    torus: false,
+                })
+            }
+            "torus" => {
+                let (rows, cols) = two()?;
+                Ok(Topology::Grid2d {
+                    rows,
+                    cols,
+                    torus: true,
+                })
+            }
+            "rregular" => {
+                let (n, d) = two()?;
+                Ok(Topology::RandomRegular { n, d })
+            }
+            "lollipop" => {
+                let (k, tail) = two()?;
+                Ok(Topology::Lollipop { k, tail })
+            }
+            "ringcliques" => {
+                let (cliques, k) = two()?;
+                Ok(Topology::RingOfCliques { cliques, k })
+            }
+            "gnp" => {
+                let (n_str, p_str) = args
+                    .split_once('x')
+                    .ok_or_else(|| bad(format!("'{s}': expected gnp:NxP")))?;
+                let n = n_str
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| bad(format!("'{s}': '{n_str}' is not an integer")))?;
+                let p = p_str
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|_| bad(format!("'{s}': '{p_str}' is not a probability")))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(bad(format!("'{s}': p must be in [0, 1]")));
+                }
+                Ok(Topology::Gnp {
+                    n,
+                    ppm: (p * 1e6).round() as u32,
+                })
+            }
+            other => Err(bad(format!(
+                "unknown topology family '{other}' \
+                 (cycle, path, complete, star, grid, torus, hypercube, btree, \
+                 rregular, gnp, barbell, lollipop, ringcliques)"
+            ))),
+        }
+    }
+}
+
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -185,7 +287,11 @@ impl fmt::Display for Topology {
             Topology::Complete { n } => write!(f, "complete(n={n})"),
             Topology::Star { n } => write!(f, "star(n={n})"),
             Topology::Grid2d { rows, cols, torus } => {
-                write!(f, "{}({rows}x{cols})", if *torus { "torus" } else { "grid" })
+                write!(
+                    f,
+                    "{}({rows}x{cols})",
+                    if *torus { "torus" } else { "grid" }
+                )
             }
             Topology::Hypercube { dim } => write!(f, "hypercube(d={dim})"),
             Topology::BinaryTree { n } => write!(f, "btree(n={n})"),
@@ -307,7 +413,7 @@ pub fn binary_tree(n: usize) -> Result<Graph, GraphError> {
 /// Random `d`-regular graph via the pairing (configuration) model,
 /// retrying until the result is simple and connected.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
-    if d == 0 || d >= n || (n * d) % 2 != 0 {
+    if d == 0 || d >= n || !(n * d).is_multiple_of(2) {
         return Err(invalid(format!(
             "d-regular requires 0 < d < n and n*d even (n={n}, d={d})"
         )));
@@ -316,7 +422,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
     const ATTEMPTS: usize = 500;
     for _ in 0..ATTEMPTS {
         // Stubs: node i appears d times.
-        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(&mut rng);
         let mut ok = true;
         let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
@@ -349,7 +455,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
 /// Erdős–Rényi `G(n, p)` conditioned on connectivity.
 pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
     if n < 2 || !(0.0..=1.0).contains(&p) {
-        return Err(invalid(format!("gnp requires n >= 2, 0 <= p <= 1 (n={n}, p={p})")));
+        return Err(invalid(format!(
+            "gnp requires n >= 2, 0 <= p <= 1 (n={n}, p={p})"
+        )));
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     const ATTEMPTS: usize = 200;
@@ -554,6 +662,57 @@ mod tests {
     }
 
     #[test]
+    fn parses_cli_specs() {
+        let cases: [(&str, Topology); 10] = [
+            ("complete:64", Topology::Complete { n: 64 }),
+            ("clique:8", Topology::Complete { n: 8 }),
+            ("cycle:32", Topology::Cycle { n: 32 }),
+            ("hypercube:6", Topology::Hypercube { dim: 6 }),
+            (
+                "grid:4x6",
+                Topology::Grid2d {
+                    rows: 4,
+                    cols: 6,
+                    torus: false,
+                },
+            ),
+            (
+                "torus:8x8",
+                Topology::Grid2d {
+                    rows: 8,
+                    cols: 8,
+                    torus: true,
+                },
+            ),
+            ("rregular:64x4", Topology::RandomRegular { n: 64, d: 4 }),
+            ("lollipop:8x4", Topology::Lollipop { k: 8, tail: 4 }),
+            (
+                "ringcliques:8x8",
+                Topology::RingOfCliques { cliques: 8, k: 8 },
+            ),
+            ("gnp:64x0.05", Topology::Gnp { n: 64, ppm: 50_000 }),
+        ];
+        for (text, expected) in cases {
+            assert_eq!(text.parse::<Topology>().unwrap(), expected, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "complete",
+            "complete:x",
+            "grid:8",
+            "torus:8x8x8",
+            "gnp:64x1.5",
+            "klein-bottle:4",
+            "rregular:64",
+        ] {
+            assert!(bad.parse::<Topology>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
     fn topology_enum_roundtrip() {
         let topos = [
             Topology::Cycle { n: 10 },
@@ -568,7 +727,10 @@ mod tests {
             Topology::Hypercube { dim: 3 },
             Topology::BinaryTree { n: 10 },
             Topology::RandomRegular { n: 10, d: 3 },
-            Topology::Gnp { n: 10, ppm: 400_000 },
+            Topology::Gnp {
+                n: 10,
+                ppm: 400_000,
+            },
             Topology::Barbell { k: 5 },
             Topology::Lollipop { k: 5, tail: 5 },
             Topology::RingOfCliques { cliques: 3, k: 4 },

@@ -177,11 +177,10 @@ impl Graph {
 
     /// Iterator over all undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.ports.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter()
-                .filter(move |&&v| u < v)
-                .map(move |&v| (u, v))
-        })
+        self.ports
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
     }
 
     /// Plain adjacency lists (neighbor ids per node, in port order) — the
@@ -396,8 +395,8 @@ mod tests {
     fn adjacency_matches_ports() {
         let g = triangle();
         let adj = g.adjacency();
-        for v in 0..3 {
-            assert_eq!(adj[v], g.neighbors(v));
+        for (v, adj_v) in adj.iter().enumerate() {
+            assert_eq!(adj_v, g.neighbors(v));
         }
     }
 }

@@ -55,7 +55,9 @@ pub fn lambda2_lazy(g: &Graph, tol: f64, max_iters: usize) -> Result<f64, GraphE
     };
 
     // Deterministic start vector, deflated against the principal direction.
-    let mut v: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+        .collect();
     deflate(&mut v, &principal);
     normalize(&mut v)?;
 
@@ -229,11 +231,7 @@ mod tests {
             let chain = MarkovChain::lazy_random_walk(&g.adjacency()).unwrap();
             let exact = mixing_time_exact(&chain, 1 << 24).unwrap();
             let upper = mixing_time_upper(&g, 1e-12, 2_000_000).unwrap();
-            assert!(
-                upper >= exact,
-                "upper {upper} < exact {exact} on {}",
-                g.n()
-            );
+            assert!(upper >= exact, "upper {upper} < exact {exact} on {}", g.n());
         }
     }
 

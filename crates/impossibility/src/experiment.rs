@@ -85,7 +85,7 @@ pub fn run_with_believed_knowledge(
     Ok(ElectionOutcome::new(
         leaders,
         candidates,
-        net.metrics().clone(),
+        *net.metrics(),
         status,
     ))
 }

@@ -58,7 +58,7 @@ impl PumpingLayout {
             return Err("n0 and T must be positive".into());
         }
         let block = 4 * t + 2 * n0;
-        if big_n == 0 || big_n % block != 0 {
+        if big_n == 0 || !big_n.is_multiple_of(block) {
             return Err(format!(
                 "N = {big_n} must be a positive multiple of 4T + 2n0 = {block}"
             ));
@@ -154,9 +154,7 @@ impl Witness {
         let margin = self.t - t;
         let first = self.t - margin;
         let len = 2 * self.n0 + 2 * margin;
-        (0..len)
-            .map(|o| (self.start + first + o) % big_n)
-            .collect()
+        (0..len).map(|o| (self.start + first + o) % big_n).collect()
     }
 
     /// Distance from a witness-relative offset to the nearest core node —

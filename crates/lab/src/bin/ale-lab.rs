@@ -1,0 +1,8 @@
+//! The `ale-lab` CLI: `list | run <scenario> | export <jsonl>`.
+//!
+//! See `ale-lab help` (or [`ale_lab::cli::USAGE`]) for options and
+//! examples.
+
+fn main() {
+    std::process::exit(ale_lab::cli::main_from_env());
+}

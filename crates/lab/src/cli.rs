@@ -1,0 +1,296 @@
+//! The `ale-lab` command-line interface, also backing the legacy
+//! per-figure binaries (which call [`legacy_main`]).
+//!
+//! ```text
+//! ale-lab list
+//! ale-lab run <scenario> [--seeds N] [--workers N] [--master-seed S]
+//!                        [--quick] [--n 64,128] [--topo complete:64,...]
+//!                        [--out DIR] [--quiet]
+//! ale-lab export <trials.jsonl> [--csv PATH]
+//! ```
+
+use crate::engine::{execute, RunSpec};
+use crate::registry;
+use crate::scenario::LabError;
+use ale_graph::Topology;
+use std::path::PathBuf;
+
+/// Usage text (also the README example source).
+pub const USAGE: &str = "\
+ale-lab — deterministic parallel experiment orchestration
+
+USAGE:
+    ale-lab list                       list registered scenarios
+    ale-lab run <scenario> [options]   run a scenario's grid × seed fleet
+    ale-lab export <trials.jsonl> [--csv PATH]
+                                       convert a stored JSONL log to CSV
+    ale-lab help                       this text
+
+RUN OPTIONS:
+    --seeds N         seeds per grid point (default: scenario-specific)
+    --workers N       worker threads (default: available parallelism)
+    --master-seed S   master seed for the trial-seed stream (default 1)
+    --quick           shrink the grid and seed counts for a smoke run
+    --n A,B,...       override the scenario's size sweep
+    --topo T,...      override the topology list (e.g. complete:64,
+                      torus:8x8, rregular:64x4, cycle:32)
+    --out DIR         persist manifest.json, trials.jsonl, trials.csv,
+                      summary.csv under DIR
+    --quiet           suppress progress lines on stderr
+
+EXAMPLES:
+    ale-lab run table1 --n 64 --seeds 32 --workers 8 --out runs/table1
+    ale-lab run cautious --quick
+    ale-lab export runs/table1/trials.jsonl --csv runs/table1/flat.csv
+";
+
+fn parse_u64(flag: &str, value: Option<String>) -> Result<u64, LabError> {
+    value
+        .ok_or_else(|| LabError::BadArgs(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| LabError::BadArgs(format!("{flag} needs an unsigned integer")))
+}
+
+fn parse_args(args: &[String]) -> Result<(String, RunSpec), LabError> {
+    let mut it = args.iter().cloned();
+    let scenario = it
+        .next()
+        .ok_or_else(|| LabError::BadArgs("run needs a scenario name".into()))?;
+    let mut spec = RunSpec {
+        progress: true,
+        ..RunSpec::default()
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => spec.seeds = Some(parse_u64("--seeds", it.next())?),
+            "--workers" => spec.workers = parse_u64("--workers", it.next())? as usize,
+            "--master-seed" => spec.master_seed = parse_u64("--master-seed", it.next())?,
+            "--quick" => spec.grid.quick = true,
+            "--quiet" => spec.progress = false,
+            "--n" => {
+                let list = it
+                    .next()
+                    .ok_or_else(|| LabError::BadArgs("--n needs a value".into()))?;
+                for piece in list.split(',') {
+                    spec.grid.ns.push(
+                        piece.trim().parse().map_err(|_| {
+                            LabError::BadArgs(format!("--n: '{piece}' is not a size"))
+                        })?,
+                    );
+                }
+            }
+            "--topo" => {
+                let list = it
+                    .next()
+                    .ok_or_else(|| LabError::BadArgs("--topo needs a value".into()))?;
+                for piece in list.split(',') {
+                    let topo: Topology = piece
+                        .trim()
+                        .parse()
+                        .map_err(|e| LabError::BadArgs(format!("--topo: {e}")))?;
+                    spec.grid.topologies.push(topo);
+                }
+            }
+            "--out" => {
+                spec.out =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        LabError::BadArgs("--out needs a directory".into())
+                    })?));
+            }
+            other => {
+                return Err(LabError::BadArgs(format!(
+                    "unknown run option '{other}' (see `ale-lab help`)"
+                )))
+            }
+        }
+    }
+    Ok((scenario, spec))
+}
+
+fn cmd_list() -> String {
+    let mut out = String::from("registered scenarios:\n");
+    for s in registry::all() {
+        out.push_str(&format!("  {:<20} {}\n", s.name(), s.description()));
+    }
+    out.push_str("\nrun one with: ale-lab run <scenario> [--quick] [--seeds N] ...\n");
+    out
+}
+
+fn cmd_run(args: &[String]) -> Result<String, LabError> {
+    let (name, spec) = parse_args(args)?;
+    let scenario = registry::find(&name).ok_or_else(|| LabError::UnknownScenario(name.clone()))?;
+    let output = execute(scenario.as_ref(), &spec)?;
+    let mut text = output.report;
+    if let Some(dir) = &spec.out {
+        text.push_str(&format!(
+            "\nresults stored under {} (manifest.json, trials.jsonl, trials.csv, summary.csv)\n",
+            dir.display()
+        ));
+    }
+    Ok(text)
+}
+
+fn cmd_export(args: &[String]) -> Result<String, LabError> {
+    let mut it = args.iter().cloned();
+    let jsonl = PathBuf::from(
+        it.next()
+            .ok_or_else(|| LabError::BadArgs("export needs a trials.jsonl path".into()))?,
+    );
+    let mut csv_out: Option<PathBuf> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => {
+                csv_out =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        LabError::BadArgs("--csv needs a path".into())
+                    })?));
+            }
+            other => {
+                return Err(LabError::BadArgs(format!(
+                    "unknown export option '{other}'"
+                )))
+            }
+        }
+    }
+    let csv = crate::store::csv_from_jsonl(&jsonl)?;
+    match csv_out {
+        Some(path) => {
+            std::fs::write(&path, &csv)
+                .map_err(|e| LabError::Io(format!("{}: {e}", path.display())))?;
+            Ok(format!("wrote {}\n", path.display()))
+        }
+        None => Ok(csv),
+    }
+}
+
+/// Runs the CLI on pre-split arguments (no `argv[0]`), returning the text
+/// to print on success.
+///
+/// # Errors
+///
+/// All argument/scenario/IO failures as [`LabError`].
+pub fn run(args: &[String]) -> Result<String, LabError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(USAGE.to_string()),
+        Some("list") => Ok(cmd_list()),
+        Some("run") => cmd_run(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some(other) => Err(LabError::BadArgs(format!(
+            "unknown command '{other}' (see `ale-lab help`)"
+        ))),
+    }
+}
+
+/// Prints to stdout, swallowing `EPIPE` so `ale-lab ... | head` exits
+/// quietly instead of panicking mid-`println!`.
+fn emit(text: &str) {
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stdout(), "{text}");
+}
+
+/// Entry point for `main`: parses `std::env::args`, prints, returns the
+/// process exit code.
+pub fn main_from_env() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(text) => {
+            emit(&text);
+            0
+        }
+        Err(e) => {
+            eprintln!("ale-lab: {e}");
+            2
+        }
+    }
+}
+
+/// Entry point for the legacy per-figure binaries: `<bin> [--quick]`
+/// becomes `ale-lab run <scenario> [--quick]` with the legacy defaults
+/// (auto workers, master seed 1, scenario-default seeds).
+pub fn legacy_main(scenario: &str) -> i32 {
+    // Legacy binaries only ever took `--quick`; every flag (it and the
+    // lab's own) passes straight through to `run`.
+    let mut args = vec!["run".to_string(), scenario.to_string()];
+    args.extend(std::env::args().skip(1));
+    match run(&args) {
+        Ok(text) => {
+            emit(&text);
+            0
+        }
+        Err(e) => {
+            eprintln!("{scenario}: {e}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_list() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        let list = run(&strs(&["list"])).unwrap();
+        assert!(list.contains("table1"));
+        assert!(list.contains("ablation-cautious"));
+    }
+
+    #[test]
+    fn rejects_unknown_commands_and_scenarios() {
+        assert!(matches!(
+            run(&strs(&["frobnicate"])),
+            Err(LabError::BadArgs(_))
+        ));
+        assert!(matches!(
+            run(&strs(&["run", "nope"])),
+            Err(LabError::UnknownScenario(_))
+        ));
+        assert!(matches!(
+            run(&strs(&["run", "table1", "--bogus"])),
+            Err(LabError::BadArgs(_))
+        ));
+    }
+
+    #[test]
+    fn parses_run_options() {
+        let (name, spec) = parse_args(&strs(&[
+            "table1",
+            "--seeds",
+            "32",
+            "--workers",
+            "8",
+            "--master-seed",
+            "99",
+            "--quick",
+            "--n",
+            "64,128",
+            "--topo",
+            "complete:16,cycle:12",
+            "--out",
+            "runs/x",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(name, "table1");
+        assert_eq!(spec.seeds, Some(32));
+        assert_eq!(spec.workers, 8);
+        assert_eq!(spec.master_seed, 99);
+        assert!(spec.grid.quick);
+        assert_eq!(spec.grid.ns, vec![64, 128]);
+        assert_eq!(spec.grid.topologies.len(), 2);
+        assert_eq!(spec.out.as_deref(), Some(std::path::Path::new("runs/x")));
+        assert!(!spec.progress);
+    }
+
+    #[test]
+    fn bad_numbers_are_rejected() {
+        assert!(parse_args(&strs(&["t", "--seeds", "many"])).is_err());
+        assert!(parse_args(&strs(&["t", "--n", "64,x"])).is_err());
+        assert!(parse_args(&strs(&["t", "--topo", "klein-bottle:4"])).is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! The run engine: grid expansion → parallel binding → seed-fleet
+//! execution → streaming aggregation → persistence.
+//!
+//! Determinism contract: given the same scenario, grid config, master
+//! seed, and seed counts, two runs produce identical `Vec<TrialRecord>`
+//! at *any* worker count — trial seeds are derived positionally
+//! ([`crate::fleet::derive_seed`]) and results are merged in task order.
+
+use crate::agg::RunSummary;
+use crate::fleet;
+use crate::scenario::{GridConfig, LabError, Scenario, TrialRecord};
+use std::path::PathBuf;
+
+/// Everything needed to execute one run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Master seed; every trial seed derives from it.
+    pub master_seed: u64,
+    /// Seeds per grid point (`None` → the scenario default).
+    pub seeds: Option<u64>,
+    /// Worker threads.
+    pub workers: usize,
+    /// Grid-shaping flags.
+    pub grid: GridConfig,
+    /// Output directory for the result store (`None` → in-memory only).
+    pub out: Option<PathBuf>,
+    /// Emit progress lines to stderr.
+    pub progress: bool,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            master_seed: 1,
+            seeds: None,
+            workers: fleet::default_workers(),
+            grid: GridConfig::default(),
+            out: None,
+            progress: false,
+        }
+    }
+}
+
+/// A completed run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Every trial, ordered by (grid point, seed index).
+    pub records: Vec<TrialRecord>,
+    /// Streaming aggregates per grid point.
+    pub summary: RunSummary,
+    /// The scenario's rendered report.
+    pub report: String,
+}
+
+/// Executes `scenario` under `spec`.
+///
+/// # Errors
+///
+/// Propagates grid/bind/trial failures and result-store IO errors.
+pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, LabError> {
+    let grid = scenario.grid(&spec.grid)?;
+    if grid.is_empty() {
+        return Err(LabError::BadArgs(format!(
+            "scenario '{}' produced an empty grid for these arguments",
+            scenario.name()
+        )));
+    }
+    let seeds_global = spec
+        .seeds
+        .unwrap_or_else(|| scenario.default_seeds(spec.grid.quick));
+    if seeds_global == 0 {
+        return Err(LabError::BadArgs("--seeds must be at least 1".into()));
+    }
+    let workers = fleet::effective_workers(spec.workers);
+
+    // One-time per-point preparation, itself fleet-parallel (property
+    // computation dominates for large grids).
+    let bound = fleet::run_indexed(grid.len(), workers, |i| scenario.bind(&grid[i]));
+    let mut binders = Vec::with_capacity(bound.len());
+    for b in bound {
+        binders.push(b?);
+    }
+
+    // Flatten (point × seed-index) into a dense task list.
+    let counts: Vec<u64> = grid
+        .iter()
+        .map(|p| p.seeds.unwrap_or(seeds_global))
+        .collect();
+    let mut offsets = Vec::with_capacity(grid.len() + 1);
+    let mut total = 0u64;
+    for c in &counts {
+        offsets.push(total);
+        total += c;
+    }
+    offsets.push(total);
+    let total = usize::try_from(total)
+        .map_err(|_| LabError::BadArgs("trial count overflows usize".into()))?;
+
+    let scenario_name = scenario.name();
+    let master = spec.master_seed;
+    let grid_ref = &grid;
+    let binders_ref = &binders;
+    let offsets_ref = &offsets;
+    let task = move |t: usize| -> Result<(usize, TrialRecord), LabError> {
+        let t = t as u64;
+        // partition_point: first offset beyond t identifies the point.
+        let pi = offsets_ref.partition_point(|&o| o <= t) - 1;
+        let si = t - offsets_ref[pi];
+        let seed = fleet::derive_seed(master, pi as u64, si);
+        let record = binders_ref[pi](seed)?;
+        Ok((pi, record))
+    };
+
+    let progress_fn = |done: usize, all: usize| {
+        eprintln!("[{scenario_name}] {done}/{all} trials");
+    };
+    let raw = fleet::run_indexed_with_progress(
+        total,
+        workers,
+        task,
+        spec.progress
+            .then_some(&progress_fn as &(dyn Fn(usize, usize) + Sync)),
+    );
+
+    let mut summary = RunSummary::new(scenario_name, &grid, master, seeds_global, workers);
+    let mut records = Vec::with_capacity(total);
+    for item in raw {
+        let (pi, record) = item?;
+        summary.record(pi, &record);
+        records.push(record);
+    }
+
+    let report = scenario.summarize(&summary);
+
+    if let Some(dir) = &spec.out {
+        let manifest = crate::store::RunManifest::for_run(
+            scenario_name,
+            master,
+            seeds_global,
+            workers,
+            grid_ref.iter().map(|p| p.label.clone()).collect(),
+            spec.grid.quick,
+        );
+        crate::store::write_run(dir, &manifest, &records, &summary)?;
+    }
+
+    Ok(RunOutput {
+        records,
+        summary,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{GridPoint, TrialFn};
+    use ale_graph::Topology;
+
+    /// A synthetic scenario: messages = f(seed) on two points.
+    struct Synthetic;
+
+    impl Scenario for Synthetic {
+        fn name(&self) -> &'static str {
+            "synthetic"
+        }
+        fn description(&self) -> &'static str {
+            "test scenario"
+        }
+        fn default_seeds(&self, _quick: bool) -> u64 {
+            5
+        }
+        fn grid(&self, _cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
+            Ok(vec![
+                GridPoint::new("p0").on(Topology::Cycle { n: 8 }),
+                GridPoint::new("p1")
+                    .on(Topology::Complete { n: 4 })
+                    .seeds(3),
+            ])
+        }
+        fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
+            let point = point.clone();
+            Ok(Box::new(move |seed| {
+                let mut r = TrialRecord::new("synthetic", &point, seed);
+                r.messages = seed % 1000;
+                r.ok = true;
+                Ok(r)
+            }))
+        }
+    }
+
+    #[test]
+    fn executes_and_respects_per_point_seed_overrides() {
+        let out = execute(&Synthetic, &RunSpec::default()).unwrap();
+        // p0: 5 global seeds; p1: 3 overridden.
+        assert_eq!(out.records.len(), 8);
+        assert_eq!(out.summary.points[0].trials, 5);
+        assert_eq!(out.summary.points[1].trials, 3);
+        assert!(out.report.contains("synthetic"));
+        // Records are (point, seed-index) ordered.
+        assert!(out.records[..5].iter().all(|r| r.point == "p0"));
+        assert!(out.records[5..].iter().all(|r| r.point == "p1"));
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts_and_reruns() {
+        let base = execute(
+            &Synthetic,
+            &RunSpec {
+                workers: 1,
+                ..RunSpec::default()
+            },
+        )
+        .unwrap();
+        for workers in [2, 8] {
+            let other = execute(
+                &Synthetic,
+                &RunSpec {
+                    workers,
+                    ..RunSpec::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(base.records, other.records, "workers = {workers}");
+        }
+        let rerun = execute(
+            &Synthetic,
+            &RunSpec {
+                workers: 1,
+                ..RunSpec::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(base.records, rerun.records);
+        let reseeded = execute(
+            &Synthetic,
+            &RunSpec {
+                master_seed: 2,
+                ..RunSpec::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(base.records, reseeded.records);
+    }
+
+    #[test]
+    fn zero_seeds_is_rejected() {
+        let err = execute(
+            &Synthetic,
+            &RunSpec {
+                seeds: Some(0),
+                ..RunSpec::default()
+            },
+        );
+        assert!(matches!(err, Err(LabError::BadArgs(_))));
+    }
+}

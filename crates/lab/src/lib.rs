@@ -1,0 +1,83 @@
+//! # ale-lab — deterministic parallel experiment orchestration
+//!
+//! The workspace's scenario engine: every figure/table of the Kowalski &
+//! Mosteiro (ICDCS 2021) reproduction is a declarative [`Scenario`] — a
+//! parameter grid over `Topology × Algorithm × knowledge × n`, a per-seed
+//! trial closure, and a report — executed by a work-sharing fleet runner
+//! whose output is **byte-identical at any worker count** (trial seeds
+//! derive positionally from one master seed via a SplitMix64 stream).
+//!
+//! Results stream into bounded-memory aggregates (mean/CI95/min/max plus
+//! capped-exact medians) and persist as JSONL + CSV with a run manifest
+//! (scenario, master seed, grid, `git describe`) so runs are resumable
+//! and comparable across PRs.
+//!
+//! ## Layers
+//!
+//! * [`fleet`] — seed derivation + the parallel indexed runner;
+//! * [`scenario`] — the [`Scenario`] trait, [`GridPoint`], [`TrialRecord`];
+//! * [`scenarios`] / [`registry`] — the 11 built-in experiments;
+//! * [`engine`] — grid → bind → fleet → aggregate → store;
+//! * [`agg`] / [`stats`] — streaming statistics;
+//! * [`store`] / [`json`] — JSONL/CSV persistence with manifests;
+//! * [`cli`] — the `ale-lab` binary (`list | run | export`), also backing
+//!   the legacy per-figure binaries in `ale-bench`;
+//! * [`runners`], [`table`], [`fit`] — the shared driver/report plumbing
+//!   (moved here from `ale-bench`, which re-exports them).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ale_lab::engine::{execute, RunSpec};
+//! use ale_lab::registry;
+//!
+//! let scenario = registry::find("cautious").expect("registered");
+//! let spec = RunSpec {
+//!     seeds: Some(2),
+//!     workers: 2,
+//!     grid: ale_lab::scenario::GridConfig { quick: true, ..Default::default() },
+//!     ..RunSpec::default()
+//! };
+//! let out = execute(scenario.as_ref(), &spec)?;
+//! assert!(out.records.len() > 0);
+//! assert!(out.report.contains("cautious"));
+//! # Ok::<(), ale_lab::scenario::LabError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod cli;
+pub mod engine;
+pub mod fit;
+pub mod fleet;
+pub mod json;
+pub mod registry;
+pub mod runners;
+pub mod scenario;
+pub mod scenarios;
+pub mod stats;
+pub mod store;
+pub mod table;
+
+pub use agg::RunSummary;
+pub use engine::{execute, RunOutput, RunSpec};
+pub use fit::{exponent_close, power_fit, PowerFit};
+pub use runners::{Algorithm, CellSummary, GraphContext};
+pub use scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialRecord};
+pub use table::Table;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrialRecord>();
+        assert_send_sync::<GridPoint>();
+        assert_send_sync::<LabError>();
+        assert_send_sync::<RunSummary>();
+    }
+}

@@ -1,0 +1,229 @@
+//! Uniform driver layer over every election algorithm in the workspace —
+//! the harness needs "same graph, same seed, different algorithm" rows.
+
+use ale_baselines::flood_max::{run_flood_max, FloodDiscipline, FloodMaxConfig};
+use ale_baselines::gilbert::{run_gilbert, GilbertConfig};
+use ale_baselines::kutten::{run_kutten, KuttenConfig};
+use ale_core::irrevocable::{run_irrevocable, IrrevocableConfig};
+use ale_core::{CoreError, ElectionOutcome};
+use ale_graph::{Graph, GraphProps, NetworkKnowledge, Topology};
+use std::fmt;
+
+/// The algorithms compared in the Table 1 experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// This paper's irrevocable protocol (Theorem 1).
+    ThisWork,
+    /// Gilbert–Robinson–Sourav (PODC'18) style baseline.
+    Gilbert,
+    /// Kutten et al. (J.ACM'15) style candidate flooding.
+    Kutten,
+    /// All-nodes flood-max, forwarding improvements only.
+    FloodOnChange,
+    /// All-nodes flood-max, re-broadcasting every round.
+    FloodEveryRound,
+}
+
+impl Algorithm {
+    /// All algorithms, in presentation order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::ThisWork,
+        Algorithm::Gilbert,
+        Algorithm::Kutten,
+        Algorithm::FloodOnChange,
+        Algorithm::FloodEveryRound,
+    ];
+
+    /// Parses the display name back into the enum (for CLI filters and
+    /// record round-trips).
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        Algorithm::ALL
+            .iter()
+            .copied()
+            .find(|a| a.to_string() == name)
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Algorithm::ThisWork => "this-work",
+            Algorithm::Gilbert => "gilbert18",
+            Algorithm::Kutten => "kutten15",
+            Algorithm::FloodOnChange => "flood-chg",
+            Algorithm::FloodEveryRound => "flood-all",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Pre-computed per-graph context shared by all algorithms (so property
+/// computation is paid once per sweep point, not once per trial).
+#[derive(Debug, Clone)]
+pub struct GraphContext {
+    /// The topology that generated the graph.
+    pub topology: Topology,
+    /// The concrete graph.
+    pub graph: Graph,
+    /// Its computed properties.
+    pub props: GraphProps,
+    /// The knowledge bundle for knowledge-taking algorithms.
+    pub knowledge: NetworkKnowledge,
+}
+
+impl GraphContext {
+    /// Builds the graph and computes its properties.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation/property failures.
+    pub fn build(topology: Topology, graph_seed: u64) -> Result<Self, CoreError> {
+        let graph = topology.build(graph_seed)?;
+        let props = GraphProps::compute_for(&graph, &topology)?;
+        let knowledge = NetworkKnowledge::from_props(&props);
+        Ok(GraphContext {
+            topology,
+            graph,
+            props,
+            knowledge,
+        })
+    }
+
+    /// Runs `alg` on this graph with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying runner's failures.
+    pub fn run(&self, alg: Algorithm, seed: u64) -> Result<ElectionOutcome, CoreError> {
+        match alg {
+            Algorithm::ThisWork => {
+                let cfg = IrrevocableConfig::from_knowledge(self.knowledge);
+                run_irrevocable(&self.graph, &cfg, seed)
+            }
+            Algorithm::Gilbert => {
+                let cfg = GilbertConfig::new(self.knowledge.n, self.knowledge.tmix);
+                run_gilbert(&self.graph, &cfg, seed)
+            }
+            Algorithm::Kutten => {
+                let mut cfg = KuttenConfig::for_graph(&self.graph);
+                cfg.diameter = self.props.diameter as u64;
+                run_kutten(&self.graph, &cfg, seed)
+            }
+            Algorithm::FloodOnChange => {
+                let cfg = FloodMaxConfig::for_graph(&self.graph);
+                run_flood_max(&self.graph, &cfg, seed)
+            }
+            Algorithm::FloodEveryRound => {
+                let mut cfg = FloodMaxConfig::for_graph(&self.graph);
+                cfg.discipline = FloodDiscipline::EveryRound;
+                run_flood_max(&self.graph, &cfg, seed)
+            }
+        }
+    }
+}
+
+/// Aggregated cost/success summary for one (graph, algorithm) cell.
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Trials run.
+    pub trials: usize,
+    /// Trials with exactly one leader.
+    pub unique: usize,
+    /// Median messages.
+    pub median_messages: f64,
+    /// Median payload bits.
+    pub median_bits: f64,
+    /// Median CONGEST-charged rounds.
+    pub median_congest_rounds: f64,
+}
+
+impl CellSummary {
+    /// Summarizes a batch of outcomes.
+    pub fn from_outcomes(algorithm: Algorithm, outcomes: &[ElectionOutcome]) -> Self {
+        let msgs: Vec<f64> = outcomes.iter().map(|o| o.metrics.messages as f64).collect();
+        let bits: Vec<f64> = outcomes.iter().map(|o| o.metrics.bits as f64).collect();
+        let rounds: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.metrics.congest_rounds as f64)
+            .collect();
+        CellSummary {
+            algorithm,
+            trials: outcomes.len(),
+            unique: outcomes.iter().filter(|o| o.is_successful()).count(),
+            median_messages: crate::stats::median(&msgs),
+            median_bits: crate::stats::median(&bits),
+            median_congest_rounds: crate::stats::median(&rounds),
+        }
+    }
+
+    /// Success rate in `[0, 1]`.
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.unique as f64 / self.trials as f64
+        }
+    }
+}
+
+impl crate::json::ToJson for CellSummary {
+    fn to_json(&self) -> crate::json::Value {
+        use crate::json::Value;
+        Value::obj([
+            (
+                "algorithm".to_string(),
+                Value::Str(self.algorithm.to_string()),
+            ),
+            ("trials".to_string(), Value::UInt(self.trials as u64)),
+            ("unique".to_string(), Value::UInt(self.unique as u64)),
+            (
+                "median_messages".to_string(),
+                Value::Num(self.median_messages),
+            ),
+            ("median_bits".to_string(), Value::Num(self.median_bits)),
+            (
+                "median_congest_rounds".to_string(),
+                Value::Num(self.median_congest_rounds),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_runs_every_algorithm() {
+        let ctx = GraphContext::build(Topology::Complete { n: 16 }, 0).unwrap();
+        for alg in Algorithm::ALL {
+            let o = ctx.run(alg, 5).unwrap();
+            assert!(
+                o.leader_count() <= 2,
+                "{alg}: unexpectedly many leaders ({})",
+                o.leader_count()
+            );
+            assert!(o.metrics.rounds > 0);
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let ctx = GraphContext::build(Topology::Hypercube { dim: 3 }, 0).unwrap();
+        let outcomes: Vec<_> = (0..5)
+            .map(|s| ctx.run(Algorithm::Kutten, s).unwrap())
+            .collect();
+        let cell = CellSummary::from_outcomes(Algorithm::Kutten, &outcomes);
+        assert_eq!(cell.trials, 5);
+        assert!(cell.success_rate() >= 0.0 && cell.success_rate() <= 1.0);
+        assert!(cell.median_messages >= 0.0);
+    }
+
+    #[test]
+    fn algorithm_display_names_are_stable() {
+        assert_eq!(Algorithm::ThisWork.to_string(), "this-work");
+        assert_eq!(Algorithm::ALL.len(), 5);
+    }
+}

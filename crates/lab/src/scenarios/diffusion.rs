@@ -1,0 +1,167 @@
+//! **diffusion — diffusion convergence vs the Lemma 4 bound** (Lemmas
+//! 3–4; legacy `fig_diffusion` bin).
+//!
+//! Builds the exact diffusion matrix per family, runs the potential
+//! vector forward from a one-white-node start, measures the first round
+//! with max relative error ≤ γ, and compares against
+//! `(2/φ²)·ln(n/γ)` — measured/bound ≤ 1 everywhere is the target.
+
+use crate::agg::RunSummary;
+use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::table::Table;
+use ale_graph::Topology;
+use ale_markov::{conductance, MarkovChain};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EPS: f64 = 1.0;
+const MAX_ROUNDS: u64 = 4_000_000;
+
+/// The diffusion-convergence scenario.
+pub struct Diffusion;
+
+fn default_topologies(cfg: &GridConfig) -> Vec<Topology> {
+    if !cfg.topologies.is_empty() {
+        return cfg.topologies.clone();
+    }
+    vec![
+        Topology::Complete { n: 12 },
+        Topology::Cycle { n: 12 },
+        Topology::Hypercube { dim: 3 },
+        Topology::Star { n: 10 },
+        Topology::Barbell { k: 5 },
+    ]
+}
+
+impl Scenario for Diffusion {
+    fn name(&self) -> &'static str {
+        "diffusion"
+    }
+
+    fn description(&self) -> &'static str {
+        "diffusion convergence time vs the (2/phi^2)ln(n/gamma) bound (Lemmas 3-4)"
+    }
+
+    fn default_seeds(&self, _quick: bool) -> u64 {
+        1
+    }
+
+    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
+        let gammas: &[f64] = if cfg.quick {
+            &[0.1]
+        } else {
+            &[0.1, 0.01, 0.001]
+        };
+        Ok(default_topologies(cfg)
+            .into_iter()
+            .flat_map(|topo| {
+                gammas.iter().map(move |&gamma| {
+                    GridPoint::new(format!("{topo}/gamma={gamma}"))
+                        .on(topo)
+                        .knowing(Knowledge::Blind)
+                        .with("gamma", gamma)
+                })
+            })
+            .collect())
+    }
+
+    fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
+        let topo = point.topology.expect("diffusion points carry a topology");
+        let gamma = point.param("gamma").expect("diffusion points carry gamma");
+        let graph = topo.build(0)?;
+        let n = graph.n();
+        // First k with k^{1+eps} >= 2n+1 (the Lemma 5 regime where the
+        // averaging matrix is valid for every degree).
+        let mut k = 2u64;
+        while (k as f64).powf(1.0 + EPS) < (2 * n + 1) as f64 {
+            k *= 2;
+        }
+        let alpha = 1.0 / (2.0 * (k as f64).powf(1.0 + EPS));
+        let chain = MarkovChain::diffusion(&graph.adjacency(), alpha)
+            .map_err(|e| LabError::BadArgs(format!("diffusion chain: {e}")))?;
+        let phi = conductance::chain_conductance_exact(chain.matrix())
+            .map_err(|e| LabError::BadArgs(format!("chain conductance: {e}")))?;
+        let point = point.clone();
+        Ok(Box::new(move |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let white = rng.gen_range(0..n);
+            let mut pot: Vec<f64> = (0..n).map(|i| if i == white { 0.0 } else { 1.0 }).collect();
+            let avg = pot.iter().sum::<f64>() / n as f64;
+            let mut round = 0u64;
+            let mut measured = None;
+            while measured.is_none() && round < MAX_ROUNDS {
+                pot = chain
+                    .step(&pot)
+                    .map_err(|e| LabError::BadArgs(format!("chain step: {e}")))?;
+                round += 1;
+                let max_rel = pot
+                    .iter()
+                    .map(|p| (p - avg).abs() / avg)
+                    .fold(0.0f64, f64::max);
+                if max_rel <= gamma {
+                    measured = Some(round);
+                }
+            }
+            let bound = (2.0 / (phi * phi)) * (n as f64 / gamma).ln();
+            let m = measured.unwrap_or(MAX_ROUNDS);
+            let mut r = TrialRecord::new("diffusion", &point, seed);
+            r.rounds = m;
+            r.ok = (m as f64) <= bound;
+            r.push_extra("measured", m as f64);
+            r.push_extra("bound", bound);
+            r.push_extra("ratio", m as f64 / bound);
+            r.push_extra("phi_chain", phi);
+            r.push_extra("k", k as f64);
+            Ok(r)
+        }))
+    }
+
+    fn summarize(&self, run: &RunSummary) -> String {
+        let mut tbl = Table::new([
+            "family",
+            "n",
+            "k",
+            "phi(chain)",
+            "gamma",
+            "measured rounds",
+            "bound (2/phi^2)ln(n/gamma)",
+            "measured/bound",
+        ]);
+        for p in &run.points {
+            tbl.push_row([
+                p.family.clone(),
+                p.n.to_string(),
+                format!("{:.0}", p.mean("k")),
+                format!("{:.6}", p.mean("phi_chain")),
+                format!("{}", p.param("gamma").unwrap_or(0.0)),
+                format!("{:.0}", p.mean("measured")),
+                format!("{:.0}", p.mean("bound")),
+                format!("{:.3}", p.mean("ratio")),
+            ]);
+        }
+        format!(
+            "# E-L34: diffusion convergence vs Lemma 4 bound (eps={EPS})\n\n{}\n\
+             Lemma 4 reproduced iff every measured/bound ≤ 1. The bound is loose by\n\
+             design (Cheeger is quadratic); ratios ≪ 1 on well-connected families are expected.\n",
+            tbl.to_markdown()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_crosses_families_and_gammas() {
+        let full = Diffusion.grid(&GridConfig::default()).unwrap();
+        assert_eq!(full.len(), 5 * 3);
+        let quick = Diffusion
+            .grid(&GridConfig {
+                quick: true,
+                ..GridConfig::default()
+            })
+            .unwrap();
+        assert_eq!(quick.len(), 5);
+    }
+}

@@ -1,0 +1,27 @@
+//! The built-in scenario library: every legacy `fig_*`/`table1`/ablation
+//! binary re-registered as a data-driven spec over the lab's
+//! grid × seed-fleet engine.
+
+mod ablation;
+mod cautious;
+mod certification;
+mod diffusion;
+mod impossibility;
+mod phases;
+mod revocable;
+mod scaling;
+mod table1;
+mod thresholds;
+mod walks;
+
+pub use ablation::AblationCautious;
+pub use cautious::Cautious;
+pub use certification::Certification;
+pub use diffusion::Diffusion;
+pub use impossibility::Impossibility;
+pub use phases::Phases;
+pub use revocable::Revocable;
+pub use scaling::Scaling;
+pub use table1::Table1;
+pub use thresholds::Thresholds;
+pub use walks::Walks;

@@ -1,0 +1,373 @@
+//! The result store: run manifests, JSONL trial logs, and CSV exports.
+//!
+//! Layout of one run directory:
+//!
+//! ```text
+//! <out>/
+//!   manifest.json   — scenario, master seed, grid labels, git describe
+//!   trials.jsonl    — one TrialRecord per line, (point, seed-index) order
+//!   trials.csv      — the same records, flat columns (extras unioned)
+//!   summary.csv     — per-(point, metric) streaming statistics
+//! ```
+//!
+//! JSONL is the source of truth: append-friendly, diff-friendly, and
+//! parseable without this crate. `trials.csv`/`summary.csv` are derived
+//! conveniences for plotting. Because record order is deterministic (see
+//! [`crate::engine`]), two runs with the same spec produce byte-identical
+//! stores — the property the determinism tests pin.
+
+use crate::agg::RunSummary;
+use crate::json::{parse, ToJson, Value};
+use crate::scenario::{LabError, TrialRecord};
+use crate::table::Table;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Everything needed to interpret (and re-run) a stored run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Scenario name.
+    pub scenario: String,
+    /// Master seed.
+    pub master_seed: u64,
+    /// Global seeds per grid point.
+    pub seeds: u64,
+    /// Worker threads (informational — results don't depend on it).
+    pub workers: usize,
+    /// Grid-point labels in execution order.
+    pub grid: Vec<String>,
+    /// `git describe` of the producing tree (or "unknown").
+    pub git: String,
+    /// Whether the quick grid was used.
+    pub quick: bool,
+    /// Manifest schema version.
+    pub version: u32,
+}
+
+impl RunManifest {
+    /// Builds a manifest for the current tree.
+    pub fn for_run(
+        scenario: &str,
+        master_seed: u64,
+        seeds: u64,
+        workers: usize,
+        grid: Vec<String>,
+        quick: bool,
+    ) -> Self {
+        RunManifest {
+            scenario: scenario.to_string(),
+            master_seed,
+            seeds,
+            workers,
+            grid,
+            git: git_describe(),
+            quick,
+            version: 1,
+        }
+    }
+
+    /// Parses a manifest back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`LabError::BadRecord`] on missing/ill-typed fields.
+    pub fn from_json(v: &Value) -> Result<RunManifest, LabError> {
+        let need = |k: &str| -> Result<&Value, LabError> {
+            v.get(k)
+                .ok_or_else(|| LabError::BadRecord(format!("manifest missing '{k}'")))
+        };
+        let grid = match need("grid")? {
+            Value::Arr(items) => items
+                .iter()
+                .map(|i| {
+                    i.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| LabError::BadRecord("non-string grid label".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(LabError::BadRecord("'grid' is not an array".into())),
+        };
+        Ok(RunManifest {
+            scenario: need("scenario")?
+                .as_str()
+                .ok_or_else(|| LabError::BadRecord("'scenario' not a string".into()))?
+                .to_string(),
+            master_seed: need("master_seed")?
+                .as_u64()
+                .ok_or_else(|| LabError::BadRecord("'master_seed' not a u64".into()))?,
+            seeds: need("seeds")?
+                .as_u64()
+                .ok_or_else(|| LabError::BadRecord("'seeds' not a u64".into()))?,
+            workers: need("workers")?
+                .as_u64()
+                .ok_or_else(|| LabError::BadRecord("'workers' not a u64".into()))?
+                as usize,
+            grid,
+            git: need("git")?
+                .as_str()
+                .ok_or_else(|| LabError::BadRecord("'git' not a string".into()))?
+                .to_string(),
+            quick: need("quick")?
+                .as_bool()
+                .ok_or_else(|| LabError::BadRecord("'quick' not a bool".into()))?,
+            version: need("version")?
+                .as_u64()
+                .ok_or_else(|| LabError::BadRecord("'version' not a u64".into()))?
+                as u32,
+        })
+    }
+}
+
+impl ToJson for RunManifest {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            ("scenario".to_string(), Value::Str(self.scenario.clone())),
+            ("master_seed".to_string(), Value::UInt(self.master_seed)),
+            ("seeds".to_string(), Value::UInt(self.seeds)),
+            ("workers".to_string(), Value::UInt(self.workers as u64)),
+            (
+                "grid".to_string(),
+                Value::Arr(self.grid.iter().cloned().map(Value::Str).collect()),
+            ),
+            ("git".to_string(), Value::Str(self.git.clone())),
+            ("quick".to_string(), Value::Bool(self.quick)),
+            ("version".to_string(), Value::UInt(self.version as u64)),
+        ])
+    }
+}
+
+/// `git describe --always --dirty`, or "unknown" outside a repo.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> LabError {
+    LabError::Io(format!("{}: {e}", path.display()))
+}
+
+/// Writes a complete run directory (creating it if needed).
+///
+/// # Errors
+///
+/// Filesystem failures surface as [`LabError::Io`].
+pub fn write_run(
+    dir: &Path,
+    manifest: &RunManifest,
+    records: &[TrialRecord],
+    summary: &RunSummary,
+) -> Result<(), LabError> {
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+
+    let manifest_path = dir.join("manifest.json");
+    fs::write(&manifest_path, manifest.to_json().render_pretty() + "\n")
+        .map_err(|e| io_err(&manifest_path, e))?;
+
+    let jsonl_path = dir.join("trials.jsonl");
+    let mut jsonl = fs::File::create(&jsonl_path).map_err(|e| io_err(&jsonl_path, e))?;
+    for r in records {
+        writeln!(jsonl, "{}", r.to_json().render()).map_err(|e| io_err(&jsonl_path, e))?;
+    }
+
+    let csv_path = dir.join("trials.csv");
+    fs::write(&csv_path, records_csv(records)).map_err(|e| io_err(&csv_path, e))?;
+
+    let summary_path = dir.join("summary.csv");
+    fs::write(&summary_path, summary.summary_csv()).map_err(|e| io_err(&summary_path, e))?;
+    Ok(())
+}
+
+/// Appends records to an existing `trials.jsonl` (resumable sharded runs).
+///
+/// # Errors
+///
+/// Filesystem failures surface as [`LabError::Io`].
+pub fn append_jsonl(path: &Path, records: &[TrialRecord]) -> Result<(), LabError> {
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| io_err(path, e))?;
+    for r in records {
+        writeln!(file, "{}", r.to_json().render()).map_err(|e| io_err(path, e))?;
+    }
+    Ok(())
+}
+
+/// Loads every record from a JSONL trial log.
+///
+/// # Errors
+///
+/// IO failures and malformed lines (with their line number).
+pub fn load_jsonl(path: &Path) -> Result<Vec<TrialRecord>, LabError> {
+    let text = fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value =
+            parse(line).map_err(|e| LabError::BadRecord(format!("line {}: {e}", lineno + 1)))?;
+        let record = TrialRecord::from_json(&value)
+            .map_err(|e| LabError::BadRecord(format!("line {}: {e}", lineno + 1)))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Loads a run manifest.
+///
+/// # Errors
+///
+/// IO failures and malformed JSON.
+pub fn load_manifest(path: &Path) -> Result<RunManifest, LabError> {
+    let text = fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let value = parse(&text).map_err(LabError::BadRecord)?;
+    RunManifest::from_json(&value)
+}
+
+/// Renders records as flat CSV; extra metrics become columns (the union
+/// of keys across all records, in first-seen order per sorted set).
+pub fn records_csv(records: &[TrialRecord]) -> String {
+    let extra_keys: BTreeSet<&str> = records
+        .iter()
+        .flat_map(|r| r.extra.iter().map(|(k, _)| k.as_str()))
+        .collect();
+    let mut headers = vec![
+        "scenario".to_string(),
+        "point".to_string(),
+        "family".to_string(),
+        "algorithm".to_string(),
+        "n".to_string(),
+        "seed".to_string(),
+        "rounds".to_string(),
+        "congest_rounds".to_string(),
+        "messages".to_string(),
+        "bits".to_string(),
+        "leaders".to_string(),
+        "ok".to_string(),
+    ];
+    headers.extend(extra_keys.iter().map(|k| k.to_string()));
+    let mut table = Table::new(headers);
+    for r in records {
+        let mut row = vec![
+            r.scenario.clone(),
+            r.point.clone(),
+            r.family.clone(),
+            r.algorithm.clone(),
+            r.n.to_string(),
+            r.seed.to_string(),
+            r.rounds.to_string(),
+            r.congest_rounds.to_string(),
+            r.messages.to_string(),
+            r.bits.to_string(),
+            r.leaders.to_string(),
+            r.ok.to_string(),
+        ];
+        for key in &extra_keys {
+            row.push(
+                r.extra
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map_or(String::new(), |(_, v)| format!("{v}")),
+            );
+        }
+        table.push_row(row);
+    }
+    table.to_csv()
+}
+
+/// Converts a JSONL trial log to CSV (the `ale-lab export` subcommand).
+///
+/// # Errors
+///
+/// Propagates load failures.
+pub fn csv_from_jsonl(path: &Path) -> Result<String, LabError> {
+    Ok(records_csv(&load_jsonl(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::GridPoint;
+    use ale_graph::Topology;
+
+    fn sample_records() -> Vec<TrialRecord> {
+        let p0 = GridPoint::new("cell-a").on(Topology::Cycle { n: 8 });
+        let p1 = GridPoint::new("cell-b").on(Topology::Complete { n: 4 });
+        let mut a = TrialRecord::new("demo", &p0, 11);
+        a.messages = 40;
+        a.ok = true;
+        a.push_extra("territory", 12.5);
+        let mut b = TrialRecord::new("demo", &p1, 12);
+        b.messages = 7;
+        b.push_extra("ratio", 0.5);
+        vec![a, b]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_via_disk() {
+        let dir = std::env::temp_dir().join(format!("ale-lab-store-{}", std::process::id()));
+        let records = sample_records();
+        let grid = vec![
+            GridPoint::new("cell-a").on(Topology::Cycle { n: 8 }),
+            GridPoint::new("cell-b").on(Topology::Complete { n: 4 }),
+        ];
+        let mut summary = RunSummary::new("demo", &grid, 1, 1, 1);
+        summary.record(0, &records[0]);
+        summary.record(1, &records[1]);
+        let manifest = RunManifest::for_run(
+            "demo",
+            1,
+            1,
+            1,
+            vec!["cell-a".into(), "cell-b".into()],
+            false,
+        );
+        write_run(&dir, &manifest, &records, &summary).unwrap();
+
+        let loaded = load_jsonl(&dir.join("trials.jsonl")).unwrap();
+        assert_eq!(loaded, records);
+        let m = load_manifest(&dir.join("manifest.json")).unwrap();
+        assert_eq!(m, manifest);
+
+        let csv = csv_from_jsonl(&dir.join("trials.jsonl")).unwrap();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        // Extra columns are the union, sorted.
+        assert!(header.ends_with("ok,ratio,territory"));
+        assert_eq!(lines.count(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_grows_the_log() {
+        let path =
+            std::env::temp_dir().join(format!("ale-lab-append-{}.jsonl", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let records = sample_records();
+        append_jsonl(&path, &records[..1]).unwrap();
+        append_jsonl(&path, &records[1..]).unwrap();
+        assert_eq!(load_jsonl(&path).unwrap(), records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let path = std::env::temp_dir().join(format!("ale-lab-bad-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "{\"scenario\": \"x\"}\n").unwrap();
+        let err = load_jsonl(&path).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        std::fs::remove_file(&path).ok();
+    }
+}

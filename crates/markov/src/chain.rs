@@ -172,14 +172,14 @@ impl MarkovChain {
         let mut stack = vec![start];
         seen[start] = true;
         while let Some(u) = stack.pop() {
-            for v in 0..n {
+            for (v, seen_v) in seen.iter_mut().enumerate() {
                 let w = if transpose {
                     self.p[(v, u)]
                 } else {
                     self.p[(u, v)]
                 };
-                if w > EPS && !seen[v] {
-                    seen[v] = true;
+                if w > EPS && !*seen_v {
+                    *seen_v = true;
                     stack.push(v);
                 }
             }

@@ -83,8 +83,10 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MarkovError> {
             if factor == 0.0 {
                 continue;
             }
-            for k in col..=n {
-                m[row][k] -= factor * m[col][k];
+            let (head, tail) = m.split_at_mut(row);
+            let pivot = &head[col];
+            for (rk, pk) in tail[0][col..=n].iter_mut().zip(&pivot[col..=n]) {
+                *rk -= factor * pk;
             }
         }
     }
@@ -165,8 +167,12 @@ mod tests {
 
     #[test]
     fn solve_known_system() {
-        let a = Matrix::from_rows(&[vec![3.0, 2.0, -1.0], vec![2.0, -2.0, 4.0], vec![-1.0, 0.5, -1.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[
+            vec![3.0, 2.0, -1.0],
+            vec![2.0, -2.0, 4.0],
+            vec![-1.0, 0.5, -1.0],
+        ])
+        .unwrap();
         let x = solve(&a, &[1.0, -2.0, 0.0]).unwrap();
         assert!((x[0] - 1.0).abs() < 1e-10);
         assert!((x[1] + 2.0).abs() < 1e-10);

@@ -197,9 +197,9 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let row = self.row(i);
-            out[i] = row.iter().zip(v).map(|(a, b)| a * b).sum();
+            *out_i = row.iter().zip(v).map(|(a, b)| a * b).sum();
         }
         Ok(out)
     }

@@ -158,12 +158,7 @@ pub fn mixing_time_spectral_upper(lambda2: f64, n: usize) -> u64 {
 ///
 /// The lower inequality is asymptotic; `slack_lo`/`slack_hi` absorb the
 /// constants (the paper's statement hides them too).
-pub fn mixing_band_check(
-    tmix: f64,
-    phi: f64,
-    slack_lo: f64,
-    slack_hi: f64,
-) -> (bool, bool) {
+pub fn mixing_band_check(tmix: f64, phi: f64, slack_lo: f64, slack_hi: f64) -> (bool, bool) {
     let below_ok = tmix * slack_lo >= 1.0 / phi;
     let above_ok = tmix <= slack_hi / (phi * phi);
     (below_ok, above_ok)

@@ -153,9 +153,7 @@ mod tests {
     use crate::hitting::expected_hitting_times;
 
     fn cycle_chain(n: usize) -> MarkovChain {
-        let adj: Vec<Vec<usize>> = (0..n)
-            .map(|i| vec![(i + n - 1) % n, (i + 1) % n])
-            .collect();
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + n - 1) % n, (i + 1) % n]).collect();
         MarkovChain::lazy_random_walk(&adj).unwrap()
     }
 

@@ -1,0 +1,267 @@
+//! Offline shim for the subset of the `criterion` API this workspace's
+//! benches use: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `BenchmarkId`, `Throughput`, and `Bencher::iter`.
+//!
+//! It is a *timing harness*, not a statistics engine: each benchmark is
+//! warmed up, then timed for a bounded number of iterations, and the mean
+//! wall-clock per iteration is printed. Good enough for the before/after
+//! deltas recorded in the bench sources; swap in real criterion when the
+//! build environment has network access.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput annotation (accepted and echoed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The per-benchmark timing driver.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled by `iter`: (iterations, total elapsed).
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean-per-iteration measurement.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (also sizes very slow benchmarks).
+        let warm_start = Instant::now();
+        std_black_box(f());
+        let once = warm_start.elapsed();
+
+        // Budget ~1s of measurement, between 3 and `sample_size` iters.
+        let budget = Duration::from_secs(1);
+        let fit = if once.is_zero() {
+            self.sample_size as u64
+        } else {
+            (budget.as_nanos() / once.as_nanos().max(1)) as u64
+        };
+        let iters = fit.clamp(3, self.sample_size as u64);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    match b.result {
+        Some((iters, total)) => {
+            let per = total.as_secs_f64() / iters as f64;
+            let pretty = if per >= 1.0 {
+                format!("{per:.3} s")
+            } else if per >= 1e-3 {
+                format!("{:.3} ms", per * 1e3)
+            } else if per >= 1e-6 {
+                format!("{:.3} µs", per * 1e6)
+            } else {
+                format!("{:.1} ns", per * 1e9)
+            };
+            println!("bench: {id:<48} {pretty}/iter ({iters} iters)");
+        }
+        None => println!("bench: {id:<48} (no measurement — iter() not called)"),
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does not normalize by it.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Runs one benchmark with an input payload.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.0), &b);
+        self
+    }
+
+    /// Ends the group (no-op beyond marking intent).
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Mirrors criterion's CLI hookup; the shim has no CLI to parse.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        report(&id.0, &b);
+        self
+    }
+
+    /// Printed at the end of a `criterion_main!` run.
+    pub fn final_summary(&self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            });
+        });
+        group.finish();
+        assert!(calls >= 4, "warm-up + >=3 measured iterations, got {calls}");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 7).0, "a/7");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.0, "plain");
+    }
+}

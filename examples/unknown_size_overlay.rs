@@ -51,8 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .partial_cmp(&(b.cert, std::cmp::Reverse(b.id)))
                 .unwrap()
         });
-        if best != last_view && best.is_some() {
-            let b = best.unwrap();
+        if best != last_view {
+            let Some(b) = best else { continue };
             println!(
                 "round {:>7}: leadership record is now (certificate k={}, id={})",
                 net.round(),

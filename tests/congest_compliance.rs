@@ -44,8 +44,14 @@ fn baselines_are_congest_clean() {
     let k = KuttenConfig::for_graph(&g);
     let gl = GilbertConfig::new(32, 8);
     for seed in 0..4 {
-        assert!(run_flood_max(&g, &f, seed).expect("run").metrics.congest_clean());
-        assert!(run_kutten(&g, &k, seed).expect("run").metrics.congest_clean());
+        assert!(run_flood_max(&g, &f, seed)
+            .expect("run")
+            .metrics
+            .congest_clean());
+        assert!(run_kutten(&g, &k, seed)
+            .expect("run")
+            .metrics
+            .congest_clean());
         let o = run_gilbert(&g, &gl, seed).expect("run");
         assert!(
             o.metrics.multi_send_violations == 0,

@@ -115,11 +115,7 @@ fn time_budget_matches_theorem_shape() {
     let cfg = IrrevocableConfig::derive_for(&graph, &topology).expect("config");
     let o = run_irrevocable(&graph, &cfg, 1).expect("run");
     assert!(o.metrics.rounds <= cfg.total_rounds() + 4);
-    let expected = cfg.knowledge.tmix as f64
-        * (cfg.log2_n() as f64).powi(2)
-        * 4.0
-        * cfg.c
-        * cfg.c;
+    let expected = cfg.knowledge.tmix as f64 * (cfg.log2_n() as f64).powi(2) * 4.0 * cfg.c * cfg.c;
     assert!(
         (o.metrics.rounds as f64) <= expected * 1.5 + 64.0,
         "rounds {} vs t_mix·log²n shape {expected}",
@@ -145,10 +141,16 @@ fn median_messages(topology: Topology, seeds: u64, ours: bool) -> f64 {
     let mut v: Vec<f64> = (0..seeds)
         .map(|seed| {
             if ours {
-                run_irrevocable(&graph, &cfg, seed).expect("run").metrics.messages as f64
+                run_irrevocable(&graph, &cfg, seed)
+                    .expect("run")
+                    .metrics
+                    .messages as f64
             } else {
                 let gcfg = GilbertConfig::new(graph.n(), cfg.knowledge.tmix);
-                run_gilbert(&graph, &gcfg, seed).expect("run").metrics.messages as f64
+                run_gilbert(&graph, &gcfg, seed)
+                    .expect("run")
+                    .metrics
+                    .messages as f64
             }
         })
         .collect();

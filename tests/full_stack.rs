@@ -28,11 +28,7 @@ fn elect_announce_and_build_tree() {
     // Phase 3: spanning tree rooted at the leader; the echo verifies n.
     let tree = run_tree_construction(&graph, leader, 2 * diameter + 8, 9).expect("tree");
     assert_eq!(tree.root_count, Some(graph.n() as u64));
-    let tree_edges = tree
-        .nodes
-        .iter()
-        .filter(|t| t.parent.is_some())
-        .count();
+    let tree_edges = tree.nodes.iter().filter(|t| t.parent.is_some()).count();
     assert_eq!(tree_edges, graph.n() - 1);
 }
 

@@ -32,12 +32,7 @@ fn leaders_far_apart_in_split_runs() {
     assert!(t.split_brain(), "expected a split at 64x blow-up");
     // Some pair of leaders must be farther apart than the protocol's
     // information radius would ever allow interaction across.
-    let max_gap = t
-        .leaders
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .max()
-        .unwrap_or(0);
+    let max_gap = t.leaders.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
     assert!(
         max_gap > 16,
         "leaders {:?} are suspiciously clustered",

@@ -1,82 +1,132 @@
-//! Property-based tests (proptest) on cross-crate invariants: generator
-//! validity, port-map consistency, spectral bounds, simulator conservation,
-//! and cautious-broadcast tree structure.
+//! Property-based tests on cross-crate invariants: generator validity,
+//! port-map consistency, spectral bounds, simulator conservation, and
+//! cautious-broadcast tree structure.
+//!
+//! Originally written against `proptest`; the workspace now builds
+//! offline, so the same properties run over a seeded random sweep of the
+//! topology space (deterministic, so failures reproduce exactly).
 
 use ale::congest::{congest_budget, Incoming, Network, NodeCtx, Outbox, Process};
 use ale::core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
 use ale::graph::{GraphProps, NetworkKnowledge, Topology};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn arb_topology() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        (3usize..24).prop_map(|n| Topology::Cycle { n }),
-        (2usize..20).prop_map(|n| Topology::Path { n }),
-        (2usize..16).prop_map(|n| Topology::Complete { n }),
-        (2usize..16).prop_map(|n| Topology::Star { n }),
-        (1usize..5).prop_map(|dim| Topology::Hypercube { dim }),
-        (2usize..16).prop_map(|n| Topology::BinaryTree { n }),
-        (2usize..7).prop_map(|k| Topology::Barbell { k }),
-        ((3usize..5), (2usize..5)).prop_map(|(cliques, k)| Topology::RingOfCliques { cliques, k }),
-    ]
+/// Draws a random topology from the same families the proptest strategy
+/// covered.
+fn arb_topology(rng: &mut StdRng) -> Topology {
+    match rng.gen_range(0..8u32) {
+        0 => Topology::Cycle {
+            n: rng.gen_range(3..24),
+        },
+        1 => Topology::Path {
+            n: rng.gen_range(2..20),
+        },
+        2 => Topology::Complete {
+            n: rng.gen_range(2..16),
+        },
+        3 => Topology::Star {
+            n: rng.gen_range(2..16),
+        },
+        4 => Topology::Hypercube {
+            dim: rng.gen_range(1..5),
+        },
+        5 => Topology::BinaryTree {
+            n: rng.gen_range(2..16),
+        },
+        6 => Topology::Barbell {
+            k: rng.gen_range(2..7),
+        },
+        _ => Topology::RingOfCliques {
+            cliques: rng.gen_range(3..5),
+            k: rng.gen_range(2..5),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Runs `check(case_index, topology, seed)` over a deterministic sweep.
+fn for_cases(cases: usize, salt: u64, mut check: impl FnMut(usize, Topology, u64)) {
+    let mut rng = StdRng::seed_from_u64(0xA1E_5EED ^ salt);
+    for case in 0..cases {
+        let topo = arb_topology(&mut rng);
+        let seed = rng.gen_range(0..4u64);
+        check(case, topo, seed);
+    }
+}
 
-    #[test]
-    fn generators_produce_connected_simple_graphs(topo in arb_topology(), seed in 0u64..4) {
+#[test]
+fn generators_produce_connected_simple_graphs() {
+    for_cases(48, 1, |case, topo, seed| {
         let g = topo.build(seed).expect("build");
-        prop_assert_eq!(g.n(), topo.node_count());
-        prop_assert!(g.is_connected());
+        assert_eq!(g.n(), topo.node_count(), "case {case} ({topo})");
+        assert!(g.is_connected(), "case {case} ({topo})");
         // Simplicity: no self-loops, no duplicate neighbor entries.
         for v in 0..g.n() {
             let mut nbrs: Vec<_> = g.neighbors(v).to_vec();
-            prop_assert!(nbrs.iter().all(|&u| u != v), "self-loop at {}", v);
+            assert!(nbrs.iter().all(|&u| u != v), "self-loop at {v} ({topo})");
             nbrs.sort_unstable();
             let before = nbrs.len();
             nbrs.dedup();
-            prop_assert_eq!(before, nbrs.len(), "multi-edge at {}", v);
+            assert_eq!(before, nbrs.len(), "multi-edge at {v} ({topo})");
         }
-    }
+    });
+}
 
-    #[test]
-    fn reverse_ports_are_involutions(topo in arb_topology(), seed in 0u64..4, shuffle in 0u64..4) {
-        let g = topo.build(seed).expect("build").with_shuffled_ports(shuffle);
+#[test]
+fn reverse_ports_are_involutions() {
+    let mut shuffle_rng = StdRng::seed_from_u64(99);
+    for_cases(48, 2, |_case, topo, seed| {
+        let shuffle = shuffle_rng.gen_range(0..4u64);
+        let g = topo
+            .build(seed)
+            .expect("build")
+            .with_shuffled_ports(shuffle);
         for v in 0..g.n() {
             for p in 0..g.degree(v) {
                 let u = g.port_target(v, p);
                 let q = g.reverse_port(v, p);
-                prop_assert_eq!(g.port_target(u, q), v);
-                prop_assert_eq!(g.reverse_port(u, q), p);
+                assert_eq!(g.port_target(u, q), v, "{topo}");
+                assert_eq!(g.reverse_port(u, q), p, "{topo}");
             }
         }
-    }
-
-    #[test]
-    fn edge_count_matches_degree_sum(topo in arb_topology(), seed in 0u64..4) {
-        let g = topo.build(seed).expect("build");
-        let degree_sum: usize = (0..g.n()).map(|v| g.degree(v)).sum();
-        prop_assert_eq!(degree_sum, 2 * g.m());
-        prop_assert_eq!(g.edges().count(), g.m());
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn graph_properties_respect_theory_bands(topo in arb_topology(), seed in 0u64..3) {
+#[test]
+fn edge_count_matches_degree_sum() {
+    for_cases(48, 3, |_case, topo, seed| {
         let g = topo.build(seed).expect("build");
-        if g.n() < 3 { return Ok(()); }
+        let degree_sum: usize = (0..g.n()).map(|v| g.degree(v)).sum();
+        assert_eq!(degree_sum, 2 * g.m(), "{topo}");
+        assert_eq!(g.edges().count(), g.m(), "{topo}");
+    });
+}
+
+#[test]
+fn graph_properties_respect_theory_bands() {
+    for_cases(16, 4, |_case, topo, seed| {
+        let g = topo.build(seed).expect("build");
+        if g.n() < 3 {
+            return;
+        }
         let props = GraphProps::compute_for(&g, &topo).expect("props");
-        prop_assert!(props.conductance.value > 0.0 && props.conductance.value <= 1.0 + 1e-9);
-        prop_assert!(props.spectral_gap > 0.0 && props.spectral_gap < 1.0 + 1e-9);
+        assert!(
+            props.conductance.value > 0.0 && props.conductance.value <= 1.0 + 1e-9,
+            "{topo}"
+        );
+        assert!(
+            props.spectral_gap > 0.0 && props.spectral_gap < 1.0 + 1e-9,
+            "{topo}"
+        );
         // i(G) >= 2/n on connected graphs (paper, proof of Corollary 1).
-        prop_assert!(props.isoperimetric.value >= 2.0 / g.n() as f64 - 1e-9);
+        assert!(
+            props.isoperimetric.value >= 2.0 / g.n() as f64 - 1e-9,
+            "{topo}"
+        );
         // Diameter sanity: at least 1, at most n-1.
-        prop_assert!(props.diameter >= 1 && props.diameter <= g.n() - 1);
-        prop_assert!(props.tmix >= 1);
-    }
+        assert!(props.diameter >= 1 && props.diameter < g.n(), "{topo}");
+        assert!(props.tmix >= 1, "{topo}");
+    });
 }
 
 /// A process that forwards a fixed number of tokens and counts arrivals —
@@ -124,11 +174,11 @@ impl Process for TokenForward {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn simulator_conserves_tokens(topo in arb_topology(), seed in 0u64..4, start in 1u64..8) {
+#[test]
+fn simulator_conserves_tokens() {
+    let mut start_rng = StdRng::seed_from_u64(7);
+    for_cases(24, 5, |_case, topo, seed| {
+        let start = start_rng.gen_range(1..8u64);
         let g = topo.build(seed).expect("build");
         let rounds = 6u64;
         let mut net = Network::from_fn(&g, seed, 32, |_deg, _rng| TokenForward {
@@ -145,9 +195,9 @@ proptest! {
         // Tokens in flight at halt: sent but not yet absorbed (stuck in
         // inboxes of halted processes). Everything else conserves.
         let in_flight = sent - received;
-        prop_assert_eq!(held + in_flight, start * g.n() as u64);
-        prop_assert_eq!(net.metrics().messages, sent);
-    }
+        assert_eq!(held + in_flight, start * g.n() as u64, "{topo}");
+        assert_eq!(net.metrics().messages, sent, "{topo}");
+    });
 }
 
 /// Runs a single-candidate cautious broadcast and returns the processes.
@@ -173,15 +223,13 @@ fn broadcast_once(topo: Topology, seed: u64) -> (ale::graph::Graph, Vec<Irrevoca
     (g, procs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn cautious_broadcast_builds_a_tree(topo in arb_topology(), seed in 0u64..3) {
+#[test]
+fn cautious_broadcast_builds_a_tree() {
+    for_cases(12, 6, |_case, topo, seed| {
         let (g, procs) = broadcast_once(topo, seed);
         let src_id = 1u64; // node 0's ID
-        // Every member's parent port must point to another member; chains
-        // must terminate at the root without cycles.
+                           // Every member's parent port must point to another member; chains
+                           // must terminate at the root without cycles.
         for (v, proc_v) in procs.iter().enumerate() {
             if !proc_v.known_sources().contains(&src_id) {
                 continue;
@@ -192,26 +240,28 @@ proptest! {
                 let parent_port = procs[cur].tree_parent(src_id);
                 match parent_port {
                     None => {
-                        prop_assert_eq!(cur, 0, "only the candidate may be parentless");
+                        assert_eq!(cur, 0, "only the candidate may be parentless ({topo})");
                         break;
                     }
                     Some(p) => {
                         let next = g.port_target(cur, p);
-                        prop_assert!(
+                        assert!(
                             procs[next].known_sources().contains(&src_id),
-                            "parent {} of {} is not a member", next, cur
+                            "parent {next} of {cur} is not a member ({topo})"
                         );
                         cur = next;
                         hops += 1;
-                        prop_assert!(hops <= g.n(), "parent chain cycles");
+                        assert!(hops <= g.n(), "parent chain cycles ({topo})");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn territory_respects_doubling_overshoot(topo in arb_topology(), seed in 0u64..3) {
+#[test]
+fn territory_respects_doubling_overshoot() {
+    for_cases(12, 7, |_case, topo, seed| {
         let (_, procs) = broadcast_once(topo, seed);
         let src_id = 1u64;
         let territory = procs
@@ -231,11 +281,9 @@ proptest! {
         // overshoot stays below ~4x across all families (EXPERIMENTS.md,
         // E-L1).
         let cap = 4 * cfg.final_threshold() as usize + 8;
-        prop_assert!(
+        assert!(
             territory <= cap.max(procs.len().min(cap)),
-            "territory {} exceeds overshoot cap {}",
-            territory,
-            cap
+            "territory {territory} exceeds overshoot cap {cap} ({topo})"
         );
-    }
+    });
 }

@@ -84,7 +84,10 @@ fn stabilization_is_absorbing() {
 fn certificates_do_not_exceed_horizon() {
     let g = Topology::Complete { n: 6 }.build(0).expect("graph");
     let r = run_revocable(&g, &fast_params(), 1, 8).expect("run");
-    assert!(r.final_k <= 16, "estimate may exceed max_k by one doubling only");
+    assert!(
+        r.final_k <= 16,
+        "estimate may exceed max_k by one doubling only"
+    );
     for v in &r.verdicts {
         if let Some(c) = v.cert {
             assert!(c <= 8, "certificate {c} beyond the executed horizon");
