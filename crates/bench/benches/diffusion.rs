@@ -1,21 +1,87 @@
-//! Criterion bench: diffusion steps of the `Avg` procedure (E-L34 unit).
+//! Criterion bench: diffusion steps of the `Avg` procedure (E-L34 unit),
+//! dense vs sparse backend.
+//!
+//! The dense `Matrix` step is `O(n²)`; the CSR step is `O(n + 2m)` — on a
+//! 4-regular torus that is ~5n entries, so the per-step gap grows linearly
+//! in `n`. `torus:100x100` (n = 10 000) is the headline pair: the dense
+//! matrix alone is 800 MB and a step touches all of it, while the sparse
+//! step streams ~50 000 entries — expect several orders of magnitude, and
+//! at minimum the 10× the ISSUE gates on.
 
-use ale_graph::Topology;
+use ale_graph::{transition, Topology};
 use ale_markov::MarkovChain;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_diffusion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("diffusion_step");
-    for n in [64usize, 256, 1024] {
-        let graph = Topology::RandomRegular { n, d: 4 }.build(1).expect("graph");
-        let chain = MarkovChain::diffusion(&graph.adjacency(), 1.0 / 64.0).expect("chain");
-        let pot: Vec<f64> = (0..n).map(|i| if i % 7 == 0 { 0.0 } else { 1.0 }).collect();
-        group.bench_function(BenchmarkId::from_parameter(n), |b| {
-            b.iter(|| chain.step(&pot).expect("step"));
-        });
+const ALPHA: f64 = 1.0 / 64.0;
+
+fn torus(side: usize) -> Topology {
+    Topology::Grid2d {
+        rows: side,
+        cols: side,
+        torus: true,
+    }
+}
+
+fn potential(n: usize) -> Vec<f64> {
+    (0..n).map(|i| if i % 7 == 0 { 0.0 } else { 1.0 }).collect()
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diffusion_step_dense");
+    for side in [8usize, 32, 100] {
+        let graph = torus(side).build(1).expect("graph");
+        let n = graph.n();
+        let chain = MarkovChain::diffusion(&graph.adjacency(), ALPHA).expect("chain");
+        let pot = potential(n);
+        let mut out = vec![0.0; n];
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("torus:{side}x{side}")),
+            |b| {
+                b.iter(|| chain.step_into(&pot, &mut out).expect("step"));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_diffusion);
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diffusion_step_sparse");
+    for side in [8usize, 32, 100, 200] {
+        let graph = torus(side).build(1).expect("graph");
+        let n = graph.n();
+        let chain = transition::diffusion_chain(&graph, ALPHA).expect("chain");
+        let pot = potential(n);
+        let mut out = vec![0.0; n];
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("torus:{side}x{side}")),
+            |b| {
+                b.iter(|| chain.step_into(&pot, &mut out).expect("step"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_random_regular(c: &mut Criterion) {
+    // The legacy expander sweep, kept on both backends for continuity.
+    let mut group = c.benchmark_group("diffusion_step_rregular");
+    for n in [256usize, 1024, 16_384] {
+        let graph = Topology::RandomRegular { n, d: 4 }.build(1).expect("graph");
+        let chain = transition::diffusion_chain(&graph, ALPHA).expect("chain");
+        let pot = potential(n);
+        let mut out = vec![0.0; n];
+        group.bench_function(BenchmarkId::from_parameter(format!("sparse/{n}")), |b| {
+            b.iter(|| chain.step_into(&pot, &mut out).expect("step"));
+        });
+        if n <= 1024 {
+            let dense = MarkovChain::diffusion(&graph.adjacency(), ALPHA).expect("chain");
+            group.bench_function(BenchmarkId::from_parameter(format!("dense/{n}")), |b| {
+                b.iter(|| dense.step_into(&pot, &mut out).expect("step"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense, bench_sparse, bench_random_regular);
 criterion_main!(benches);

@@ -9,7 +9,9 @@
 //! Kowalski & Mosteiro (ICDCS 2021), Section 2. Generators for the paper's
 //! experiment families live in [`generators`] (see [`Topology`]), exact cut
 //! oracles in [`cuts`], scalable spectral estimates in [`spectral_sparse`],
-//! closed forms in [`analytic`], and the aggregated [`props::GraphProps`] /
+//! closed forms in [`analytic`], sparse `Graph → CsrMatrix` transition
+//! constructors in [`transition`] (the `O(m)`-per-step path behind the
+//! large-n sweeps), and the aggregated [`props::GraphProps`] /
 //! [`props::NetworkKnowledge`] bundles feed the protocols.
 //!
 //! ## Quickstart
@@ -37,6 +39,7 @@ pub mod generators;
 mod graph;
 pub mod props;
 pub mod spectral_sparse;
+pub mod transition;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;

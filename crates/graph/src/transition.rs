@@ -1,0 +1,188 @@
+//! `Graph → CsrMatrix` transition-matrix constructors: the sparse bridge
+//! between the graph substrate and `ale-markov`.
+//!
+//! A transition matrix built from a graph has exactly `n + 2m` non-zero
+//! entries (one self-loop plus the edge endpoints), so the CSR form costs
+//! `O(m)` memory and `O(m)` per chain step — versus `O(n²)` dense. Every
+//! consumer that builds its chain from an [`ale_graph::Graph`](crate::Graph)
+//! should come through here: the resulting [`MarkovChain`] automatically
+//! runs on the sparse backend, which is what lets the `diffusion` /
+//! `thresholds` scenario sweeps reach tens of thousands of nodes.
+//!
+//! [`normalized_lazy_csr`] builds the symmetric operator
+//! `N = ½I + ½D^{-1/2}AD^{-1/2}` that [`crate::spectral_sparse`] iterates —
+//! the previously hand-rolled matrix-free loop there now runs on the same
+//! CSR kernel as everything else.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use ale_markov::chain::{diffusion_row, lazy_walk_row};
+use ale_markov::{CsrMatrix, MarkovChain, MarkovError};
+
+fn numeric(context: &str, e: MarkovError) -> GraphError {
+    GraphError::Numeric {
+        reason: format!("{context}: {e}"),
+    }
+}
+
+/// CSR form of the lazy random walk `P = ½I + ½D⁻¹A`.
+///
+/// Every validated [`Graph`] is connected (hence free of isolated nodes),
+/// so the walk is always well defined.
+///
+/// # Examples
+///
+/// ```
+/// use ale_graph::{generators, transition};
+/// let g = generators::cycle(8)?;
+/// let p = transition::lazy_walk_csr(&g);
+/// assert_eq!(p.rows(), 8);
+/// assert_eq!(p.nnz(), 8 + 2 * 8); // n self-loops + 2m edge entries
+/// assert!(p.is_row_stochastic());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lazy_walk_csr(g: &Graph) -> CsrMatrix {
+    let n = g.n();
+    let rows = (0..n).map(|v| lazy_walk_row(v, g.neighbors(v))).collect();
+    CsrMatrix::from_row_entries(n, rows).expect("validated graph yields a well-formed CSR")
+}
+
+/// CSR form of the diffusion matrix `S` of the `Avg` procedure:
+/// `s_ij = α` per edge, `s_ii = 1 − α·deg(i)`.
+///
+/// # Errors
+///
+/// [`GraphError::Numeric`] when `α·deg(i) > 1` for some node (the matrix
+/// would not be stochastic there).
+pub fn diffusion_csr(g: &Graph, alpha: f64) -> Result<CsrMatrix, GraphError> {
+    let n = g.n();
+    let mut rows = Vec::with_capacity(n);
+    for v in 0..n {
+        rows.push(
+            diffusion_row(v, g.neighbors(v), alpha).map_err(|e| numeric("diffusion row", e))?,
+        );
+    }
+    CsrMatrix::from_row_entries(n, rows).map_err(|e| numeric("diffusion csr", e))
+}
+
+/// CSR form of the symmetric normalized lazy operator
+/// `N = ½I + ½D^{-1/2}AD^{-1/2}` — similar to the lazy walk (shares its
+/// eigenvalues), with principal eigenvector `∝ √deg`.
+pub fn normalized_lazy_csr(g: &Graph) -> CsrMatrix {
+    let n = g.n();
+    let sqrt_deg: Vec<f64> = (0..n).map(|v| (g.degree(v) as f64).sqrt()).collect();
+    let mut rows = Vec::with_capacity(n);
+    for v in 0..n {
+        let deg = g.degree(v);
+        let mut entries = Vec::with_capacity(deg + 1);
+        entries.push((v, 0.5));
+        entries.extend(
+            g.neighbors(v)
+                .iter()
+                .map(|&u| (u, 0.5 / (sqrt_deg[v] * sqrt_deg[u]))),
+        );
+        rows.push(entries);
+    }
+    CsrMatrix::from_row_entries(n, rows).expect("validated graph yields a well-formed CSR")
+}
+
+/// Sparse-backed lazy random walk chain over `g` — `O(m)` per step.
+///
+/// # Errors
+///
+/// [`GraphError::Numeric`] if chain validation fails (cannot happen for a
+/// validated graph; kept for API honesty).
+///
+/// # Examples
+///
+/// ```
+/// use ale_graph::{generators, transition};
+/// let g = generators::grid2d(4, 4, true)?;
+/// let chain = transition::lazy_walk_chain(&g)?;
+/// assert!(chain.is_sparse());
+/// assert!(chain.transition().is_doubly_stochastic());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lazy_walk_chain(g: &Graph) -> Result<MarkovChain, GraphError> {
+    MarkovChain::from_csr(lazy_walk_csr(g)).map_err(|e| numeric("lazy walk chain", e))
+}
+
+/// Sparse-backed diffusion chain over `g` — `O(m)` per step.
+///
+/// # Errors
+///
+/// [`GraphError::Numeric`] when `α·deg(i) > 1` for some node.
+pub fn diffusion_chain(g: &Graph, alpha: f64) -> Result<MarkovChain, GraphError> {
+    MarkovChain::from_csr(diffusion_csr(g, alpha)?).map_err(|e| numeric("diffusion chain", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn lazy_walk_csr_matches_dense_constructor() {
+        for g in [
+            generators::cycle(9).unwrap(),
+            generators::star(7).unwrap(),
+            generators::grid2d(3, 4, false).unwrap(),
+        ] {
+            let sparse = lazy_walk_csr(&g);
+            let dense = MarkovChain::lazy_random_walk(&g.adjacency()).unwrap();
+            assert_eq!(
+                sparse.to_dense(),
+                dense.transition().to_dense(),
+                "n = {}",
+                g.n()
+            );
+            assert_eq!(sparse.nnz(), g.n() + 2 * g.m());
+        }
+    }
+
+    #[test]
+    fn diffusion_csr_matches_dense_constructor() {
+        let g = generators::hypercube(3).unwrap();
+        let alpha = 0.1;
+        let sparse = diffusion_csr(&g, alpha).unwrap();
+        let dense = MarkovChain::diffusion(&g.adjacency(), alpha).unwrap();
+        assert_eq!(sparse.to_dense(), dense.transition().to_dense());
+        assert!(sparse.is_symmetric());
+        assert!(sparse.is_doubly_stochastic());
+    }
+
+    #[test]
+    fn diffusion_csr_rejects_overweight_alpha() {
+        let g = generators::star(5).unwrap();
+        // Hub degree 4: alpha 0.3 gives self-weight -0.2.
+        assert!(matches!(
+            diffusion_csr(&g, 0.3),
+            Err(GraphError::Numeric { .. })
+        ));
+        assert!(diffusion_chain(&g, 0.3).is_err());
+    }
+
+    #[test]
+    fn chains_are_sparse_and_valid() {
+        let g = generators::grid2d(5, 5, true).unwrap();
+        let walk = lazy_walk_chain(&g).unwrap();
+        assert!(walk.is_sparse());
+        assert!(walk.transition().is_row_stochastic());
+        let diff = diffusion_chain(&g, 0.05).unwrap();
+        assert!(diff.is_sparse());
+        assert!(diff.transition().is_symmetric());
+    }
+
+    #[test]
+    fn normalized_operator_is_symmetric_with_sqrt_deg_principal() {
+        let g = generators::star(9).unwrap();
+        let n_op = normalized_lazy_csr(&g);
+        assert!(n_op.is_symmetric());
+        // N · √deg = √deg (eigenvalue 1).
+        let sqrt_deg: Vec<f64> = (0..g.n()).map(|v| (g.degree(v) as f64).sqrt()).collect();
+        let out = n_op.mul_vec(&sqrt_deg).unwrap();
+        for (a, b) in out.iter().zip(&sqrt_deg) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

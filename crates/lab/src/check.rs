@@ -1,0 +1,355 @@
+//! Regression gating: compare a run's `summary.csv` against a stored
+//! baseline and fail when mean costs regress beyond a tolerance.
+//!
+//! `ale-lab check <summary.csv> --baseline <baseline.csv>` is the CI gate:
+//! it reads the per-(point, metric) streaming statistics both files carry,
+//! compares the means of the cost metrics (`rounds`, `congest_rounds`,
+//! `messages`, `bits` by default), and returns
+//! [`LabError::Regression`] — a distinct non-zero exit — when any current
+//! mean exceeds `baseline · (1 + tolerance)`. Points present in only one
+//! file are skipped (filtered/sharded runs legitimately cover subsets),
+//! but the report counts them so a silently shrunken run is visible.
+
+use crate::scenario::LabError;
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Default relative tolerance: a mean may grow by 25% before failing.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Absolute slack added on top of the relative band, so near-zero
+/// baselines don't fail on floating-point noise.
+const ABS_SLACK: f64 = 1e-9;
+
+/// The cost metrics gated by default.
+pub const DEFAULT_METRICS: [&str; 4] = ["rounds", "congest_rounds", "messages", "bits"];
+
+/// Options for [`check_files`].
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Relative tolerance on mean growth.
+    pub tolerance: f64,
+    /// Metrics to gate (empty → [`DEFAULT_METRICS`]).
+    pub metrics: Vec<String>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            tolerance: DEFAULT_TOLERANCE,
+            metrics: Vec::new(),
+        }
+    }
+}
+
+/// One `(point, metric)` row of a summary CSV.
+#[derive(Debug, Clone, PartialEq)]
+struct SummaryRow {
+    mean: f64,
+    count: u64,
+}
+
+/// Splits one CSV line produced by [`Table::to_csv`] (double-quote
+/// escaping, no embedded newlines).
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if cur.is_empty() => quoted = true,
+            ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Parses a `summary.csv` into `(point, metric) → (mean, count)`.
+fn parse_summary(
+    text: &str,
+    source: &str,
+) -> Result<BTreeMap<(String, String), SummaryRow>, LabError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| LabError::BadRecord(format!("{source}: empty summary")))?;
+    let cols = split_csv_line(header);
+    let col = |name: &str| -> Result<usize, LabError> {
+        cols.iter().position(|c| c == name).ok_or_else(|| {
+            LabError::BadRecord(format!("{source}: summary lacks a '{name}' column"))
+        })
+    };
+    let (pi, mi, meani, counti) = (col("point")?, col("metric")?, col("mean")?, col("count")?);
+    let mut rows = BTreeMap::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(line);
+        let need = pi.max(mi).max(meani).max(counti);
+        if fields.len() <= need {
+            return Err(LabError::BadRecord(format!(
+                "{source}: line {}: expected at least {} columns, got {}",
+                lineno + 2,
+                need + 1,
+                fields.len()
+            )));
+        }
+        let mean: f64 = fields[meani].parse().map_err(|_| {
+            LabError::BadRecord(format!(
+                "{source}: line {}: non-numeric mean '{}'",
+                lineno + 2,
+                fields[meani]
+            ))
+        })?;
+        let count: u64 = fields[counti].parse().unwrap_or(0);
+        rows.insert(
+            (fields[pi].clone(), fields[mi].clone()),
+            SummaryRow { mean, count },
+        );
+    }
+    Ok(rows)
+}
+
+/// Compares two summary CSV **texts**; returns the rendered report, or
+/// [`LabError::Regression`] carrying it when any gated mean regressed.
+///
+/// # Errors
+///
+/// * [`LabError::BadRecord`] on malformed CSV.
+/// * [`LabError::Regression`] when regressions were found.
+pub fn check_text(current: &str, baseline: &str, opts: &CheckOptions) -> Result<String, LabError> {
+    let cur = parse_summary(current, "current")?;
+    let base = parse_summary(baseline, "baseline")?;
+    let metrics: Vec<&str> = if opts.metrics.is_empty() {
+        DEFAULT_METRICS.to_vec()
+    } else {
+        opts.metrics.iter().map(String::as_str).collect()
+    };
+
+    let mut tbl = Table::new([
+        "point",
+        "metric",
+        "baseline mean",
+        "current mean",
+        "ratio",
+        "verdict",
+    ]);
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    for ((point, metric), b) in &base {
+        if !metrics.iter().any(|m| m == metric) {
+            continue;
+        }
+        let Some(c) = cur.get(&(point.clone(), metric.clone())) else {
+            missing += 1;
+            continue;
+        };
+        compared += 1;
+        // Tolerance band scales with |mean| so negative baselines (possible
+        // for user-gated extras) widen upward instead of tightening.
+        let limit = b.mean + b.mean.abs() * opts.tolerance + ABS_SLACK;
+        let regressed = c.mean > limit;
+        if regressed {
+            regressions += 1;
+        }
+        let ratio = if b.mean.abs() > 0.0 {
+            c.mean / b.mean
+        } else if c.mean.abs() > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        };
+        tbl.push_row([
+            point.clone(),
+            metric.clone(),
+            format!("{:.2}", b.mean),
+            format!("{:.2}", c.mean),
+            format!("{ratio:.3}"),
+            if regressed { "REGRESSED" } else { "ok" }.to_string(),
+        ]);
+    }
+    let report = format!(
+        "# cost regression check (tolerance +{:.0}%)\n\n{}\n\
+         {compared} (point, metric) pairs compared, {regressions} regressed, \
+         {missing} baseline pairs absent from the current run.\n",
+        opts.tolerance * 100.0,
+        tbl.to_markdown()
+    );
+    if compared == 0 {
+        return Err(LabError::BadRecord(
+            "no comparable (point, metric) pairs between current and baseline".into(),
+        ));
+    }
+    if regressions > 0 {
+        return Err(LabError::Regression(report));
+    }
+    Ok(report)
+}
+
+/// File-path front end for [`check_text`] (the `ale-lab check` subcommand).
+///
+/// # Errors
+///
+/// IO failures as [`LabError::Io`]; otherwise as [`check_text`].
+pub fn check_files(
+    current: &Path,
+    baseline: &Path,
+    opts: &CheckOptions,
+) -> Result<String, LabError> {
+    let cur = std::fs::read_to_string(current)
+        .map_err(|e| LabError::Io(format!("{}: {e}", current.display())))?;
+    let base = std::fs::read_to_string(baseline)
+        .map_err(|e| LabError::Io(format!("{}: {e}", baseline.display())))?;
+    check_text(&cur, &base, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "point,family,algorithm,n,metric,count,mean,ci95,median,min,max,spilled";
+
+    fn summary(rows: &[(&str, &str, f64)]) -> String {
+        let mut s = String::from(HEADER);
+        s.push('\n');
+        for (point, metric, mean) in rows {
+            s.push_str(&format!(
+                "{point},fam,-,8,{metric},4,{mean},0,{mean},{mean},{mean},false\n"
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn identical_summaries_pass() {
+        let text = summary(&[("a", "messages", 100.0), ("a", "rounds", 10.0)]);
+        let report = check_text(&text, &text, &CheckOptions::default()).unwrap();
+        assert!(report.contains("2 (point, metric) pairs compared, 0 regressed"));
+    }
+
+    #[test]
+    fn within_tolerance_passes_beyond_fails() {
+        let base = summary(&[("a", "messages", 100.0)]);
+        let ok = summary(&[("a", "messages", 120.0)]);
+        assert!(check_text(&ok, &base, &CheckOptions::default()).is_ok());
+        let bad = summary(&[("a", "messages", 130.0)]);
+        let err = check_text(&bad, &base, &CheckOptions::default()).unwrap_err();
+        assert!(matches!(err, LabError::Regression(_)));
+        assert!(err.to_string().contains("REGRESSED"));
+        // A looser tolerance admits it.
+        let loose = CheckOptions {
+            tolerance: 0.5,
+            ..CheckOptions::default()
+        };
+        assert!(check_text(&bad, &base, &loose).is_ok());
+    }
+
+    #[test]
+    fn improvements_and_ungated_metrics_pass() {
+        let base = summary(&[("a", "messages", 100.0), ("a", "ratio", 1.0)]);
+        // messages improved; 'ratio' is not a gated metric and may grow.
+        let cur = summary(&[("a", "messages", 50.0), ("a", "ratio", 99.0)]);
+        let report = check_text(&cur, &base, &CheckOptions::default()).unwrap();
+        assert!(report.contains("1 (point, metric) pairs compared"));
+    }
+
+    #[test]
+    fn custom_metric_list_is_honored() {
+        let base = summary(&[("a", "ratio", 1.0)]);
+        let cur = summary(&[("a", "ratio", 2.0)]);
+        let opts = CheckOptions {
+            metrics: vec!["ratio".into()],
+            ..CheckOptions::default()
+        };
+        assert!(matches!(
+            check_text(&cur, &base, &opts),
+            Err(LabError::Regression(_))
+        ));
+    }
+
+    #[test]
+    fn missing_points_are_counted_not_failed() {
+        let base = summary(&[("a", "messages", 100.0), ("b", "messages", 100.0)]);
+        let cur = summary(&[("a", "messages", 100.0)]);
+        let report = check_text(&cur, &base, &CheckOptions::default()).unwrap();
+        assert!(report.contains("1 baseline pairs absent"));
+    }
+
+    #[test]
+    fn negative_baselines_compare_sanely() {
+        let base = summary(&[("a", "slope", -5.0)]);
+        let opts = CheckOptions {
+            metrics: vec!["slope".into()],
+            ..CheckOptions::default()
+        };
+        // Identical negative means must pass...
+        assert!(check_text(&base, &base, &opts).is_ok());
+        // ...growth within the |mean|-scaled band passes...
+        let ok = summary(&[("a", "slope", -4.0)]);
+        assert!(check_text(&ok, &base, &opts).is_ok());
+        // ...and growth beyond it fails.
+        let bad = summary(&[("a", "slope", -3.0)]);
+        assert!(matches!(
+            check_text(&bad, &base, &opts),
+            Err(LabError::Regression(_))
+        ));
+    }
+
+    #[test]
+    fn zero_baseline_tolerates_zero_but_not_growth() {
+        let base = summary(&[("a", "messages", 0.0)]);
+        assert!(check_text(&base, &base, &CheckOptions::default()).is_ok());
+        let cur = summary(&[("a", "messages", 5.0)]);
+        assert!(matches!(
+            check_text(&cur, &base, &CheckOptions::default()),
+            Err(LabError::Regression(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(check_text("", "", &CheckOptions::default()).is_err());
+        let noheader = "a,b,c\n1,2,3\n";
+        assert!(matches!(
+            check_text(noheader, noheader, &CheckOptions::default()),
+            Err(LabError::BadRecord(_))
+        ));
+        let base = summary(&[("a", "messages", 1.0)]);
+        let bad_mean = format!("{HEADER}\na,fam,-,8,messages,4,not-a-number,0,0,0,0,false\n");
+        assert!(matches!(
+            check_text(&bad_mean, &base, &CheckOptions::default()),
+            Err(LabError::BadRecord(_))
+        ));
+        // Disjoint summaries: nothing comparable.
+        let other = summary(&[("z", "messages", 1.0)]);
+        assert!(matches!(
+            check_text(&other, &base, &CheckOptions::default()),
+            Err(LabError::BadRecord(_))
+        ));
+    }
+
+    #[test]
+    fn quoted_points_roundtrip() {
+        let base = format!("{HEADER}\n\"p,with,commas\",fam,-,8,messages,4,10,0,10,10,10,false\n");
+        let cur =
+            format!("{HEADER}\n\"p,with,commas\",fam,-,8,messages,4,100,0,100,100,100,false\n");
+        assert!(matches!(
+            check_text(&cur, &base, &CheckOptions::default()),
+            Err(LabError::Regression(_))
+        ));
+    }
+}

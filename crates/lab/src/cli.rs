@@ -5,12 +5,17 @@
 //! ale-lab list
 //! ale-lab run <scenario> [--seeds N] [--workers N] [--master-seed S]
 //!                        [--quick] [--n 64,128] [--topo complete:64,...]
+//!                        [--algo this-work,kutten15] [--shard i/k]
 //!                        [--out DIR] [--quiet]
 //! ale-lab export <trials.jsonl> [--csv PATH]
+//! ale-lab check <summary.csv> --baseline <summary.csv>
+//!               [--tolerance 0.25] [--metrics rounds,messages]
 //! ```
 
+use crate::check::{check_files, CheckOptions};
 use crate::engine::{execute, RunSpec};
 use crate::registry;
+use crate::runners::Algorithm;
 use crate::scenario::LabError;
 use ale_graph::Topology;
 use std::path::PathBuf;
@@ -24,6 +29,9 @@ USAGE:
     ale-lab run <scenario> [options]   run a scenario's grid × seed fleet
     ale-lab export <trials.jsonl> [--csv PATH]
                                        convert a stored JSONL log to CSV
+    ale-lab check <summary.csv> --baseline <summary.csv> [options]
+                                       fail (exit 1) on cost regressions
+                                       vs a stored baseline summary
     ale-lab help                       this text
 
 RUN OPTIONS:
@@ -31,17 +39,34 @@ RUN OPTIONS:
     --workers N       worker threads (default: available parallelism)
     --master-seed S   master seed for the trial-seed stream (default 1)
     --quick           shrink the grid and seed counts for a smoke run
-    --n A,B,...       override the scenario's size sweep
+    --n A,B,...       override the scenario's size sweep (diffusion/
+                      thresholds/walks build sparse large-n ladders)
     --topo T,...      override the topology list (e.g. complete:64,
                       torus:8x8, rregular:64x4, cycle:32)
+    --algo A,B,...    run only these algorithms of an algorithm-grid
+                      scenario (this-work, gilbert18, kutten15,
+                      flood-chg, flood-all); seeds stay aligned with
+                      the unfiltered run
+    --shard I/K       run every K-th grid point starting at I; the K
+                      shards of a sweep union to the full run byte for
+                      byte (manifest records the shard)
     --out DIR         persist manifest.json, trials.jsonl, trials.csv,
                       summary.csv under DIR
     --quiet           suppress progress lines on stderr
 
+CHECK OPTIONS:
+    --baseline PATH   the baseline summary.csv (required)
+    --tolerance T     allowed relative mean growth (default 0.25)
+    --metrics A,B     metrics to gate (default rounds, congest_rounds,
+                      messages, bits)
+
 EXAMPLES:
     ale-lab run table1 --n 64 --seeds 32 --workers 8 --out runs/table1
-    ale-lab run cautious --quick
+    ale-lab run table1 --algo this-work,kutten15 --quick
+    ale-lab run diffusion --n 20000 --quick
+    ale-lab run scaling --shard 0/4 --out runs/shard0
     ale-lab export runs/table1/trials.jsonl --csv runs/table1/flat.csv
+    ale-lab check runs/new/summary.csv --baseline runs/base/summary.csv
 ";
 
 fn parse_u64(flag: &str, value: Option<String>) -> Result<u64, LabError> {
@@ -91,6 +116,31 @@ fn parse_args(args: &[String]) -> Result<(String, RunSpec), LabError> {
                     spec.grid.topologies.push(topo);
                 }
             }
+            "--algo" => {
+                let list = it
+                    .next()
+                    .ok_or_else(|| LabError::BadArgs("--algo needs a value".into()))?;
+                for piece in list.split(',') {
+                    let algo = Algorithm::from_name(piece.trim()).ok_or_else(|| {
+                        LabError::BadArgs(format!(
+                            "--algo: unknown algorithm '{}' (known: {})",
+                            piece.trim(),
+                            Algorithm::ALL
+                                .iter()
+                                .map(|a| a.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    })?;
+                    spec.algos.push(algo);
+                }
+            }
+            "--shard" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| LabError::BadArgs("--shard needs a value (i/k)".into()))?;
+                spec.shard = parse_shard(&value)?;
+            }
             "--out" => {
                 spec.out =
                     Some(PathBuf::from(it.next().ok_or_else(|| {
@@ -105,6 +155,17 @@ fn parse_args(args: &[String]) -> Result<(String, RunSpec), LabError> {
         }
     }
     Ok((scenario, spec))
+}
+
+fn parse_shard(value: &str) -> Result<(u64, u64), LabError> {
+    let bad = || LabError::BadArgs(format!("--shard: '{value}' is not i/k with i < k"));
+    let (i, k) = value.split_once('/').ok_or_else(bad)?;
+    let i: u64 = i.trim().parse().map_err(|_| bad())?;
+    let k: u64 = k.trim().parse().map_err(|_| bad())?;
+    if k == 0 || i >= k {
+        return Err(bad());
+    }
+    Ok((i, k))
 }
 
 fn cmd_list() -> String {
@@ -163,6 +224,48 @@ fn cmd_export(args: &[String]) -> Result<String, LabError> {
     }
 }
 
+fn cmd_check(args: &[String]) -> Result<String, LabError> {
+    let mut it = args.iter().cloned();
+    let current = PathBuf::from(
+        it.next()
+            .ok_or_else(|| LabError::BadArgs("check needs a summary.csv path".into()))?,
+    );
+    let mut baseline: Option<PathBuf> = None;
+    let mut opts = CheckOptions::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        LabError::BadArgs("--baseline needs a path".into())
+                    })?));
+            }
+            "--tolerance" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| LabError::BadArgs("--tolerance needs a value".into()))?;
+                opts.tolerance = v.parse().map_err(|_| {
+                    LabError::BadArgs(format!("--tolerance: '{v}' is not a number"))
+                })?;
+                if opts.tolerance.is_nan() || opts.tolerance < 0.0 {
+                    return Err(LabError::BadArgs("--tolerance must be non-negative".into()));
+                }
+            }
+            "--metrics" => {
+                let list = it
+                    .next()
+                    .ok_or_else(|| LabError::BadArgs("--metrics needs a value".into()))?;
+                opts.metrics
+                    .extend(list.split(',').map(|m| m.trim().to_string()));
+            }
+            other => return Err(LabError::BadArgs(format!("unknown check option '{other}'"))),
+        }
+    }
+    let baseline =
+        baseline.ok_or_else(|| LabError::BadArgs("check requires --baseline <path>".into()))?;
+    check_files(&current, &baseline, &opts)
+}
+
 /// Runs the CLI on pre-split arguments (no `argv[0]`), returning the text
 /// to print on success.
 ///
@@ -175,6 +278,7 @@ pub fn run(args: &[String]) -> Result<String, LabError> {
         Some("list") => Ok(cmd_list()),
         Some("run") => cmd_run(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some(other) => Err(LabError::BadArgs(format!(
             "unknown command '{other}' (see `ale-lab help`)"
         ))),
@@ -189,13 +293,18 @@ fn emit(text: &str) {
 }
 
 /// Entry point for `main`: parses `std::env::args`, prints, returns the
-/// process exit code.
+/// process exit code — 0 on success, 1 when `check` found regressions,
+/// 2 on usage/runtime errors.
 pub fn main_from_env() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(text) => {
             emit(&text);
             0
+        }
+        Err(e @ LabError::Regression(_)) => {
+            eprintln!("ale-lab: {e}");
+            1
         }
         Err(e) => {
             eprintln!("ale-lab: {e}");
@@ -292,5 +401,85 @@ mod tests {
         assert!(parse_args(&strs(&["t", "--seeds", "many"])).is_err());
         assert!(parse_args(&strs(&["t", "--n", "64,x"])).is_err());
         assert!(parse_args(&strs(&["t", "--topo", "klein-bottle:4"])).is_err());
+    }
+
+    #[test]
+    fn parses_algo_and_shard() {
+        let (_, spec) = parse_args(&strs(&[
+            "table1",
+            "--algo",
+            "this-work,kutten15",
+            "--shard",
+            "2/4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            spec.algos,
+            vec![
+                crate::runners::Algorithm::ThisWork,
+                crate::runners::Algorithm::Kutten
+            ]
+        );
+        assert_eq!(spec.shard, (2, 4));
+        assert!(parse_args(&strs(&["t", "--algo", "nonesuch"])).is_err());
+        for bad in ["4/4", "x/2", "1", "2/0"] {
+            assert!(parse_args(&strs(&["t", "--shard", bad])).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn check_subcommand_gates_regressions() {
+        let dir = std::env::temp_dir().join(format!("ale-lab-cli-check-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let header = "point,family,algorithm,n,metric,count,mean,ci95,median,min,max,spilled";
+        let base = dir.join("base.csv");
+        let cur = dir.join("cur.csv");
+        std::fs::write(
+            &base,
+            format!("{header}\np,f,-,8,messages,4,100,0,100,100,100,false\n"),
+        )
+        .unwrap();
+        std::fs::write(
+            &cur,
+            format!("{header}\np,f,-,8,messages,4,300,0,300,300,300,false\n"),
+        )
+        .unwrap();
+        let base_s = base.to_string_lossy().to_string();
+        let cur_s = cur.to_string_lossy().to_string();
+        // Self-check passes.
+        assert!(run(&strs(&["check", &base_s, "--baseline", &base_s])).is_ok());
+        // 3x growth fails with the Regression variant...
+        let err = run(&strs(&["check", &cur_s, "--baseline", &base_s])).unwrap_err();
+        assert!(matches!(err, LabError::Regression(_)));
+        // ...unless the tolerance admits it.
+        assert!(run(&strs(&[
+            "check",
+            &cur_s,
+            "--baseline",
+            &base_s,
+            "--tolerance",
+            "5.0"
+        ]))
+        .is_ok());
+        // Gating a different metric ignores messages.
+        assert!(run(&strs(&[
+            "check",
+            &cur_s,
+            "--baseline",
+            &base_s,
+            "--metrics",
+            "bits"
+        ]))
+        .is_err()); // nothing comparable -> BadRecord, still an error
+                    // Missing --baseline and unknown options are usage errors.
+        assert!(matches!(
+            run(&strs(&["check", &cur_s])),
+            Err(LabError::BadArgs(_))
+        ));
+        assert!(matches!(
+            run(&strs(&["check", &cur_s, "--frob"])),
+            Err(LabError::BadArgs(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,13 +1,20 @@
-//! The run engine: grid expansion → parallel binding → seed-fleet
-//! execution → streaming aggregation → persistence.
+//! The run engine: grid expansion → point selection (`--algo` filter,
+//! `--shard` slicing) → parallel binding → seed-fleet execution →
+//! streaming aggregation → persistence.
 //!
 //! Determinism contract: given the same scenario, grid config, master
 //! seed, and seed counts, two runs produce identical `Vec<TrialRecord>`
 //! at *any* worker count — trial seeds are derived positionally
 //! ([`crate::fleet::derive_seed`]) and results are merged in task order.
+//! Selection composes with that contract: seeds derive from a point's
+//! position in the **full** grid, so a filtered or sharded run reproduces
+//! exactly the trials the full run would have produced for those points —
+//! the shards of a `--shard 0/k .. (k-1)/k` sweep union to the full run
+//! byte for byte.
 
 use crate::agg::RunSummary;
 use crate::fleet;
+use crate::runners::Algorithm;
 use crate::scenario::{GridConfig, LabError, Scenario, TrialRecord};
 use std::path::PathBuf;
 
@@ -22,6 +29,12 @@ pub struct RunSpec {
     pub workers: usize,
     /// Grid-shaping flags.
     pub grid: GridConfig,
+    /// `--algo` filter: run only grid points whose algorithm is listed
+    /// (empty → no filter).
+    pub algos: Vec<Algorithm>,
+    /// `--shard i/k`: run every `k`-th selected point starting at `i`.
+    /// `(0, 1)` is the whole run.
+    pub shard: (u64, u64),
     /// Output directory for the result store (`None` → in-memory only).
     pub out: Option<PathBuf>,
     /// Emit progress lines to stderr.
@@ -35,6 +48,8 @@ impl Default for RunSpec {
             seeds: None,
             workers: fleet::default_workers(),
             grid: GridConfig::default(),
+            algos: Vec::new(),
+            shard: (0, 1),
             out: None,
             progress: false,
         }
@@ -58,13 +73,52 @@ pub struct RunOutput {
 ///
 /// Propagates grid/bind/trial failures and result-store IO errors.
 pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, LabError> {
-    let grid = scenario.grid(&spec.grid)?;
-    if grid.is_empty() {
+    let full_grid = scenario.grid(&spec.grid)?;
+    if full_grid.is_empty() {
         return Err(LabError::BadArgs(format!(
             "scenario '{}' produced an empty grid for these arguments",
             scenario.name()
         )));
     }
+    let (shard_i, shard_k) = spec.shard;
+    if shard_k == 0 || shard_i >= shard_k {
+        return Err(LabError::BadArgs(format!(
+            "--shard {shard_i}/{shard_k}: the index must be below the count"
+        )));
+    }
+
+    // Selection: keep each point's ORIGINAL grid index — the seed stream
+    // discriminator — so filtered/sharded runs reproduce the full run's
+    // trials for the points they execute.
+    let mut selected: Vec<usize> = (0..full_grid.len()).collect();
+    if !spec.algos.is_empty() {
+        selected.retain(|&i| {
+            full_grid[i]
+                .algorithm
+                .is_some_and(|a| spec.algos.contains(&a))
+        });
+        if selected.is_empty() {
+            return Err(LabError::BadArgs(format!(
+                "--algo matched no grid points of scenario '{}' (does it have an algorithm axis?)",
+                scenario.name()
+            )));
+        }
+    }
+    if shard_k > 1 {
+        selected = selected
+            .into_iter()
+            .enumerate()
+            .filter(|(pos, _)| *pos as u64 % shard_k == shard_i)
+            .map(|(_, i)| i)
+            .collect();
+        if selected.is_empty() {
+            return Err(LabError::BadArgs(format!(
+                "shard {shard_i}/{shard_k} selects no grid points"
+            )));
+        }
+    }
+    let grid: Vec<_> = selected.iter().map(|&i| full_grid[i].clone()).collect();
+
     let seeds_global = spec
         .seeds
         .unwrap_or_else(|| scenario.default_seeds(spec.grid.quick));
@@ -101,12 +155,14 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
     let grid_ref = &grid;
     let binders_ref = &binders;
     let offsets_ref = &offsets;
+    let selected_ref = &selected;
     let task = move |t: usize| -> Result<(usize, TrialRecord), LabError> {
         let t = t as u64;
         // partition_point: first offset beyond t identifies the point.
         let pi = offsets_ref.partition_point(|&o| o <= t) - 1;
         let si = t - offsets_ref[pi];
-        let seed = fleet::derive_seed(master, pi as u64, si);
+        // Seed stream = the point's position in the FULL grid.
+        let seed = fleet::derive_seed(master, selected_ref[pi] as u64, si);
         let record = binders_ref[pi](seed)?;
         Ok((pi, record))
     };
@@ -140,6 +196,7 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
             workers,
             grid_ref.iter().map(|p| p.label.clone()).collect(),
             spec.grid.quick,
+            &format!("{shard_i}/{shard_k}"),
         );
         crate::store::write_run(dir, &manifest, &records, &summary)?;
     }
@@ -241,6 +298,128 @@ mod tests {
         )
         .unwrap();
         assert_ne!(base.records, reseeded.records);
+    }
+
+    /// A scenario with an algorithm axis, for filter/shard tests.
+    struct AlgoGrid;
+
+    impl Scenario for AlgoGrid {
+        fn name(&self) -> &'static str {
+            "algo-grid"
+        }
+        fn description(&self) -> &'static str {
+            "test scenario with algorithms"
+        }
+        fn default_seeds(&self, _quick: bool) -> u64 {
+            4
+        }
+        fn grid(&self, _cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
+            Ok(crate::runners::Algorithm::ALL
+                .iter()
+                .map(|&a| {
+                    GridPoint::new(format!("p/{a}"))
+                        .on(Topology::Cycle { n: 8 })
+                        .algo(a)
+                })
+                .collect())
+        }
+        fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
+            let point = point.clone();
+            Ok(Box::new(move |seed| {
+                let mut r = TrialRecord::new("algo-grid", &point, seed);
+                r.ok = true;
+                Ok(r)
+            }))
+        }
+    }
+
+    #[test]
+    fn algo_filter_preserves_full_run_seeds() {
+        use crate::runners::Algorithm;
+        let full = execute(&AlgoGrid, &RunSpec::default()).unwrap();
+        let filtered = execute(
+            &AlgoGrid,
+            &RunSpec {
+                algos: vec![Algorithm::Kutten],
+                ..RunSpec::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(filtered.records.len(), 4);
+        let full_kutten: Vec<_> = full
+            .records
+            .iter()
+            .filter(|r| r.algorithm == "kutten15")
+            .cloned()
+            .collect();
+        // Same seeds (and everything else) as the full run's kutten rows.
+        assert_eq!(filtered.records, full_kutten);
+    }
+
+    #[test]
+    fn algo_filter_with_no_matches_errors() {
+        use crate::runners::Algorithm;
+        let err = execute(
+            &Synthetic,
+            &RunSpec {
+                algos: vec![Algorithm::Kutten],
+                ..RunSpec::default()
+            },
+        );
+        assert!(matches!(err, Err(LabError::BadArgs(_))));
+    }
+
+    #[test]
+    fn shards_union_to_the_full_run() {
+        let full = execute(&AlgoGrid, &RunSpec::default()).unwrap();
+        let mut unioned: Vec<TrialRecord> = Vec::new();
+        for i in 0..3u64 {
+            let shard = execute(
+                &AlgoGrid,
+                &RunSpec {
+                    shard: (i, 3),
+                    ..RunSpec::default()
+                },
+            )
+            .unwrap();
+            unioned.extend(shard.records);
+        }
+        // Same multiset of trials; order differs (interleaved points).
+        let key = |r: &TrialRecord| (r.point.clone(), r.seed);
+        let mut a: Vec<_> = full.records.iter().map(key).collect();
+        let mut b: Vec<_> = unioned.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // And the records themselves are bit-identical per (point, seed).
+        let by_key: std::collections::HashMap<_, _> =
+            unioned.iter().map(|r| (key(r), r.clone())).collect();
+        for r in &full.records {
+            assert_eq!(&by_key[&key(r)], r);
+        }
+    }
+
+    #[test]
+    fn bad_shards_are_rejected() {
+        for shard in [(1, 1), (3, 3), (0, 0)] {
+            let err = execute(
+                &AlgoGrid,
+                &RunSpec {
+                    shard,
+                    ..RunSpec::default()
+                },
+            );
+            assert!(matches!(err, Err(LabError::BadArgs(_))), "shard {shard:?}");
+        }
+        // A shard index beyond the grid size selects nothing.
+        let err = execute(
+            &Synthetic,
+            &RunSpec {
+                shard: (2, 3),
+                ..RunSpec::default()
+            },
+        );
+        assert!(matches!(err, Err(LabError::BadArgs(_))));
     }
 
     #[test]

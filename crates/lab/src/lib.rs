@@ -20,8 +20,9 @@
 //! * [`engine`] — grid → bind → fleet → aggregate → store;
 //! * [`agg`] / [`stats`] — streaming statistics;
 //! * [`store`] / [`json`] — JSONL/CSV persistence with manifests;
-//! * [`cli`] — the `ale-lab` binary (`list | run | export`), also backing
-//!   the legacy per-figure binaries in `ale-bench`;
+//! * [`check`] — baseline regression gating over `summary.csv` files;
+//! * [`cli`] — the `ale-lab` binary (`list | run | export | check`), also
+//!   backing the legacy per-figure binaries in `ale-bench`;
 //! * [`runners`], [`table`], [`fit`] — the shared driver/report plumbing
 //!   (moved here from `ale-bench`, which re-exports them).
 //!
@@ -48,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod check;
 pub mod cli;
 pub mod engine;
 pub mod fit;

@@ -36,6 +36,10 @@ pub enum LabError {
     UnknownScenario(String),
     /// Persistence layer found a malformed record.
     BadRecord(String),
+    /// `check` found cost regressions beyond tolerance (the payload is the
+    /// rendered comparison report). Maps to a distinct exit code so CI can
+    /// tell "run failed" from "run regressed".
+    Regression(String),
 }
 
 impl fmt::Display for LabError {
@@ -49,6 +53,7 @@ impl fmt::Display for LabError {
                 write!(f, "unknown scenario '{name}' (see `ale-lab list`)")
             }
             LabError::BadRecord(msg) => write!(f, "bad record: {msg}"),
+            LabError::Regression(msg) => write!(f, "regression detected:\n{msg}"),
         }
     }
 }

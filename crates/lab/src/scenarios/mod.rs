@@ -2,6 +2,9 @@
 //! binary re-registered as a data-driven spec over the lab's
 //! grid × seed-fleet engine.
 
+use crate::scenario::LabError;
+use ale_graph::{analytic, cuts, spectral_sparse, Graph, Topology};
+
 mod ablation;
 mod cautious;
 mod certification;
@@ -25,3 +28,91 @@ pub use scaling::Scaling;
 pub use table1::Table1;
 pub use thresholds::Thresholds;
 pub use walks::Walks;
+
+/// Isoperimetric-number estimate that works at any scale: the exact
+/// exponential cut oracle up to its brute-force limit, the family's closed
+/// form when the topology has one, and the spectral lower bound
+/// `i(G) ≥ gap·d_min` otherwise. This is what lets the diffusion-family
+/// scenarios price their Lemma 4/5 bounds on 20 000-node graphs where the
+/// exact oracle is unreachable.
+pub(crate) fn isoperimetric_estimate(graph: &Graph, topo: &Topology) -> Result<f64, LabError> {
+    if let Ok(v) = cuts::isoperimetric_exact(graph) {
+        return Ok(v);
+    }
+    if let Some(v) = analytic::hints(topo).isoperimetric {
+        return Ok(v);
+    }
+    let gap = spectral_sparse::lazy_spectral_gap(graph, 1e-11, 5_000_000)
+        .map_err(|e| LabError::BadArgs(format!("spectral i(G) fallback: {e}")))?;
+    let d_min = (0..graph.n()).map(|v| graph.degree(v)).min().unwrap_or(1);
+    Ok((gap * d_min as f64).max(f64::MIN_POSITIVE))
+}
+
+/// The large-n sparse-topology ladder the diffusion-family scenarios share:
+/// for each requested `n`, a torus (side `⌊√n⌋`), a ring, and a 4-regular
+/// random graph (expander) — the three conductance regimes
+/// (`Θ(1/√n)`, `Θ(1/n)`, `Θ(1)`) at the same scale.
+pub(crate) fn large_n_topologies(ns: &[usize]) -> Vec<Topology> {
+    let mut topos = Vec::with_capacity(ns.len() * 3);
+    for &n in ns {
+        let side = (n as f64).sqrt().floor() as usize;
+        if side >= 3 {
+            topos.push(Topology::Grid2d {
+                rows: side,
+                cols: side,
+                torus: true,
+            });
+        }
+        if n >= 3 {
+            topos.push(Topology::Cycle { n });
+        }
+        if n >= 6 {
+            topos.push(Topology::RandomRegular { n, d: 4 });
+        }
+    }
+    topos
+}
+
+#[cfg(test)]
+mod shared_tests {
+    use super::*;
+
+    #[test]
+    fn isoperimetric_estimate_picks_the_right_oracle() {
+        // Small graph: exact.
+        let topo = Topology::Cycle { n: 8 };
+        let g = topo.build(0).unwrap();
+        let exact = isoperimetric_estimate(&g, &topo).unwrap();
+        assert!((exact - 0.5).abs() < 1e-12, "C8 i(G) = 2/4, got {exact}");
+        // Large known family: analytic closed form.
+        let topo = Topology::Cycle { n: 4000 };
+        let g = topo.build(0).unwrap();
+        let hinted = isoperimetric_estimate(&g, &topo).unwrap();
+        assert!((hinted - 2.0 / 2000.0).abs() < 1e-12, "got {hinted}");
+        // Large family without a closed form: positive spectral bound.
+        let topo = Topology::RandomRegular { n: 256, d: 4 };
+        let g = topo.build(3).unwrap();
+        let spectral = isoperimetric_estimate(&g, &topo).unwrap();
+        assert!(spectral > 0.0);
+    }
+
+    #[test]
+    fn large_n_ladder_covers_three_regimes() {
+        let topos = large_n_topologies(&[20_000]);
+        assert_eq!(topos.len(), 3);
+        assert!(matches!(
+            topos[0],
+            Topology::Grid2d {
+                rows: 141,
+                cols: 141,
+                torus: true
+            }
+        ));
+        assert!(matches!(topos[1], Topology::Cycle { n: 20_000 }));
+        assert!(matches!(
+            topos[2],
+            Topology::RandomRegular { n: 20_000, d: 4 }
+        ));
+        assert!(large_n_topologies(&[]).is_empty());
+    }
+}

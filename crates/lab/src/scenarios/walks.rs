@@ -5,6 +5,12 @@
 //! ≈ 1.00 — the Lemma 2 claim. Stress regime (pinned-small territories,
 //! 1/16 walk length, 3 candidates): hit rates rise with the walk count
 //! `x`, exposing the knee the paper's `x` protects against.
+//!
+//! `--n` swaps the grid for 4-regular expanders at each requested size,
+//! paper regime only: graph properties come from the sparse spectral
+//! path (`O(m)` CSR power iteration), and expanders are the family whose
+//! `O(t_mix)` walk budgets stay simulable at `n ≥ 20 000` (ring/torus
+//! mixing times at that scale exceed any CONGEST budget).
 
 use crate::agg::RunSummary;
 use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
@@ -14,6 +20,9 @@ use ale_core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
 use ale_graph::{GraphProps, NetworkKnowledge, Topology};
 
 const GRAPH_SEED: u64 = 9;
+/// Above this size only the paper regime at `mult = 1` runs (the stress
+/// regime's many knee points would multiply an already-large CONGEST cost).
+const LARGE_N: usize = 2048;
 
 /// The walk-hitting scenario.
 pub struct Walks;
@@ -21,6 +30,13 @@ pub struct Walks;
 fn default_topologies(cfg: &GridConfig) -> Vec<Topology> {
     if !cfg.topologies.is_empty() {
         return cfg.topologies.clone();
+    }
+    if !cfg.ns.is_empty() {
+        return cfg
+            .ns
+            .iter()
+            .map(|&n| Topology::RandomRegular { n, d: 4 })
+            .collect();
     }
     vec![
         Topology::RandomRegular { n: 128, d: 4 },
@@ -52,6 +68,19 @@ impl Scenario for Walks {
     fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
         let mut points = Vec::new();
         for topo in default_topologies(cfg) {
+            if topo.node_count() > LARGE_N {
+                // No per-point seed pin: each trial is a full CONGEST
+                // simulation, so the caller sizes the fleet with --seeds
+                // (the scenario default applies otherwise).
+                points.push(
+                    GridPoint::new(format!("{topo}/paper/mult=1"))
+                        .on(topo)
+                        .knowing(Knowledge::Full)
+                        .with("mult", 1.0)
+                        .with("candidates", 6.0),
+                );
+                continue;
+            }
             for mult in [0.25, 0.5, 1.0, 2.0] {
                 points.push(
                     GridPoint::new(format!("{topo}/paper/mult={mult}"))
@@ -213,5 +242,20 @@ mod tests {
         assert_eq!(grid.len(), 2 * (4 + 5));
         assert!(grid.iter().any(|p| p.label.contains("/paper/")));
         assert!(grid.iter().any(|p| p.label.contains("/stress/")));
+    }
+
+    #[test]
+    fn ns_override_is_paper_regime_expanders_only() {
+        let grid = Walks
+            .grid(&GridConfig {
+                ns: vec![20_000],
+                ..GridConfig::default()
+            })
+            .unwrap();
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid[0].n, 20_000);
+        assert!(grid[0].label.contains("/paper/"));
+        // No seed pin: --seeds must be honored for large sweeps.
+        assert_eq!(grid[0].seeds, None);
     }
 }

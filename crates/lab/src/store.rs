@@ -42,6 +42,12 @@ pub struct RunManifest {
     pub git: String,
     /// Whether the quick grid was used.
     pub quick: bool,
+    /// Grid shard this run executed, as `"i/k"` (`"0/1"` = the whole
+    /// grid). Shards of one logical sweep share the scenario, master
+    /// seed, seed count, and quick flag — a merge tool should verify
+    /// those before unioning JSONL logs — while `grid` lists only the
+    /// labels this shard selected and `workers` may differ per machine.
+    pub shard: String,
     /// Manifest schema version.
     pub version: u32,
 }
@@ -55,6 +61,7 @@ impl RunManifest {
         workers: usize,
         grid: Vec<String>,
         quick: bool,
+        shard: &str,
     ) -> Self {
         RunManifest {
             scenario: scenario.to_string(),
@@ -64,6 +71,7 @@ impl RunManifest {
             grid,
             git: git_describe(),
             quick,
+            shard: shard.to_string(),
             version: 1,
         }
     }
@@ -112,6 +120,12 @@ impl RunManifest {
             quick: need("quick")?
                 .as_bool()
                 .ok_or_else(|| LabError::BadRecord("'quick' not a bool".into()))?,
+            // Absent in pre-shard manifests: default to the whole grid.
+            shard: v
+                .get("shard")
+                .and_then(Value::as_str)
+                .unwrap_or("0/1")
+                .to_string(),
             version: need("version")?
                 .as_u64()
                 .ok_or_else(|| LabError::BadRecord("'version' not a u64".into()))?
@@ -133,6 +147,7 @@ impl ToJson for RunManifest {
             ),
             ("git".to_string(), Value::Str(self.git.clone())),
             ("quick".to_string(), Value::Bool(self.quick)),
+            ("shard".to_string(), Value::Str(self.shard.clone())),
             ("version".to_string(), Value::UInt(self.version as u64)),
         ])
     }
@@ -332,6 +347,7 @@ mod tests {
             1,
             vec!["cell-a".into(), "cell-b".into()],
             false,
+            "2/4",
         );
         write_run(&dir, &manifest, &records, &summary).unwrap();
 
@@ -348,6 +364,19 @@ mod tests {
         assert_eq!(lines.count(), 2);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pre_shard_manifests_parse_with_default_shard() {
+        let manifest = RunManifest::for_run("demo", 1, 2, 3, vec!["a".into()], true, "0/1");
+        let mut v = manifest.to_json();
+        // Simulate a manifest written before the shard field existed.
+        if let Value::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "shard");
+        }
+        let back = RunManifest::from_json(&v).unwrap();
+        assert_eq!(back.shard, "0/1");
+        assert_eq!(back.scenario, "demo");
     }
 
     #[test]

@@ -21,8 +21,7 @@ fn quick_spec(workers: usize, master_seed: u64) -> RunSpec {
             quick: true,
             ..GridConfig::default()
         },
-        out: None,
-        progress: false,
+        ..RunSpec::default()
     }
 }
 
@@ -98,6 +97,7 @@ fn store_roundtrip_jsonl_to_csv() {
     assert_eq!(manifest.scenario, "cautious");
     assert_eq!(manifest.master_seed, 11);
     assert_eq!(manifest.grid.len(), out.summary.points.len());
+    assert_eq!(manifest.shard, "0/1");
 
     // JSONL → CSV has one row per record plus a header, and the CSV on
     // disk (written by the engine) matches the converter's output.
@@ -112,6 +112,27 @@ fn store_roundtrip_jsonl_to_csv() {
     assert_eq!(reloaded, rerun.records);
     assert_eq!(rerun.records, out.records);
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_store_records_the_shard_and_reuses_full_run_seeds() {
+    let scenario = registry::find("cautious").expect("registered");
+    let dir = std::env::temp_dir().join(format!("ale-lab-shard-{}", std::process::id()));
+    let full = execute(scenario.as_ref(), &quick_spec(4, 11)).expect("full run");
+    let spec = RunSpec {
+        out: Some(dir.clone()),
+        shard: (1, 2),
+        ..quick_spec(4, 11)
+    };
+    let shard = execute(scenario.as_ref(), &spec).expect("sharded run");
+    let manifest = store::load_manifest(&dir.join("manifest.json")).expect("manifest");
+    assert_eq!(manifest.shard, "1/2");
+    assert!(shard.records.len() < full.records.len());
+    // Every sharded trial appears bit-identically in the full run.
+    for r in &shard.records {
+        assert!(full.records.contains(r), "missing {}/{}", r.point, r.seed);
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -12,9 +12,63 @@
 //! `S` is symmetric and doubly stochastic whenever `α·deg(i) ≤ 1` for all
 //! `i`, which makes its stationary distribution uniform — the fact Lemma 3
 //! rests on.
+//!
+//! A chain stores its matrix as a [`Transition`], so the same `MarkovChain`
+//! API runs on a dense [`Matrix`] or a sparse [`crate::CsrMatrix`]. The
+//! `*_sparse` constructors (and the `Graph`-taking helpers in `ale-graph`)
+//! produce the CSR backend, whose `step` costs `O(m)` — the representation
+//! the large-n scenario sweeps depend on.
 
 use crate::error::MarkovError;
-use crate::matrix::{vecops, Matrix, EPS};
+use crate::matrix::{vecops, CsrMatrix, Matrix, EPS};
+use crate::transition::Transition;
+
+/// CSR row entries of the lazy random walk at node `i` with neighbors
+/// `nbrs`: the self-loop `½` plus `½/deg` per neighbor.
+///
+/// Shared by [`MarkovChain::lazy_random_walk_sparse`] and the
+/// `Graph`-taking constructors in `ale-graph`, so the two build paths
+/// cannot drift.
+///
+/// # Panics
+///
+/// Panics when `nbrs` is empty (the walk is undefined at an isolated
+/// node); constructors reject that case first.
+pub fn lazy_walk_row(i: usize, nbrs: &[usize]) -> Vec<(usize, f64)> {
+    assert!(!nbrs.is_empty(), "lazy walk undefined at isolated node {i}");
+    let w = 0.5 / nbrs.len() as f64;
+    let mut entries = Vec::with_capacity(nbrs.len() + 1);
+    entries.push((i, 0.5));
+    entries.extend(nbrs.iter().map(|&j| (j, w)));
+    entries
+}
+
+/// CSR row entries of the diffusion matrix at node `i`: `α` per neighbor
+/// and `1 − α·deg(i)` on the diagonal (clamped at 0 within tolerance).
+///
+/// Shared by [`MarkovChain::diffusion_sparse`] and the `Graph`-taking
+/// constructors in `ale-graph`.
+///
+/// # Errors
+///
+/// [`MarkovError::NotStochastic`] when `α·deg(i) > 1` beyond [`EPS`].
+pub fn diffusion_row(
+    i: usize,
+    nbrs: &[usize],
+    alpha: f64,
+) -> Result<Vec<(usize, f64)>, MarkovError> {
+    let self_weight = 1.0 - alpha * nbrs.len() as f64;
+    if self_weight < -EPS {
+        return Err(MarkovError::NotStochastic {
+            row: i,
+            sum: self_weight,
+        });
+    }
+    let mut entries = Vec::with_capacity(nbrs.len() + 1);
+    entries.push((i, self_weight.max(0.0)));
+    entries.extend(nbrs.iter().map(|&j| (j, alpha)));
+    Ok(entries)
+}
 
 /// A finite Markov chain given by a row-stochastic transition matrix.
 ///
@@ -27,23 +81,27 @@ use crate::matrix::{vecops, Matrix, EPS};
 /// let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
 /// let chain = MarkovChain::lazy_random_walk(&adj)?;
 /// assert_eq!(chain.len(), 3);
-/// assert!(chain.matrix().is_doubly_stochastic());
+/// assert!(chain.transition().is_doubly_stochastic());
+///
+/// // The same chain on the sparse backend agrees step for step.
+/// let sparse = MarkovChain::lazy_random_walk_sparse(&adj)?;
+/// assert_eq!(chain.step(&[1.0, 0.0, 0.0])?, sparse.step(&[1.0, 0.0, 0.0])?);
 /// # Ok::<(), ale_markov::MarkovError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct MarkovChain {
-    p: Matrix,
+    p: Transition,
 }
 
 impl MarkovChain {
-    /// Wraps an explicit transition matrix.
+    /// Wraps an explicit transition matrix in either representation.
     ///
     /// # Errors
     ///
     /// Returns [`MarkovError::NotSquare`] for non-square input and
     /// [`MarkovError::NotStochastic`] when a row does not describe a
     /// probability distribution.
-    pub fn from_matrix(p: Matrix) -> Result<Self, MarkovError> {
+    pub fn from_transition(p: Transition) -> Result<Self, MarkovError> {
         if !p.is_square() {
             return Err(MarkovError::NotSquare {
                 rows: p.rows(),
@@ -56,11 +114,31 @@ impl MarkovChain {
         Ok(MarkovChain { p })
     }
 
-    /// Builds the lazy random walk `P = ½I + ½D⁻¹A` over an adjacency list.
+    /// Wraps an explicit dense transition matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MarkovChain::from_transition`].
+    pub fn from_matrix(p: Matrix) -> Result<Self, MarkovError> {
+        Self::from_transition(Transition::Dense(p))
+    }
+
+    /// Wraps an explicit CSR transition matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MarkovChain::from_transition`].
+    pub fn from_csr(p: CsrMatrix) -> Result<Self, MarkovError> {
+        Self::from_transition(Transition::Sparse(p))
+    }
+
+    /// Builds the lazy random walk `P = ½I + ½D⁻¹A` over an adjacency list
+    /// on the dense backend.
     ///
     /// This is exactly the walk used by the paper's random-walk probing: the
     /// token stays put with probability ½ and otherwise moves to a uniformly
-    /// random neighbor.
+    /// random neighbor. For large sparse graphs use
+    /// [`MarkovChain::lazy_random_walk_sparse`].
     ///
     /// # Errors
     ///
@@ -85,12 +163,35 @@ impl MarkovChain {
         MarkovChain::from_matrix(p)
     }
 
+    /// Builds the lazy random walk on the CSR sparse backend: `O(m)` memory
+    /// and `O(m)` per [`MarkovChain::step`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MarkovChain::lazy_random_walk`].
+    pub fn lazy_random_walk_sparse(adj: &[Vec<usize>]) -> Result<Self, MarkovError> {
+        if adj.is_empty() {
+            return Err(MarkovError::Empty);
+        }
+        let n = adj.len();
+        let mut rows = Vec::with_capacity(n);
+        for (i, nbrs) in adj.iter().enumerate() {
+            if nbrs.is_empty() {
+                return Err(MarkovError::Empty);
+            }
+            rows.push(lazy_walk_row(i, nbrs));
+        }
+        MarkovChain::from_csr(CsrMatrix::from_row_entries(n, rows)?)
+    }
+
     /// Builds the diffusion matrix `S` of the `Avg` procedure: `s_ij = α`
-    /// for every edge `{i, j}` and `s_ii = 1 − α·deg(i)`.
+    /// for every edge `{i, j}` and `s_ii = 1 − α·deg(i)`, on the dense
+    /// backend.
     ///
     /// With `α = 1/(2k^{1+ε})` this is the potential-averaging step in
     /// Algorithm 7 line 8 of the paper. `S` is symmetric (hence doubly
-    /// stochastic) whenever `α·deg(i) ≤ 1` for every node.
+    /// stochastic) whenever `α·deg(i) ≤ 1` for every node. For large sparse
+    /// graphs use [`MarkovChain::diffusion_sparse`].
     ///
     /// # Errors
     ///
@@ -119,6 +220,23 @@ impl MarkovChain {
         MarkovChain::from_matrix(p)
     }
 
+    /// Builds the diffusion matrix on the CSR sparse backend.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MarkovChain::diffusion`].
+    pub fn diffusion_sparse(adj: &[Vec<usize>], alpha: f64) -> Result<Self, MarkovError> {
+        if adj.is_empty() {
+            return Err(MarkovError::Empty);
+        }
+        let n = adj.len();
+        let mut rows = Vec::with_capacity(n);
+        for (i, nbrs) in adj.iter().enumerate() {
+            rows.push(diffusion_row(i, nbrs, alpha)?);
+        }
+        MarkovChain::from_csr(CsrMatrix::from_row_entries(n, rows)?)
+    }
+
     /// Number of states.
     pub fn len(&self) -> usize {
         self.p.rows()
@@ -129,17 +247,34 @@ impl MarkovChain {
         self.len() == 0
     }
 
-    /// Borrows the transition matrix.
-    pub fn matrix(&self) -> &Matrix {
+    /// Borrows the transition matrix (either backend).
+    pub fn transition(&self) -> &Transition {
         &self.p
     }
 
+    /// Borrows the dense matrix when this chain uses the dense backend.
+    pub fn as_dense(&self) -> Option<&Matrix> {
+        self.p.as_dense()
+    }
+
+    /// Borrows the CSR matrix when this chain uses the sparse backend.
+    pub fn as_sparse(&self) -> Option<&CsrMatrix> {
+        self.p.as_sparse()
+    }
+
+    /// `true` when the chain runs on the CSR backend.
+    pub fn is_sparse(&self) -> bool {
+        self.p.is_sparse()
+    }
+
     /// Consumes the chain and returns the transition matrix.
-    pub fn into_matrix(self) -> Matrix {
+    pub fn into_transition(self) -> Transition {
         self.p
     }
 
     /// Evolves a distribution one step: returns `µ·P`.
+    ///
+    /// Costs `O(nnz)` — `O(m)` on the sparse backend, `O(n²)` dense.
     ///
     /// # Errors
     ///
@@ -148,50 +283,58 @@ impl MarkovChain {
         self.p.vec_mul(mu)
     }
 
+    /// [`MarkovChain::step`] into a caller-provided buffer — the
+    /// allocation-free form long diffusion loops should use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] on either length mismatch.
+    pub fn step_into(&self, mu: &[f64], out: &mut [f64]) -> Result<(), MarkovError> {
+        self.p.vec_mul_into(mu, out)
+    }
+
     /// Checks irreducibility: the support digraph of `P` must be strongly
     /// connected. For the symmetric chains used in this workspace this is
-    /// plain graph connectivity.
+    /// plain graph connectivity. Costs `O(nnz)` on either backend.
     pub fn is_irreducible(&self) -> bool {
         let n = self.len();
         if n == 0 {
             return false;
         }
         // Forward reachability from state 0.
-        let forward = self.reachable_from(0, false);
-        if forward.iter().any(|&r| !r) {
+        if !Self::all_reachable(&self.p, n) {
             return false;
         }
-        // Backward reachability (reachability in the transpose).
-        let backward = self.reachable_from(0, true);
-        backward.iter().all(|&r| r)
+        // Backward reachability = forward reachability in the transpose.
+        match &self.p {
+            Transition::Dense(m) => Self::all_reachable(&Transition::Dense(m.transpose()), n),
+            Transition::Sparse(m) => Self::all_reachable(&Transition::Sparse(m.transpose()), n),
+        }
     }
 
-    fn reachable_from(&self, start: usize, transpose: bool) -> Vec<bool> {
-        let n = self.len();
+    /// DFS over `p`'s support from state 0; `true` when every state is hit.
+    fn all_reachable(p: &Transition, n: usize) -> bool {
         let mut seen = vec![false; n];
-        let mut stack = vec![start];
-        seen[start] = true;
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1usize;
         while let Some(u) = stack.pop() {
-            for (v, seen_v) in seen.iter_mut().enumerate() {
-                let w = if transpose {
-                    self.p[(v, u)]
-                } else {
-                    self.p[(u, v)]
-                };
-                if w > EPS && !*seen_v {
-                    *seen_v = true;
+            for (v, w) in p.row_entries(u) {
+                if w > EPS && !seen[v] {
+                    seen[v] = true;
+                    count += 1;
                     stack.push(v);
                 }
             }
         }
-        seen
+        count == n
     }
 
     /// Checks aperiodicity via the sufficient condition used throughout the
     /// paper: some state has a self-loop (`p_ii > 0`). Lazy walks and
     /// diffusion matrices always satisfy it.
     pub fn has_self_loop(&self) -> bool {
-        (0..self.len()).any(|i| self.p[(i, i)] > EPS)
+        (0..self.len()).any(|i| self.p.get(i, i) > EPS)
     }
 
     /// Computes the stationary distribution by power iteration on `µ ↦ µP`.
@@ -215,11 +358,12 @@ impl MarkovChain {
         }
         let n = self.len();
         let mut mu = vec![1.0 / n as f64; n];
+        let mut next = vec![0.0; n];
         let mut residual = f64::INFINITY;
         for _ in 0..max_iters {
-            let next = self.step(&mu)?;
+            self.step_into(&mu, &mut next)?;
             residual = vecops::max_abs_diff(&mu, &next);
-            mu = next;
+            std::mem::swap(&mut mu, &mut next);
             if residual < tol {
                 vecops::normalize_l1(&mut mu);
                 return Ok(mu);
@@ -247,20 +391,20 @@ mod tests {
     #[test]
     fn lazy_walk_rows_stochastic_and_lazy() {
         let c = MarkovChain::lazy_random_walk(&path3()).unwrap();
-        assert!(c.matrix().is_row_stochastic());
+        assert!(c.transition().is_row_stochastic());
         for i in 0..3 {
-            assert!((c.matrix()[(i, i)] - 0.5).abs() < 1e-12);
+            assert!((c.transition().get(i, i) - 0.5).abs() < 1e-12);
         }
         // Degree-1 endpoints put the other half on their single neighbor.
-        assert!((c.matrix()[(0, 1)] - 0.5).abs() < 1e-12);
-        assert!((c.matrix()[(1, 0)] - 0.25).abs() < 1e-12);
+        assert!((c.transition().get(0, 1) - 0.5).abs() < 1e-12);
+        assert!((c.transition().get(1, 0) - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn lazy_walk_regular_graph_is_doubly_stochastic() {
         let c = MarkovChain::lazy_random_walk(&triangle()).unwrap();
-        assert!(c.matrix().is_doubly_stochastic());
-        assert!(c.matrix().is_symmetric());
+        assert!(c.transition().is_doubly_stochastic());
+        assert!(c.transition().is_symmetric());
     }
 
     #[test]
@@ -268,15 +412,33 @@ mod tests {
         let adj = vec![vec![1], vec![0], vec![]];
         assert!(MarkovChain::lazy_random_walk(&adj).is_err());
         assert!(MarkovChain::lazy_random_walk(&[]).is_err());
+        assert!(MarkovChain::lazy_random_walk_sparse(&adj).is_err());
+        assert!(MarkovChain::lazy_random_walk_sparse(&[]).is_err());
+    }
+
+    #[test]
+    fn sparse_constructors_match_dense() {
+        for adj in [path3(), triangle()] {
+            let dense = MarkovChain::lazy_random_walk(&adj).unwrap();
+            let sparse = MarkovChain::lazy_random_walk_sparse(&adj).unwrap();
+            assert!(sparse.is_sparse() && !dense.is_sparse());
+            assert_eq!(
+                sparse.transition().to_dense(),
+                dense.transition().to_dense()
+            );
+            let dd = MarkovChain::diffusion(&adj, 0.25).unwrap();
+            let ds = MarkovChain::diffusion_sparse(&adj, 0.25).unwrap();
+            assert_eq!(ds.transition().to_dense(), dd.transition().to_dense());
+        }
     }
 
     #[test]
     fn diffusion_is_symmetric_doubly_stochastic() {
         let c = MarkovChain::diffusion(&path3(), 0.25).unwrap();
-        assert!(c.matrix().is_symmetric());
-        assert!(c.matrix().is_doubly_stochastic());
-        assert_eq!(c.matrix()[(0, 1)], 0.25);
-        assert_eq!(c.matrix()[(1, 1)], 0.5);
+        assert!(c.transition().is_symmetric());
+        assert!(c.transition().is_doubly_stochastic());
+        assert_eq!(c.transition().get(0, 1), 0.25);
+        assert_eq!(c.transition().get(1, 1), 0.5);
     }
 
     #[test]
@@ -286,13 +448,21 @@ mod tests {
             MarkovChain::diffusion(&path3(), 0.75),
             Err(MarkovError::NotStochastic { row: 1, .. })
         ));
+        assert!(matches!(
+            MarkovChain::diffusion_sparse(&path3(), 0.75),
+            Err(MarkovError::NotStochastic { row: 1, .. })
+        ));
     }
 
     #[test]
     fn from_matrix_validates() {
         let bad = Matrix::from_rows(&[vec![0.5, 0.4], vec![0.5, 0.5]]).unwrap();
         assert!(matches!(
-            MarkovChain::from_matrix(bad),
+            MarkovChain::from_matrix(bad.clone()),
+            Err(MarkovError::NotStochastic { row: 0, .. })
+        ));
+        assert!(matches!(
+            MarkovChain::from_csr(CsrMatrix::from_dense(&bad)),
             Err(MarkovError::NotStochastic { row: 0, .. })
         ));
         let rect = Matrix::zeros(2, 3);
@@ -310,10 +480,25 @@ mod tests {
             vec![0.0, 0.5, 0.5],
         ])
         .unwrap();
-        let c = MarkovChain::from_matrix(p).unwrap();
+        let c = MarkovChain::from_matrix(p.clone()).unwrap();
         assert!(!c.is_irreducible());
+        let cs = MarkovChain::from_csr(CsrMatrix::from_dense(&p)).unwrap();
+        assert!(!cs.is_irreducible());
         let c2 = MarkovChain::lazy_random_walk(&path3()).unwrap();
         assert!(c2.is_irreducible());
+        let c3 = MarkovChain::lazy_random_walk_sparse(&path3()).unwrap();
+        assert!(c3.is_irreducible());
+    }
+
+    #[test]
+    fn irreducibility_needs_both_directions() {
+        // 0 → 1 but 1 only returns to itself: reducible despite forward
+        // reachability from 0.
+        let p = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.0, 1.0]]).unwrap();
+        let c = MarkovChain::from_matrix(p.clone()).unwrap();
+        assert!(!c.is_irreducible());
+        let cs = MarkovChain::from_csr(CsrMatrix::from_dense(&p)).unwrap();
+        assert!(!cs.is_irreducible());
     }
 
     #[test]
@@ -321,14 +506,21 @@ mod tests {
         assert!(MarkovChain::lazy_random_walk(&triangle())
             .unwrap()
             .has_self_loop());
+        assert!(MarkovChain::lazy_random_walk_sparse(&triangle())
+            .unwrap()
+            .has_self_loop());
     }
 
     #[test]
     fn stationary_uniform_on_doubly_stochastic() {
-        let c = MarkovChain::diffusion(&triangle(), 0.2).unwrap();
-        let pi = c.stationary_distribution(1e-12, 10_000).unwrap();
-        for x in pi {
-            assert!((x - 1.0 / 3.0).abs() < 1e-9);
+        for c in [
+            MarkovChain::diffusion(&triangle(), 0.2).unwrap(),
+            MarkovChain::diffusion_sparse(&triangle(), 0.2).unwrap(),
+        ] {
+            let pi = c.stationary_distribution(1e-12, 10_000).unwrap();
+            for x in pi {
+                assert!((x - 1.0 / 3.0).abs() < 1e-9);
+            }
         }
     }
 
@@ -354,10 +546,17 @@ mod tests {
 
     #[test]
     fn step_moves_mass() {
-        let c = MarkovChain::lazy_random_walk(&path3()).unwrap();
-        let mu = c.step(&[1.0, 0.0, 0.0]).unwrap();
-        assert!((mu[0] - 0.5).abs() < 1e-12);
-        assert!((mu[1] - 0.5).abs() < 1e-12);
-        assert_eq!(mu[2], 0.0);
+        for c in [
+            MarkovChain::lazy_random_walk(&path3()).unwrap(),
+            MarkovChain::lazy_random_walk_sparse(&path3()).unwrap(),
+        ] {
+            let mu = c.step(&[1.0, 0.0, 0.0]).unwrap();
+            assert!((mu[0] - 0.5).abs() < 1e-12);
+            assert!((mu[1] - 0.5).abs() < 1e-12);
+            assert_eq!(mu[2], 0.0);
+            let mut out = vec![0.0; 3];
+            c.step_into(&[1.0, 0.0, 0.0], &mut out).unwrap();
+            assert_eq!(out, mu);
+        }
     }
 }

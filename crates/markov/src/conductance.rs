@@ -16,7 +16,7 @@
 //! lemma-level experiments.
 
 use crate::error::MarkovError;
-use crate::matrix::Matrix;
+use crate::transition::Transition;
 
 /// Maximum state count accepted by the exact (exponential) computations.
 pub const BRUTE_FORCE_LIMIT: usize = 22;
@@ -38,12 +38,12 @@ pub const BRUTE_FORCE_LIMIT: usize = 22;
 /// use ale_markov::{MarkovChain, conductance};
 /// let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
 /// let c = MarkovChain::lazy_random_walk(&adj)?;
-/// let phi = conductance::chain_conductance_exact(c.matrix())?;
+/// let phi = conductance::chain_conductance_exact(c.transition())?;
 /// // Lazy triangle: best cut isolates one node, crossing mass 2·(1/4) = 1/2.
 /// assert!((phi - 0.5).abs() < 1e-12);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn chain_conductance_exact(p: &Matrix) -> Result<f64, MarkovError> {
+pub fn chain_conductance_exact(p: &Transition) -> Result<f64, MarkovError> {
     if !p.is_square() {
         return Err(MarkovError::NotSquare {
             rows: p.rows(),
@@ -82,9 +82,9 @@ pub fn chain_conductance_exact(p: &Matrix) -> Result<f64, MarkovError> {
             v
         };
         for &i in &members {
-            for j in 0..n {
+            for (j, w) in p.row_entries(i) {
                 if !in_s[j] {
-                    crossing += p[(i, j)];
+                    crossing += w;
                 }
             }
         }
@@ -106,7 +106,7 @@ pub fn chain_conductance_exact(p: &Matrix) -> Result<f64, MarkovError> {
 ///
 /// Same conditions as [`chain_conductance_exact`], plus
 /// [`MarkovError::DimensionMismatch`] if `pi.len() != n`.
-pub fn chain_conductance_general(p: &Matrix, pi: &[f64]) -> Result<f64, MarkovError> {
+pub fn chain_conductance_general(p: &Transition, pi: &[f64]) -> Result<f64, MarkovError> {
     if !p.is_square() {
         return Err(MarkovError::NotSquare {
             rows: p.rows(),
@@ -145,11 +145,11 @@ pub fn chain_conductance_general(p: &Matrix, pi: &[f64]) -> Result<f64, MarkovEr
             if in_s[i] {
                 pi_s += pi[i];
             }
-            for j in 0..n {
+            for (j, w) in p.row_entries(i) {
                 if in_s[i] && !in_s[j] {
-                    q_out += pi[i] * p[(i, j)];
+                    q_out += pi[i] * w;
                 } else if !in_s[i] && in_s[j] {
-                    q_in += pi[i] * p[(i, j)];
+                    q_in += pi[i] * w;
                 }
             }
         }
@@ -179,6 +179,7 @@ pub fn cheeger_band(phi: f64, lambda2: f64) -> (bool, bool) {
 mod tests {
     use super::*;
     use crate::chain::MarkovChain;
+    use crate::matrix::{CsrMatrix, Matrix};
     use crate::spectral::lambda2_power;
 
     fn lazy(adj: &[Vec<usize>]) -> MarkovChain {
@@ -192,7 +193,7 @@ mod tests {
     #[test]
     fn triangle_conductance() {
         let c = lazy(&[vec![1, 2], vec![0, 2], vec![0, 1]]);
-        let phi = chain_conductance_exact(c.matrix()).unwrap();
+        let phi = chain_conductance_exact(c.transition()).unwrap();
         assert!((phi - 0.5).abs() < 1e-12);
     }
 
@@ -201,10 +202,10 @@ mod tests {
         // Lazy cycle: best cut is an arc of n/2 nodes, crossing mass
         // 2 edges × 1/4 = 1/2, divided by n/2 → 1/n.
         let c8 = lazy(&cycle_adj(8));
-        let phi8 = chain_conductance_exact(c8.matrix()).unwrap();
+        let phi8 = chain_conductance_exact(c8.transition()).unwrap();
         assert!((phi8 - 1.0 / 8.0).abs() < 1e-12, "phi8 = {phi8}");
         let c12 = lazy(&cycle_adj(12));
-        let phi12 = chain_conductance_exact(c12.matrix()).unwrap();
+        let phi12 = chain_conductance_exact(c12.transition()).unwrap();
         assert!((phi12 - 1.0 / 12.0).abs() < 1e-12, "phi12 = {phi12}");
     }
 
@@ -213,8 +214,8 @@ mod tests {
         let c = lazy(&cycle_adj(6));
         let n = 6;
         let pi = vec![1.0 / n as f64; n];
-        let general = chain_conductance_general(c.matrix(), &pi).unwrap();
-        let simple = chain_conductance_exact(c.matrix()).unwrap();
+        let general = chain_conductance_general(c.transition(), &pi).unwrap();
+        let simple = chain_conductance_exact(c.transition()).unwrap();
         // For uniform π: Q(S,S̄)/π(S) = (1/n · crossing)/(|S|/n) = crossing/|S|;
         // the max over both sides equals crossing/min(|S|,|S̄|).
         assert!((general - simple).abs() < 1e-12);
@@ -222,14 +223,30 @@ mod tests {
 
     #[test]
     fn rejects_oversized_input() {
-        let p = Matrix::identity(BRUTE_FORCE_LIMIT + 1);
+        let p = Transition::from(Matrix::identity(BRUTE_FORCE_LIMIT + 1));
         assert!(chain_conductance_exact(&p).is_err());
     }
 
     #[test]
     fn rejects_trivial_input() {
-        assert!(chain_conductance_exact(&Matrix::identity(1)).is_err());
-        assert!(chain_conductance_exact(&Matrix::zeros(2, 3)).is_err());
+        assert!(chain_conductance_exact(&Transition::from(Matrix::identity(1))).is_err());
+        assert!(chain_conductance_exact(&Transition::from(Matrix::zeros(2, 3))).is_err());
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense() {
+        let adj = cycle_adj(8);
+        let dense = lazy(&adj);
+        let sparse = MarkovChain::lazy_random_walk_sparse(&adj).unwrap();
+        assert_eq!(
+            chain_conductance_exact(dense.transition()).unwrap(),
+            chain_conductance_exact(sparse.transition()).unwrap()
+        );
+        let pi = vec![1.0 / 8.0; 8];
+        assert_eq!(
+            chain_conductance_general(dense.transition(), &pi).unwrap(),
+            chain_conductance_general(sparse.transition(), &pi).unwrap()
+        );
     }
 
     #[test]
@@ -241,8 +258,11 @@ mod tests {
             vec![0.0, 0.0, 0.5, 0.5],
         ])
         .unwrap();
-        let phi = chain_conductance_exact(&p).unwrap();
+        let phi = chain_conductance_exact(&Transition::from(p.clone())).unwrap();
         assert_eq!(phi, 0.0);
+        let phi_sparse =
+            chain_conductance_exact(&Transition::from(CsrMatrix::from_dense(&p))).unwrap();
+        assert_eq!(phi_sparse, 0.0);
     }
 
     #[test]
@@ -254,8 +274,8 @@ mod tests {
             vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]],
         ] {
             let c = lazy(&adj);
-            let phi = chain_conductance_exact(c.matrix()).unwrap();
-            let l2 = lambda2_power(c.matrix(), 1e-12, 1_000_000).unwrap();
+            let phi = chain_conductance_exact(c.transition()).unwrap();
+            let l2 = lambda2_power(c.transition(), 1e-12, 1_000_000).unwrap();
             let (lo, hi) = cheeger_band(phi, l2);
             assert!(lo, "Cheeger lower bound violated: phi={phi}, l2={l2}");
             assert!(hi, "Cheeger upper bound violated: phi={phi}, l2={l2}");
@@ -264,7 +284,7 @@ mod tests {
 
     #[test]
     fn general_dimension_check() {
-        let p = Matrix::identity(3);
+        let p = Transition::from(Matrix::identity(3));
         assert!(chain_conductance_general(&p, &[0.5, 0.5]).is_err());
     }
 }

@@ -7,22 +7,46 @@
 //!
 //! `h_i = 0` for targets, `h_i = 1 + Σ_j p_ij·h_j` otherwise.
 //!
-//! This module provides a dense Gaussian-elimination solver (partial
-//! pivoting) and the hitting-time computation on top of it — exact oracles
-//! used by tests and the lemma-level experiments.
+//! Two solution paths are provided, dispatched automatically by
+//! [`expected_hitting_times`]:
+//!
+//! * a **direct** dense Gaussian-elimination solver ([`solve`], partial
+//!   pivoting over a single flat buffer) for small non-target blocks —
+//!   exact, `O(k³)`; and
+//! * **Gauss–Seidel sweeps** ([`expected_hitting_times_iterative`]) over
+//!   the chain's [`crate::Transition`], `O(nnz)` per sweep on either
+//!   backend — the path that scales to the large sparse chains. The
+//!   iteration matrix is substochastic on every row that can reach a
+//!   target, so the sweeps converge monotonically from below.
 
 use crate::chain::MarkovChain;
 use crate::error::MarkovError;
 use crate::matrix::Matrix;
 
+/// Non-target block size up to which [`expected_hitting_times`] uses the
+/// direct dense solver; larger sparse systems go through Gauss–Seidel.
+pub const DIRECT_SOLVE_LIMIT: usize = 2048;
+
+/// Default tolerance for the Gauss–Seidel path of
+/// [`expected_hitting_times`].
+pub const GS_TOL: f64 = 1e-12;
+
+/// Default sweep budget for the Gauss–Seidel path of
+/// [`expected_hitting_times`].
+pub const GS_MAX_SWEEPS: usize = 1_000_000;
+
 /// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+///
+/// The augmented system lives in one flat `n × (n + 1)` buffer (no
+/// per-row allocations); rows are swapped by index indirection.
 ///
 /// # Errors
 ///
 /// * [`MarkovError::NotSquare`] / [`MarkovError::DimensionMismatch`] on
 ///   malformed input.
-/// * [`MarkovError::NotConverged`] when a pivot is numerically zero (the
-///   system is singular); `residual` carries the failing pivot magnitude.
+/// * [`MarkovError::NotConverged`] when a pivot is numerically zero or
+///   non-finite (the system is singular, or NaN/∞ crept into the input);
+///   `residual` carries the failing pivot magnitude. No input panics.
 ///
 /// # Examples
 ///
@@ -51,54 +75,65 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MarkovError> {
     if n == 0 {
         return Ok(Vec::new());
     }
-    // Augmented working copy.
-    let mut m: Vec<Vec<f64>> = (0..n)
-        .map(|i| {
-            let mut row = a.row(i).to_vec();
-            row.push(b[i]);
-            row
-        })
-        .collect();
+    // Augmented working copy: one flat buffer, width n + 1.
+    let w = n + 1;
+    let mut m = vec![0.0f64; n * w];
+    for i in 0..n {
+        m[i * w..i * w + n].copy_from_slice(a.row(i));
+        m[i * w + n] = b[i];
+    }
+    // Row permutation: swap indices, not buffer rows.
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Scratch copy of the pivot row's active segment, so elimination can
+    // borrow the destination row mutably without aliasing the source.
+    let mut pivot_seg = vec![0.0f64; w];
 
     for col in 0..n {
-        // Partial pivot.
-        let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                m[i][col]
-                    .abs()
-                    .partial_cmp(&m[j][col].abs())
-                    .expect("no NaN in solver input")
-            })
-            .expect("non-empty range");
-        let pivot = m[pivot_row][col];
-        if pivot.abs() < 1e-12 {
+        // Partial pivot. NaN pivots lose every comparison, so a NaN-ridden
+        // column falls through to the singularity check below instead of
+        // panicking.
+        let mut pivot_row = col;
+        let mut pivot_mag = m[perm[col] * w + col].abs();
+        for (r, &pr) in perm.iter().enumerate().skip(col + 1) {
+            let mag = m[pr * w + col].abs();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = r;
+            }
+        }
+        // The NaN check covers poisoned input — singular and NaN-ridden
+        // systems surface as an error, never a panic or a NaN result.
+        if pivot_mag.is_nan() || pivot_mag < 1e-12 {
             return Err(MarkovError::NotConverged {
                 iterations: col,
-                residual: pivot.abs(),
+                residual: pivot_mag,
             });
         }
-        m.swap(col, pivot_row);
-        for row in (col + 1)..n {
-            let factor = m[row][col] / m[col][col];
+        perm.swap(col, pivot_row);
+        let prow = perm[col];
+        let pivot = m[prow * w + col];
+        pivot_seg[col..w].copy_from_slice(&m[prow * w + col..prow * w + w]);
+        for &rrow in &perm[col + 1..] {
+            let factor = m[rrow * w + col] / pivot;
             if factor == 0.0 {
                 continue;
             }
-            let (head, tail) = m.split_at_mut(row);
-            let pivot = &head[col];
-            for (rk, pk) in tail[0][col..=n].iter_mut().zip(&pivot[col..=n]) {
-                *rk -= factor * pk;
+            let dst = &mut m[rrow * w + col..rrow * w + w];
+            for (d, s) in dst.iter_mut().zip(&pivot_seg[col..w]) {
+                *d -= factor * s;
             }
         }
     }
 
-    // Back substitution.
+    // Back substitution through the permutation.
     let mut x = vec![0.0; n];
     for row in (0..n).rev() {
-        let mut acc = m[row][n];
+        let pr = perm[row];
+        let mut acc = m[pr * w + n];
         for k in (row + 1)..n {
-            acc -= m[row][k] * x[k];
+            acc -= m[pr * w + k] * x[k];
         }
-        x[row] = acc / m[row][row];
+        x[row] = acc / m[pr * w + row];
     }
     Ok(x)
 }
@@ -106,13 +141,17 @@ pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MarkovError> {
 /// Expected hitting times into `targets` for every start state.
 ///
 /// Returns `h` with `h[i] = 0` for targets and the expected step count
-/// otherwise.
+/// otherwise. Dispatches on problem size: non-target blocks up to
+/// [`DIRECT_SOLVE_LIMIT`] states use the exact direct solver (built from
+/// the chain's stored entries, so dense- and sparse-backed chains agree
+/// bit for bit); larger blocks use Gauss–Seidel sweeps at [`GS_TOL`].
 ///
 /// # Errors
 ///
 /// * [`MarkovError::Empty`] when `targets` is empty or out of range.
 /// * Solver errors when the non-target block is singular (the chain cannot
-///   reach the targets from somewhere — e.g. a reducible chain).
+///   reach the targets from somewhere — e.g. a reducible chain), or when
+///   the iterative path does not converge.
 ///
 /// # Examples
 ///
@@ -142,14 +181,24 @@ pub fn expected_hitting_times(
     if others.is_empty() {
         return Ok(vec![0.0; n]);
     }
+    if others.len() > DIRECT_SOLVE_LIMIT {
+        return expected_hitting_times_iterative(chain, targets, GS_TOL, GS_MAX_SWEEPS);
+    }
     // (I - Q)·h = 1 over the non-target block.
-    let p = chain.matrix();
+    let p = chain.transition();
     let k = others.len();
+    let mut index_of = vec![usize::MAX; n];
+    for (ri, &i) in others.iter().enumerate() {
+        index_of[i] = ri;
+    }
     let mut a = Matrix::zeros(k, k);
     for (ri, &i) in others.iter().enumerate() {
-        for (ci, &j) in others.iter().enumerate() {
-            let q = p[(i, j)];
-            a[(ri, ci)] = if ri == ci { 1.0 - q } else { -q };
+        a[(ri, ri)] = 1.0;
+        for (j, q) in p.row_entries(i) {
+            let ci = index_of[j];
+            if ci != usize::MAX {
+                a[(ri, ci)] -= q;
+            }
         }
     }
     let h_others = solve(&a, &vec![1.0; k])?;
@@ -158,6 +207,66 @@ pub fn expected_hitting_times(
         h[i] = h_others[ri];
     }
     Ok(h)
+}
+
+/// Expected hitting times by Gauss–Seidel sweeps: repeatedly applies
+/// `h_i ← 1 + Σ_j p_ij·h_j` over non-target states (targets pinned at 0)
+/// until the largest per-state update falls below `tol`.
+///
+/// Each sweep costs `O(nnz)` via [`crate::Transition::row_entries`] — on a
+/// sparse chain over an `m`-edge graph that is `O(m)`, which is what makes
+/// hitting-time computation feasible at the tens-of-thousands-of-nodes
+/// scale. Starting from `h = 0`, iterates increase monotonically towards
+/// the true solution.
+///
+/// # Errors
+///
+/// * [`MarkovError::Empty`] for empty/out-of-range targets.
+/// * [`MarkovError::NotConverged`] when `max_sweeps` sweeps do not reach
+///   `tol` (slowly mixing chains; raise the budget) — also the outcome for
+///   chains that cannot reach the targets at all, where the true hitting
+///   times are infinite.
+pub fn expected_hitting_times_iterative(
+    chain: &MarkovChain,
+    targets: &[usize],
+    tol: f64,
+    max_sweeps: usize,
+) -> Result<Vec<f64>, MarkovError> {
+    let n = chain.len();
+    if targets.is_empty() || targets.iter().any(|&t| t >= n) {
+        return Err(MarkovError::Empty);
+    }
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        is_target[t] = true;
+    }
+    let p = chain.transition();
+    let mut h = vec![0.0f64; n];
+    let mut delta = f64::INFINITY;
+    for _ in 0..max_sweeps {
+        delta = 0.0;
+        for i in 0..n {
+            if is_target[i] {
+                continue;
+            }
+            let mut acc = 1.0;
+            for (j, q) in p.row_entries(i) {
+                acc += q * h[j];
+            }
+            let d = (acc - h[i]).abs();
+            if d > delta {
+                delta = d;
+            }
+            h[i] = acc;
+        }
+        if delta < tol {
+            return Ok(h);
+        }
+    }
+    Err(MarkovError::NotConverged {
+        iterations: max_sweeps,
+        residual: delta,
+    })
 }
 
 #[cfg(test)]
@@ -195,6 +304,18 @@ mod tests {
     }
 
     #[test]
+    fn nan_input_errors_instead_of_panicking() {
+        let a = Matrix::from_rows(&[vec![f64::NAN, 1.0], vec![1.0, 1.0]]).unwrap();
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(MarkovError::NotConverged { .. })
+        ));
+        let all_nan =
+            Matrix::from_rows(&[vec![f64::NAN, f64::NAN], vec![f64::NAN, f64::NAN]]).unwrap();
+        assert!(solve(&all_nan, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
     fn pivoting_handles_zero_leading_entry() {
         let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let x = solve(&a, &[3.0, 7.0]).unwrap();
@@ -214,10 +335,45 @@ mod tests {
         for i in 0..4 {
             assert!(h[i] > h[i + 1], "hitting times decrease towards target");
             // Verify the defining recurrence h_i = 1 + Σ p_ij h_j.
-            let p = chain.matrix();
-            let rhs: f64 = 1.0 + (0..5).map(|j| p[(i, j)] * h[j]).sum::<f64>();
+            let p = chain.transition();
+            let rhs: f64 = 1.0 + (0..5).map(|j| p.get(i, j) * h[j]).sum::<f64>();
             assert!((h[i] - rhs).abs() < 1e-9, "recurrence at {i}");
         }
+    }
+
+    #[test]
+    fn iterative_matches_direct_on_both_backends() {
+        let adj: Vec<Vec<usize>> = (0..10).map(|i| vec![(i + 9) % 10, (i + 1) % 10]).collect();
+        let dense = MarkovChain::lazy_random_walk(&adj).unwrap();
+        let sparse = MarkovChain::lazy_random_walk_sparse(&adj).unwrap();
+        let direct = expected_hitting_times(&dense, &[0]).unwrap();
+        for chain in [&dense, &sparse] {
+            let gs = expected_hitting_times_iterative(chain, &[0], 1e-13, 1_000_000).unwrap();
+            for (a, b) in direct.iter().zip(&gs) {
+                assert!((a - b).abs() < 1e-9, "direct {a} vs GS {b}");
+            }
+        }
+        // The dispatching entry point agrees on the sparse backend too.
+        let via_dispatch = expected_hitting_times(&sparse, &[0]).unwrap();
+        for (a, b) in direct.iter().zip(&via_dispatch) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn iterative_reports_non_convergence_for_unreachable_targets() {
+        let p = Matrix::from_rows(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 0.5, 0.5],
+            vec![0.0, 0.5, 0.5],
+        ])
+        .unwrap();
+        let chain = MarkovChain::from_matrix(p).unwrap();
+        // State 0 never reaches {1}: hitting time infinite; GS cannot settle.
+        assert!(matches!(
+            expected_hitting_times_iterative(&chain, &[1], 1e-10, 5_000),
+            Err(MarkovError::NotConverged { .. })
+        ));
     }
 
     #[test]
@@ -248,6 +404,8 @@ mod tests {
         let chain = MarkovChain::lazy_random_walk(&adj).unwrap();
         assert!(expected_hitting_times(&chain, &[]).is_err());
         assert!(expected_hitting_times(&chain, &[5]).is_err());
+        assert!(expected_hitting_times_iterative(&chain, &[], 1e-9, 10).is_err());
+        assert!(expected_hitting_times_iterative(&chain, &[5], 1e-9, 10).is_err());
     }
 
     #[test]

@@ -1,15 +1,23 @@
 //! # ale-markov — Markov-chain and linear-algebra substrate
 //!
-//! Dense matrices, finite Markov chains, spectral analysis, mixing times,
-//! and chain conductance — the mathematical substrate behind the graph
-//! properties (`ale-graph`) and protocol analyses (`ale-core`) of this
-//! workspace's reproduction of Kowalski & Mosteiro, *Time and Communication
-//! Complexity of Leader Election in Anonymous Networks* (ICDCS 2021).
+//! Dense and CSR sparse matrices, finite Markov chains, spectral analysis,
+//! mixing times, and chain conductance — the mathematical substrate behind
+//! the graph properties (`ale-graph`) and protocol analyses (`ale-core`) of
+//! this workspace's reproduction of Kowalski & Mosteiro, *Time and
+//! Communication Complexity of Leader Election in Anonymous Networks*
+//! (ICDCS 2021).
 //!
 //! The paper's algorithms take the network's mixing time `t_mix` and
 //! conductance `Φ` as inputs (Theorem 1) and its analysis reasons about the
 //! diffusion matrix of the `Avg` procedure (Lemmas 3–4). This crate provides
 //! exact and spectral implementations of all of those quantities.
+//!
+//! Chains store their matrix as a [`Transition`] with a dense ([`Matrix`])
+//! or sparse ([`CsrMatrix`]) backend. Iterative paths — [`MarkovChain::step`],
+//! power iteration, Gauss–Seidel hitting-time sweeps, Monte-Carlo walks —
+//! run on either backend; on a chain built from an `m`-edge graph the
+//! sparse backend pays `O(m)` per step instead of `O(n²)`, which is what
+//! lets the scenario sweeps reach tens of thousands of nodes.
 //!
 //! ## Quickstart
 //!
@@ -21,9 +29,13 @@
 //! let chain = MarkovChain::lazy_random_walk(&adj)?;
 //!
 //! let t_mix = mixing::mixing_time_exact(&chain, 1 << 20)?;
-//! let gap = spectral::spectral_gap(chain.matrix())?;
+//! let gap = spectral::spectral_gap(chain.transition())?;
 //! assert!(t_mix >= 1);
 //! assert!(gap > 0.0);
+//!
+//! // The same chain on the sparse backend: O(m) per step.
+//! let sparse = MarkovChain::lazy_random_walk_sparse(&adj)?;
+//! assert_eq!(mixing::mixing_time_from_state(&sparse, 0, 1 << 20)?, t_mix);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -38,11 +50,13 @@ pub mod matrix;
 pub mod mixing;
 pub mod simulate;
 pub mod spectral;
+pub mod transition;
 
 pub use chain::MarkovChain;
 pub use error::MarkovError;
-pub use matrix::{vecops, Matrix};
+pub use matrix::{vecops, CsrMatrix, Matrix};
 pub use spectral::Eigen;
+pub use transition::Transition;
 
 #[cfg(test)]
 mod crate_tests {
@@ -52,6 +66,8 @@ mod crate_tests {
     fn public_types_are_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Matrix>();
+        assert_send_sync::<CsrMatrix>();
+        assert_send_sync::<Transition>();
         assert_send_sync::<MarkovChain>();
         assert_send_sync::<MarkovError>();
         assert_send_sync::<Eigen>();

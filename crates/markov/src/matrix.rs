@@ -1,10 +1,24 @@
-//! Dense row-major `f64` matrices.
+//! Dense row-major and CSR sparse `f64` matrices.
 //!
-//! This module provides the minimal dense linear algebra the rest of the
-//! workspace needs: multiplication, powering, stochasticity checks, and norm
-//! computations. Sizes are small (matrices are `n x n` for simulated network
-//! sizes up to a few thousand), so a straightforward dense representation is
-//! both simpler and faster than sparse structures at this scale.
+//! This module provides the linear algebra the rest of the workspace needs
+//! in two representations:
+//!
+//! * [`Matrix`] — dense row-major storage. Multiplication, powering,
+//!   stochasticity checks, and norm computations. The right tool whenever
+//!   full matrix products are needed (exact mixing times, Jacobi
+//!   eigendecompositions) and for small state spaces, where its simplicity
+//!   and cache behavior win.
+//! * [`CsrMatrix`] — compressed sparse row storage (`row_ptr`/`col_idx`/
+//!   `values`). Matrix–vector products cost `O(nnz)` instead of `O(n²)`,
+//!   which is what lets the diffusion and random-walk scenarios sweep
+//!   networks with tens of thousands of nodes: a transition matrix built
+//!   from a bounded-degree graph has `nnz = Θ(n)`, so a step is linear in
+//!   the network size.
+//!
+//! [`crate::transition::Transition`] wraps either representation behind one
+//! interface; iterative code (chain steps, power iteration, hitting-time
+//! sweeps) is written against it and picks up the `O(m)`-per-step sparse
+//! path automatically when the chain was built from a graph adjacency.
 
 use crate::error::MarkovError;
 use std::fmt;
@@ -214,13 +228,31 @@ impl Matrix {
     ///
     /// Returns [`MarkovError::DimensionMismatch`] when `v.len() != self.rows()`.
     pub fn vec_mul(&self, v: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        let mut out = vec![0.0; self.cols];
+        self.vec_mul_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Matrix::vec_mul`] into a caller-provided buffer (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] when `v.len() != self.rows()`
+    /// or `out.len() != self.cols()`.
+    pub fn vec_mul_into(&self, v: &[f64], out: &mut [f64]) -> Result<(), MarkovError> {
         if v.len() != self.rows {
             return Err(MarkovError::DimensionMismatch {
                 expected: self.rows,
                 found: v.len(),
             });
         }
-        let mut out = vec![0.0; self.cols];
+        if out.len() != self.cols {
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.cols,
+                found: out.len(),
+            });
+        }
+        out.fill(0.0);
         for (i, &vi) in v.iter().enumerate() {
             if vi == 0.0 {
                 continue;
@@ -230,7 +262,7 @@ impl Matrix {
                 *o += vi * r;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Matrix power `self^e` by repeated squaring.
@@ -378,6 +410,369 @@ impl fmt::Display for Matrix {
             writeln!(f, "[{}]", formatted.join(", "))?;
         }
         Ok(())
+    }
+}
+
+/// A sparse matrix in compressed sparse row (CSR) form.
+///
+/// Row `i`'s stored entries live at `values[row_ptr[i]..row_ptr[i + 1]]`
+/// with their column indices in `col_idx` at the same positions, sorted by
+/// column. Only non-zero entries are stored, so matrix–vector products cost
+/// `O(nnz)` — for transition matrices built from bounded-degree graphs that
+/// is `O(n)` per step instead of the dense `O(n²)`.
+///
+/// # Examples
+///
+/// ```
+/// use ale_markov::{CsrMatrix, Matrix};
+///
+/// // Lazy walk on a 2-path, built sparsely.
+/// let m = CsrMatrix::from_row_entries(
+///     2,
+///     vec![vec![(0, 0.5), (1, 0.5)], vec![(0, 0.5), (1, 0.5)]],
+/// )?;
+/// assert_eq!(m.nnz(), 4);
+/// assert_eq!(m.get(0, 1), 0.5);
+/// assert_eq!(m.mul_vec(&[1.0, 0.0])?, vec![0.5, 0.5]);
+/// assert_eq!(m.to_dense(), Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]])?);
+/// # Ok::<(), ale_markov::MarkovError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from per-row `(column, value)` entry lists.
+    ///
+    /// Entries may arrive unsorted; duplicates within a row are summed
+    /// (mirroring the `+=` accumulation of the dense constructors) and
+    /// exact zeros are dropped from the stored pattern.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::Empty`] when `rows` is empty or `cols == 0`.
+    /// * [`MarkovError::DimensionMismatch`] when an entry's column index is
+    ///   `>= cols` (the `found` field carries the offending column).
+    pub fn from_row_entries(
+        cols: usize,
+        rows: Vec<Vec<(usize, f64)>>,
+    ) -> Result<Self, MarkovError> {
+        if rows.is_empty() || cols == 0 {
+            return Err(MarkovError::Empty);
+        }
+        let nrows = rows.len();
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for mut entries in rows {
+            entries.sort_by_key(|&(j, _)| j);
+            let mut last: Option<usize> = None;
+            for (j, v) in entries {
+                if j >= cols {
+                    return Err(MarkovError::DimensionMismatch {
+                        expected: cols,
+                        found: j,
+                    });
+                }
+                if last == Some(j) {
+                    *values.last_mut().expect("entry pushed for last column") += v;
+                } else if v != 0.0 {
+                    col_idx.push(j);
+                    values.push(v);
+                    last = Some(j);
+                }
+            }
+            // Summed duplicates can cancel to zero; keep them — callers
+            // that care about the pattern get what they accumulated.
+            row_ptr.push(col_idx.len());
+        }
+        Ok(CsrMatrix {
+            rows: nrows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix, dropping exact zeros.
+    pub fn from_dense(m: &Matrix) -> Self {
+        let mut row_ptr = Vec::with_capacity(m.rows() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..m.rows() {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Materializes the dense form. Costs `O(rows·cols)` memory — intended
+    /// for small matrices and test oracles, not the large-n sweep path.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let out = m.row_mut(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                out[j] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows row `i` as parallel `(columns, values)` slices, sorted by
+    /// column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        assert!(i < self.rows, "row index {i} out of bounds {}", self.rows);
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.col_idx[span.clone()], &self.values[span])
+    }
+
+    /// Reads entry `(i, j)`, returning `0.0` for positions outside the
+    /// stored pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Matrix-vector product `self * v` in `O(nnz)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CsrMatrix::mul_vec`] into a caller-provided buffer (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] when `v.len() != self.cols()`
+    /// or `out.len() != self.rows()`.
+    pub fn mul_vec_into(&self, v: &[f64], out: &mut [f64]) -> Result<(), MarkovError> {
+        if v.len() != self.cols {
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.cols,
+                found: v.len(),
+            });
+        }
+        if out.len() != self.rows {
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.rows,
+                found: out.len(),
+            });
+        }
+        for (i, out_i) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            *out_i = cols.iter().zip(vals).map(|(&j, &a)| a * v[j]).sum();
+        }
+        Ok(())
+    }
+
+    /// Row-vector-matrix product `v * self` (distribution evolution) in
+    /// `O(nnz)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] when `v.len() != self.rows()`.
+    pub fn vec_mul(&self, v: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        let mut out = vec![0.0; self.cols];
+        self.vec_mul_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CsrMatrix::vec_mul`] into a caller-provided buffer (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] when `v.len() != self.rows()`
+    /// or `out.len() != self.cols()`.
+    pub fn vec_mul_into(&self, v: &[f64], out: &mut [f64]) -> Result<(), MarkovError> {
+        if v.len() != self.rows {
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.rows,
+                found: v.len(),
+            });
+        }
+        if out.len() != self.cols {
+            return Err(MarkovError::DimensionMismatch {
+                expected: self.cols,
+                found: out.len(),
+            });
+        }
+        out.fill(0.0);
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            let (cols, vals) = self.row(i);
+            for (&j, &a) in cols.iter().zip(vals) {
+                out[j] += vi * a;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the transpose in `O(nnz)`.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols];
+        for &j in &self.col_idx {
+            counts[j] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(self.cols + 1);
+        row_ptr.push(0usize);
+        for c in &counts {
+            row_ptr.push(row_ptr.last().expect("non-empty") + c);
+        }
+        let mut cursor = row_ptr[..self.cols].to_vec();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let slot = cursor[j];
+                // Rows are visited in order, so transposed rows stay sorted.
+                col_idx[slot] = i;
+                values[slot] = v;
+                cursor[j] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Checks whether every row sums to 1 (within [`EPS`]) with all entries
+    /// non-negative.
+    pub fn is_row_stochastic(&self) -> bool {
+        self.stochastic_violation().is_none()
+    }
+
+    /// Returns the first row violating row-stochasticity, if any (same
+    /// contract as [`Matrix::stochastic_violation`]).
+    pub fn stochastic_violation(&self) -> Option<(usize, f64)> {
+        for i in 0..self.rows {
+            let (_, vals) = self.row(i);
+            if vals.iter().any(|&x| x < -EPS) {
+                return Some((i, f64::NAN));
+            }
+            let s: f64 = vals.iter().sum();
+            if (s - 1.0).abs() > EPS * self.cols as f64 {
+                return Some((i, s));
+            }
+        }
+        None
+    }
+
+    /// Checks whether the matrix is doubly stochastic (rows and columns all
+    /// sum to 1, entries non-negative) in `O(nnz)`.
+    pub fn is_doubly_stochastic(&self) -> bool {
+        if !self.is_square() || !self.is_row_stochastic() {
+            return false;
+        }
+        let mut col_sums = vec![0.0; self.cols];
+        for (&j, &v) in self.col_idx.iter().zip(&self.values) {
+            col_sums[j] += v;
+        }
+        col_sums
+            .iter()
+            .all(|s| (s - 1.0).abs() <= EPS * self.rows as f64)
+    }
+
+    /// Checks symmetry within [`EPS`] by comparing against the transpose.
+    pub fn is_symmetric(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let t = self.transpose();
+        for i in 0..self.rows {
+            let (cols_a, vals_a) = self.row(i);
+            let (cols_b, vals_b) = t.row(i);
+            // Patterns may differ (an entry paired with a structural zero);
+            // walk both sorted rows in lockstep.
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < cols_a.len() || b < cols_b.len() {
+                match (cols_a.get(a), cols_b.get(b)) {
+                    (Some(&ja), Some(&jb)) if ja == jb => {
+                        if (vals_a[a] - vals_b[b]).abs() > EPS {
+                            return false;
+                        }
+                        a += 1;
+                        b += 1;
+                    }
+                    (Some(&ja), jb) if jb.is_none_or(|&jb| ja < jb) => {
+                        if vals_a[a].abs() > EPS {
+                            return false;
+                        }
+                        a += 1;
+                    }
+                    _ => {
+                        if vals_b[b].abs() > EPS {
+                            return false;
+                        }
+                        b += 1;
+                    }
+                }
+            }
+        }
+        true
     }
 }
 
@@ -561,6 +956,120 @@ mod tests {
         let s = a.to_string();
         assert!(s.contains("1.0000"));
         assert!(s.contains("0.0000"));
+    }
+
+    fn sample_csr() -> CsrMatrix {
+        // [[0.5, 0.5, 0.0], [0.25, 0.5, 0.25], [0.0, 0.5, 0.5]]
+        CsrMatrix::from_row_entries(
+            3,
+            vec![
+                vec![(1, 0.5), (0, 0.5)], // unsorted on purpose
+                vec![(0, 0.25), (1, 0.5), (2, 0.25)],
+                vec![(1, 0.5), (2, 0.5)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csr_roundtrips_through_dense() {
+        let s = sample_csr();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.cols(), 3);
+        assert_eq!(s.nnz(), 7);
+        assert!(s.is_square());
+        let d = s.to_dense();
+        assert_eq!(CsrMatrix::from_dense(&d), s);
+        assert_eq!(d[(1, 2)], 0.25);
+        assert_eq!(s.get(1, 2), 0.25);
+        assert_eq!(s.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn csr_builder_sums_duplicates_and_drops_zeros() {
+        let s = CsrMatrix::from_row_entries(
+            2,
+            vec![
+                vec![(0, 0.25), (0, 0.25), (1, 0.0), (1, 0.5)],
+                vec![(1, 1.0)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.get(0, 0), 0.5);
+        assert_eq!(s.get(0, 1), 0.5);
+        // The explicit zero was dropped, the duplicate merged.
+        assert_eq!(s.nnz(), 3);
+        assert!(s.is_row_stochastic());
+    }
+
+    #[test]
+    fn csr_rejects_bad_shapes() {
+        assert!(matches!(
+            CsrMatrix::from_row_entries(0, vec![vec![]]),
+            Err(MarkovError::Empty)
+        ));
+        assert!(matches!(
+            CsrMatrix::from_row_entries(2, Vec::new()),
+            Err(MarkovError::Empty)
+        ));
+        assert!(matches!(
+            CsrMatrix::from_row_entries(2, vec![vec![(5, 1.0)]]),
+            Err(MarkovError::DimensionMismatch { found: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn csr_products_match_dense() {
+        let s = sample_csr();
+        let d = s.to_dense();
+        let v = [0.2, 0.3, 0.5];
+        assert_eq!(s.mul_vec(&v).unwrap(), d.mul_vec(&v).unwrap());
+        assert_eq!(s.vec_mul(&v).unwrap(), d.vec_mul(&v).unwrap());
+        assert!(s.mul_vec(&[1.0]).is_err());
+        assert!(s.vec_mul(&[1.0]).is_err());
+        let mut out = vec![0.0; 2];
+        assert!(s.mul_vec_into(&v, &mut out).is_err());
+        assert!(s.vec_mul_into(&v, &mut out).is_err());
+    }
+
+    #[test]
+    fn csr_transpose_matches_dense_transpose() {
+        let s =
+            CsrMatrix::from_row_entries(3, vec![vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)]]).unwrap();
+        assert_eq!(s.transpose().to_dense(), s.to_dense().transpose());
+        assert_eq!(s.transpose().transpose(), s);
+    }
+
+    #[test]
+    fn csr_stochastic_and_symmetry_checks() {
+        let s = sample_csr();
+        assert!(s.is_row_stochastic());
+        // Columns sum to (0.75, 1.5, 0.75) and s[0][1] != s[1][0].
+        assert!(!s.is_doubly_stochastic());
+        assert!(!s.is_symmetric());
+        // Lazy-walk-style symmetric matrix: genuinely doubly stochastic.
+        let sym = CsrMatrix::from_row_entries(
+            3,
+            vec![
+                vec![(0, 0.5), (1, 0.5)],
+                vec![(0, 0.5), (1, 0.25), (2, 0.25)],
+                vec![(1, 0.25), (2, 0.75)],
+            ],
+        )
+        .unwrap();
+        assert!(sym.is_doubly_stochastic());
+        assert!(sym.is_symmetric());
+        let asym =
+            CsrMatrix::from_row_entries(2, vec![vec![(0, 0.5), (1, 0.5)], vec![(1, 1.0)]]).unwrap();
+        assert!(asym.is_row_stochastic());
+        assert!(!asym.is_doubly_stochastic());
+        assert!(!asym.is_symmetric());
+        let neg = CsrMatrix::from_row_entries(2, vec![vec![(0, -0.5), (1, 1.5)], vec![(0, 1.0)]])
+            .unwrap();
+        assert!(neg.stochastic_violation().is_some());
+        let rect = CsrMatrix::from_row_entries(3, vec![vec![(0, 1.0)]]).unwrap();
+        assert!(!rect.is_symmetric());
+        assert!(!rect.is_doubly_stochastic());
     }
 
     #[test]

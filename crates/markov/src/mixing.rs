@@ -7,17 +7,24 @@
 //! attained at point masses, the condition is equivalent to every **row** of
 //! `Pᵗ` being within `1/(2n)` of the stationary distribution in max-norm.
 //!
-//! Two methods are provided:
+//! Three methods are provided:
 //!
 //! * [`mixing_time_exact`] — doubling + binary search on matrix powers,
-//!   exact per the definition, cost `O(n³ log t_mix)`; and
+//!   exact per the definition, cost `O(n³ log t_mix)`. Matrix powering is
+//!   inherently dense, so sparse-backed chains are densified through the
+//!   [`crate::transition::DENSIFY_LIMIT`] guard;
+//! * [`mixing_time_from_state`] — iterative: evolves a single point mass
+//!   with [`MarkovChain::step_into`] until it is within `1/(2n)` of the
+//!   stationary distribution. Runs in `O(t·nnz)` on either backend — the
+//!   large-n path; on vertex-transitive chains (torus, ring, hypercube)
+//!   the result equals the exact mixing time; and
 //! * [`mixing_time_spectral_upper`] — the reversible-chain bound
 //!   `|Pᵗ(i,j) − 1/n| ≤ λ₂ᵗ` for symmetric doubly-stochastic `P`, giving
 //!   `t_mix ≤ ⌈ln(2n)/(1 − λ₂)⌉`, cheap enough for large graphs.
 
 use crate::chain::MarkovChain;
 use crate::error::MarkovError;
-use crate::matrix::Matrix;
+use crate::matrix::{vecops, Matrix};
 
 /// Maximum over rows of the max-norm distance between `Pᵗ` rows and the
 /// stationary distribution `pi`.
@@ -45,6 +52,10 @@ fn max_row_distance(pt: &Matrix, pi: &[f64]) -> f64 {
 /// * [`MarkovError::Reducible`] if the chain cannot mix at all.
 /// * [`MarkovError::NotConverged`] if `cap` is exceeded before mixing; the
 ///   `iterations` field carries the cap.
+/// * [`MarkovError::DimensionMismatch`] when a sparse-backed chain exceeds
+///   [`crate::transition::DENSIFY_LIMIT`] states (matrix powering would
+///   allocate `O(n²)`); use [`mixing_time_from_state`] or the spectral
+///   bound at that scale.
 ///
 /// # Examples
 ///
@@ -57,8 +68,7 @@ fn max_row_distance(pt: &Matrix, pi: &[f64]) -> f64 {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn mixing_time_exact(chain: &MarkovChain, cap: u64) -> Result<u64, MarkovError> {
-    let p = chain.matrix();
-    let n = p.rows();
+    let n = chain.len();
     if n == 0 {
         return Err(MarkovError::Empty);
     }
@@ -68,6 +78,7 @@ pub fn mixing_time_exact(chain: &MarkovChain, cap: u64) -> Result<u64, MarkovErr
     if !chain.is_irreducible() {
         return Err(MarkovError::Reducible);
     }
+    let p = chain.transition().to_dense_checked()?;
     let pi = if p.is_doubly_stochastic() {
         vec![1.0 / n as f64; n]
     } else {
@@ -76,7 +87,7 @@ pub fn mixing_time_exact(chain: &MarkovChain, cap: u64) -> Result<u64, MarkovErr
     let target = 1.0 / (2.0 * n as f64);
 
     // Doubling phase: find k with P^(2^k) mixed.
-    let mut power_matrices: Vec<Matrix> = vec![p.clone()]; // P^(2^0)
+    let mut power_matrices: Vec<Matrix> = vec![p]; // P^(2^0)
     let mut t: u64 = 1;
     if max_row_distance(&power_matrices[0], &pi) <= target {
         return Ok(1);
@@ -127,6 +138,88 @@ fn power_from_binary(powers: &[Matrix], e: u64) -> Result<Matrix, MarkovError> {
         bit += 1;
     }
     Ok(result)
+}
+
+/// First round `t` at which the point mass on `start` is mixed:
+/// `‖e_start·Pᵗ − π‖_∞ ≤ 1/(2n)`.
+///
+/// This is the iterative, backend-generic form of the mixing-time
+/// computation: it runs in `O(t·nnz)` via [`MarkovChain::step_into`], so a
+/// sparse chain on an `m`-edge graph pays `O(m)` per round — the method of
+/// choice at the tens-of-thousands-of-nodes scale where matrix powering is
+/// out of reach. On vertex-transitive chains (torus, ring, hypercube,
+/// complete graph) every start state is equivalent, so the result equals
+/// the exact mixing time of [`mixing_time_exact`]; in general it is the
+/// exact first mixed round for this start state, a lower bound on the
+/// worst-case mixing time.
+///
+/// The stationary distribution is taken as uniform when the chain is
+/// doubly stochastic and computed by power iteration otherwise.
+///
+/// # Errors
+///
+/// * [`MarkovError::Empty`] for an empty chain,
+///   [`MarkovError::DimensionMismatch`] for `start` out of range.
+/// * [`MarkovError::Reducible`] if the chain cannot mix at all.
+/// * [`MarkovError::NotConverged`] if `cap` rounds do not reach the
+///   threshold; `residual` carries the final distance.
+///
+/// # Examples
+///
+/// ```
+/// use ale_markov::{MarkovChain, mixing};
+/// let adj: Vec<Vec<usize>> = (0..8).map(|i| vec![(i + 7) % 8, (i + 1) % 8]).collect();
+/// let dense = MarkovChain::lazy_random_walk(&adj)?;
+/// let sparse = MarkovChain::lazy_random_walk_sparse(&adj)?;
+/// let t = mixing::mixing_time_from_state(&dense, 0, 1 << 20)?;
+/// assert_eq!(t, mixing::mixing_time_from_state(&sparse, 0, 1 << 20)?);
+/// // The cycle is vertex-transitive: equals the exact mixing time.
+/// assert_eq!(t, mixing::mixing_time_exact(&dense, 1 << 20)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn mixing_time_from_state(
+    chain: &MarkovChain,
+    start: usize,
+    cap: u64,
+) -> Result<u64, MarkovError> {
+    let n = chain.len();
+    if n == 0 {
+        return Err(MarkovError::Empty);
+    }
+    if start >= n {
+        return Err(MarkovError::DimensionMismatch {
+            expected: n,
+            found: start,
+        });
+    }
+    if n == 1 {
+        return Ok(0);
+    }
+    if !chain.is_irreducible() {
+        return Err(MarkovError::Reducible);
+    }
+    let pi = if chain.transition().is_doubly_stochastic() {
+        vec![1.0 / n as f64; n]
+    } else {
+        chain.stationary_distribution(1e-13, 1_000_000)?
+    };
+    let target = 1.0 / (2.0 * n as f64);
+    let mut mu = vec![0.0; n];
+    mu[start] = 1.0;
+    let mut next = vec![0.0; n];
+    let mut dist = f64::INFINITY;
+    for t in 1..=cap {
+        chain.step_into(&mu, &mut next)?;
+        std::mem::swap(&mut mu, &mut next);
+        dist = vecops::max_abs_diff(&mu, &pi);
+        if dist <= target {
+            return Ok(t);
+        }
+    }
+    Err(MarkovError::NotConverged {
+        iterations: cap as usize,
+        residual: dist,
+    })
 }
 
 /// Spectral upper bound on mixing time for symmetric doubly-stochastic
@@ -216,12 +309,13 @@ mod tests {
         let t = mixing_time_exact(&c, 1 << 22).unwrap();
         let n = 10;
         let pi = vec![1.0 / n as f64; n];
-        let pt = c.matrix().power(t as u32).unwrap();
+        let p = c.as_dense().expect("dense-built chain");
+        let pt = p.power(t as u32).unwrap();
         assert!(max_row_distance(&pt, &pi) <= 1.0 / (2.0 * n as f64) + 1e-12);
-        let pt1 = c.matrix().power(t as u32 + 3).unwrap();
+        let pt1 = p.power(t as u32 + 3).unwrap();
         assert!(max_row_distance(&pt1, &pi) <= 1.0 / (2.0 * n as f64) + 1e-12);
         if t > 1 {
-            let pt_less = c.matrix().power(t as u32 - 1).unwrap();
+            let pt_less = p.power(t as u32 - 1).unwrap();
             assert!(
                 max_row_distance(&pt_less, &pi) > 1.0 / (2.0 * n as f64),
                 "t_mix must be minimal"
@@ -253,7 +347,7 @@ mod tests {
         for n in [4usize, 8, 12] {
             let c = lazy(&cycle_adj(n));
             let exact = mixing_time_exact(&c, 1 << 24).unwrap();
-            let l2 = crate::spectral::lambda2_power(c.matrix(), 1e-12, 1_000_000).unwrap();
+            let l2 = crate::spectral::lambda2_power(c.transition(), 1e-12, 1_000_000).unwrap();
             let upper = mixing_time_spectral_upper(l2, n);
             assert!(
                 upper >= exact,
@@ -266,6 +360,47 @@ mod tests {
     #[should_panic(expected = "lambda2 must be in [0,1)")]
     fn spectral_upper_rejects_bad_lambda() {
         mixing_time_spectral_upper(1.5, 4);
+    }
+
+    #[test]
+    fn exact_runs_on_small_sparse_chains() {
+        let adj = cycle_adj(12);
+        let dense = lazy(&adj);
+        let sparse = MarkovChain::lazy_random_walk_sparse(&adj).unwrap();
+        assert_eq!(
+            mixing_time_exact(&dense, 1 << 24).unwrap(),
+            mixing_time_exact(&sparse, 1 << 24).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_state_equals_exact_on_vertex_transitive() {
+        for n in [8usize, 12, 16] {
+            let c = lazy(&cycle_adj(n));
+            let exact = mixing_time_exact(&c, 1 << 24).unwrap();
+            let iter = mixing_time_from_state(&c, 0, 1 << 24).unwrap();
+            assert_eq!(iter, exact, "C{n}");
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_bad_inputs() {
+        let c = lazy(&cycle_adj(8));
+        assert!(matches!(
+            mixing_time_from_state(&c, 9, 100),
+            Err(MarkovError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            mixing_time_from_state(&c, 0, 2),
+            Err(MarkovError::NotConverged { .. })
+        ));
+        let reducible = MarkovChain::from_matrix(Matrix::identity(3)).unwrap();
+        assert!(matches!(
+            mixing_time_from_state(&reducible, 0, 100),
+            Err(MarkovError::Reducible)
+        ));
+        let singleton = MarkovChain::from_matrix(Matrix::identity(1)).unwrap();
+        assert_eq!(mixing_time_from_state(&singleton, 0, 1).unwrap(), 0);
     }
 
     #[test]

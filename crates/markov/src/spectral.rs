@@ -7,10 +7,13 @@
 //! bound `1 − λ ≥ φ²/2` from Sinclair–Jerrum). This module computes `λ₂`
 //! either exactly (cyclic Jacobi, reliable for the symmetric matrices we
 //! build) or iteratively (power iteration deflated against the known
-//! all-ones principal eigenvector of doubly-stochastic matrices).
+//! all-ones principal eigenvector of doubly-stochastic matrices). The
+//! power iteration runs against a [`Transition`], so it costs `O(nnz)` per
+//! iteration on sparse-backed chains; Jacobi is inherently dense.
 
 use crate::error::MarkovError;
 use crate::matrix::{vecops, Matrix};
+use crate::transition::Transition;
 
 /// Result of a full symmetric eigendecomposition.
 ///
@@ -160,12 +163,12 @@ fn sorted_eigen(a: Matrix, v: Matrix) -> Eigen {
 /// use ale_markov::{MarkovChain, spectral};
 /// let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
 /// let c = MarkovChain::lazy_random_walk(&adj)?;
-/// let l2 = spectral::lambda2_power(c.matrix(), 1e-10, 100_000)?;
+/// let l2 = spectral::lambda2_power(c.transition(), 1e-10, 100_000)?;
 /// // Lazy triangle: eigenvalues are 1, 1/4, 1/4.
 /// assert!((l2 - 0.25).abs() < 1e-6);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn lambda2_power(p: &Matrix, tol: f64, max_iters: usize) -> Result<f64, MarkovError> {
+pub fn lambda2_power(p: &Transition, tol: f64, max_iters: usize) -> Result<f64, MarkovError> {
     if !p.is_square() {
         return Err(MarkovError::NotSquare {
             rows: p.rows(),
@@ -222,7 +225,7 @@ fn project_off_ones(v: &mut [f64]) {
     }
 }
 
-fn rayleigh(p: &Matrix, v: &[f64]) -> Result<f64, MarkovError> {
+fn rayleigh(p: &Transition, v: &[f64]) -> Result<f64, MarkovError> {
     let pv = p.mul_vec(v)?;
     Ok(vecops::dot(v, &pv) / vecops::dot(v, v))
 }
@@ -232,12 +235,14 @@ fn rayleigh(p: &Matrix, v: &[f64]) -> Result<f64, MarkovError> {
 ///
 /// # Errors
 ///
-/// Propagates errors from both methods if neither converges.
-pub fn spectral_gap(p: &Matrix) -> Result<f64, MarkovError> {
+/// Propagates errors from both methods if neither converges. The Jacobi
+/// fallback densifies sparse input through the
+/// [`crate::transition::DENSIFY_LIMIT`] guard.
+pub fn spectral_gap(p: &Transition) -> Result<f64, MarkovError> {
     match lambda2_power(p, 1e-11, 200_000) {
         Ok(l2) => Ok(1.0 - l2),
         Err(MarkovError::NotConverged { .. }) => {
-            let eig = jacobi_eigen(p, 200)?;
+            let eig = jacobi_eigen(&p.to_dense_checked()?, 200)?;
             Ok(1.0 - eig.values[1])
         }
         Err(e) => Err(e),
@@ -295,7 +300,7 @@ mod tests {
     fn lambda2_of_lazy_triangle() {
         let adj = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
         let c = MarkovChain::lazy_random_walk(&adj).unwrap();
-        let l2 = lambda2_power(c.matrix(), 1e-11, 100_000).unwrap();
+        let l2 = lambda2_power(c.transition(), 1e-11, 100_000).unwrap();
         assert!((l2 - 0.25).abs() < 1e-6);
     }
 
@@ -304,8 +309,8 @@ mod tests {
         // Lazy walk on C6.
         let adj: Vec<Vec<usize>> = (0..6).map(|i| vec![(i + 5) % 6, (i + 1) % 6]).collect();
         let c = MarkovChain::lazy_random_walk(&adj).unwrap();
-        let l2 = lambda2_power(c.matrix(), 1e-12, 1_000_000).unwrap();
-        let eig = jacobi_eigen(c.matrix(), 200).unwrap();
+        let l2 = lambda2_power(c.transition(), 1e-12, 1_000_000).unwrap();
+        let eig = jacobi_eigen(c.as_dense().unwrap(), 200).unwrap();
         assert!((l2 - eig.values[1]).abs() < 1e-7);
         // Lazy C6: λ₂ = 1/2 + cos(2π/6)/2 = 0.75.
         assert!((l2 - 0.75).abs() < 1e-6);
@@ -313,15 +318,28 @@ mod tests {
 
     #[test]
     fn lambda2_singleton_is_zero() {
-        let p = Matrix::identity(1);
+        let p = Transition::from(Matrix::identity(1));
         assert_eq!(lambda2_power(&p, 1e-9, 10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn lambda2_agrees_across_backends() {
+        let adj: Vec<Vec<usize>> = (0..6).map(|i| vec![(i + 5) % 6, (i + 1) % 6]).collect();
+        let dense = MarkovChain::lazy_random_walk(&adj).unwrap();
+        let sparse = MarkovChain::lazy_random_walk_sparse(&adj).unwrap();
+        let ld = lambda2_power(dense.transition(), 1e-12, 1_000_000).unwrap();
+        let ls = lambda2_power(sparse.transition(), 1e-12, 1_000_000).unwrap();
+        assert!((ld - ls).abs() < 1e-9, "dense {ld} vs sparse {ls}");
+        let gd = spectral_gap(dense.transition()).unwrap();
+        let gs = spectral_gap(sparse.transition()).unwrap();
+        assert!((gd - gs).abs() < 1e-6);
     }
 
     #[test]
     fn spectral_gap_matches_direct() {
         let adj = vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]];
         let c = MarkovChain::lazy_random_walk(&adj).unwrap();
-        let gap = spectral_gap(c.matrix()).unwrap();
+        let gap = spectral_gap(c.transition()).unwrap();
         // Lazy K4: non-principal eigenvalues are 1/2 - 1/6 = 1/3; gap 2/3.
         assert!((gap - 2.0 / 3.0).abs() < 1e-6, "gap = {gap}");
     }
@@ -331,9 +349,9 @@ mod tests {
         // K_{2,2} lazy walk: eigenvalues 1, 1/2, 1/2, 0. λ₂ = 1/2.
         let adj = vec![vec![2, 3], vec![2, 3], vec![0, 1], vec![0, 1]];
         let c = MarkovChain::lazy_random_walk(&adj).unwrap();
-        let eig = jacobi_eigen(c.matrix(), 200).unwrap();
+        let eig = jacobi_eigen(c.as_dense().unwrap(), 200).unwrap();
         assert!((eig.values[1] - 0.5).abs() < 1e-9);
-        let l2 = lambda2_power(c.matrix(), 1e-11, 200_000).unwrap();
+        let l2 = lambda2_power(c.transition(), 1e-11, 200_000).unwrap();
         assert!((l2 - 0.5).abs() < 1e-6);
     }
 }

@@ -1,0 +1,381 @@
+//! The [`Transition`] abstraction: one transition-matrix interface over the
+//! dense and sparse backends.
+//!
+//! Every iterative path in this crate (chain steps, power iteration,
+//! hitting-time sweeps, conductance scans) is written against `Transition`,
+//! so a [`crate::MarkovChain`] built from a dense [`Matrix`] and one built
+//! from a [`CsrMatrix`] behave identically — the sparse backend just pays
+//! `O(nnz)` per step instead of `O(n²)`. Operations that genuinely need
+//! full matrix products (exact mixing-time doubling, Jacobi
+//! eigendecomposition) densify through [`Transition::to_dense`], guarded by
+//! [`DENSIFY_LIMIT`] so a 20 000-state sparse chain cannot silently
+//! allocate gigabytes.
+
+use crate::error::MarkovError;
+use crate::matrix::{CsrMatrix, Matrix};
+
+/// Largest state count [`Transition::to_dense_checked`] will densify
+/// (a `2048²` dense matrix is 32 MiB; the next power of two is 128 MiB).
+pub const DENSIFY_LIMIT: usize = 2048;
+
+/// A transition matrix in either dense or CSR sparse representation.
+///
+/// # Examples
+///
+/// ```
+/// use ale_markov::{CsrMatrix, Matrix, Transition};
+///
+/// let dense = Transition::from(Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]])?);
+/// let sparse = Transition::from(CsrMatrix::from_dense(&dense.to_dense()));
+/// assert_eq!(dense.vec_mul(&[1.0, 0.0])?, sparse.vec_mul(&[1.0, 0.0])?);
+/// assert!(sparse.is_sparse());
+/// assert_eq!(sparse.nnz(), 4);
+/// # Ok::<(), ale_markov::MarkovError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transition {
+    /// Dense row-major backend.
+    Dense(Matrix),
+    /// CSR sparse backend.
+    Sparse(CsrMatrix),
+}
+
+impl From<Matrix> for Transition {
+    fn from(m: Matrix) -> Self {
+        Transition::Dense(m)
+    }
+}
+
+impl From<CsrMatrix> for Transition {
+    fn from(m: CsrMatrix) -> Self {
+        Transition::Sparse(m)
+    }
+}
+
+impl Transition {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            Transition::Dense(m) => m.rows(),
+            Transition::Sparse(m) => m.rows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            Transition::Dense(m) => m.cols(),
+            Transition::Sparse(m) => m.cols(),
+        }
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows() == self.cols()
+    }
+
+    /// Stored entries: `rows·cols` for the dense backend, `nnz` for CSR.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Transition::Dense(m) => m.rows() * m.cols(),
+            Transition::Sparse(m) => m.nnz(),
+        }
+    }
+
+    /// `true` for the CSR backend.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Transition::Sparse(_))
+    }
+
+    /// Backend name for reports and error messages.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            Transition::Dense(_) => "dense",
+            Transition::Sparse(_) => "sparse",
+        }
+    }
+
+    /// Reads entry `(i, j)` (`0.0` outside the sparse pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` or `j` is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self {
+            Transition::Dense(m) => m[(i, j)],
+            Transition::Sparse(m) => m.get(i, j),
+        }
+    }
+
+    /// Iterates the non-zero entries of row `i` as `(column, value)` pairs
+    /// in ascending column order.
+    ///
+    /// Both backends yield the same sequence for the same matrix (the dense
+    /// backend skips zeros), so code written against this iterator is
+    /// backend-oblivious — including floating-point accumulation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_entries(&self, i: usize) -> RowEntries<'_> {
+        match self {
+            Transition::Dense(m) => RowEntries::Dense {
+                row: m.row(i),
+                j: 0,
+            },
+            Transition::Sparse(m) => {
+                let (cols, vals) = m.row(i);
+                RowEntries::Sparse { cols, vals, k: 0 }
+            }
+        }
+    }
+
+    /// Row-vector-matrix product `v * self` (distribution evolution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] when `v.len() != self.rows()`.
+    pub fn vec_mul(&self, v: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        match self {
+            Transition::Dense(m) => m.vec_mul(v),
+            Transition::Sparse(m) => m.vec_mul(v),
+        }
+    }
+
+    /// [`Transition::vec_mul`] into a caller-provided buffer (no allocation
+    /// — the hot path of long diffusion loops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] on either length mismatch.
+    pub fn vec_mul_into(&self, v: &[f64], out: &mut [f64]) -> Result<(), MarkovError> {
+        match self {
+            Transition::Dense(m) => m.vec_mul_into(v, out),
+            Transition::Sparse(m) => m.vec_mul_into(v, out),
+        }
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::DimensionMismatch`] when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        match self {
+            Transition::Dense(m) => m.mul_vec(v),
+            Transition::Sparse(m) => m.mul_vec(v),
+        }
+    }
+
+    /// Returns the first row violating row-stochasticity, if any.
+    pub fn stochastic_violation(&self) -> Option<(usize, f64)> {
+        match self {
+            Transition::Dense(m) => m.stochastic_violation(),
+            Transition::Sparse(m) => m.stochastic_violation(),
+        }
+    }
+
+    /// Checks whether every row sums to 1 with non-negative entries.
+    pub fn is_row_stochastic(&self) -> bool {
+        self.stochastic_violation().is_none()
+    }
+
+    /// Checks whether the matrix is doubly stochastic.
+    pub fn is_doubly_stochastic(&self) -> bool {
+        match self {
+            Transition::Dense(m) => m.is_doubly_stochastic(),
+            Transition::Sparse(m) => m.is_doubly_stochastic(),
+        }
+    }
+
+    /// Checks symmetry within [`crate::matrix::EPS`].
+    pub fn is_symmetric(&self) -> bool {
+        match self {
+            Transition::Dense(m) => m.is_symmetric(),
+            Transition::Sparse(m) => m.is_symmetric(),
+        }
+    }
+
+    /// Borrows the dense matrix when this is the dense backend.
+    pub fn as_dense(&self) -> Option<&Matrix> {
+        match self {
+            Transition::Dense(m) => Some(m),
+            Transition::Sparse(_) => None,
+        }
+    }
+
+    /// Borrows the CSR matrix when this is the sparse backend.
+    pub fn as_sparse(&self) -> Option<&CsrMatrix> {
+        match self {
+            Transition::Dense(_) => None,
+            Transition::Sparse(m) => Some(m),
+        }
+    }
+
+    /// Materializes a dense copy regardless of backend (unguarded — the
+    /// caller owns the `O(n²)` memory decision).
+    pub fn to_dense(&self) -> Matrix {
+        match self {
+            Transition::Dense(m) => m.clone(),
+            Transition::Sparse(m) => m.to_dense(),
+        }
+    }
+
+    /// Materializes a dense copy, refusing sparse inputs beyond
+    /// [`DENSIFY_LIMIT`] states — the guard every dense-only algorithm
+    /// (exact mixing, Jacobi) goes through.
+    ///
+    /// # Errors
+    ///
+    /// [`MarkovError::DimensionMismatch`] when a sparse matrix has more
+    /// than [`DENSIFY_LIMIT`] rows (the `expected` field carries the limit).
+    pub fn to_dense_checked(&self) -> Result<Matrix, MarkovError> {
+        if self.is_sparse() && self.rows() > DENSIFY_LIMIT {
+            return Err(MarkovError::DimensionMismatch {
+                expected: DENSIFY_LIMIT,
+                found: self.rows(),
+            });
+        }
+        Ok(self.to_dense())
+    }
+}
+
+/// Iterator over the non-zero `(column, value)` entries of one row, in
+/// ascending column order. Created by [`Transition::row_entries`].
+#[derive(Debug)]
+pub enum RowEntries<'a> {
+    /// Dense row scan (zeros skipped).
+    Dense {
+        /// The borrowed dense row.
+        row: &'a [f64],
+        /// Next column to inspect.
+        j: usize,
+    },
+    /// CSR row scan.
+    Sparse {
+        /// Stored column indices.
+        cols: &'a [usize],
+        /// Stored values.
+        vals: &'a [f64],
+        /// Next stored position.
+        k: usize,
+    },
+}
+
+impl Iterator for RowEntries<'_> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<(usize, f64)> {
+        match self {
+            RowEntries::Dense { row, j } => {
+                while *j < row.len() {
+                    let col = *j;
+                    let v = row[col];
+                    *j += 1;
+                    if v != 0.0 {
+                        return Some((col, v));
+                    }
+                }
+                None
+            }
+            RowEntries::Sparse { cols, vals, k } => {
+                while *k < cols.len() {
+                    let pos = *k;
+                    *k += 1;
+                    if vals[pos] != 0.0 {
+                        return Some((cols[pos], vals[pos]));
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_pair() -> (Transition, Transition) {
+        let m = Matrix::from_rows(&[
+            vec![0.5, 0.5, 0.0],
+            vec![0.5, 0.25, 0.25],
+            vec![0.0, 0.25, 0.75],
+        ])
+        .unwrap();
+        let s = CsrMatrix::from_dense(&m);
+        (Transition::from(m), Transition::from(s))
+    }
+
+    #[test]
+    fn backends_report_consistently() {
+        let (d, s) = dense_pair();
+        assert_eq!(d.rows(), 3);
+        assert_eq!(s.cols(), 3);
+        assert!(d.is_square() && s.is_square());
+        assert!(!d.is_sparse() && s.is_sparse());
+        assert_eq!(d.backend(), "dense");
+        assert_eq!(s.backend(), "sparse");
+        assert_eq!(d.nnz(), 9);
+        assert_eq!(s.nnz(), 7);
+        assert!(d.as_dense().is_some() && d.as_sparse().is_none());
+        assert!(s.as_sparse().is_some() && s.as_dense().is_none());
+    }
+
+    #[test]
+    fn row_entries_agree_across_backends() {
+        let (d, s) = dense_pair();
+        for i in 0..3 {
+            let de: Vec<_> = d.row_entries(i).collect();
+            let se: Vec<_> = s.row_entries(i).collect();
+            assert_eq!(de, se, "row {i}");
+        }
+        // Zeros are skipped.
+        assert_eq!(d.row_entries(0).count(), 2);
+    }
+
+    #[test]
+    fn products_agree_across_backends() {
+        let (d, s) = dense_pair();
+        let v = [0.1, 0.2, 0.7];
+        assert_eq!(d.vec_mul(&v).unwrap(), s.vec_mul(&v).unwrap());
+        assert_eq!(d.mul_vec(&v).unwrap(), s.mul_vec(&v).unwrap());
+        let mut out_d = vec![9.0; 3];
+        let mut out_s = vec![9.0; 3];
+        d.vec_mul_into(&v, &mut out_d).unwrap();
+        s.vec_mul_into(&v, &mut out_s).unwrap();
+        assert_eq!(out_d, out_s);
+        assert!(d.vec_mul_into(&v, &mut [0.0; 2]).is_err());
+        assert!(d.vec_mul_into(&[1.0], &mut out_d).is_err());
+    }
+
+    #[test]
+    fn checks_delegate() {
+        let (d, s) = dense_pair();
+        for t in [&d, &s] {
+            assert!(t.is_row_stochastic());
+            assert!(t.is_doubly_stochastic());
+            assert!(t.is_symmetric());
+            assert_eq!(t.get(1, 0), 0.5);
+            assert_eq!(t.get(0, 2), 0.0);
+        }
+        assert_eq!(d.to_dense(), s.to_dense());
+    }
+
+    #[test]
+    fn densify_guard_applies_to_sparse_only() {
+        let (d, s) = dense_pair();
+        assert!(d.to_dense_checked().is_ok());
+        assert!(s.to_dense_checked().is_ok());
+        let big = CsrMatrix::from_row_entries(
+            DENSIFY_LIMIT + 1,
+            (0..DENSIFY_LIMIT + 1).map(|i| vec![(i, 1.0)]).collect(),
+        )
+        .unwrap();
+        let t = Transition::from(big);
+        assert!(matches!(
+            t.to_dense_checked(),
+            Err(MarkovError::DimensionMismatch { .. })
+        ));
+    }
+}

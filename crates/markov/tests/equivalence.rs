@@ -1,0 +1,176 @@
+//! Dense ↔ sparse backend equivalence, pinned as an integration suite:
+//! the same chain built on the dense [`ale_markov::Matrix`] and the CSR
+//! [`ale_markov::CsrMatrix`] backend must agree — on `step`, stationary
+//! distributions, mixing times, hitting times, and conductance — to 1e-9
+//! across seeded random graphs. This is the contract that lets every
+//! consumer switch to the `O(m)`-per-step sparse path without revalidating
+//! its numerics.
+
+use ale_markov::{conductance, hitting, mixing, spectral, MarkovChain};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOL: f64 = 1e-9;
+
+/// Seeded random connected graph: a random tree plus `extra` random
+/// non-duplicate edges. Adjacency lists carry both directions in
+/// insertion order.
+fn random_connected_adj(n: usize, extra: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut edges = std::collections::HashSet::new();
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        adj[u].push(v);
+        adj[v].push(u);
+        edges.insert((u.min(v), u.max(v)));
+    }
+    let mut attempts = 0;
+    let mut added = 0;
+    while added < extra && attempts < 50 * extra.max(1) {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || !edges.insert((u.min(v), u.max(v))) {
+            continue;
+        }
+        adj[u].push(v);
+        adj[v].push(u);
+        added += 1;
+    }
+    adj
+}
+
+/// The diffusion alpha every test uses: valid (`α·deg ≤ 1`) for any graph
+/// since degrees are below `n`.
+fn safe_alpha(adj: &[Vec<usize>]) -> f64 {
+    let d_max = adj.iter().map(Vec::len).max().unwrap_or(1);
+    1.0 / (2.0 * d_max as f64)
+}
+
+fn chain_pairs(adj: &[Vec<usize>]) -> Vec<(MarkovChain, MarkovChain)> {
+    let alpha = safe_alpha(adj);
+    vec![
+        (
+            MarkovChain::lazy_random_walk(adj).unwrap(),
+            MarkovChain::lazy_random_walk_sparse(adj).unwrap(),
+        ),
+        (
+            MarkovChain::diffusion(adj, alpha).unwrap(),
+            MarkovChain::diffusion_sparse(adj, alpha).unwrap(),
+        ),
+    ]
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn step_agrees_across_backends() {
+    for (gi, &(n, extra)) in [(10usize, 4usize), (24, 12), (40, 30)].iter().enumerate() {
+        let adj = random_connected_adj(n, extra, 100 + gi as u64);
+        let mut rng = StdRng::seed_from_u64(7);
+        for (dense, sparse) in chain_pairs(&adj) {
+            // A random distribution, evolved 25 steps on both backends.
+            let mut mu: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+            let total: f64 = mu.iter().sum();
+            for x in mu.iter_mut() {
+                *x /= total;
+            }
+            let mut mu_d = mu.clone();
+            let mut mu_s = mu;
+            for step in 0..25 {
+                mu_d = dense.step(&mu_d).unwrap();
+                mu_s = sparse.step(&mu_s).unwrap();
+                assert!(
+                    max_abs_diff(&mu_d, &mu_s) <= TOL,
+                    "graph {gi}: step {step} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stationary_distribution_agrees() {
+    for (gi, &(n, extra)) in [(12usize, 6usize), (20, 15)].iter().enumerate() {
+        let adj = random_connected_adj(n, extra, 200 + gi as u64);
+        for (dense, sparse) in chain_pairs(&adj) {
+            let pi_d = dense.stationary_distribution(1e-13, 1_000_000).unwrap();
+            let pi_s = sparse.stationary_distribution(1e-13, 1_000_000).unwrap();
+            assert!(
+                max_abs_diff(&pi_d, &pi_s) <= TOL,
+                "graph {gi}: stationary distributions diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixing_time_bounds_agree() {
+    for (gi, &(n, extra)) in [(8usize, 4usize), (14, 8)].iter().enumerate() {
+        let adj = random_connected_adj(n, extra, 300 + gi as u64);
+        let dense = MarkovChain::lazy_random_walk(&adj).unwrap();
+        let sparse = MarkovChain::lazy_random_walk_sparse(&adj).unwrap();
+        // Exact (sparse densifies internally under the guard).
+        assert_eq!(
+            mixing::mixing_time_exact(&dense, 1 << 24).unwrap(),
+            mixing::mixing_time_exact(&sparse, 1 << 24).unwrap(),
+            "graph {gi}: exact mixing time"
+        );
+        // Iterative, per start state.
+        for start in 0..n {
+            assert_eq!(
+                mixing::mixing_time_from_state(&dense, start, 1 << 24).unwrap(),
+                mixing::mixing_time_from_state(&sparse, start, 1 << 24).unwrap(),
+                "graph {gi}: from-state mixing at {start}"
+            );
+        }
+        // Spectral: lambda2 via power iteration on either backend.
+        let l2_d = spectral::lambda2_power(dense.transition(), 1e-12, 2_000_000).unwrap();
+        let l2_s = spectral::lambda2_power(sparse.transition(), 1e-12, 2_000_000).unwrap();
+        assert!((l2_d - l2_s).abs() <= TOL, "graph {gi}: lambda2 diverged");
+    }
+}
+
+#[test]
+fn hitting_times_agree() {
+    for (gi, &(n, extra)) in [(10usize, 5usize), (18, 10)].iter().enumerate() {
+        let adj = random_connected_adj(n, extra, 400 + gi as u64);
+        for (dense, sparse) in chain_pairs(&adj) {
+            let targets = [0usize, n / 2];
+            let h_d = hitting::expected_hitting_times(&dense, &targets).unwrap();
+            let h_s = hitting::expected_hitting_times(&sparse, &targets).unwrap();
+            assert!(
+                max_abs_diff(&h_d, &h_s) <= TOL,
+                "graph {gi}: direct hitting times diverged"
+            );
+            let h_gs =
+                hitting::expected_hitting_times_iterative(&sparse, &targets, 1e-13, 2_000_000)
+                    .unwrap();
+            assert!(
+                max_abs_diff(&h_d, &h_gs) <= TOL,
+                "graph {gi}: Gauss-Seidel diverged from direct solve"
+            );
+        }
+    }
+}
+
+#[test]
+fn conductance_agrees() {
+    for (gi, &(n, extra)) in [(8usize, 5usize), (12, 8)].iter().enumerate() {
+        let adj = random_connected_adj(n, extra, 500 + gi as u64);
+        for (dense, sparse) in chain_pairs(&adj) {
+            let phi_d = conductance::chain_conductance_exact(dense.transition()).unwrap();
+            let phi_s = conductance::chain_conductance_exact(sparse.transition()).unwrap();
+            assert!(
+                (phi_d - phi_s).abs() <= TOL,
+                "graph {gi}: conductance {phi_d} vs {phi_s}"
+            );
+        }
+    }
+}
