@@ -14,7 +14,7 @@
 //!   variant: exactly `m·2·D` messages, useful as an upper anchor in the
 //!   Table 1 experiment.
 
-use ale_congest::{congest_budget, Incoming, Network, NodeCtx, Outbox, Process};
+use ale_congest::{congest_budget, Incoming, Network, NodeCtx, OutCtx, Process};
 use ale_core::{CoreError, ElectionOutcome};
 use ale_graph::Graph;
 use rand::rngs::StdRng;
@@ -95,7 +95,7 @@ impl Process for FloodMaxProcess {
     type Msg = u64;
     type Output = bool;
 
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>]) -> Outbox<u64> {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>], out: &mut OutCtx<'_, u64>) {
         for m in inbox {
             if m.msg > self.best {
                 self.best = m.msg;
@@ -105,7 +105,7 @@ impl Process for FloodMaxProcess {
         if ctx.round >= self.rounds {
             self.leader = self.best == self.id;
             self.halted = true;
-            return Vec::new();
+            return;
         }
         let send = match self.discipline {
             FloodDiscipline::EveryRound => true,
@@ -113,9 +113,7 @@ impl Process for FloodMaxProcess {
         };
         self.dirty = false;
         if send {
-            (0..ctx.degree).map(|p| (p, self.best)).collect()
-        } else {
-            Vec::new()
+            out.broadcast(self.best);
         }
     }
 

@@ -1,7 +1,7 @@
 //! Gilbert–Robinson–Sourav (PODC 2018) style random-walk baseline.
 //!
 //! The comparison target of Theorem 1: implicit leader election with known
-//! `n` using `O(t_mix·√n·log^{7/2} n)` messages ([10] in the paper). The
+//! `n` using `O(t_mix·√n·log^{7/2} n)` messages (\[10\] in the paper). The
 //! defining structural difference from this paper's protocol is the
 //! **absence of cautious-broadcast territories**: candidates must detect
 //! each other purely through random-walk token meetings (birthday-paradox
@@ -23,7 +23,7 @@
 //!   ID, as in the paper's CONGEST encoding of merged walks.
 
 use ale_congest::message::{bits_for_u64, Payload};
-use ale_congest::{congest_budget, Incoming, Network, NodeCtx, Outbox, Process};
+use ale_congest::{congest_budget, Incoming, Network, NodeCtx, OutCtx, Process};
 use ale_core::{CoreError, ElectionOutcome};
 use ale_graph::{Graph, Port};
 use rand::rngs::StdRng;
@@ -35,7 +35,7 @@ use std::collections::BTreeMap;
 pub struct GilbertConfig {
     /// Known network size.
     pub n: usize,
-    /// Mixing-time upper bound (drives walk length, as in [10]'s phases).
+    /// Mixing-time upper bound (drives walk length, as in \[10\]'s phases).
     pub tmix: u64,
     /// Constant in walk length and candidate probability.
     pub c: f64,
@@ -187,7 +187,12 @@ impl Process for GilbertProcess {
     type Msg = GrsMsg;
     type Output = (bool, bool); // (candidate, leader)
 
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<GrsMsg>]) -> Outbox<GrsMsg> {
+    fn round(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        inbox: &[Incoming<GrsMsg>],
+        out: &mut OutCtx<'_, GrsMsg>,
+    ) {
         for m in inbox {
             match m.msg {
                 GrsMsg::Tokens { id, count } => self.host(id, count, Some(m.port)),
@@ -210,10 +215,9 @@ impl Process for GilbertProcess {
         if ctx.round >= total {
             self.leader = self.candidate && self.alive;
             self.halted = true;
-            return Vec::new();
+            return;
         }
 
-        let mut out: Outbox<GrsMsg> = Vec::new();
         // Forward kill reports one hop toward their next stops. Duplicate
         // (port, id) pairs collapse; port conflicts retry next round to
         // respect the one-message-per-port rule.
@@ -222,7 +226,7 @@ impl Process for GilbertProcess {
         let mut port_used: BTreeMap<Port, ()> = BTreeMap::new();
         for (p, id) in std::mem::take(&mut self.kill_queue) {
             if port_used.insert(p, ()).is_none() {
-                out.push((p, GrsMsg::Kill { id }));
+                out.send(p, GrsMsg::Kill { id });
             } else {
                 self.kill_queue.push((p, id));
             }
@@ -236,10 +240,10 @@ impl Process for GilbertProcess {
             }
             for (port, count) in moving {
                 if !port_used.contains_key(&port) {
-                    out.push((port, GrsMsg::Tokens { id: self.id, count }));
+                    out.send(port, GrsMsg::Tokens { id: self.id, count });
                 }
             }
-            return out;
+            return;
         }
 
         if ctx.round < walk_len {
@@ -265,11 +269,10 @@ impl Process for GilbertProcess {
                     continue;
                 }
                 port_used.insert(port, ());
-                out.push((port, GrsMsg::Tokens { id, count }));
+                out.send(port, GrsMsg::Tokens { id, count });
             }
             self.resident = staying;
         }
-        out
     }
 
     fn is_halted(&self) -> bool {

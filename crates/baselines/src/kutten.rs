@@ -1,7 +1,7 @@
 //! Kutten-style candidate flooding baseline.
 //!
 //! Models the knowledge regime of Kutten, Pandurangan, Peleg, Robinson &
-//! Trehan (J. ACM 2015, [16] in the paper): `n` and `D` known, success whp.
+//! Trehan (J. ACM 2015, \[16\] in the paper): `n` and `D` known, success whp.
 //! A node stands as candidate with probability `c·ln n / n`, draws a random
 //! rank, and the network floods the maximum **candidate** rank for `D`
 //! rounds (forwarding improvements only). Expected messages are dominated
@@ -10,10 +10,10 @@
 //! originate nothing.
 //!
 //! This is a *baseline of the same shape*, not a line-by-line reproduction
-//! of [16] (whose protocol suite spans several knowledge regimes; see
+//! of \[16\] (whose protocol suite spans several knowledge regimes; see
 //! DESIGN.md "Substitutions").
 
-use ale_congest::{congest_budget, Incoming, Network, NodeCtx, Outbox, Process};
+use ale_congest::{congest_budget, Incoming, Network, NodeCtx, OutCtx, Process};
 use ale_core::{CoreError, ElectionOutcome};
 use ale_graph::Graph;
 use rand::rngs::StdRng;
@@ -89,7 +89,7 @@ impl Process for KuttenProcess {
     type Msg = u64;
     type Output = (bool, bool); // (candidate, leader)
 
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>]) -> Outbox<u64> {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>], out: &mut OutCtx<'_, u64>) {
         for m in inbox {
             if self.best.is_none_or(|b| m.msg > b) {
                 self.best = Some(m.msg);
@@ -99,14 +99,11 @@ impl Process for KuttenProcess {
         if ctx.round >= self.rounds {
             self.leader = self.candidate && self.best == Some(self.rank);
             self.halted = true;
-            return Vec::new();
+            return;
         }
         if self.dirty {
             self.dirty = false;
-            let best = self.best.expect("dirty implies a value");
-            (0..ctx.degree).map(|p| (p, best)).collect()
-        } else {
-            Vec::new()
+            out.broadcast(self.best.expect("dirty implies a value"));
         }
     }
 

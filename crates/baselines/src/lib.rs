@@ -5,9 +5,9 @@
 //! message/round counts are directly comparable:
 //!
 //! * [`flood_max`] — folklore all-nodes flood-max (knows `n`, `D`).
-//! * [`kutten`] — Kutten et al. (J.ACM'15, [16]) style candidate flooding:
+//! * [`kutten`] — Kutten et al. (J.ACM'15, \[16\]) style candidate flooding:
 //!   `O(m)` messages, `O(D)` time with known `n`, `D`.
-//! * [`gilbert`] — Gilbert–Robinson–Sourav (PODC'18, [10]) style random-walk
+//! * [`gilbert`] — Gilbert–Robinson–Sourav (PODC'18, \[10\]) style random-walk
 //!   token election: `O(t_mix·√n·polylog n)` messages with known `n` —
 //!   the direct comparison target of Theorem 1.
 //!

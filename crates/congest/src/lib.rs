@@ -8,14 +8,24 @@
 //!
 //! * [`Process`] — one node's protocol state machine; sees only its degree,
 //!   the round number, port-tagged messages, and private randomness.
-//! * [`Network`] — wires processes to a graph and drives rounds.
+//! * [`OutCtx`] — the send handle: every send is validated, metered, and
+//!   staged into the network's flat delivery arena at the moment it
+//!   happens (see the [`process`] module docs for the `Outbox` → `OutCtx`
+//!   migration).
+//! * [`Network`] — wires processes to a graph and drives rounds on the
+//!   zero-allocation arena engine (see the [`network`] module docs for the
+//!   compute → send → commit → deliver pipeline and the engine
+//!   invariants).
+//! * [`reference::ReferenceNetwork`] — the slow pre-arena engine, kept as
+//!   the equivalence oracle and benchmark baseline.
 //! * [`Metrics`] — rounds, CONGEST-charged rounds, messages, and bits; the
-//!   units Theorems 1 and 3 of the paper bound.
+//!   units Theorems 1 and 3 of the paper bound. Bit-level metering is what
+//!   lets runs be compared against bit-round bounds from the literature.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use ale_congest::{Network, Process, NodeCtx, Incoming, Outbox};
+//! use ale_congest::{Network, Process, NodeCtx, Incoming, OutCtx};
 //! use ale_graph::generators;
 //!
 //! /// Every node forwards the maximum value it has seen for 3 rounds.
@@ -24,11 +34,11 @@
 //! impl Process for Max {
 //!     type Msg = u64;
 //!     type Output = u64;
-//!     fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>]) -> Outbox<u64> {
+//!     fn round(&mut self, _ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>], out: &mut OutCtx<'_, u64>) {
 //!         for m in inbox { self.0 = self.0.max(m.msg); }
-//!         if self.1 == 0 { return Vec::new(); }
+//!         if self.1 == 0 { return; }
 //!         self.1 -= 1;
-//!         (0..ctx.degree).map(|p| (p, self.0)).collect()
+//!         out.broadcast(self.0);
 //!     }
 //!     fn is_halted(&self) -> bool { self.1 == 0 }
 //!     fn output(&self) -> u64 { self.0 }
@@ -42,19 +52,21 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod error;
 pub mod message;
 pub mod metrics;
 pub mod network;
 pub mod process;
+pub mod reference;
 
 pub use error::CongestError;
 pub use message::{congest_budget, Payload};
 pub use metrics::{Metrics, RoundTrace};
 pub use network::{Network, RunStatus};
-pub use process::{Incoming, NodeCtx, Outbox, Process};
+pub use process::{Incoming, NodeCtx, OutCtx, Process};
+pub use reference::ReferenceNetwork;
 
 #[cfg(test)]
 mod crate_tests {

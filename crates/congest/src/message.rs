@@ -1,6 +1,6 @@
 //! Message payloads and CONGEST bit accounting.
 //!
-//! The CONGEST model (Peleg [28]; paper Section 2) allows each node to send
+//! The CONGEST model (Peleg \[28\]; paper Section 2) allows each node to send
 //! `O(log n)` bits per link per round. The simulator does not serialize
 //! messages — it *meters* them: every payload reports its wire size through
 //! [`Payload::bit_size`], and the metrics layer compares that against the

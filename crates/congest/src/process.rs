@@ -1,4 +1,4 @@
-//! The anonymous process abstraction.
+//! The anonymous process abstraction and the send handle.
 //!
 //! A [`Process`] is one node's protocol state machine. Anonymity is enforced
 //! structurally: the only information a process can observe is
@@ -11,8 +11,60 @@
 //!
 //! Host-side node ids never reach the process; they exist only to seed RNGs
 //! and to let the harness inspect outcomes.
+//!
+//! # Sending: the `Outbox` → [`OutCtx`] migration
+//!
+//! Until the arena engine landed, `Process::round` *returned* an
+//! `Outbox<Msg> = Vec<(port, msg)>` that the network validated and staged
+//! afterwards — one heap allocation per node per round plus a full rescan
+//! at commit time. The current API inverts the flow: the network hands the
+//! process a send handle, [`OutCtx`], and every [`OutCtx::send`] writes
+//! straight into the network-owned, capacity-retained staging arena,
+//! metering bits and detecting multi-sends at the moment of the send.
+//!
+//! Migrating an implementation is mechanical. Before:
+//!
+//! ```text
+//! fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>]) -> Outbox<u64> {
+//!     for m in inbox { self.best = self.best.max(m.msg); }
+//!     (0..ctx.degree).map(|p| (p, self.best)).collect()
+//! }
+//! ```
+//!
+//! After — same observable behavior, zero per-round allocation:
+//!
+//! ```
+//! use ale_congest::{Incoming, NodeCtx, OutCtx, Process};
+//!
+//! #[derive(Debug, Default)]
+//! struct Max { best: u64 }
+//! impl Process for Max {
+//!     type Msg = u64;
+//!     type Output = u64;
+//!     fn round(
+//!         &mut self,
+//!         ctx: &mut NodeCtx<'_>,
+//!         inbox: &[Incoming<u64>],
+//!         out: &mut OutCtx<'_, u64>,
+//!     ) {
+//!         for m in inbox { self.best = self.best.max(m.msg); }
+//!         out.broadcast(self.best); // or: for p in 0..ctx.degree { out.send(p, self.best) }
+//!     }
+//!     fn output(&self) -> u64 { self.best }
+//! }
+//!
+//! // Unit tests (and the reference engine) capture sends with a collector:
+//! let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+//! let mut ctx = NodeCtx { degree: 2, round: 0, rng: &mut rng };
+//! let mut sent = Vec::new();
+//! Max { best: 7 }.round(&mut ctx, &[], &mut OutCtx::collector(2, &mut sent));
+//! assert_eq!(sent, vec![(0, 7), (1, 7)]);
+//! ```
 
+use crate::error::CongestError;
 use crate::message::Payload;
+use crate::metrics::Metrics;
+use ale_graph::Graph;
 use rand::rngs::StdRng;
 
 /// Per-round execution context handed to a process.
@@ -36,33 +88,187 @@ pub struct Incoming<M> {
     pub msg: M,
 }
 
-/// Messages a process wants to send this round: `(port, payload)` pairs.
+/// Per-round delivery counters accumulated at send time (the numbers a
+/// [`RoundTrace`](crate::metrics::RoundTrace) records on commit).
+#[derive(Debug, Default)]
+pub(crate) struct RoundStats {
+    pub(crate) messages: u64,
+    pub(crate) bits: u64,
+    pub(crate) max_bits: usize,
+}
+
+/// The arena engine's send path: borrowed slices of network-owned state,
+/// packed per node by [`Network::step`](crate::network::Network::step).
+pub(crate) struct EngineSink<'a, M> {
+    /// Host-side sender id — used only for error diagnostics.
+    pub(crate) node: usize,
+    pub(crate) graph: &'a Graph,
+    /// Target node of every staged message, parallel to `staged_msgs`.
+    pub(crate) staged_targets: &'a mut Vec<u32>,
+    /// The staging arena: messages in send order, rewritten to delivery
+    /// order (grouped by target) at commit time.
+    pub(crate) staged_msgs: &'a mut Vec<Incoming<M>>,
+    /// Per-target message counts for the commit-time counting sort.
+    pub(crate) counts: &'a mut [u32],
+    /// Targets with at least one staged message this round.
+    pub(crate) touched: &'a mut Vec<u32>,
+    /// Port-use marks for multi-send detection (`marks[p] == mark` ⇔ port
+    /// `p` already used by this node this round); epoch-stamped so it is
+    /// never cleared.
+    pub(crate) marks: &'a mut [u64],
+    pub(crate) mark: u64,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) stats: &'a mut RoundStats,
+    /// First protocol violation this round; once set, sends are ignored and
+    /// the network drops the whole round.
+    pub(crate) failure: &'a mut Option<CongestError>,
+}
+
+/// Where [`OutCtx::send`] writes.
+pub(crate) enum Sink<'a, M> {
+    /// The arena engine (metered, validated, staged for delivery).
+    Engine(EngineSink<'a, M>),
+    /// Plain collection of `(port, msg)` pairs — no metering, no
+    /// validation — for unit tests and the reference engine.
+    Collect(&'a mut Vec<(usize, M)>),
+}
+
+/// The send handle passed to [`Process::round`].
 ///
-/// At most one message per port per round is legal in the CONGEST model;
-/// the simulator records violations (see
-/// [`Metrics::multi_send_violations`](crate::metrics::Metrics)).
-pub type Outbox<M> = Vec<(usize, M)>;
+/// Created by the network (or by [`OutCtx::collector`] in tests); a process
+/// cannot construct the engine-backed variant itself, which is what keeps
+/// the metering honest.
+///
+/// Under the arena engine every [`OutCtx::send`]:
+///
+/// 1. validates the port (an invalid port latches a
+///    [`CongestError::InvalidPort`]; the message and all later sends of the
+///    round are dropped, and the network returns the error);
+/// 2. records a multi-send violation if the port was already used this
+///    round (the duplicate is still delivered — counted, not merged);
+/// 3. meters the payload's [`bit_size`](crate::message::Payload::bit_size)
+///    into the run metrics and the per-round trace counters;
+/// 4. stages the message in the network's flat delivery arena.
+pub struct OutCtx<'a, M: Payload> {
+    pub(crate) degree: usize,
+    pub(crate) sink: Sink<'a, M>,
+}
+
+impl<'a, M: Payload> OutCtx<'a, M> {
+    /// A detached handle that appends `(port, msg)` pairs to `buf` instead
+    /// of staging into an engine — the unit-test and reference-engine
+    /// stand-in for the pre-arena `Outbox` return value. No validation or
+    /// metering happens in this mode; invalid ports and multi-sends are
+    /// recorded verbatim for the caller to inspect.
+    pub fn collector(degree: usize, buf: &'a mut Vec<(usize, M)>) -> Self {
+        OutCtx {
+            degree,
+            sink: Sink::Collect(buf),
+        }
+    }
+
+    /// The sending node's degree (same value as
+    /// [`NodeCtx::degree`]; repeated here so helpers that only receive the
+    /// send handle can iterate ports).
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Sends `msg` through `port` this round.
+    ///
+    /// See the [type docs](OutCtx) for what a send does under the engine.
+    /// At most one message per port per round is legal in the CONGEST
+    /// model; violations are metered as
+    /// [`multi_send_violations`](crate::metrics::Metrics::multi_send_violations).
+    pub fn send(&mut self, port: usize, msg: M) {
+        match &mut self.sink {
+            Sink::Collect(buf) => buf.push((port, msg)),
+            Sink::Engine(e) => {
+                if e.failure.is_some() {
+                    // The round is already being dropped; swallow the send
+                    // exactly as the outbox engine ignored entries after
+                    // the first invalid one.
+                    return;
+                }
+                if port >= self.degree {
+                    *e.failure = Some(CongestError::InvalidPort {
+                        node: e.node,
+                        port,
+                        degree: self.degree,
+                    });
+                    return;
+                }
+                if e.marks[port] == e.mark {
+                    e.metrics.record_multi_send();
+                } else {
+                    e.marks[port] = e.mark;
+                }
+                let bits = msg.bit_size();
+                e.metrics.record_message(bits);
+                e.stats.messages += 1;
+                e.stats.bits += bits as u64;
+                if bits > e.stats.max_bits {
+                    e.stats.max_bits = bits;
+                }
+                let target = e.graph.port_target(e.node, port);
+                let arrival = e.graph.reverse_port(e.node, port);
+                if e.counts[target] == 0 {
+                    e.touched.push(target as u32);
+                }
+                e.counts[target] += 1;
+                e.staged_targets.push(target as u32);
+                e.staged_msgs.push(Incoming { port: arrival, msg });
+            }
+        }
+    }
+
+    /// Sends a clone of `msg` through every port — the all-neighbors
+    /// broadcast most protocols use. Equivalent to
+    /// `for p in 0..degree { send(p, msg.clone()) }` (the last send moves
+    /// instead of cloning).
+    pub fn broadcast(&mut self, msg: M) {
+        if self.degree == 0 {
+            return;
+        }
+        for p in 0..self.degree - 1 {
+            self.send(p, msg.clone());
+        }
+        self.send(self.degree - 1, msg);
+    }
+}
 
 /// One node's protocol state machine.
 ///
 /// The simulator drives every process in lock-step: each round it calls
-/// [`Process::round`] with the messages that arrived, collects the outbox,
-/// and delivers synchronously for the next round. Round 0 is called with an
-/// empty inbox (it plays the role of `init`).
+/// [`Process::round`] with the messages that arrived and a send handle for
+/// the messages to deliver next round. Round 0 is called with an empty
+/// inbox (it plays the role of `init`).
 pub trait Process {
     /// Message payload type.
     type Msg: Payload;
     /// Final output extracted by the harness (e.g. a leader flag).
     type Output: Clone;
 
-    /// Executes one synchronous round, returning messages to send.
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<Self::Msg>]) -> Outbox<Self::Msg>;
+    /// Executes one synchronous round, sending through `out`.
+    fn round(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        inbox: &[Incoming<Self::Msg>],
+        out: &mut OutCtx<'_, Self::Msg>,
+    );
 
     /// Whether this process has terminated (stopped sending and deciding).
     ///
     /// Irrevocable protocols halt (Definition 1 requires all nodes to stop);
     /// revocable protocols may never halt (Definition 2) — the default
     /// `false` models that.
+    ///
+    /// **Engine invariant — halting is permanent.** The network stops
+    /// polling a process once this returns `true` (it leaves the active
+    /// set, its inbox is discarded, and `round` is never called again), so
+    /// the answer must be a pure function of state mutated in
+    /// [`Process::round`]: a process that reports halted must keep
+    /// reporting halted.
     fn is_halted(&self) -> bool {
         false
     }
@@ -89,13 +295,18 @@ mod tests {
         type Msg = u64;
         type Output = u64;
 
-        fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>]) -> Outbox<u64> {
+        fn round(
+            &mut self,
+            ctx: &mut NodeCtx<'_>,
+            inbox: &[Incoming<u64>],
+            out: &mut OutCtx<'_, u64>,
+        ) {
             self.seen += inbox.len() as u64;
             if ctx.round >= 3 {
                 self.done = true;
-                return Vec::new();
+                return;
             }
-            vec![(0, ctx.round)]
+            out.send(0, ctx.round);
         }
 
         fn is_halted(&self) -> bool {
@@ -116,19 +327,22 @@ mod tests {
             round: 0,
             rng: &mut rng,
         };
-        let out = p.round(&mut ctx, &[]);
-        assert_eq!(out, vec![(0, 0)]);
+        let mut sent = Vec::new();
+        p.round(&mut ctx, &[], &mut OutCtx::collector(1, &mut sent));
+        assert_eq!(sent, vec![(0, 0)]);
         assert!(!p.is_halted());
         let mut ctx3 = NodeCtx {
             degree: 1,
             round: 3,
             rng: &mut rng,
         };
-        let out = p.round(
+        let mut sent = Vec::new();
+        p.round(
             &mut ctx3,
             &[Incoming { port: 0, msg: 9 }, Incoming { port: 0, msg: 8 }],
+            &mut OutCtx::collector(1, &mut sent),
         );
-        assert!(out.is_empty());
+        assert!(sent.is_empty());
         assert!(p.is_halted());
         assert_eq!(p.output(), 2);
     }
@@ -143,5 +357,24 @@ mod tests {
         };
         let x: f64 = ctx.rng.gen();
         assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn collector_captures_sends_verbatim() {
+        let mut buf: Vec<(usize, u64)> = Vec::new();
+        let mut out = OutCtx::collector(3, &mut buf);
+        assert_eq!(out.degree(), 3);
+        out.send(2, 9);
+        out.send(2, 9); // duplicate port: kept, not merged
+        out.send(7, 1); // invalid port: kept — validation is the engine's job
+        out.broadcast(5);
+        assert_eq!(buf, vec![(2, 9), (2, 9), (7, 1), (0, 5), (1, 5), (2, 5)]);
+    }
+
+    #[test]
+    fn broadcast_on_degree_zero_is_a_noop() {
+        let mut buf: Vec<(usize, u64)> = Vec::new();
+        OutCtx::collector(0, &mut buf).broadcast(1);
+        assert!(buf.is_empty());
     }
 }

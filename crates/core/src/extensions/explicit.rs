@@ -10,7 +10,7 @@
 
 use crate::error::CoreError;
 use ale_congest::message::bits_for_u64;
-use ale_congest::{congest_budget, Incoming, Network, NodeCtx, Outbox, Payload, Process};
+use ale_congest::{congest_budget, Incoming, Network, NodeCtx, OutCtx, Payload, Process};
 use ale_graph::Graph;
 
 /// Flood message: the leader's ID plus hop count.
@@ -57,7 +57,8 @@ impl Process for ExplicitProcess {
         &mut self,
         ctx: &mut NodeCtx<'_>,
         inbox: &[Incoming<LeaderAnnounce>],
-    ) -> Outbox<LeaderAnnounce> {
+        out: &mut OutCtx<'_, LeaderAnnounce>,
+    ) {
         for m in inbox {
             if self.learned.is_none() {
                 self.learned = Some(m.msg);
@@ -65,7 +66,7 @@ impl Process for ExplicitProcess {
         }
         if ctx.round >= self.rounds {
             self.halted = true;
-            return Vec::new();
+            return;
         }
         if ctx.round == 0 && self.is_leader {
             self.learned = Some(LeaderAnnounce {
@@ -73,23 +74,21 @@ impl Process for ExplicitProcess {
                 distance: 0,
             });
             self.forwarded = true;
-            let msg = LeaderAnnounce {
+            out.broadcast(LeaderAnnounce {
                 leader_id: self.own_id,
                 distance: 1,
-            };
-            return (0..ctx.degree).map(|p| (p, msg)).collect();
+            });
+            return;
         }
         if !self.forwarded {
             if let Some(a) = self.learned {
                 self.forwarded = true;
-                let msg = LeaderAnnounce {
+                out.broadcast(LeaderAnnounce {
                     leader_id: a.leader_id,
                     distance: a.distance + 1,
-                };
-                return (0..ctx.degree).map(|p| (p, msg)).collect();
+                });
             }
         }
-        Vec::new()
     }
 
     fn is_halted(&self) -> bool {

@@ -16,7 +16,7 @@
 
 use crate::error::CoreError;
 use ale_congest::message::bits_for_u64;
-use ale_congest::{congest_budget, Incoming, Network, NodeCtx, Outbox, Payload, Process};
+use ale_congest::{congest_budget, Incoming, Network, NodeCtx, OutCtx, Payload, Process};
 use ale_graph::{Graph, Port};
 
 /// Tree-construction messages.
@@ -136,8 +136,12 @@ impl Process for TreeProcess {
     type Msg = TreeMsg;
     type Output = TreeNode;
 
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<TreeMsg>]) -> Outbox<TreeMsg> {
-        let mut out: Outbox<TreeMsg> = Vec::new();
+    fn round(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        inbox: &[Incoming<TreeMsg>],
+        out: &mut OutCtx<'_, TreeMsg>,
+    ) {
         for m in inbox {
             match m.msg {
                 TreeMsg::Join { level } => {
@@ -164,11 +168,11 @@ impl Process for TreeProcess {
 
         if ctx.round >= self.rounds {
             self.halted = true;
-            return Vec::new();
+            return;
         }
 
         if let Some(p) = self.pending_adopt.take() {
-            out.push((p, TreeMsg::Adopt));
+            out.send(p, TreeMsg::Adopt);
         }
 
         if !self.flooded {
@@ -182,19 +186,18 @@ impl Process for TreeProcess {
                     if Some(p) != self.parent {
                         // Port conflict with the Adopt above is impossible:
                         // Adopt goes to the parent, Join to non-parents.
-                        out.push((p, TreeMsg::Join { level }));
+                        out.send(p, TreeMsg::Join { level });
                     }
                 }
-                return out;
+                return;
             }
         }
 
         if let Some(size) = self.try_echo() {
             if let Some(pp) = self.parent {
-                out.push((pp, TreeMsg::Echo { size }));
+                out.send(pp, TreeMsg::Echo { size });
             }
         }
-        out
     }
 
     fn is_halted(&self) -> bool {

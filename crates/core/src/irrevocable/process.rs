@@ -21,7 +21,7 @@
 use super::cautious::{CbBody, ExecState};
 use super::msg::IrrMsg;
 use super::ProtocolParams;
-use ale_congest::{Incoming, NodeCtx, Outbox, Process};
+use ale_congest::{Incoming, NodeCtx, OutCtx, Process};
 use ale_graph::Port;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -194,7 +194,7 @@ impl IrrevocableProcess {
         }
     }
 
-    fn broadcast_round(&mut self, round: u64, rng: &mut StdRng) -> Outbox<IrrMsg> {
+    fn broadcast_round(&mut self, round: u64, rng: &mut StdRng, out: &mut OutCtx<'_, IrrMsg>) {
         if round == 0 && self.candidate {
             let mut root =
                 ExecState::new_root(self.id, self.params.degree, self.params.final_threshold);
@@ -207,7 +207,7 @@ impl IrrevocableProcess {
             if self.exec_order.len() > self.params.slots as usize {
                 self.overflow_execs = (self.exec_order.len() as u64) - self.params.slots;
             }
-            return Vec::new();
+            return;
         }
         let src = self.exec_order[slot];
         let state = self.execs.get_mut(&src).expect("exec_order tracks execs");
@@ -216,19 +216,17 @@ impl IrrevocableProcess {
                 state.on_message(port, &body);
             }
         }
-        state
-            .step(rng)
-            .into_iter()
-            .map(|(port, body)| (port, IrrMsg::Cb { src, body }))
-            .collect()
+        for (port, body) in state.step(rng) {
+            out.send(port, IrrMsg::Cb { src, body });
+        }
     }
 
-    fn walk_round(&mut self, first: bool, rng: &mut StdRng) -> Outbox<IrrMsg> {
+    fn walk_round(&mut self, first: bool, rng: &mut StdRng, out: &mut OutCtx<'_, IrrMsg>) {
         let degree = self.params.degree;
         let mut moving: Vec<u64> = vec![0; degree];
         if first {
             if !self.candidate {
-                return Vec::new();
+                return;
             }
             // Algorithm 5 lines 4–6: the candidate launches x tokens to
             // uniformly random neighbors.
@@ -250,31 +248,29 @@ impl IrrevocableProcess {
         }
         let id_max = match self.walk_id_max {
             Some(id) => id,
-            None => return Vec::new(), // no tokens can be here without an ID
+            None => return, // no tokens can be here without an ID
         };
-        moving
-            .into_iter()
-            .enumerate()
-            .filter(|&(_, count)| count > 0)
-            .map(|(port, count)| (port, IrrMsg::Walk { id_max, count }))
-            .collect()
+        for (port, count) in moving.into_iter().enumerate() {
+            if count > 0 {
+                out.send(port, IrrMsg::Walk { id_max, count });
+            }
+        }
     }
 
-    fn converge_round(&mut self, first: bool) -> Outbox<IrrMsg> {
+    fn converge_round(&mut self, first: bool, out: &mut OutCtx<'_, IrrMsg>) {
         if first {
             self.parent_ports = self.execs.values().filter_map(ExecState::parent).collect();
         }
         let Some(id_max) = self.walk_id_max else {
-            return Vec::new();
+            return;
         };
         if self.last_converged == Some(id_max) {
-            return Vec::new();
+            return;
         }
         self.last_converged = Some(id_max);
-        self.parent_ports
-            .iter()
-            .map(|&p| (p, IrrMsg::Converge { id_max }))
-            .collect()
+        for &p in &self.parent_ports {
+            out.send(p, IrrMsg::Converge { id_max });
+        }
     }
 }
 
@@ -282,28 +278,32 @@ impl Process for IrrevocableProcess {
     type Msg = IrrMsg;
     type Output = NodeVerdict;
 
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<IrrMsg>]) -> Outbox<IrrMsg> {
+    fn round(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        inbox: &[Incoming<IrrMsg>],
+        out: &mut OutCtx<'_, IrrMsg>,
+    ) {
         debug_assert_eq!(ctx.degree, self.params.degree, "degree mismatch");
         self.absorb_inbox(inbox);
         let p = &self.params;
         match self.phase(ctx.round) {
-            Phase::Broadcast => self.broadcast_round(ctx.round, ctx.rng),
+            Phase::Broadcast => self.broadcast_round(ctx.round, ctx.rng, out),
             Phase::Walk => {
                 let first = ctx.round == p.broadcast_rounds;
-                self.walk_round(first, ctx.rng)
+                self.walk_round(first, ctx.rng, out)
             }
             Phase::Converge => {
                 let first = ctx.round == p.broadcast_rounds + p.walk_rounds;
-                self.converge_round(first)
+                self.converge_round(first, out)
             }
             Phase::Decide => {
                 // Algorithm 1 line 7: leader ⇔ own ID is the largest walk
                 // ID observed (candidates only; walk IDs are candidate IDs).
                 self.leader = self.candidate && self.walk_id_max == Some(self.id);
                 self.halted = true;
-                Vec::new()
             }
-            Phase::Done => Vec::new(),
+            Phase::Done => {}
         }
     }
 
@@ -337,6 +337,18 @@ mod tests {
         cfg.protocol_params(degree).unwrap()
     }
 
+    /// Runs one round against a collector, returning the sends — the
+    /// unit-test stand-in for the old `Outbox` return value.
+    fn drive(
+        proc: &mut IrrevocableProcess,
+        ctx: &mut NodeCtx<'_>,
+        inbox: &[Incoming<IrrMsg>],
+    ) -> Vec<(usize, IrrMsg)> {
+        let mut sent = Vec::new();
+        proc.round(ctx, inbox, &mut OutCtx::collector(ctx.degree, &mut sent));
+        sent
+    }
+
     #[test]
     fn candidate_creates_root_execution_at_round_zero() {
         let mut proc = IrrevocableProcess::with_candidacy(params(3), 99, true);
@@ -346,7 +358,7 @@ mod tests {
             round: 0,
             rng: &mut rng,
         };
-        proc.round(&mut ctx, &[]);
+        drive(&mut proc, &mut ctx, &[]);
         assert_eq!(proc.known_sources(), vec![99]);
         assert!(!proc.is_halted());
     }
@@ -367,7 +379,7 @@ mod tests {
                 body: CbBody::Invite,
             },
         };
-        proc.round(&mut ctx, &[invite]);
+        drive(&mut proc, &mut ctx, &[invite]);
         assert_eq!(proc.known_sources(), vec![42]);
         assert_eq!(proc.tree_parent(42), Some(1));
     }
@@ -399,7 +411,7 @@ mod tests {
                 },
             },
         ];
-        let out = proc.round(&mut ctx, &inbox);
+        let out = drive(&mut proc, &mut ctx, &inbox);
         // 5 tokens arrived; some stay, some move; all carry id 11.
         let moved: u64 = out
             .iter()
@@ -426,7 +438,7 @@ mod tests {
             round: p.broadcast_rounds,
             rng: &mut rng,
         };
-        let out = proc.round(&mut ctx, &[]);
+        let out = drive(&mut proc, &mut ctx, &[]);
         let launched: u64 = out
             .iter()
             .map(|(_, m)| match m {
@@ -448,7 +460,8 @@ mod tests {
             round: 0,
             rng: &mut rng,
         };
-        proc.round(
+        drive(
+            &mut proc,
             &mut ctx0,
             &[Incoming {
                 port: 0,
@@ -465,7 +478,8 @@ mod tests {
             round: conv_start,
             rng: &mut rng,
         };
-        let out = proc.round(
+        let out = drive(
+            &mut proc,
             &mut ctx1,
             &[Incoming {
                 port: 1,
@@ -483,14 +497,15 @@ mod tests {
             round: conv_start + 1,
             rng: &mut rng,
         };
-        assert!(proc.round(&mut ctx2, &[]).is_empty());
+        assert!(drive(&mut proc, &mut ctx2, &[]).is_empty());
         // Larger value arrives: resend.
         let mut ctx3 = NodeCtx {
             degree: 2,
             round: conv_start + 2,
             rng: &mut rng,
         };
-        let out = proc.round(
+        let out = drive(
+            &mut proc,
             &mut ctx3,
             &[Incoming {
                 port: 1,
@@ -512,7 +527,7 @@ mod tests {
             round: total,
             rng: &mut rng,
         };
-        cand.round(&mut ctx, &[]);
+        drive(&mut cand, &mut ctx, &[]);
         assert!(cand.is_halted());
         // Candidate that never saw a bigger walk ID is the leader.
         assert!(cand.output().leader);
@@ -524,7 +539,8 @@ mod tests {
             round: total,
             rng: &mut rng,
         };
-        loser.round(
+        drive(
+            &mut loser,
             &mut ctx2,
             &[Incoming {
                 port: 0,
@@ -547,7 +563,7 @@ mod tests {
             round: total,
             rng: &mut rng,
         };
-        proc.round(&mut ctx, &[]);
+        drive(&mut proc, &mut ctx, &[]);
         assert!(!proc.output().leader);
         assert!(!proc.output().candidate);
     }

@@ -27,7 +27,7 @@
 use super::msg::RevMsg;
 use super::params::RevocableParams;
 use super::record::{merge_view, LeaderRecord};
-use ale_congest::{Incoming, NodeCtx, Outbox, Process};
+use ale_congest::{Incoming, NodeCtx, OutCtx, Process};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -242,10 +242,6 @@ impl RevocableProcess {
         }
     }
 
-    fn broadcast(&self, msg: RevMsg) -> Outbox<RevMsg> {
-        (0..self.degree).map(|p| (p, msg.clone())).collect()
-    }
-
     fn diffuse_msg(&self) -> RevMsg {
         let k_pow = self.params.k_pow(self.k);
         let word = (2.0 * k_pow).log2().ceil().max(1.0) as usize;
@@ -273,10 +269,15 @@ impl Process for RevocableProcess {
     type Msg = RevMsg;
     type Output = RevocableVerdict;
 
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<RevMsg>]) -> Outbox<RevMsg> {
+    fn round(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        inbox: &[Incoming<RevMsg>],
+        out: &mut OutCtx<'_, RevMsg>,
+    ) {
         debug_assert_eq!(ctx.degree, self.degree);
         if self.frozen {
-            return Vec::new();
+            return;
         }
         if self.lingering {
             // Horizon drain: merge views from anything still arriving and
@@ -290,25 +291,26 @@ impl Process for RevocableProcess {
             }
             if self.linger_left == 0 {
                 self.frozen = true;
-                return Vec::new();
+                return;
             }
             self.linger_left -= 1;
-            return self.broadcast(self.disseminate_msg());
+            out.broadcast(self.disseminate_msg());
+            return;
         }
         self.absorb(inbox);
 
         if !self.started {
             self.started = true;
             self.start_iteration(ctx.rng);
-            let out = self.broadcast(self.diffuse_msg());
+            out.broadcast(self.diffuse_msg());
             self.phase_round = 1;
-            return out;
+            return;
         }
 
         if self.phase_round < self.r_k {
-            let out = self.broadcast(self.diffuse_msg());
+            out.broadcast(self.diffuse_msg());
             self.phase_round += 1;
-            return out;
+            return;
         }
 
         if self.phase_round == self.r_k {
@@ -317,15 +319,15 @@ impl Process for RevocableProcess {
                 self.low = true;
                 self.potential = 1.0;
             }
-            let out = self.broadcast(self.disseminate_msg());
+            out.broadcast(self.disseminate_msg());
             self.phase_round += 1;
-            return out;
+            return;
         }
 
         if self.phase_round < self.r_k + self.diss_k {
-            let out = self.broadcast(self.disseminate_msg());
+            out.broadcast(self.disseminate_msg());
             self.phase_round += 1;
-            return out;
+            return;
         }
 
         // phase_round == r_k + diss_k: iteration boundary.
@@ -340,13 +342,13 @@ impl Process for RevocableProcess {
             self.advance_estimate(ctx.rng);
             if self.lingering {
                 self.linger_left -= 1;
-                return self.broadcast(self.disseminate_msg());
+                out.broadcast(self.disseminate_msg());
+                return;
             }
         }
         self.start_iteration(ctx.rng);
-        let out = self.broadcast(self.diffuse_msg());
+        out.broadcast(self.diffuse_msg());
         self.phase_round = 1;
-        out
     }
 
     fn is_halted(&self) -> bool {
@@ -384,11 +386,23 @@ mod tests {
         NodeCtx { degree, round, rng }
     }
 
+    /// Runs one round against a collector, returning the sends — the
+    /// unit-test stand-in for the old `Outbox` return value.
+    fn drive(
+        p: &mut RevocableProcess,
+        ctx: &mut NodeCtx<'_>,
+        inbox: &[Incoming<RevMsg>],
+    ) -> Vec<(usize, RevMsg)> {
+        let mut sent = Vec::new();
+        p.round(ctx, inbox, &mut OutCtx::collector(ctx.degree, &mut sent));
+        sent
+    }
+
     #[test]
     fn first_round_broadcasts_diffusion_to_all_ports() {
         let mut p = RevocableProcess::new(small_params(), 3);
         let mut rng = StdRng::seed_from_u64(0);
-        let out = p.round(&mut ctx(&mut rng, 3, 0), &[]);
+        let out = drive(&mut p, &mut ctx(&mut rng, 3, 0), &[]);
         assert_eq!(out.len(), 3);
         for (_, m) in &out {
             assert!(matches!(m, RevMsg::Diffuse { .. }));
@@ -401,7 +415,7 @@ mod tests {
     fn potential_initialization_matches_color() {
         let mut p = RevocableProcess::new(small_params(), 2);
         let mut rng = StdRng::seed_from_u64(1);
-        p.round(&mut ctx(&mut rng, 2, 0), &[]);
+        drive(&mut p, &mut ctx(&mut rng, 2, 0), &[]);
         if p.is_white() {
             assert_eq!(p.potential(), 0.0);
         } else {
@@ -414,7 +428,7 @@ mod tests {
         let params = small_params();
         let mut p = RevocableProcess::new(params, 2);
         let mut rng = StdRng::seed_from_u64(3);
-        p.round(&mut ctx(&mut rng, 2, 0), &[]); // send #0
+        drive(&mut p, &mut ctx(&mut rng, 2, 0), &[]); // send #0
         let before = p.potential();
         let mk = |potential| Incoming {
             port: 0,
@@ -435,7 +449,7 @@ mod tests {
                 m
             })
             .collect();
-        p.round(&mut ctx(&mut rng, 2, 1), &inbox);
+        drive(&mut p, &mut ctx(&mut rng, 2, 1), &inbox);
         let k_pow = params.k_pow(2);
         let alpha = 1.0 / (2.0 * k_pow);
         let expected = before + alpha * 0.0 - alpha * 2.0 * before;
@@ -447,7 +461,7 @@ mod tests {
     fn low_neighbor_infects() {
         let mut p = RevocableProcess::new(small_params(), 1);
         let mut rng = StdRng::seed_from_u64(3);
-        p.round(&mut ctx(&mut rng, 1, 0), &[]);
+        drive(&mut p, &mut ctx(&mut rng, 1, 0), &[]);
         let inbox = [Incoming {
             port: 0,
             msg: RevMsg::Diffuse {
@@ -458,7 +472,7 @@ mod tests {
                 pot_bits: 4,
             },
         }];
-        p.round(&mut ctx(&mut rng, 1, 1), &inbox);
+        drive(&mut p, &mut ctx(&mut rng, 1, 1), &inbox);
         assert!(p.is_low());
         assert_eq!(p.potential(), 1.0);
     }
@@ -468,7 +482,7 @@ mod tests {
         // degree 9 > 2^{1.5} ≈ 2.83 at k = 2.
         let mut p = RevocableProcess::new(small_params(), 9);
         let mut rng = StdRng::seed_from_u64(5);
-        p.round(&mut ctx(&mut rng, 9, 0), &[]);
+        drive(&mut p, &mut ctx(&mut rng, 9, 0), &[]);
         let inbox: Vec<_> = (0..9)
             .map(|i| Incoming {
                 port: i,
@@ -481,7 +495,7 @@ mod tests {
                 },
             })
             .collect();
-        p.round(&mut ctx(&mut rng, 9, 1), &inbox);
+        drive(&mut p, &mut ctx(&mut rng, 9, 1), &inbox);
         assert!(p.is_low(), "degree above k^{{1+eps}} must flag low");
     }
 
@@ -495,7 +509,7 @@ mod tests {
     fn view_merge_updates_leader_flag() {
         let mut p = RevocableProcess::new(small_params(), 1);
         let mut rng = StdRng::seed_from_u64(5);
-        p.round(&mut ctx(&mut rng, 1, 0), &[]);
+        drive(&mut p, &mut ctx(&mut rng, 1, 0), &[]);
         // Simulate having chosen an ID.
         p.id = Some(10);
         p.cert = Some(4);
@@ -512,7 +526,7 @@ mod tests {
                 pot_bits: 4,
             },
         }];
-        p.round(&mut ctx(&mut rng, 1, 1), &inbox);
+        drive(&mut p, &mut ctx(&mut rng, 1, 1), &inbox);
         assert!(!p.output().leader, "bigger certificate must revoke");
         assert_eq!(p.output().view, Some(LeaderRecord::new(8, 999)));
     }
@@ -543,7 +557,7 @@ mod tests {
         let per_iter = params.r(2) + params.dissemination(2);
         let total = params.f(2) * per_iter + 2;
         let mut round = 0u64;
-        p.round(&mut ctx(&mut rng, 1, round), &[]);
+        drive(&mut p, &mut ctx(&mut rng, 1, round), &[]);
         round += 1;
         for _ in 0..total {
             let inbox: Vec<Incoming<RevMsg>> = if p.phase_round <= p.r_k && p.phase_round >= 1 {
@@ -551,7 +565,7 @@ mod tests {
             } else {
                 vec![diss.clone()]
             };
-            p.round(&mut ctx(&mut rng, 1, round), &inbox);
+            drive(&mut p, &mut ctx(&mut rng, 1, round), &inbox);
             round += 1;
         }
         assert!(p.k() >= 4, "estimate must have advanced, k = {}", p.k());

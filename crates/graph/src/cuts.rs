@@ -6,7 +6,7 @@
 //! * `Φ(G) = min_{S ⊂ V} |∂S| / min(Vol(S), Vol(S̄))` with
 //!   `Vol(S) = Σ_{v∈S} deg(v)`;
 //! * `i(G) = min_{S ⊆ V, |S| ≤ |V|/2} |∂S| / |S|` (the graph Cheeger
-//!   constant, Mohar [23]).
+//!   constant, Mohar \[23\]).
 //!
 //! Both minimize over exponentially many cuts; the exact functions here are
 //! `O(2ⁿ·n)` oracles for tests and small lemma-level experiments, with a

@@ -98,6 +98,24 @@ pub struct PointStats {
 }
 
 impl PointStats {
+    /// Aggregation shell reconstructed from a stored record's header —
+    /// the merge path, where the original `GridPoint` (and its parameter
+    /// knobs) no longer exists. `params` stays empty; everything the
+    /// summary CSV emits is present.
+    fn from_record_header(r: &TrialRecord, sample_cap: usize) -> Self {
+        PointStats {
+            label: r.point.clone(),
+            family: r.family.clone(),
+            algorithm: r.algorithm.clone(),
+            n: r.n,
+            params: Vec::new(),
+            trials: 0,
+            ok: 0,
+            metrics: BTreeMap::new(),
+            sample_cap,
+        }
+    }
+
     fn new(point: &GridPoint, sample_cap: usize) -> Self {
         PointStats {
             label: point.label.clone(),
@@ -211,6 +229,38 @@ impl RunSummary {
     /// Panics if `point_index` is out of range (an engine bug).
     pub fn record(&mut self, point_index: usize, r: &TrialRecord) {
         self.points[point_index].record(r);
+    }
+
+    /// Rebuilds a summary from stored records alone (points in first-seen
+    /// order) — the `merge` path, where grids survive only as manifest
+    /// labels. Point parameter knobs are not stored in records, so
+    /// [`PointStats::param`] returns `None` on the result; every column of
+    /// [`RunSummary::summary_csv`] is reconstructed exactly.
+    pub fn from_records(
+        scenario: &str,
+        master_seed: u64,
+        seeds: u64,
+        workers: usize,
+        records: &[TrialRecord],
+    ) -> Self {
+        let mut summary = RunSummary {
+            scenario: scenario.to_string(),
+            master_seed,
+            seeds,
+            workers,
+            points: Vec::new(),
+        };
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
+        for r in records {
+            let pi = *index.entry(r.point.clone()).or_insert_with(|| {
+                summary
+                    .points
+                    .push(PointStats::from_record_header(r, DEFAULT_SAMPLE_CAP));
+                summary.points.len() - 1
+            });
+            summary.record(pi, r);
+        }
+        summary
     }
 
     /// Total trials across all points.

@@ -8,6 +8,7 @@
 //!                        [--algo this-work,kutten15] [--shard i/k]
 //!                        [--out DIR] [--quiet]
 //! ale-lab export <trials.jsonl> [--csv PATH]
+//! ale-lab merge <run-dir> <run-dir> ... [--out DIR]
 //! ale-lab check <summary.csv> --baseline <summary.csv>
 //!               [--tolerance 0.25] [--metrics rounds,messages]
 //! ```
@@ -29,6 +30,12 @@ USAGE:
     ale-lab run <scenario> [options]   run a scenario's grid × seed fleet
     ale-lab export <trials.jsonl> [--csv PATH]
                                        convert a stored JSONL log to CSV
+    ale-lab merge <run-dir> <run-dir> ... [--out DIR]
+                                       union sharded run directories after
+                                       validating their manifests agree; a
+                                       complete shard set restores the
+                                       unsharded run byte for byte (omit
+                                       --out for a dry-run validation)
     ale-lab check <summary.csv> --baseline <summary.csv> [options]
                                        fail (exit 1) on cost regressions
                                        vs a stored baseline summary
@@ -64,7 +71,9 @@ EXAMPLES:
     ale-lab run table1 --n 64 --seeds 32 --workers 8 --out runs/table1
     ale-lab run table1 --algo this-work,kutten15 --quick
     ale-lab run diffusion --n 20000 --quick
+    ale-lab run revocable --n 20000 --quick
     ale-lab run scaling --shard 0/4 --out runs/shard0
+    ale-lab merge runs/shard0 runs/shard1 runs/shard2 runs/shard3 --out runs/full
     ale-lab export runs/table1/trials.jsonl --csv runs/table1/flat.csv
     ale-lab check runs/new/summary.csv --baseline runs/base/summary.csv
 ";
@@ -224,6 +233,26 @@ fn cmd_export(args: &[String]) -> Result<String, LabError> {
     }
 }
 
+fn cmd_merge(args: &[String]) -> Result<String, LabError> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(it.next().ok_or_else(|| {
+                    LabError::BadArgs("--out needs a directory".into())
+                })?));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(LabError::BadArgs(format!("unknown merge option '{flag}'")))
+            }
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    crate::merge::merge_dirs(&dirs, out.as_deref())
+}
+
 fn cmd_check(args: &[String]) -> Result<String, LabError> {
     let mut it = args.iter().cloned();
     let current = PathBuf::from(
@@ -266,7 +295,7 @@ fn cmd_check(args: &[String]) -> Result<String, LabError> {
     check_files(&current, &baseline, &opts)
 }
 
-/// Runs the CLI on pre-split arguments (no `argv[0]`), returning the text
+/// Runs the CLI on pre-split arguments (no `argv\[0\]`), returning the text
 /// to print on success.
 ///
 /// # Errors
@@ -278,6 +307,7 @@ pub fn run(args: &[String]) -> Result<String, LabError> {
         Some("list") => Ok(cmd_list()),
         Some("run") => cmd_run(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some(other) => Err(LabError::BadArgs(format!(
             "unknown command '{other}' (see `ale-lab help`)"
@@ -425,6 +455,47 @@ mod tests {
         for bad in ["4/4", "x/2", "1", "2/0"] {
             assert!(parse_args(&strs(&["t", "--shard", bad])).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn merge_subcommand_unions_sharded_runs() {
+        use crate::engine::{execute, RunSpec};
+        let base = std::env::temp_dir().join(format!("ale-lab-cli-merge-{}", std::process::id()));
+        let scenario = registry::find("impossibility").unwrap();
+        let mut dirs = Vec::new();
+        for i in 0..2u64 {
+            let dir = base.join(format!("s{i}"));
+            execute(
+                scenario.as_ref(),
+                &RunSpec {
+                    shard: (i, 2),
+                    seeds: Some(1),
+                    workers: 1,
+                    grid: crate::scenario::GridConfig {
+                        quick: true,
+                        ..Default::default()
+                    },
+                    out: Some(dir.clone()),
+                    ..RunSpec::default()
+                },
+            )
+            .unwrap();
+            dirs.push(dir.to_string_lossy().to_string());
+        }
+        let merged = base.join("merged").to_string_lossy().to_string();
+        let report = run(&strs(&["merge", &dirs[0], &dirs[1], "--out", &merged])).unwrap();
+        assert!(report.contains("complete sweep"), "{report}");
+        assert!(base.join("merged/trials.jsonl").exists());
+        // Usage errors.
+        assert!(matches!(
+            run(&strs(&["merge", &dirs[0]])),
+            Err(LabError::BadArgs(_))
+        ));
+        assert!(matches!(
+            run(&strs(&["merge", &dirs[0], &dirs[1], "--frob"])),
+            Err(LabError::BadArgs(_))
+        ));
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod engine;
 pub mod fit;
 pub mod fleet;
 pub mod json;
+pub mod merge;
 pub mod registry;
 pub mod runners;
 pub mod scenario;

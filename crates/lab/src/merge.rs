@@ -1,0 +1,510 @@
+//! The `ale-lab merge` subcommand: union sharded run directories.
+//!
+//! A `--shard i/k` sweep produces `k` run directories whose trial records
+//! are, by the engine's determinism contract, exactly the trials the full
+//! run would have produced for the points each shard selected. `merge`
+//! validates that the shards really belong to one logical sweep —
+//! same scenario, master seed, seed count, quick flag, and shard divisor;
+//! distinct shard indices; disjoint grids — and then unions them:
+//!
+//! * when **all** `k` shards are present, the merged directory is
+//!   byte-identical to what `--shard 0/1` (no sharding) would have
+//!   written for `trials.jsonl`/`trials.csv`: grid points are re-
+//!   interleaved into full-grid order (shard `i` held positions
+//!   `i, i+k, …` of the grid) and records follow their points;
+//! * a **partial** union interleaves the present shards the same way
+//!   (round-robin over the ascending slice indices) and records which
+//!   slices it contains (e.g. shard `"0,2/4"`). That layout keeps every
+//!   constituent slice recoverable, so a partial merge's output is a
+//!   valid *input* to a later merge — the remaining shard directories
+//!   can finish the job.
+//!
+//! The merged `summary.csv` is recomputed from the unioned records
+//! ([`RunSummary::from_records`]); `manifest.json` carries the union
+//! shard label and the max worker count (informational).
+
+use crate::agg::RunSummary;
+use crate::scenario::{LabError, TrialRecord};
+use crate::store::{self, RunManifest};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One constituent shard slice recovered from an input directory. A raw
+/// `--shard i/k` run contributes one slice; a partial merge's output
+/// contributes one per index its shard label lists.
+struct Slice {
+    dir: PathBuf,
+    index: u64,
+    grid: Vec<String>,
+}
+
+/// Parses a shard label: `"i/k"` from the engine, `"i1,i2,…/k"` from a
+/// partial merge (indices strictly ascending). `"0/1"` is a whole run.
+fn parse_shard_label(label: &str) -> Result<(Vec<u64>, u64), LabError> {
+    let bad = || {
+        LabError::BadRecord(format!(
+            "manifest shard '{label}' is not i/k or i1,i2,…/k with ascending i < k"
+        ))
+    };
+    let (is, k) = label.split_once('/').ok_or_else(bad)?;
+    let k: u64 = k.trim().parse().map_err(|_| bad())?;
+    let mut indices = Vec::new();
+    for piece in is.split(',') {
+        let i: u64 = piece.trim().parse().map_err(|_| bad())?;
+        if i >= k || indices.last().is_some_and(|&last| last >= i) {
+            return Err(bad());
+        }
+        indices.push(i);
+    }
+    if k == 0 || indices.is_empty() {
+        return Err(bad());
+    }
+    Ok((indices, k))
+}
+
+/// Splits an input's grid back into its constituent slices. Merge output
+/// is always interleaved round-robin over the ascending slice indices
+/// (matching the engine's full-grid position order), so slice `r` of `s`
+/// owns grid positions `r, r+s, …` of the stored grid.
+fn split_slices(dir: &Path, indices: &[u64], grid: &[String]) -> Vec<Slice> {
+    let s = indices.len();
+    let mut grids: Vec<Vec<String>> = vec![Vec::new(); s];
+    for (j, label) in grid.iter().enumerate() {
+        grids[j % s].push(label.clone());
+    }
+    indices
+        .iter()
+        .zip(grids)
+        .map(|(&index, grid)| Slice {
+            dir: dir.to_path_buf(),
+            index,
+            grid,
+        })
+        .collect()
+}
+
+/// Interleaves slices (sorted by index) round-robin, which for a complete
+/// slice set is exactly the engine's full-grid order: position `p` of the
+/// full grid belongs to shard `p mod k` at offset `p div k`.
+fn interleave(slices: &[Slice]) -> Vec<String> {
+    let longest = slices.iter().map(|s| s.grid.len()).max().unwrap_or(0);
+    let mut grid = Vec::with_capacity(slices.iter().map(|s| s.grid.len()).sum());
+    for block in 0..longest {
+        for s in slices {
+            if let Some(label) = s.grid.get(block) {
+                grid.push(label.clone());
+            }
+        }
+    }
+    grid
+}
+
+fn load_shard(dir: &Path) -> Result<(RunManifest, Vec<TrialRecord>), LabError> {
+    let manifest = store::load_manifest(&dir.join("manifest.json"))?;
+    let records = store::load_jsonl(&dir.join("trials.jsonl"))?;
+    Ok((manifest, records))
+}
+
+/// Checks that two shard manifests describe the same logical sweep.
+fn check_compatible(a: &RunManifest, b: &RunManifest, dir: &Path) -> Result<(), LabError> {
+    let mismatch = |what: &str, left: &dyn std::fmt::Display, right: &dyn std::fmt::Display| {
+        LabError::BadArgs(format!(
+            "{}: {what} mismatch ({left} vs {right}) — not shards of one sweep",
+            dir.display()
+        ))
+    };
+    if a.scenario != b.scenario {
+        return Err(mismatch("scenario", &a.scenario, &b.scenario));
+    }
+    if a.master_seed != b.master_seed {
+        return Err(mismatch("master seed", &a.master_seed, &b.master_seed));
+    }
+    if a.seeds != b.seeds {
+        return Err(mismatch("seeds per point", &a.seeds, &b.seeds));
+    }
+    if a.quick != b.quick {
+        return Err(mismatch("quick flag", &a.quick, &b.quick));
+    }
+    if a.version != b.version {
+        return Err(mismatch("manifest version", &a.version, &b.version));
+    }
+    Ok(())
+}
+
+/// Merges sharded run directories; returns the report text.
+///
+/// With `out`, writes a complete merged run directory (`manifest.json`,
+/// `trials.jsonl`, `trials.csv`, `summary.csv`); without, only validates
+/// and reports (a dry run).
+///
+/// # Errors
+///
+/// [`LabError::BadArgs`] on incompatible or overlapping shards,
+/// [`LabError::BadRecord`]/[`LabError::Io`] on unreadable inputs.
+pub fn merge_dirs(dirs: &[PathBuf], out: Option<&Path>) -> Result<String, LabError> {
+    if dirs.len() < 2 {
+        return Err(LabError::BadArgs(
+            "merge needs at least two run directories".into(),
+        ));
+    }
+
+    let mut manifests: Vec<RunManifest> = Vec::new();
+    let mut all_records: Vec<TrialRecord> = Vec::new();
+    let mut slices: Vec<Slice> = Vec::new();
+    let mut divisor: Option<u64> = None;
+    for dir in dirs {
+        let (manifest, records) = load_shard(dir)?;
+        let (indices, k) = parse_shard_label(&manifest.shard)?;
+        match divisor {
+            None => divisor = Some(k),
+            Some(expect) if expect != k => {
+                return Err(LabError::BadArgs(format!(
+                    "{}: shard divisor {k} differs from {expect} — not shards of one sweep",
+                    dir.display()
+                )));
+            }
+            Some(_) => {}
+        }
+        if let Some(first) = manifests.first() {
+            check_compatible(first, &manifest, dir)?;
+        }
+        for slice in split_slices(dir, &indices, &manifest.grid) {
+            if let Some(dup) = slices.iter().find(|s| s.index == slice.index) {
+                return Err(LabError::BadArgs(format!(
+                    "{} and {} both contain shard {}/{k}",
+                    dup.dir.display(),
+                    dir.display(),
+                    slice.index
+                )));
+            }
+            slices.push(slice);
+        }
+        manifests.push(manifest);
+        all_records.extend(records);
+    }
+    let k = divisor.expect("at least two inputs loaded");
+
+    // Grids of one sweep are disjoint by construction; overlap means the
+    // inputs are not what they claim to be.
+    let mut seen: BTreeMap<String, PathBuf> = BTreeMap::new();
+    for s in &slices {
+        for label in &s.grid {
+            if let Some(prev) = seen.insert(label.clone(), s.dir.clone()) {
+                return Err(LabError::BadArgs(format!(
+                    "grid point '{label}' appears in both {} and {}",
+                    prev.display(),
+                    s.dir.display()
+                )));
+            }
+        }
+    }
+
+    slices.sort_by_key(|s| s.index);
+    // Sanity: full-grid slicing gives ascending indices non-increasing
+    // grid lengths, never differing by more than one.
+    for w in slices.windows(2) {
+        if w[1].grid.len() > w[0].grid.len() {
+            return Err(LabError::BadRecord(format!(
+                "shard {} has more grid points than shard {} — not slices of one grid",
+                w[1].index, w[0].index
+            )));
+        }
+    }
+    if let (Some(first), Some(last)) = (slices.first(), slices.last()) {
+        if first.grid.len() > last.grid.len() + 1 {
+            return Err(LabError::BadRecord(format!(
+                "shard {} and shard {} grid sizes differ by more than one —                  not slices of one grid",
+                first.index, last.index
+            )));
+        }
+    }
+    let complete = slices.len() as u64 == k;
+    let grid = interleave(&slices);
+    let shard_label = if complete {
+        "0/1".to_string()
+    } else {
+        let indices: Vec<String> = slices.iter().map(|s| s.index.to_string()).collect();
+        format!("{}/{k}", indices.join(","))
+    };
+
+    // Records follow their grid points: group the (point-ordered) input
+    // records by label, then emit in merged grid order. A complete merge
+    // thereby reproduces the unsharded run's record order byte for byte.
+    let mut by_label: BTreeMap<&str, Vec<&TrialRecord>> = BTreeMap::new();
+    for r in &all_records {
+        by_label.entry(r.point.as_str()).or_default().push(r);
+    }
+    for label in by_label.keys() {
+        if !seen.contains_key(*label) {
+            return Err(LabError::BadRecord(format!(
+                "trials.jsonl contains records for '{label}', which no shard's grid lists"
+            )));
+        }
+    }
+    let mut records: Vec<TrialRecord> = Vec::new();
+    for label in &grid {
+        if let Some(rs) = by_label.get(label.as_str()) {
+            records.extend(rs.iter().map(|&r| r.clone()));
+        }
+    }
+
+    let first = &manifests[0];
+    let summary = RunSummary::from_records(
+        &first.scenario,
+        first.master_seed,
+        first.seeds,
+        manifests.iter().map(|m| m.workers).max().unwrap_or(0),
+        &records,
+    );
+    let mut manifest = RunManifest::for_run(
+        &first.scenario,
+        first.master_seed,
+        first.seeds,
+        summary.workers,
+        grid.clone(),
+        first.quick,
+        &shard_label,
+    );
+    // Preserve provenance: the producing trees' git state, not the
+    // merging tree's.
+    let gits: Vec<&str> = manifests.iter().map(|m| m.git.as_str()).collect();
+    manifest.git = if gits.windows(2).all(|w| w[0] == w[1]) {
+        gits[0].to_string()
+    } else {
+        "mixed".to_string()
+    };
+
+    let mut report = format!(
+        "merged {} shard slices of '{}' (master seed {}, {} seeds/point): \
+         {} grid points, {} trials{}\n",
+        slices.len(),
+        first.scenario,
+        first.master_seed,
+        first.seeds,
+        grid.len(),
+        records.len(),
+        if complete {
+            " — complete sweep, full-grid order restored".to_string()
+        } else {
+            format!(" — partial union (shard {shard_label})")
+        },
+    );
+    if let Some(dir) = out {
+        store::write_run(dir, &manifest, &records, &summary)?;
+        report.push_str(&format!(
+            "results stored under {} (manifest.json, trials.jsonl, trials.csv, summary.csv)\n",
+            dir.display()
+        ));
+    } else {
+        report.push_str("dry run (pass --out DIR to write the merged store)\n");
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{execute, RunSpec};
+    use crate::runners::Algorithm;
+    use crate::scenario::{GridConfig, GridPoint, Scenario, TrialFn};
+    use ale_graph::Topology;
+
+    /// A scenario with enough points to shard three ways.
+    struct Sharded;
+
+    impl Scenario for Sharded {
+        fn name(&self) -> &'static str {
+            "sharded"
+        }
+        fn description(&self) -> &'static str {
+            "merge test scenario"
+        }
+        fn default_seeds(&self, _quick: bool) -> u64 {
+            3
+        }
+        fn grid(&self, _cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
+            Ok(Algorithm::ALL
+                .iter()
+                .flat_map(|&a| {
+                    [8usize, 16].map(|n| {
+                        GridPoint::new(format!("p{n}/{a}"))
+                            .on(Topology::Cycle { n })
+                            .algo(a)
+                    })
+                })
+                .collect())
+        }
+        fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
+            let point = point.clone();
+            Ok(Box::new(move |seed| {
+                let mut r = TrialRecord::new("sharded", &point, seed);
+                r.messages = seed % 977;
+                r.rounds = seed % 31;
+                r.ok = true;
+                r.push_extra("echo", seed as f64);
+                Ok(r)
+            }))
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ale-lab-merge-{}-{name}", std::process::id()))
+    }
+
+    fn run_with(shard: (u64, u64), out: &Path) {
+        execute(
+            &Sharded,
+            &RunSpec {
+                shard,
+                out: Some(out.to_path_buf()),
+                workers: 1,
+                ..RunSpec::default()
+            },
+        )
+        .unwrap();
+    }
+
+    fn read(path: &Path) -> String {
+        std::fs::read_to_string(path).unwrap()
+    }
+
+    #[test]
+    fn complete_merge_reproduces_the_full_run_byte_for_byte() {
+        let base = tmp("complete");
+        let full = base.join("full");
+        run_with((0, 1), &full);
+        let shard_dirs: Vec<PathBuf> = (0..3).map(|i| base.join(format!("s{i}"))).collect();
+        for (i, dir) in shard_dirs.iter().enumerate() {
+            run_with((i as u64, 3), dir);
+        }
+        let merged = base.join("merged");
+        let report = merge_dirs(&shard_dirs, Some(&merged)).unwrap();
+        assert!(report.contains("complete sweep"), "{report}");
+
+        // The merged trial logs are byte-identical to the unsharded run's.
+        assert_eq!(
+            read(&full.join("trials.jsonl")),
+            read(&merged.join("trials.jsonl"))
+        );
+        assert_eq!(
+            read(&full.join("trials.csv")),
+            read(&merged.join("trials.csv"))
+        );
+        // The recomputed summary matches (modulo the workers column, which
+        // is informational and not part of summary.csv).
+        assert_eq!(
+            read(&full.join("summary.csv")),
+            read(&merged.join("summary.csv"))
+        );
+        let m = store::load_manifest(&merged.join("manifest.json")).unwrap();
+        assert_eq!(m.shard, "0/1");
+        let f = store::load_manifest(&full.join("manifest.json")).unwrap();
+        assert_eq!(m.grid, f.grid, "full-grid order restored");
+
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn partial_merge_keeps_the_shard_label() {
+        let base = tmp("partial");
+        let s0 = base.join("s0");
+        let s2 = base.join("s2");
+        run_with((0, 3), &s0);
+        run_with((2, 3), &s2);
+        let merged = base.join("merged");
+        let report = merge_dirs(&[s2.clone(), s0.clone()], Some(&merged)).unwrap();
+        assert!(report.contains("partial union"), "{report}");
+        let m = store::load_manifest(&merged.join("manifest.json")).unwrap();
+        assert_eq!(m.shard, "0,2/3", "ascending indices");
+        // Records survive a load round-trip and cover both shards.
+        let records = store::load_jsonl(&merged.join("trials.jsonl")).unwrap();
+        let s0_records = store::load_jsonl(&s0.join("trials.jsonl")).unwrap();
+        let s2_records = store::load_jsonl(&s2.join("trials.jsonl")).unwrap();
+        assert_eq!(records.len(), s0_records.len() + s2_records.len());
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn partial_output_is_a_valid_merge_input() {
+        // The finish-the-job path: merge two of four shards, then merge
+        // that output with the remaining two — byte-identical to the
+        // unsharded run.
+        let base = tmp("resume");
+        let full = base.join("full");
+        run_with((0, 1), &full);
+        let dirs: Vec<PathBuf> = (0..4).map(|i| base.join(format!("s{i}"))).collect();
+        for (i, dir) in dirs.iter().enumerate() {
+            run_with((i as u64, 4), dir);
+        }
+        let partial = base.join("partial");
+        let report = merge_dirs(&[dirs[0].clone(), dirs[2].clone()], Some(&partial)).unwrap();
+        assert!(report.contains("partial union (shard 0,2/4)"), "{report}");
+        let merged = base.join("merged");
+        let report =
+            merge_dirs(&[partial, dirs[1].clone(), dirs[3].clone()], Some(&merged)).unwrap();
+        assert!(report.contains("complete sweep"), "{report}");
+        assert_eq!(
+            read(&full.join("trials.jsonl")),
+            read(&merged.join("trials.jsonl"))
+        );
+        assert_eq!(
+            read(&full.join("trials.csv")),
+            read(&merged.join("trials.csv"))
+        );
+        assert_eq!(
+            read(&full.join("summary.csv")),
+            read(&merged.join("summary.csv"))
+        );
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn incompatible_shards_are_rejected() {
+        let base = tmp("incompat");
+        let s0 = base.join("s0");
+        let s1 = base.join("s1");
+        let dup = base.join("dup");
+        run_with((0, 3), &s0);
+        run_with((1, 3), &s1);
+        run_with((1, 3), &dup);
+
+        // Duplicate shard index.
+        assert!(matches!(
+            merge_dirs(&[s1.clone(), dup.clone()], None),
+            Err(LabError::BadArgs(_))
+        ));
+        // Single input.
+        assert!(matches!(
+            merge_dirs(std::slice::from_ref(&s0), None),
+            Err(LabError::BadArgs(_))
+        ));
+        // Different master seed.
+        let reseeded = base.join("reseeded");
+        execute(
+            &Sharded,
+            &RunSpec {
+                shard: (1, 3),
+                master_seed: 9,
+                out: Some(reseeded.clone()),
+                workers: 1,
+                ..RunSpec::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            merge_dirs(&[s0.clone(), reseeded], None),
+            Err(LabError::BadArgs(_))
+        ));
+        // Different divisor.
+        let other_k = base.join("otherk");
+        run_with((1, 4), &other_k);
+        assert!(matches!(
+            merge_dirs(&[s0.clone(), other_k], None),
+            Err(LabError::BadArgs(_))
+        ));
+        // Dry run on valid shards succeeds without writing anything.
+        let report = merge_dirs(&[s0, s1], None).unwrap();
+        assert!(report.contains("dry run"));
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

@@ -246,7 +246,7 @@ pub fn mixing_time_spectral_upper(lambda2: f64, n: usize) -> u64 {
 }
 
 /// Checks the Montenegro–Tetali band `1/Φ ≤ t_mix ≤ c/Φ²` the paper cites
-/// ([24]); returns the pair of violated-side flags `(below, above)` so tests
+/// (\[24\]); returns the pair of violated-side flags `(below, above)` so tests
 /// can assert both directions with an explicit slack constant.
 ///
 /// The lower inequality is asymptotic; `slack_lo`/`slack_hi` absorb the

@@ -6,7 +6,7 @@
 //! offline, so the same properties run over a seeded random sweep of the
 //! topology space (deterministic, so failures reproduce exactly).
 
-use ale::congest::{congest_budget, Incoming, Network, NodeCtx, Outbox, Process};
+use ale::congest::{congest_budget, Incoming, Network, NodeCtx, OutCtx, Process};
 use ale::core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
 use ale::graph::{GraphProps, NetworkKnowledge, Topology};
 use rand::rngs::StdRng;
@@ -143,16 +143,15 @@ impl Process for TokenForward {
     type Msg = u64;
     type Output = (u64, u64, u64); // (held, sent, received)
 
-    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>]) -> Outbox<u64> {
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>], out: &mut OutCtx<'_, u64>) {
         for m in inbox {
             self.held += m.msg;
             self.received_total += m.msg;
         }
         if self.rounds_left == 0 {
-            return Vec::new();
+            return;
         }
         self.rounds_left -= 1;
-        let mut out = Vec::new();
         // Send one token per port while supplies last.
         for p in 0..ctx.degree {
             if self.held == 0 {
@@ -160,9 +159,8 @@ impl Process for TokenForward {
             }
             self.held -= 1;
             self.sent_total += 1;
-            out.push((p, 1u64));
+            out.send(p, 1u64);
         }
-        out
     }
 
     fn is_halted(&self) -> bool {
