@@ -2,7 +2,7 @@
 //!
 //! **Ablation — cautious-broadcast reporting discipline** (DESIGN.md §4).
 //! The experiment itself is the registered `ablation-cautious` scenario in
-//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--param`, `--seeds`,
 //! `--workers`, `--out`, ...) passes through.
 
 fn main() {

@@ -2,7 +2,7 @@
 //!
 //! **E-L1 — cautious broadcast cost and coverage** (Lemma 1).
 //! The experiment itself is the registered `cautious` scenario in
-//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--param`, `--seeds`,
 //! `--workers`, `--out`, ...) passes through.
 
 fn main() {

@@ -2,7 +2,7 @@
 //!
 //! **E-L678 — certification-phase statistics** (Lemmas 6–8).
 //! The experiment itself is the registered `certification` scenario in
-//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--param`, `--seeds`,
 //! `--workers`, `--out`, ...) passes through.
 
 fn main() {

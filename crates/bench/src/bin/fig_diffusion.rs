@@ -2,7 +2,7 @@
 //!
 //! **E-L34 — diffusion convergence** (Lemmas 3–4).
 //! The experiment itself is the registered `diffusion` scenario in
-//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--param`, `--seeds`,
 //! `--workers`, `--out`, ...) passes through.
 
 fn main() {

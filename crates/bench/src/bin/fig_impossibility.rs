@@ -2,7 +2,7 @@
 //!
 //! **E-F12 — the pumping-wheel phenomenon** (Theorem 2, Figures 1–2).
 //! The experiment itself is the registered `impossibility` scenario in
-//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--param`, `--seeds`,
 //! `--workers`, `--out`, ...) passes through.
 
 fn main() {

@@ -2,7 +2,7 @@
 //!
 //! **Phase profile** — the communication anatomy of one irrevocable run.
 //! The experiment itself is the registered `phases` scenario in
-//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--param`, `--seeds`,
 //! `--workers`, `--out`, ...) passes through.
 
 fn main() {

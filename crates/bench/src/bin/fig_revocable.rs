@@ -2,7 +2,7 @@
 //!
 //! **E-T1c — revocable LE cost growth** (Theorem 3 / Corollary 1).
 //! The experiment itself is the registered `revocable` scenario in
-//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--param`, `--seeds`,
 //! `--workers`, `--out`, ...) passes through.
 
 fn main() {

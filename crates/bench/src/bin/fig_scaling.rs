@@ -2,7 +2,7 @@
 //!
 //! **E-T1b — message-complexity scaling** (Theorem 1 shape).
 //! The experiment itself is the registered `scaling` scenario in
-//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--param`, `--seeds`,
 //! `--workers`, `--out`, ...) passes through.
 
 fn main() {

@@ -2,7 +2,7 @@
 //!
 //! **E-L5 — threshold detection** (Lemma 5).
 //! The experiment itself is the registered `thresholds` scenario in
-//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--param`, `--seeds`,
 //! `--workers`, `--out`, ...) passes through.
 
 fn main() {

@@ -2,7 +2,7 @@
 //!
 //! **E-L2 — random-walk hitting rates** (Lemma 2).
 //! The experiment itself is the registered `walks` scenario in
-//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--param`, `--seeds`,
 //! `--workers`, `--out`, ...) passes through.
 
 fn main() {

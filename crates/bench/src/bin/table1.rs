@@ -2,7 +2,7 @@
 //!
 //! **E-T1 — Table 1 shootout** (paper Table 1).
 //! The experiment itself is the registered `table1` scenario in
-//! `ale_lab::scenarios`; every `ale-lab run` option (`--seeds`,
+//! `ale_lab::scenarios`; every `ale-lab run` option (`--param`, `--seeds`,
 //! `--workers`, `--out`, ...) passes through.
 
 fn main() {

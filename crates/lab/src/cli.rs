@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! ale-lab list
+//! ale-lab describe <scenario>
 //! ale-lab run <scenario> [--seeds N] [--workers N] [--master-seed S]
-//!                        [--quick] [--n 64,128] [--topo complete:64,...]
+//!                        [--quick] [--param key=v1,v2,...]
+//!                        [--n 64,128] [--topo complete:64,...]
 //!                        [--algo this-work,kutten15] [--shard i/k]
 //!                        [--out DIR] [--quiet]
 //! ale-lab export <trials.jsonl> [--csv PATH]
@@ -27,6 +29,8 @@ ale-lab — deterministic parallel experiment orchestration
 
 USAGE:
     ale-lab list                       list registered scenarios
+    ale-lab describe <scenario>        show a scenario's declared parameter
+                                       space (axes, kinds, defaults)
     ale-lab run <scenario> [options]   run a scenario's grid × seed fleet
     ale-lab export <trials.jsonl> [--csv PATH]
                                        convert a stored JSONL log to CSV
@@ -46,10 +50,16 @@ RUN OPTIONS:
     --workers N       worker threads (default: available parallelism)
     --master-seed S   master seed for the trial-seed stream (default 1)
     --quick           shrink the grid and seed counts for a smoke run
-    --n A,B,...       override the scenario's size sweep (diffusion/
-                      thresholds/walks build sparse large-n ladders)
-    --topo T,...      override the topology list (e.g. complete:64,
-                      torus:8x8, rregular:64x4, cycle:32)
+    --param K=V1,V2   override any declared axis of the scenario's
+                      parameter space (see `ale-lab describe <scenario>`);
+                      repeatable, validated — unknown keys and unparseable
+                      values exit 2. New sweeps need no code.
+    --n A,B,...       sugar for --param n=A,B — engages the scenario's
+                      size ladder (diffusion/thresholds/walks/revocable
+                      build sparse large-n ladders)
+    --topo T,...      sugar for --param topo=T,... (e.g. complete:64,
+                      torus:8x8, rregular:64x4, cycle:32); explicit
+                      topologies win over the size ladder
     --algo A,B,...    run only these algorithms of an algorithm-grid
                       scenario (this-work, gilbert18, kutten15,
                       flood-chg, flood-all); seeds stay aligned with
@@ -70,6 +80,8 @@ CHECK OPTIONS:
 EXAMPLES:
     ale-lab run table1 --n 64 --seeds 32 --workers 8 --out runs/table1
     ale-lab run table1 --algo this-work,kutten15 --quick
+    ale-lab describe diffusion
+    ale-lab run diffusion --param gamma=0.1,0.3 --param n=512 --quick
     ale-lab run diffusion --n 20000 --quick
     ale-lab run revocable --n 20000 --quick
     ale-lab run scaling --shard 0/4 --out runs/shard0
@@ -144,6 +156,27 @@ fn parse_args(args: &[String]) -> Result<(String, RunSpec), LabError> {
                     spec.algos.push(algo);
                 }
             }
+            "--param" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| LabError::BadArgs("--param needs key=v1,v2,...".into()))?;
+                let (key, list) = value.split_once('=').ok_or_else(|| {
+                    LabError::BadArgs(format!("--param: '{value}' is not key=v1,v2,..."))
+                })?;
+                let key = key.trim();
+                if key.is_empty() {
+                    return Err(LabError::BadArgs("--param: empty key".into()));
+                }
+                // Values stay raw strings here; the engine validates them
+                // against the scenario's declared space (kind-aware).
+                spec.grid.params.push((
+                    key.to_string(),
+                    list.split(',')
+                        .map(|v| v.trim().to_string())
+                        .filter(|v| !v.is_empty())
+                        .collect(),
+                ));
+            }
             "--shard" => {
                 let value = it
                     .next()
@@ -184,6 +217,36 @@ fn cmd_list() -> String {
     }
     out.push_str("\nrun one with: ale-lab run <scenario> [--quick] [--seeds N] ...\n");
     out
+}
+
+fn cmd_describe(args: &[String]) -> Result<String, LabError> {
+    let name = args
+        .first()
+        .ok_or_else(|| LabError::BadArgs("describe needs a scenario name".into()))?;
+    if let Some(extra) = args.get(1) {
+        return Err(LabError::BadArgs(format!(
+            "unknown describe option '{extra}'"
+        )));
+    }
+    let scenario = registry::find(name).ok_or_else(|| LabError::UnknownScenario(name.clone()))?;
+    let space = scenario.space();
+    // Validate the declaration while we are here (duplicate names with
+    // conflicting kinds would otherwise only surface on `run`).
+    space.axis_kinds()?;
+    Ok(format!(
+        "{} — {}
+default seeds/point: {} (quick: {})
+
+{}
+override any axis with: ale-lab run {} --param <axis>=v1,v2,...
+",
+        scenario.name(),
+        scenario.description(),
+        scenario.default_seeds(false),
+        scenario.default_seeds(true),
+        space.describe(),
+        scenario.name(),
+    ))
 }
 
 fn cmd_run(args: &[String]) -> Result<String, LabError> {
@@ -305,6 +368,7 @@ pub fn run(args: &[String]) -> Result<String, LabError> {
     match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(USAGE.to_string()),
         Some("list") => Ok(cmd_list()),
+        Some("describe") => cmd_describe(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),

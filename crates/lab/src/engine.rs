@@ -1,4 +1,5 @@
-//! The run engine: grid expansion → point selection (`--algo` filter,
+//! The run engine: parameter-space expansion (`--param`/`--n`/`--topo`
+//! overrides applied and recorded) → point selection (`--algo` filter,
 //! `--shard` slicing) → parallel binding → seed-fleet execution →
 //! streaming aggregation → persistence.
 //!
@@ -73,7 +74,9 @@ pub struct RunOutput {
 ///
 /// Propagates grid/bind/trial failures and result-store IO errors.
 pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, LabError> {
-    let full_grid = scenario.grid(&spec.grid)?;
+    let expansion = scenario.space().expand(&spec.grid)?;
+    let resolved_space = expansion.resolved_lines();
+    let full_grid = expansion.points;
     if full_grid.is_empty() {
         return Err(LabError::BadArgs(format!(
             "scenario '{}' produced an empty grid for these arguments",
@@ -197,6 +200,7 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
             grid_ref.iter().map(|p| p.label.clone()).collect(),
             spec.grid.quick,
             &format!("{shard_i}/{shard_k}"),
+            resolved_space,
         );
         crate::store::write_run(dir, &manifest, &records, &summary)?;
     }
@@ -211,6 +215,7 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::{Axis, Block, ParamSpace};
     use crate::scenario::{GridPoint, TrialFn};
     use ale_graph::Topology;
 
@@ -227,12 +232,18 @@ mod tests {
         fn default_seeds(&self, _quick: bool) -> u64 {
             5
         }
-        fn grid(&self, _cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-            Ok(vec![
-                GridPoint::new("p0").on(Topology::Cycle { n: 8 }),
-                GridPoint::new("p1")
-                    .on(Topology::Complete { n: 4 })
-                    .seeds(3),
+        fn space(&self) -> ParamSpace {
+            ParamSpace::new(vec![
+                Block::new("p0", vec![], |_| {
+                    Ok(Some(GridPoint::new("p0").on(Topology::Cycle { n: 8 })))
+                }),
+                Block::new("p1", vec![], |_| {
+                    Ok(Some(
+                        GridPoint::new("p1")
+                            .on(Topology::Complete { n: 4 })
+                            .seeds(3),
+                    ))
+                }),
             ])
         }
         fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
@@ -313,15 +324,19 @@ mod tests {
         fn default_seeds(&self, _quick: bool) -> u64 {
             4
         }
-        fn grid(&self, _cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-            Ok(crate::runners::Algorithm::ALL
-                .iter()
-                .map(|&a| {
-                    GridPoint::new(format!("p/{a}"))
-                        .on(Topology::Cycle { n: 8 })
-                        .algo(a)
-                })
-                .collect())
+        fn space(&self) -> ParamSpace {
+            ParamSpace::new(vec![Block::new(
+                "grid",
+                vec![Axis::algorithms("algo", crate::runners::Algorithm::ALL)],
+                |ctx| {
+                    let a = ctx.algorithm("algo")?;
+                    Ok(Some(
+                        GridPoint::new(format!("p/{a}"))
+                            .on(Topology::Cycle { n: 8 })
+                            .algo(a),
+                    ))
+                },
+            )])
         }
         fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
             let point = point.clone();

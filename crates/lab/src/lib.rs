@@ -15,14 +15,17 @@
 //! ## Layers
 //!
 //! * [`fleet`] — seed derivation + the parallel indexed runner;
+//! * [`params`] — typed axes and the declarative [`params::ParamSpace`]
+//!   every scenario declares (and `--param key=v1,v2` overrides);
 //! * [`scenario`] — the [`Scenario`] trait, [`GridPoint`], [`TrialRecord`];
 //! * [`scenarios`] / [`registry`] — the 11 built-in experiments;
-//! * [`engine`] — grid → bind → fleet → aggregate → store;
+//! * [`engine`] — space → expand → bind → fleet → aggregate → store;
 //! * [`agg`] / [`stats`] — streaming statistics;
 //! * [`store`] / [`json`] — JSONL/CSV persistence with manifests;
 //! * [`check`] — baseline regression gating over `summary.csv` files;
-//! * [`cli`] — the `ale-lab` binary (`list | run | export | check`), also
-//!   backing the legacy per-figure binaries in `ale-bench`;
+//! * [`cli`] — the `ale-lab` binary
+//!   (`list | describe | run | export | merge | check`), also backing the
+//!   legacy per-figure binaries in `ale-bench`;
 //! * [`runners`], [`table`], [`fit`] — the shared driver/report plumbing
 //!   (moved here from `ale-bench`, which re-exports them).
 //!
@@ -56,6 +59,7 @@ pub mod fit;
 pub mod fleet;
 pub mod json;
 pub mod merge;
+pub mod params;
 pub mod registry;
 pub mod runners;
 pub mod scenario;
@@ -67,8 +71,9 @@ pub mod table;
 pub use agg::RunSummary;
 pub use engine::{execute, RunOutput, RunSpec};
 pub use fit::{exponent_close, power_fit, PowerFit};
+pub use params::{Axis, AxisKind, AxisValue, Block, ParamSpace, When};
 pub use runners::{Algorithm, CellSummary, GraphContext};
-pub use scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialRecord};
+pub use scenario::{GridConfig, GridPoint, Knowledge, LabError, PointView, Scenario, TrialRecord};
 pub use table::Table;
 
 #[cfg(test)]

@@ -125,6 +125,13 @@ fn check_compatible(a: &RunManifest, b: &RunManifest, dir: &Path) -> Result<(), 
     if a.quick != b.quick {
         return Err(mismatch("quick flag", &a.quick, &b.quick));
     }
+    if a.space != b.space {
+        return Err(mismatch(
+            "resolved parameter space",
+            &a.space.join("; "),
+            &b.space.join("; "),
+        ));
+    }
     if a.version != b.version {
         return Err(mismatch("manifest version", &a.version, &b.version));
     }
@@ -264,6 +271,7 @@ pub fn merge_dirs(dirs: &[PathBuf], out: Option<&Path>) -> Result<String, LabErr
         grid.clone(),
         first.quick,
         &shard_label,
+        first.space.clone(),
     );
     // Preserve provenance: the producing trees' git state, not the
     // merging tree's.
@@ -305,8 +313,9 @@ pub fn merge_dirs(dirs: &[PathBuf], out: Option<&Path>) -> Result<String, LabErr
 mod tests {
     use super::*;
     use crate::engine::{execute, RunSpec};
+    use crate::params::{Axis, Block, ParamSpace};
     use crate::runners::Algorithm;
-    use crate::scenario::{GridConfig, GridPoint, Scenario, TrialFn};
+    use crate::scenario::{GridPoint, Scenario, TrialFn};
     use ale_graph::Topology;
 
     /// A scenario with enough points to shard three ways.
@@ -322,17 +331,23 @@ mod tests {
         fn default_seeds(&self, _quick: bool) -> u64 {
             3
         }
-        fn grid(&self, _cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-            Ok(Algorithm::ALL
-                .iter()
-                .flat_map(|&a| {
-                    [8usize, 16].map(|n| {
+        fn space(&self) -> ParamSpace {
+            ParamSpace::new(vec![Block::new(
+                "grid",
+                vec![
+                    Axis::algorithms("algo", Algorithm::ALL),
+                    Axis::ints("n", [8, 16]),
+                ],
+                |ctx| {
+                    let a = ctx.algorithm("algo")?;
+                    let n = ctx.int("n")? as usize;
+                    Ok(Some(
                         GridPoint::new(format!("p{n}/{a}"))
                             .on(Topology::Cycle { n })
-                            .algo(a)
-                    })
-                })
-                .collect())
+                            .algo(a),
+                    ))
+                },
+            )])
         }
         fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
             let point = point.clone();

@@ -3,10 +3,14 @@
 //!
 //! A [`Scenario`] contributes three things:
 //!
-//! * a **grid** — the cartesian sweep (`Topology × Algorithm × knowledge
-//!   regime × n × scenario knobs`) flattened into [`GridPoint`]s;
+//! * a **parameter space** — typed axes (`Topology × Algorithm ×
+//!   knowledge regime × n × scenario knobs`) declared as a
+//!   [`ParamSpace`], which the engine expands
+//!   generically into [`GridPoint`]s (and which `--param key=v1,v2`
+//!   overrides from the CLI, no code required);
 //! * a **binder** — per grid point, a one-time preparation step (build the
 //!   graph, compute its properties) returning the per-seed trial closure;
+//!   axis values arrive typed through [`GridPoint::view`];
 //! * a **summary** — the human-facing report built from the streamed
 //!   aggregates, reproducing what the legacy `fig_*`/`table1` binaries
 //!   printed.
@@ -15,6 +19,7 @@
 //! runs persist to JSONL, export to CSV, and compare across PRs.
 
 use crate::json::{ToJson, Value};
+use crate::params::{AxisValue, ParamSpace};
 use ale_core::CoreError;
 use ale_graph::{GraphError, Topology};
 use std::fmt;
@@ -122,8 +127,15 @@ pub struct GridPoint {
     pub knowledge: Knowledge,
     /// Network size (0 when not applicable).
     pub n: usize,
-    /// Scenario-specific numeric knobs (x, gamma, k, …).
+    /// Scenario-specific numeric knobs (x, gamma, k, …). Numeric axis
+    /// values are mirrored here by the expansion so summaries can read
+    /// them by name; point builders append derived knobs with
+    /// [`GridPoint::with`].
     pub params: Vec<(String, f64)>,
+    /// Typed axis values this point was expanded from (set by
+    /// [`ParamSpace::expand`](crate::params::ParamSpace::expand); empty
+    /// for hand-built points). Read them through [`GridPoint::view`].
+    pub values: Vec<(&'static str, AxisValue)>,
     /// Per-point seed-count override (`None` → the run's global count).
     /// Monte-Carlo points want thousands of cheap trials while protocol
     /// points want tens of expensive ones — in the same run.
@@ -140,8 +152,16 @@ impl GridPoint {
             knowledge: Knowledge::Full,
             n: 0,
             params: Vec::new(),
+            values: Vec::new(),
             seeds: None,
         }
+    }
+
+    /// Typed accessor over the point's axis values and derived knobs —
+    /// what `bind` implementations use instead of string-digging through
+    /// [`GridPoint::params`].
+    pub fn view(&self) -> PointView<'_> {
+        PointView { point: self }
     }
 
     /// Sets the topology (and `n` from it).
@@ -185,6 +205,95 @@ impl GridPoint {
         self.topology
             .as_ref()
             .map_or_else(|| "-".to_string(), |t| t.family().to_string())
+    }
+}
+
+/// A typed view over one grid point, handed to `bind`: axis values by
+/// name and kind, derived knobs by name. Every accessor fails with
+/// [`LabError::BadArgs`] naming the missing field instead of panicking on
+/// a format string mismatch.
+pub struct PointView<'a> {
+    point: &'a GridPoint,
+}
+
+impl PointView<'_> {
+    fn missing(&self, what: &str, name: &str) -> LabError {
+        LabError::BadArgs(format!(
+            "grid point '{}' carries no {what} '{name}'",
+            self.point.label
+        ))
+    }
+
+    /// The point's topology.
+    ///
+    /// # Errors
+    ///
+    /// [`LabError::BadArgs`] for graph-free points.
+    pub fn topology(&self) -> Result<Topology, LabError> {
+        self.point
+            .topology
+            .ok_or_else(|| self.missing("value", "topology"))
+    }
+
+    /// The point's algorithm.
+    ///
+    /// # Errors
+    ///
+    /// [`LabError::BadArgs`] for points without an algorithm axis.
+    pub fn algorithm(&self) -> Result<Algorithm, LabError> {
+        self.point
+            .algorithm
+            .ok_or_else(|| self.missing("value", "algorithm"))
+    }
+
+    /// The raw value of an axis, if the expansion bound one.
+    pub fn value(&self, name: &str) -> Option<AxisValue> {
+        self.point
+            .values
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// An int axis value.
+    ///
+    /// # Errors
+    ///
+    /// [`LabError::BadArgs`] when the axis is unbound or differently
+    /// kinded.
+    pub fn int(&self, name: &str) -> Result<u64, LabError> {
+        match self.value(name) {
+            Some(AxisValue::Int(v)) => Ok(v),
+            _ => Err(self.missing("int axis", name)),
+        }
+    }
+
+    /// A float axis value.
+    ///
+    /// # Errors
+    ///
+    /// [`LabError::BadArgs`] when the axis is unbound or differently
+    /// kinded.
+    pub fn float(&self, name: &str) -> Result<f64, LabError> {
+        match self.value(name) {
+            Some(AxisValue::Float(v)) => Ok(v),
+            _ => Err(self.missing("float axis", name)),
+        }
+    }
+
+    /// A numeric knob — mirrored axis values and builder-derived
+    /// parameters alike (see [`GridPoint::params`]).
+    pub fn knob(&self, name: &str) -> Option<f64> {
+        self.point.param(name)
+    }
+
+    /// [`PointView::knob`], required.
+    ///
+    /// # Errors
+    ///
+    /// [`LabError::BadArgs`] when the knob is absent.
+    pub fn require_knob(&self, name: &str) -> Result<f64, LabError> {
+        self.knob(name).ok_or_else(|| self.missing("knob", name))
     }
 }
 
@@ -363,10 +472,15 @@ impl TrialRecord {
 pub struct GridConfig {
     /// Shrink the grid/seed counts for smoke runs.
     pub quick: bool,
-    /// `--n` override: network sizes to sweep (scenario-interpreted).
+    /// `--n` override — sugar for `--param n=…` (engages the scenario's
+    /// size ladder when one is declared).
     pub ns: Vec<usize>,
-    /// `--topo` override: explicit topologies (scenario-interpreted).
+    /// `--topo` override — sugar for `--param topo=…`.
     pub topologies: Vec<Topology>,
+    /// Raw `--param key=v1,v2` overrides; validated against the declared
+    /// [`ParamSpace`] at expansion time (unknown key / unparseable value
+    /// → [`LabError::BadArgs`], exit code 2).
+    pub params: Vec<(String, Vec<String>)>,
 }
 
 /// The per-seed trial closure a scenario binds for one grid point.
@@ -383,12 +497,22 @@ pub trait Scenario: Sync {
     /// Default seeds per grid point.
     fn default_seeds(&self, quick: bool) -> u64;
 
-    /// Expands the parameter grid.
+    /// Declares the scenario's parameter space: the typed axes it sweeps
+    /// and how each combination becomes a [`GridPoint`]. The engine (and
+    /// `--param`) does the rest — see [`crate::params`].
+    fn space(&self) -> ParamSpace;
+
+    /// Expands the declared space into the concrete grid — a convenience
+    /// over [`ParamSpace::expand`] for callers that don't need the
+    /// resolved-space record.
     ///
     /// # Errors
     ///
-    /// [`LabError::BadArgs`] when CLI overrides don't fit the scenario.
-    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError>;
+    /// [`LabError::BadArgs`] when CLI overrides don't fit the declared
+    /// space.
+    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
+        Ok(self.space().expand(cfg)?.points)
+    }
 
     /// Performs the one-time per-point preparation (graph build, property
     /// computation) and returns the per-seed trial closure.

@@ -7,7 +7,8 @@
 //! elections are correct under both.
 
 use crate::agg::RunSummary;
-use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::params::{Axis, Block, ParamSpace};
+use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
 use ale_congest::{congest_budget, Network};
 use ale_core::irrevocable::{
@@ -51,44 +52,80 @@ impl Scenario for AblationCautious {
         }
     }
 
-    fn grid(&self, _cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-        let mut points = Vec::new();
-        for topo in [
-            Topology::RandomRegular { n: 192, d: 4 },
-            Topology::Grid2d {
-                rows: 12,
-                cols: 12,
-                torus: true,
-            },
-        ] {
-            for (di, (_, name)) in DISCIPLINES.iter().enumerate() {
-                points.push(
-                    GridPoint::new(format!("territory/{topo}/{name}"))
-                        .on(topo)
-                        .knowing(Knowledge::Full)
-                        .with("discipline", di as f64)
-                        .with("part", 1.0),
-                );
-            }
-        }
-        for topo in [Topology::Complete { n: 32 }, Topology::Hypercube { dim: 5 }] {
-            for (di, (_, name)) in DISCIPLINES.iter().enumerate() {
-                points.push(
-                    GridPoint::new(format!("election/{topo}/{name}"))
-                        .on(topo)
-                        .knowing(Knowledge::Full)
-                        .with("discipline", di as f64)
-                        .with("part", 2.0),
-                );
-            }
-        }
-        Ok(points)
+    fn space(&self) -> ParamSpace {
+        let discipline_axis = || {
+            Axis::ints("discipline", [0, 1]).help("0 = OnCrossing (message-optimal), 1 = OnChange")
+        };
+        ParamSpace::new(vec![
+            Block::new(
+                "territory",
+                vec![
+                    Axis::topologies(
+                        "topo",
+                        [
+                            Topology::RandomRegular { n: 192, d: 4 },
+                            Topology::Grid2d {
+                                rows: 12,
+                                cols: 12,
+                                torus: true,
+                            },
+                        ],
+                    )
+                    .help("single-candidate broadcast arenas"),
+                    discipline_axis(),
+                ],
+                |ctx| {
+                    let topo = ctx.topology("topo")?;
+                    let di = ctx.int("discipline")? as usize;
+                    let name = DISCIPLINES
+                        .get(di)
+                        .ok_or_else(|| {
+                            LabError::BadArgs(format!("discipline must be 0 or 1, got {di}"))
+                        })?
+                        .1;
+                    Ok(Some(
+                        GridPoint::new(format!("territory/{topo}/{name}"))
+                            .on(topo)
+                            .knowing(Knowledge::Full)
+                            .with("part", 1.0),
+                    ))
+                },
+            ),
+            Block::new(
+                "election",
+                vec![
+                    Axis::topologies(
+                        "election-topo",
+                        [Topology::Complete { n: 32 }, Topology::Hypercube { dim: 5 }],
+                    )
+                    .help("full-election graphs"),
+                    discipline_axis(),
+                ],
+                |ctx| {
+                    let topo = ctx.topology("election-topo")?;
+                    let di = ctx.int("discipline")? as usize;
+                    let name = DISCIPLINES
+                        .get(di)
+                        .ok_or_else(|| {
+                            LabError::BadArgs(format!("discipline must be 0 or 1, got {di}"))
+                        })?
+                        .1;
+                    Ok(Some(
+                        GridPoint::new(format!("election/{topo}/{name}"))
+                            .on(topo)
+                            .knowing(Knowledge::Full)
+                            .with("part", 2.0),
+                    ))
+                },
+            ),
+        ])
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
-        let topo = point.topology.expect("ablation points carry a topology");
-        let discipline = discipline_from(point.param("discipline").unwrap_or(0.0));
-        let part = point.param("part").unwrap_or(1.0);
+        let view = point.view();
+        let topo = view.topology()?;
+        let discipline = discipline_from(view.knob("discipline").unwrap_or(0.0));
+        let part = view.knob("part").unwrap_or(1.0);
         if part == 1.0 {
             let graph = topo.build(GRAPH_SEED)?;
             let props = GraphProps::compute_for(&graph, &topo)?;
@@ -194,6 +231,7 @@ impl Scenario for AblationCautious {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::GridConfig;
 
     #[test]
     fn grid_covers_both_parts_and_disciplines() {

@@ -8,7 +8,8 @@
 
 use crate::agg::RunSummary;
 use crate::fit::power_fit;
-use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::params::{Axis, Block, ParamSpace};
+use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
 use ale_congest::{congest_budget, Network};
 use ale_core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
@@ -18,20 +19,6 @@ const GRAPH_SEED: u64 = 3;
 
 /// The cautious-broadcast scenario.
 pub struct Cautious;
-
-fn default_topologies(cfg: &GridConfig) -> Vec<Topology> {
-    if !cfg.topologies.is_empty() {
-        return cfg.topologies.clone();
-    }
-    vec![
-        Topology::RandomRegular { n: 256, d: 4 },
-        Topology::Grid2d {
-            rows: 16,
-            cols: 16,
-            torus: true,
-        },
-    ]
-}
 
 impl Scenario for Cautious {
     fn name(&self) -> &'static str {
@@ -50,28 +37,42 @@ impl Scenario for Cautious {
         }
     }
 
-    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-        let xs: Vec<u64> = if cfg.quick {
-            vec![1, 4, 16]
-        } else {
-            vec![1, 2, 4, 8, 16, 32]
-        };
-        Ok(default_topologies(cfg)
-            .into_iter()
-            .flat_map(|topo| {
-                xs.iter().map(move |&x| {
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![Block::new(
+            "territory",
+            vec![
+                Axis::topologies(
+                    "topo",
+                    [
+                        Topology::RandomRegular { n: 256, d: 4 },
+                        Topology::Grid2d {
+                            rows: 16,
+                            cols: 16,
+                            torus: true,
+                        },
+                    ],
+                )
+                .help("broadcast arenas (expander + torus)"),
+                Axis::ints("x", [1, 2, 4, 8, 16, 32])
+                    .quick_ints([1, 4, 16])
+                    .help("walk-budget parameter (Lemma 1 sweeps it)"),
+            ],
+            |ctx| {
+                let topo = ctx.topology("topo")?;
+                let x = ctx.int("x")?;
+                Ok(Some(
                     GridPoint::new(format!("{topo}/x={x}"))
                         .on(topo)
-                        .knowing(Knowledge::Full)
-                        .with("x", x as f64)
-                })
-            })
-            .collect())
+                        .knowing(Knowledge::Full),
+                ))
+            },
+        )])
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
-        let topo = point.topology.expect("cautious points carry a topology");
-        let x = point.param("x").expect("cautious points carry x") as u64;
+        let view = point.view();
+        let topo = view.topology()?;
+        let x = view.int("x")?;
         let graph = topo.build(GRAPH_SEED)?;
         let props = GraphProps::compute_for(&graph, &topo)?;
         let knowledge = NetworkKnowledge::from_props(&props);
@@ -182,9 +183,9 @@ mod tests {
     #[test]
     fn grid_sweeps_x_per_topology() {
         let grid = Cautious
-            .grid(&GridConfig {
+            .grid(&crate::scenario::GridConfig {
                 quick: true,
-                ..GridConfig::default()
+                ..Default::default()
             })
             .unwrap();
         assert_eq!(grid.len(), 2 * 3);

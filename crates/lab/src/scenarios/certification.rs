@@ -8,7 +8,8 @@
 //! seed override dials the MC sample size.
 
 use crate::agg::RunSummary;
-use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::params::{Axis, Block, ParamSpace};
+use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
 use ale_core::revocable::{run_revocable, RevocableParams};
 use ale_graph::Topology;
@@ -39,38 +40,50 @@ impl Scenario for Certification {
         }
     }
 
-    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-        let mc_trials = if cfg.quick { 200 } else { 2000 };
-        let run_trials = if cfg.quick { 5 } else { 15 };
-        let mut points = Vec::new();
-        for n in [8usize, 16, 32] {
-            for k in [2u64, 4, 8, 16] {
-                points.push(
-                    GridPoint::new(format!("mc/n={n}/k={k}"))
-                        .knowing(Knowledge::Blind)
-                        .with("n_mc", n as f64)
-                        .with("k", k as f64)
-                        .seeds(mc_trials),
-                );
-            }
-        }
-        for n in [4usize, 8, 12] {
-            points.push(
-                GridPoint::new(format!("lemma7/n={n}"))
-                    .on(Topology::Complete { n })
-                    .knowing(Knowledge::Blind)
-                    .seeds(run_trials),
-            );
-        }
-        Ok(points)
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            Block::new(
+                "mc",
+                vec![
+                    Axis::ints("mc-n", [8, 16, 32]).help("coloring-experiment sizes"),
+                    Axis::ints("k", [2, 4, 8, 16]).help("size-estimate rungs"),
+                ],
+                |ctx| {
+                    let n = ctx.int("mc-n")?;
+                    let k = ctx.int("k")?;
+                    let mc_trials = if ctx.quick { 200 } else { 2000 };
+                    Ok(Some(
+                        GridPoint::new(format!("mc/n={n}/k={k}"))
+                            .knowing(Knowledge::Blind)
+                            .seeds(mc_trials),
+                    ))
+                },
+            ),
+            Block::new(
+                "lemma7",
+                vec![Axis::ints("lemma7-n", [4, 8, 12])
+                    .help("clique sizes for real-run certificates")],
+                |ctx| {
+                    let n = ctx.int("lemma7-n")? as usize;
+                    let run_trials = if ctx.quick { 5 } else { 15 };
+                    Ok(Some(
+                        GridPoint::new(format!("lemma7/n={n}"))
+                            .on(Topology::Complete { n })
+                            .knowing(Knowledge::Blind)
+                            .seeds(run_trials),
+                    ))
+                },
+            ),
+        ])
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
         let params = RevocableParams::paper_blind(EPS, XI);
+        let view = point.view();
         let point_owned = point.clone();
         if point.label.starts_with("mc/") {
-            let n = point.param("n_mc").expect("mc points carry n") as usize;
-            let k = point.param("k").expect("mc points carry k") as u64;
+            let n = view.int("mc-n")? as usize;
+            let k = view.int("k")?;
             let k_pow = params.k_pow(k);
             let p_white = params.p(k);
             let f = params.f(k);
@@ -95,7 +108,7 @@ impl Scenario for Certification {
                 Ok(r)
             }))
         } else {
-            let topo = point.topology.expect("lemma7 points carry a topology");
+            let topo = view.topology()?;
             let n = point.n;
             let g = topo.build(0)?;
             let run_params = RevocableParams::paper_blind(EPS, XI).with_scales(0.02, 0.5, 1.0);
@@ -141,7 +154,7 @@ impl Scenario for Certification {
             "Pr[some white iter] (L8 wants >=1-xi)",
         ]);
         for p in run.points.iter().filter(|p| p.label.starts_with("mc/")) {
-            let n = p.param("n_mc").unwrap_or(0.0) as usize;
+            let n = p.param("mc-n").unwrap_or(0.0) as usize;
             let k_pow = p.mean("k_pow");
             let regime = if k_pow >= (2 * n + 1) as f64 {
                 if k_pow <= (4 * n) as f64 {
@@ -203,9 +216,9 @@ mod tests {
     #[test]
     fn mc_points_dial_sample_size_via_seed_overrides() {
         let grid = Certification
-            .grid(&GridConfig {
+            .grid(&crate::scenario::GridConfig {
                 quick: true,
-                ..GridConfig::default()
+                ..Default::default()
             })
             .unwrap();
         assert_eq!(grid.len(), 12 + 3);

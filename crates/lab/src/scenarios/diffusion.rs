@@ -20,7 +20,8 @@
 //!   and stay non-failing (the bound is not contradicted).
 
 use crate::agg::RunSummary;
-use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::params::{Axis, AxisValue, Block, ParamSpace};
+use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
 use ale_graph::{transition, Topology};
 use ale_markov::conductance;
@@ -40,13 +41,8 @@ const LARGE_N: usize = 2048;
 /// The diffusion-convergence scenario.
 pub struct Diffusion;
 
-fn default_topologies(cfg: &GridConfig) -> Vec<Topology> {
-    if !cfg.topologies.is_empty() {
-        return cfg.topologies.clone();
-    }
-    if !cfg.ns.is_empty() {
-        return super::large_n_topologies(&cfg.ns);
-    }
+/// The legacy small-family suite — the `topo` axis default.
+fn default_topologies() -> Vec<Topology> {
     vec![
         Topology::Complete { n: 12 },
         Topology::Cycle { n: 12 },
@@ -69,47 +65,60 @@ impl Scenario for Diffusion {
         1
     }
 
-    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-        let gammas: &[f64] = if cfg.quick {
-            &[0.1]
-        } else {
-            &[0.1, 0.01, 0.001]
-        };
-        let cap = if cfg.quick {
-            LARGE_CAP_QUICK
-        } else {
-            LARGE_CAP
-        };
-        Ok(default_topologies(cfg)
-            .into_iter()
-            .flat_map(|topo| {
-                // Large graphs get a shorter gamma ladder: each extra γ
-                // decade multiplies an already-capped round budget.
-                let gammas: &[f64] = if topo.node_count() > LARGE_N {
-                    &gammas[..1]
-                } else {
-                    gammas
-                };
-                gammas.iter().map(move |&gamma| {
-                    let mut p = GridPoint::new(format!("{topo}/gamma={gamma}"))
-                        .on(topo)
-                        .knowing(Knowledge::Blind)
-                        .with("gamma", gamma);
-                    if topo.node_count() > LARGE_N {
-                        p = p.with("cap", cap as f64);
-                    }
-                    p
-                })
-            })
-            .collect())
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![Block::new(
+            "convergence",
+            vec![
+                Axis::topologies("topo", default_topologies())
+                    .help("families spanning the conductance spectrum"),
+                Axis::floats("gamma", [0.1, 0.01, 0.001])
+                    .quick_floats([0.1])
+                    .linked(|ctx| {
+                        // Large graphs get a shorter gamma ladder: each
+                        // extra γ decade multiplies an already-capped
+                        // round budget.
+                        let topo = ctx.topology("topo").ok()?;
+                        (topo.node_count() > LARGE_N).then(|| vec![AxisValue::Float(0.1)])
+                    })
+                    .help("relative-error convergence target"),
+            ],
+            |ctx| {
+                let topo = ctx.topology("topo")?;
+                let gamma = ctx.float("gamma")?;
+                let mut p = GridPoint::new(format!("{topo}/gamma={gamma}"))
+                    .on(topo)
+                    .knowing(Knowledge::Blind);
+                // Ladder points and over-large explicit topologies run
+                // the capped natural-alpha regime (the protocol-ladder
+                // alpha would push convergence past any simulable
+                // horizon).
+                if ctx.ladder || topo.node_count() > LARGE_N {
+                    let cap = if ctx.quick {
+                        LARGE_CAP_QUICK
+                    } else {
+                        LARGE_CAP
+                    };
+                    p = p.with("cap", cap as f64);
+                }
+                Ok(Some(p))
+            },
+        )])
+        .with_ladder(
+            "n",
+            "topo",
+            "torus / ring / expander ladder at each size",
+            super::large_n_topologies,
+        )
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
-        let topo = point.topology.expect("diffusion points carry a topology");
-        let gamma = point.param("gamma").expect("diffusion points carry gamma");
+        let view = point.view();
+        let topo = view.topology()?;
+        let gamma = view.float("gamma")?;
         let graph = topo.build(0)?;
         let n = graph.n();
-        let large = n > LARGE_N;
+        // The cap knob marks the natural-alpha large/ladder regime.
+        let large = view.knob("cap").is_some();
         let (alpha, k) = if large {
             // The chain's natural scale: fastest valid uniform averaging.
             (1.0 / (2.0 * graph.max_degree() as f64), 0u64)
@@ -130,7 +139,7 @@ impl Scenario for Diffusion {
             // every cut edge carries exactly alpha crossing mass.
             Err(_) => alpha * super::isoperimetric_estimate(&graph, &topo)?,
         };
-        let cap = point.param("cap").map_or(MAX_ROUNDS, |c| c as u64);
+        let cap = view.knob("cap").map_or(MAX_ROUNDS, |c| c as u64);
         let point = point.clone();
         Ok(Box::new(move |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -212,6 +221,8 @@ impl Scenario for Diffusion {
 mod tests {
     use super::*;
 
+    use crate::scenario::GridConfig;
+
     #[test]
     fn grid_crosses_families_and_gammas() {
         let full = Diffusion.grid(&GridConfig::default()).unwrap();
@@ -252,5 +263,25 @@ mod tests {
             .unwrap();
         assert_eq!(grid.len(), 3, "full mode still one gamma per large topo");
         assert!(grid.iter().all(|p| p.param("gamma") == Some(0.1)));
+    }
+
+    #[test]
+    fn param_override_sweeps_beyond_any_hardcoded_grid() {
+        // The acceptance sweep: gammas nobody hard-coded, at a ladder
+        // size below the large-N cutoff — every point still carries the
+        // capped natural-alpha regime because the ladder built it.
+        let grid = Diffusion
+            .grid(&GridConfig {
+                quick: true,
+                params: vec![
+                    ("gamma".into(), vec!["0.1".into(), "0.3".into()]),
+                    ("n".into(), vec!["512".into()]),
+                ],
+                ..GridConfig::default()
+            })
+            .unwrap();
+        assert_eq!(grid.len(), 3 * 2);
+        assert!(grid.iter().all(|p| p.param("cap").is_some()));
+        assert!(grid.iter().any(|p| p.param("gamma") == Some(0.3)));
     }
 }

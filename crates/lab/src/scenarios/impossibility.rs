@@ -6,7 +6,8 @@
 //! contrast on a tractable ring.
 
 use crate::agg::RunSummary;
-use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::params::{Axis, Block, ParamSpace};
+use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
 use ale_core::revocable::{run_revocable, RevocableParams};
 use ale_graph::Topology;
@@ -35,28 +36,31 @@ impl Scenario for Impossibility {
         }
     }
 
-    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-        let factors: &[usize] = if cfg.quick {
-            &[1, 8, 32]
-        } else {
-            &[1, 4, 8, 16, 32, 64, 128]
-        };
-        let mut points: Vec<GridPoint> = factors
-            .iter()
-            .map(|&f| {
-                GridPoint::new(format!("split/N={}", N0 * f))
-                    .on(Topology::Cycle { n: (N0 * f).max(3) })
-                    .knowing(Knowledge::SizeOnly)
-                    .with("factor", f as f64)
-            })
-            .collect();
-        points.push(
-            GridPoint::new(format!("contrast/C{CONTRAST_N}"))
-                .on(Topology::Cycle { n: CONTRAST_N })
-                .knowing(Knowledge::Blind)
-                .seeds(5),
-        );
-        Ok(points)
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            Block::new(
+                "split",
+                vec![Axis::ints("factor", [1, 4, 8, 16, 32, 64, 128])
+                    .quick_ints([1, 8, 32])
+                    .help("ring blow-up factors N/n0")],
+                |ctx| {
+                    let f = ctx.int("factor")? as usize;
+                    Ok(Some(
+                        GridPoint::new(format!("split/N={}", N0 * f))
+                            .on(Topology::Cycle { n: (N0 * f).max(3) })
+                            .knowing(Knowledge::SizeOnly),
+                    ))
+                },
+            ),
+            Block::new("contrast", vec![], |_| {
+                Ok(Some(
+                    GridPoint::new(format!("contrast/C{CONTRAST_N}"))
+                        .on(Topology::Cycle { n: CONTRAST_N })
+                        .knowing(Knowledge::Blind)
+                        .seeds(5),
+                ))
+            }),
+        ])
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
@@ -183,6 +187,7 @@ impl Scenario for Impossibility {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::GridConfig;
 
     #[test]
     fn grid_sweeps_blowup_factors() {

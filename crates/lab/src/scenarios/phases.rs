@@ -7,7 +7,8 @@
 //! sparkline buckets so the record stays flat and serializable.
 
 use crate::agg::RunSummary;
-use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::params::{Axis, Block, ParamSpace};
+use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
 use ale_congest::{congest_budget, Network};
 use ale_core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
@@ -32,21 +33,25 @@ impl Scenario for Phases {
         1
     }
 
-    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-        let topo = if let Some(&t) = cfg.topologies.first() {
-            t
-        } else if cfg.quick {
-            Topology::Complete { n: 32 }
-        } else {
-            Topology::Hypercube { dim: 6 }
-        };
-        Ok(vec![GridPoint::new(format!("{topo}"))
-            .on(topo)
-            .knowing(Knowledge::Full)])
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![Block::new(
+            "profile",
+            vec![Axis::topologies("topo", [Topology::Hypercube { dim: 6 }])
+                .quick_topologies([Topology::Complete { n: 32 }])
+                .help("the run to profile (one point per topology)")],
+            |ctx| {
+                let topo = ctx.topology("topo")?;
+                Ok(Some(
+                    GridPoint::new(format!("{topo}"))
+                        .on(topo)
+                        .knowing(Knowledge::Full),
+                ))
+            },
+        )])
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
-        let topo = point.topology.expect("phases points carry a topology");
+        let topo = point.view().topology()?;
         let graph = topo.build(1)?;
         let cfg = IrrevocableConfig::derive_for(&graph, &topo)?;
         let budget = congest_budget(cfg.knowledge.n, cfg.congest_factor);
@@ -157,6 +162,7 @@ impl Scenario for Phases {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::GridConfig;
 
     #[test]
     fn single_point_grid() {

@@ -17,7 +17,8 @@
 
 use crate::agg::RunSummary;
 use crate::fit::power_fit;
-use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::params::{Axis, Block, ParamSpace, When};
+use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
 use ale_core::revocable::{run_revocable, RevocableParams};
 use ale_graph::Topology;
@@ -49,6 +50,16 @@ fn k_star(n: usize, eps: f64) -> u64 {
     k
 }
 
+/// Legacy short names for the Corollary 1 tiny graphs (`K2`, `P3`, …).
+fn tiny_name(topo: &Topology) -> String {
+    match topo {
+        Topology::Complete { n } => format!("K{n}"),
+        Topology::Path { n } => format!("P{n}"),
+        Topology::Cycle { n } => format!("C{n}"),
+        other => other.to_string(),
+    }
+}
+
 impl Scenario for Revocable {
     fn name(&self) -> &'static str {
         "revocable"
@@ -66,83 +77,115 @@ impl Scenario for Revocable {
         }
     }
 
-    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-        // `--n` selects the mode-4 large-n engine ladder: the revocable
-        // protocol at tens of thousands of nodes on sparse topologies
-        // (complete graphs at those sizes would need 10⁸ edges). Seeds
-        // default to 1 per point — each trial is thousands of full-network
-        // broadcast rounds.
-        if !cfg.ns.is_empty() {
-            return Ok(super::large_n_topologies(&cfg.ns)
-                .into_iter()
-                .map(|topo| {
-                    GridPoint::new(format!("ladder/{topo}"))
-                        .on(topo)
-                        .knowing(Knowledge::Blind)
-                        .with("mode", 4.0)
-                        .with("max_k", LADDER_MAX_K as f64)
-                        .seeds(if cfg.quick { 1 } else { 2 })
-                })
-                .collect());
-        }
-        let mut points = Vec::new();
-        let sizes: &[usize] = if cfg.quick {
-            &[8, 16]
-        } else {
-            &[8, 12, 16, 20]
-        };
-        for &n in sizes {
-            let ig = (n as f64 / 2.0).ceil();
-            let ks = k_star(n, EPS);
-            let params = RevocableParams::paper_with_ig(EPS, XI, ig).with_scales(1.0, 0.25, 1.0);
-            let formula = params.rounds_through(ks) as f64;
-            points.push(
-                GridPoint::new(format!("thm3/n={n}"))
-                    .on(Topology::Complete { n })
-                    .knowing(Knowledge::Blind)
-                    .with("ig", ig)
-                    .with("k_star", ks as f64)
-                    .with("max_k", horizon_for(n, EPS) as f64)
-                    .with("formula", formula)
-                    .with("mode", 1.0),
-            );
-        }
-        for (name, topo) in [
-            ("K2", Topology::Complete { n: 2 }),
-            ("K3", Topology::Complete { n: 3 }),
-            ("P3", Topology::Path { n: 3 }),
-            ("C4", Topology::Cycle { n: 4 }),
-        ] {
-            points.push(
-                GridPoint::new(format!("blind-tiny/{name}"))
-                    .on(topo)
-                    .knowing(Knowledge::Blind)
-                    .with("mode", 2.0)
-                    .seeds(1),
-            );
-        }
-        let scaled_sizes: &[usize] = if cfg.quick { &[4, 8] } else { &[4, 8, 16] };
-        for &n in scaled_sizes {
-            points.push(
-                GridPoint::new(format!("scaled/n={n}"))
-                    .on(Topology::Complete { n })
-                    .knowing(Knowledge::Blind)
-                    .with("k_star", k_star(n, EPS) as f64)
-                    .with("mode", 3.0)
-                    .seeds(if cfg.quick { 2 } else { 3 }),
-            );
-        }
-        Ok(points)
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            Block::new(
+                "thm3",
+                vec![Axis::ints("thm3-n", [8, 12, 16, 20])
+                    .quick_ints([8, 16])
+                    .help("clique sizes, known i(G), paper-exact r(k)")],
+                |ctx| {
+                    let n = ctx.int("thm3-n")? as usize;
+                    let ig = (n as f64 / 2.0).ceil();
+                    let ks = k_star(n, EPS);
+                    let params =
+                        RevocableParams::paper_with_ig(EPS, XI, ig).with_scales(1.0, 0.25, 1.0);
+                    let formula = params.rounds_through(ks) as f64;
+                    Ok(Some(
+                        GridPoint::new(format!("thm3/n={n}"))
+                            .on(Topology::Complete { n })
+                            .knowing(Knowledge::Blind)
+                            .with("ig", ig)
+                            .with("k_star", ks as f64)
+                            .with("max_k", horizon_for(n, EPS) as f64)
+                            .with("formula", formula)
+                            .with("mode", 1.0),
+                    ))
+                },
+            )
+            .when(When::SmallGrid),
+            Block::new(
+                "blind-tiny",
+                vec![Axis::topologies(
+                    "tiny",
+                    [
+                        Topology::Complete { n: 2 },
+                        Topology::Complete { n: 3 },
+                        Topology::Path { n: 3 },
+                        Topology::Cycle { n: 4 },
+                    ],
+                )
+                .help("Corollary 1 paper-exact blind graphs")],
+                |ctx| {
+                    let topo = ctx.topology("tiny")?;
+                    Ok(Some(
+                        GridPoint::new(format!("blind-tiny/{}", tiny_name(&topo)))
+                            .on(topo)
+                            .knowing(Knowledge::Blind)
+                            .with("mode", 2.0)
+                            .seeds(1),
+                    ))
+                },
+            )
+            .when(When::SmallGrid),
+            Block::new(
+                "scaled",
+                vec![Axis::ints("scaled-n", [4, 8, 16])
+                    .quick_ints([4, 8])
+                    .help("blind shape-sweep clique sizes (r x0.002, f x0.1)")],
+                |ctx| {
+                    let n = ctx.int("scaled-n")? as usize;
+                    Ok(Some(
+                        GridPoint::new(format!("scaled/n={n}"))
+                            .on(Topology::Complete { n })
+                            .knowing(Knowledge::Blind)
+                            .with("k_star", k_star(n, EPS) as f64)
+                            .with("mode", 3.0)
+                            .seeds(if ctx.quick { 2 } else { 3 }),
+                    ))
+                },
+            )
+            .when(When::SmallGrid),
+            // `--n` selects the mode-4 large-n engine ladder: the
+            // revocable protocol at tens of thousands of nodes on sparse
+            // topologies (complete graphs at those sizes would need 10⁸
+            // edges). Seeds default to 1–2 per point — each trial is
+            // thousands of full-network broadcast rounds.
+            Block::new(
+                "ladder",
+                vec![Axis::topologies("topo", [])
+                    .help("large-n engine-ladder topologies (from the size ladder)")],
+                |ctx| {
+                    let topo = ctx.topology("topo")?;
+                    Ok(Some(
+                        GridPoint::new(format!("ladder/{topo}"))
+                            .on(topo)
+                            .knowing(Knowledge::Blind)
+                            .with("mode", 4.0)
+                            .with("max_k", LADDER_MAX_K as f64)
+                            .seeds(if ctx.quick { 1 } else { 2 }),
+                    ))
+                },
+            )
+            .when(When::SizeSweep),
+        ])
+        .with_ladder(
+            "n",
+            "topo",
+            "torus / ring / expander engine ladder at each size",
+            super::large_n_topologies,
+        )
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
-        let topo = point.topology.expect("revocable points carry a topology");
-        let mode = point.param("mode").unwrap_or(1.0) as u64;
+        let view = point.view();
+        let topo = view.topology()?;
+        let mode = view.knob("mode").unwrap_or(1.0) as u64;
         let graph = topo.build(0)?;
         let n = graph.n();
         let params = match mode {
             1 => {
-                let ig = point.param("ig").expect("thm3 points carry ig");
+                let ig = view.require_knob("ig")?;
                 RevocableParams::paper_with_ig(EPS, XI, ig).with_scales(1.0, 0.25, 1.0)
             }
             2 => RevocableParams::paper_blind(EPS, XI),
@@ -153,7 +196,7 @@ impl Scenario for Revocable {
             _ => RevocableParams::paper_blind(EPS, XI).with_scales(0.002, 0.1, 1.0),
         };
         let max_k = if mode == 4 {
-            point.param("max_k").map_or(LADDER_MAX_K, |k| k as u64)
+            view.knob("max_k").map_or(LADDER_MAX_K, |k| k as u64)
         } else {
             horizon_for(n, EPS)
         };
@@ -364,6 +407,7 @@ impl Scenario for Revocable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::GridConfig;
 
     #[test]
     fn ladder_helpers_match_the_proof_schedule() {

@@ -7,8 +7,9 @@
 
 use crate::agg::RunSummary;
 use crate::fit::power_fit;
+use crate::params::{Axis, Block, ParamSpace};
 use crate::runners::{Algorithm, GraphContext};
-use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
 use ale_graph::Topology;
 
@@ -24,50 +25,26 @@ fn theory_q(n: f64, tmix: f64, phi: f64) -> f64 {
     (n * n.ln().max(1.0) * tmix / phi).sqrt() * log2n * log2n
 }
 
-fn families(cfg: &GridConfig) -> Vec<(&'static str, Vec<Topology>)> {
-    if !cfg.ns.is_empty() {
-        return vec![
-            (
-                "complete",
-                cfg.ns.iter().map(|&n| Topology::Complete { n }).collect(),
-            ),
-            (
-                "cycle",
-                cfg.ns.iter().map(|&n| Topology::Cycle { n }).collect(),
-            ),
-        ];
-    }
+/// The family-major topology ladder (complete, hypercube, cycle), full or
+/// quick-truncated — the declared defaults of the `topo` axis.
+fn family_topologies(quick: bool) -> Vec<Topology> {
     let mut complete_sizes: Vec<usize> = vec![16, 32, 64, 128, 256];
     let mut hypercube_dims: Vec<usize> = vec![4, 5, 6, 7, 8];
     let mut cycle_sizes: Vec<usize> = vec![8, 12, 16, 24, 32, 48];
-    if cfg.quick {
+    if quick {
         complete_sizes.truncate(3);
         hypercube_dims.truncate(3);
         cycle_sizes.truncate(4);
     }
-    vec![
-        (
-            "complete",
-            complete_sizes
-                .into_iter()
-                .map(|n| Topology::Complete { n })
-                .collect(),
-        ),
-        (
-            "hypercube",
-            hypercube_dims
-                .into_iter()
-                .map(|dim| Topology::Hypercube { dim })
-                .collect(),
-        ),
-        (
-            "cycle",
-            cycle_sizes
-                .into_iter()
-                .map(|n| Topology::Cycle { n })
-                .collect(),
-        ),
-    ]
+    let mut topos: Vec<Topology> = Vec::new();
+    topos.extend(complete_sizes.into_iter().map(|n| Topology::Complete { n }));
+    topos.extend(
+        hypercube_dims
+            .into_iter()
+            .map(|dim| Topology::Hypercube { dim }),
+    );
+    topos.extend(cycle_sizes.into_iter().map(|n| Topology::Cycle { n }));
+    topos
 }
 
 impl Scenario for Scaling {
@@ -87,26 +64,43 @@ impl Scenario for Scaling {
         }
     }
 
-    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-        Ok(families(cfg)
-            .into_iter()
-            .flat_map(|(family, topos)| {
-                topos.into_iter().flat_map(move |topo| {
-                    ALGS.iter().map(move |&alg| {
-                        GridPoint::new(format!("{family}/n={}/{alg}", topo.node_count()))
-                            .on(topo)
-                            .algo(alg)
-                            .knowing(Knowledge::Full)
-                            .with("family_order", 0.0)
-                    })
-                })
-            })
-            .collect())
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![Block::new(
+            "exponents",
+            vec![
+                Axis::topologies("topo", family_topologies(false))
+                    .quick_topologies(family_topologies(true))
+                    .help("family-major size ladder (complete, hypercube, cycle)"),
+                Axis::algorithms("algo", ALGS).help("this work vs the Gilbert baseline"),
+            ],
+            |ctx| {
+                let topo = ctx.topology("topo")?;
+                let alg = ctx.algorithm("algo")?;
+                Ok(Some(
+                    GridPoint::new(format!("{}/n={}/{alg}", topo.family(), topo.node_count()))
+                        .on(topo)
+                        .algo(alg)
+                        .knowing(Knowledge::Full),
+                ))
+            },
+        )])
+        .with_ladder(
+            "n",
+            "topo",
+            "complete and cycle families at each size",
+            |ns| {
+                let mut topos: Vec<Topology> =
+                    ns.iter().map(|&n| Topology::Complete { n }).collect();
+                topos.extend(ns.iter().map(|&n| Topology::Cycle { n }));
+                topos
+            },
+        )
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
-        let topo = point.topology.expect("scaling points carry a topology");
-        let alg = point.algorithm.expect("scaling points carry an algorithm");
+        let view = point.view();
+        let topo = view.topology()?;
+        let alg = view.algorithm()?;
         let ctx = GraphContext::build(topo, GRAPH_SEED)?;
         let q = theory_q(
             ctx.props.n as f64,
@@ -231,9 +225,9 @@ mod tests {
     #[test]
     fn grid_pairs_algorithms_per_size() {
         let grid = Scaling
-            .grid(&GridConfig {
+            .grid(&crate::scenario::GridConfig {
                 quick: true,
-                ..GridConfig::default()
+                ..Default::default()
             })
             .unwrap();
         // quick: 3 complete + 3 hypercube + 4 cycle sizes, × 2 algorithms.

@@ -5,8 +5,9 @@
 //! across well-, intermediate-, and poorly-connected families.
 
 use crate::agg::RunSummary;
+use crate::params::{Axis, Block, ParamSpace};
 use crate::runners::{Algorithm, GraphContext};
-use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
 use ale_graph::Topology;
 
@@ -78,41 +79,40 @@ impl Scenario for Table1 {
         }
     }
 
-    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-        let topologies: Vec<Topology> = if !cfg.topologies.is_empty() {
-            cfg.topologies.clone()
-        } else if !cfg.ns.is_empty() {
-            cfg.ns.iter().flat_map(|&n| suite_for(n)).collect()
-        } else if cfg.quick {
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![Block::new(
+            "shootout",
             vec![
-                Topology::Complete { n: 32 },
-                Topology::Hypercube { dim: 5 },
-                Topology::Cycle { n: 16 },
-            ]
-        } else {
-            suite_for(64)
-        };
-        if topologies.is_empty() {
-            return Err(LabError::BadArgs(
-                "no topology in the suite admits the requested sizes".into(),
-            ));
-        }
-        Ok(topologies
-            .iter()
-            .flat_map(|&topo| {
-                Algorithm::ALL.iter().map(move |&alg| {
+                Axis::topologies("topo", suite_for(64))
+                    .quick_topologies([
+                        Topology::Complete { n: 32 },
+                        Topology::Hypercube { dim: 5 },
+                        Topology::Cycle { n: 16 },
+                    ])
+                    .help("comparison families (Table 1 rows)"),
+                Axis::algorithms("algo", Algorithm::ALL)
+                    .help("this work vs the related-work baselines"),
+            ],
+            |ctx| {
+                let topo = ctx.topology("topo")?;
+                let alg = ctx.algorithm("algo")?;
+                Ok(Some(
                     GridPoint::new(format!("{topo}/{alg}"))
                         .on(topo)
                         .algo(alg)
-                        .knowing(knowledge_of(alg))
-                })
-            })
-            .collect())
+                        .knowing(knowledge_of(alg)),
+                ))
+            },
+        )])
+        .with_ladder("n", "topo", "the comparison suite at each size", |ns| {
+            ns.iter().flat_map(|&n| suite_for(n)).collect()
+        })
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
-        let topo = point.topology.expect("table1 points carry a topology");
-        let alg = point.algorithm.expect("table1 points carry an algorithm");
+        let view = point.view();
+        let topo = view.topology()?;
+        let alg = view.algorithm()?;
         let ctx = GraphContext::build(topo, GRAPH_SEED)?;
         let point = point.clone();
         Ok(Box::new(move |seed| {
@@ -187,9 +187,9 @@ mod tests {
     #[test]
     fn grid_covers_every_algorithm_per_topology() {
         let grid = Table1
-            .grid(&GridConfig {
+            .grid(&crate::scenario::GridConfig {
                 quick: true,
-                ..GridConfig::default()
+                ..Default::default()
             })
             .unwrap();
         assert_eq!(grid.len(), 3 * Algorithm::ALL.len());
@@ -201,12 +201,34 @@ mod tests {
     #[test]
     fn n_override_builds_the_suite() {
         let grid = Table1
-            .grid(&GridConfig {
+            .grid(&crate::scenario::GridConfig {
                 ns: vec![16],
-                ..GridConfig::default()
+                ..Default::default()
             })
             .unwrap();
         assert!(grid.iter().any(|p| p.label.starts_with("complete(n=16)")));
         assert!(grid.iter().any(|p| p.label.starts_with("hypercube(d=4)")));
+    }
+
+    #[test]
+    fn algo_param_narrows_the_grid_with_validation() {
+        let grid = Table1
+            .grid(&crate::scenario::GridConfig {
+                quick: true,
+                params: vec![("algo".into(), vec!["this-work".into()])],
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(grid.len(), 3);
+        assert!(grid
+            .iter()
+            .all(|p| p.algorithm == Some(Algorithm::ThisWork)));
+        assert!(matches!(
+            Table1.grid(&crate::scenario::GridConfig {
+                params: vec![("algo".into(), vec!["nonesuch".into()])],
+                ..Default::default()
+            }),
+            Err(LabError::BadArgs(_))
+        ));
     }
 }

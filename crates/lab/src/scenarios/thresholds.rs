@@ -15,7 +15,8 @@
 //! terminal-potential trajectory itself, now reachable at `n ≥ 20 000`.
 
 use crate::agg::RunSummary;
-use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::params::{Axis, AxisValue, Block, ParamSpace};
+use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
 use ale_core::revocable::RevocableParams;
 use ale_graph::{transition, Topology};
@@ -33,25 +34,6 @@ const LARGE_N: usize = 2048;
 
 /// The threshold-detection scenario.
 pub struct Thresholds;
-
-fn default_topologies(cfg: &GridConfig) -> Vec<Topology> {
-    if !cfg.topologies.is_empty() {
-        return cfg.topologies.clone();
-    }
-    if !cfg.ns.is_empty() {
-        return super::large_n_topologies(&cfg.ns);
-    }
-    if cfg.quick {
-        vec![Topology::Complete { n: 8 }, Topology::Cycle { n: 8 }]
-    } else {
-        vec![
-            Topology::Complete { n: 8 },
-            Topology::Cycle { n: 8 },
-            Topology::Hypercube { dim: 3 },
-            Topology::Star { n: 8 },
-        ]
-    }
-}
 
 /// The `k` ladder for one topology: the legacy `[2, 4, 8, 16]` for small
 /// graphs, and powers of two bracketing the first high-regime estimate
@@ -81,32 +63,64 @@ impl Scenario for Thresholds {
         1
     }
 
-    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-        let cap = if cfg.quick {
-            LARGE_CAP_QUICK
-        } else {
-            LARGE_CAP
-        };
-        Ok(default_topologies(cfg)
-            .into_iter()
-            .flat_map(|topo| {
-                k_ladder(topo.node_count()).into_iter().map(move |k| {
-                    let mut p = GridPoint::new(format!("{topo}/k={k}"))
-                        .on(topo)
-                        .knowing(Knowledge::Blind)
-                        .with("k", k as f64);
-                    if topo.node_count() > LARGE_N {
-                        p = p.with("cap", cap as f64);
-                    }
-                    p
-                })
-            })
-            .collect())
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![Block::new(
+            "ladder",
+            vec![
+                Axis::topologies(
+                    "topo",
+                    vec![
+                        Topology::Complete { n: 8 },
+                        Topology::Cycle { n: 8 },
+                        Topology::Hypercube { dim: 3 },
+                        Topology::Star { n: 8 },
+                    ],
+                )
+                .quick_topologies([Topology::Complete { n: 8 }, Topology::Cycle { n: 8 }])
+                .help("families the estimate ladder sweeps"),
+                Axis::ints("k", [2, 4, 8, 16])
+                    .linked(|ctx| {
+                        // The rungs where detection flips depend on the
+                        // topology's size (see `k_ladder`).
+                        let topo = ctx.topology("topo").ok()?;
+                        Some(
+                            k_ladder(topo.node_count())
+                                .into_iter()
+                                .map(AxisValue::Int)
+                                .collect(),
+                        )
+                    })
+                    .help("size-estimate rungs (computed per topology unless overridden)"),
+            ],
+            |ctx| {
+                let topo = ctx.topology("topo")?;
+                let k = ctx.int("k")?;
+                let mut p = GridPoint::new(format!("{topo}/k={k}"))
+                    .on(topo)
+                    .knowing(Knowledge::Blind);
+                if ctx.ladder || topo.node_count() > LARGE_N {
+                    let cap = if ctx.quick {
+                        LARGE_CAP_QUICK
+                    } else {
+                        LARGE_CAP
+                    };
+                    p = p.with("cap", cap as f64);
+                }
+                Ok(Some(p))
+            },
+        )])
+        .with_ladder(
+            "n",
+            "topo",
+            "torus / ring / expander ladder at each size",
+            super::large_n_topologies,
+        )
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
-        let topo = point.topology.expect("threshold points carry a topology");
-        let k = point.param("k").expect("threshold points carry k") as u64;
+        let view = point.view();
+        let topo = view.topology()?;
+        let k = view.int("k")?;
         let graph = topo.build(0)?;
         let n = graph.n();
         let ig = super::isoperimetric_estimate(&graph, &topo)?;
@@ -132,7 +146,7 @@ impl Scenario for Thresholds {
         let chain = transition::diffusion_chain(&graph, alpha)
             .map_err(|e| LabError::BadArgs(format!("diffusion chain: {e}")))?;
         let p_white = params.p(k);
-        let cap = point.param("cap").map_or(ROUND_CAP, |c| c as u64);
+        let cap = view.knob("cap").map_or(ROUND_CAP, |c| c as u64);
         let r_full = params.r(k);
         let rounds = r_full.min(cap);
         let evaluated = rounds == r_full;
@@ -237,6 +251,7 @@ impl Scenario for Thresholds {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::GridConfig;
 
     #[test]
     fn grid_sweeps_the_estimate_ladder() {

@@ -13,11 +13,13 @@
 //! mixing times at that scale exceed any CONGEST budget).
 
 use crate::agg::RunSummary;
-use crate::scenario::{GridConfig, GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
+use crate::params::{Axis, Block, ParamSpace};
+use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
 use ale_congest::{congest_budget, Network};
 use ale_core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
-use ale_graph::{GraphProps, NetworkKnowledge, Topology};
+use ale_graph::{transition, GraphProps, NetworkKnowledge, Topology};
+use ale_markov::mixing;
 
 const GRAPH_SEED: u64 = 9;
 /// Above this size only the paper regime at `mult = 1` runs (the stress
@@ -26,27 +28,6 @@ const LARGE_N: usize = 2048;
 
 /// The walk-hitting scenario.
 pub struct Walks;
-
-fn default_topologies(cfg: &GridConfig) -> Vec<Topology> {
-    if !cfg.topologies.is_empty() {
-        return cfg.topologies.clone();
-    }
-    if !cfg.ns.is_empty() {
-        return cfg
-            .ns
-            .iter()
-            .map(|&n| Topology::RandomRegular { n, d: 4 })
-            .collect();
-    }
-    vec![
-        Topology::RandomRegular { n: 128, d: 4 },
-        Topology::Grid2d {
-            rows: 12,
-            cols: 12,
-            torus: true,
-        },
-    ]
-}
 
 impl Scenario for Walks {
     fn name(&self) -> &'static str {
@@ -65,47 +46,71 @@ impl Scenario for Walks {
         }
     }
 
-    fn grid(&self, cfg: &GridConfig) -> Result<Vec<GridPoint>, LabError> {
-        let mut points = Vec::new();
-        for topo in default_topologies(cfg) {
-            if topo.node_count() > LARGE_N {
-                // No per-point seed pin: each trial is a full CONGEST
-                // simulation, so the caller sizes the fleet with --seeds
-                // (the scenario default applies otherwise).
-                points.push(
-                    GridPoint::new(format!("{topo}/paper/mult=1"))
-                        .on(topo)
-                        .knowing(Knowledge::Full)
-                        .with("mult", 1.0)
-                        .with("candidates", 6.0),
-                );
-                continue;
-            }
-            for mult in [0.25, 0.5, 1.0, 2.0] {
-                points.push(
-                    GridPoint::new(format!("{topo}/paper/mult={mult}"))
-                        .on(topo)
-                        .knowing(Knowledge::Full)
-                        .with("mult", mult)
-                        .with("candidates", 6.0),
-                );
-            }
-            for x in [1u64, 2, 4, 8, 16] {
-                points.push(
-                    GridPoint::new(format!("{topo}/stress/x={x}"))
-                        .on(topo)
-                        .knowing(Knowledge::Full)
-                        .with("x", x as f64)
-                        .with("candidates", 3.0)
-                        .with("threshold", 4.0),
-                );
-            }
-        }
-        Ok(points)
+    fn space(&self) -> ParamSpace {
+        ParamSpace::new(vec![
+            Block::new(
+                "paper",
+                vec![Axis::floats("mult", [0.25, 0.5, 1.0, 2.0])
+                    .help("multiplier on the protocol's own walk budget x")],
+                |ctx| {
+                    let topo = ctx.topology("topo")?;
+                    let mult = ctx.float("mult")?;
+                    // Large graphs run the paper regime at mult = 1 only:
+                    // the knee sweep would multiply an already-large
+                    // CONGEST cost.
+                    if topo.node_count() > LARGE_N && mult != 1.0 {
+                        return Ok(None);
+                    }
+                    Ok(Some(
+                        GridPoint::new(format!("{topo}/paper/mult={mult}"))
+                            .on(topo)
+                            .knowing(Knowledge::Full)
+                            .with("candidates", 6.0),
+                    ))
+                },
+            ),
+            Block::new(
+                "stress",
+                vec![Axis::ints("x", [1, 2, 4, 8, 16])
+                    .help("absolute walk count (pinned-small territories)")],
+                |ctx| {
+                    let topo = ctx.topology("topo")?;
+                    if topo.node_count() > LARGE_N {
+                        return Ok(None);
+                    }
+                    let x = ctx.int("x")?;
+                    Ok(Some(
+                        GridPoint::new(format!("{topo}/stress/x={x}"))
+                            .on(topo)
+                            .knowing(Knowledge::Full)
+                            .with("candidates", 3.0)
+                            .with("threshold", 4.0),
+                    ))
+                },
+            ),
+        ])
+        .with_shared(vec![Axis::topologies(
+            "topo",
+            [
+                Topology::RandomRegular { n: 128, d: 4 },
+                Topology::Grid2d {
+                    rows: 12,
+                    cols: 12,
+                    torus: true,
+                },
+            ],
+        )
+        .help("walk arenas (expander + torus)")])
+        .with_ladder("n", "topo", "4-regular expanders at each size", |ns| {
+            ns.iter()
+                .map(|&n| Topology::RandomRegular { n, d: 4 })
+                .collect()
+        })
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
-        let topo = point.topology.expect("walks points carry a topology");
+        let view = point.view();
+        let topo = view.topology()?;
         let graph = topo.build(GRAPH_SEED)?;
         let props = GraphProps::compute_for(&graph, &topo)?;
         let knowledge = NetworkKnowledge::from_props(&props);
@@ -113,15 +118,30 @@ impl Scenario for Walks {
         let budget = congest_budget(knowledge.n, cfg.congest_factor);
         let paper_x = cfg.x();
 
-        let candidates = point.param("candidates").unwrap_or(6.0) as usize;
-        let (x, threshold, walk_len) = if let Some(mult) = point.param("mult") {
+        // Large non-vertex-transitive families: cross-check the knowledge
+        // bundle's t_mix with the cheap multi-start sampling estimator
+        // (`O(t·m)` on the sparse backend) and report it alongside.
+        let tmix_sampled = if graph.n() > LARGE_N {
+            transition::lazy_walk_chain(&graph).ok().and_then(|chain| {
+                let starts = mixing::sample_starts(graph.n(), 3, GRAPH_SEED);
+                let cap = knowledge.tmix.saturating_mul(8).max(1 << 12);
+                mixing::mixing_time_multi_start(&chain, &starts, cap)
+                    .ok()
+                    .map(|t| t as f64)
+            })
+        } else {
+            None
+        };
+
+        let candidates = view.knob("candidates").unwrap_or(6.0) as usize;
+        let (x, threshold, walk_len) = if let Some(mult) = view.knob("mult") {
             (
                 ((paper_x as f64 * mult).ceil() as u64).max(1),
                 None,
                 cfg.walk_rounds(),
             )
         } else {
-            let x = point.param("x").expect("stress points carry x") as u64;
+            let x = view.int("x")?;
             (x, Some(4u64), (cfg.walk_rounds() / 16).max(4))
         };
         let point = point.clone();
@@ -173,6 +193,9 @@ impl Scenario for Walks {
             r.push_extra("hits", hits as f64);
             r.push_extra("cands", total as f64);
             r.push_extra("x_eff", x as f64);
+            if let Some(t) = tmix_sampled {
+                r.push_extra("tmix_sampled", t);
+            }
             Ok(r)
         }))
     }
@@ -235,6 +258,7 @@ impl Scenario for Walks {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::GridConfig;
 
     #[test]
     fn grid_has_both_regimes() {

@@ -44,16 +44,23 @@ pub struct RunManifest {
     pub quick: bool,
     /// Grid shard this run executed, as `"i/k"` (`"0/1"` = the whole
     /// grid). Shards of one logical sweep share the scenario, master
-    /// seed, seed count, and quick flag — a merge tool should verify
-    /// those before unioning JSONL logs — while `grid` lists only the
-    /// labels this shard selected and `workers` may differ per machine.
+    /// seed, seed count, quick flag, and resolved space — a merge tool
+    /// should verify those before unioning JSONL logs — while `grid`
+    /// lists only the labels this shard selected and `workers` may
+    /// differ per machine.
     pub shard: String,
+    /// The resolved parameter space, one `key=v1,v2,…` line per axis as
+    /// reported by [`crate::params::ParamSpace::expand`] — the record of
+    /// which sweep this run actually executed once `--quick`/`--param`
+    /// overrides were applied. Empty in pre-space manifests.
+    pub space: Vec<String>,
     /// Manifest schema version.
     pub version: u32,
 }
 
 impl RunManifest {
     /// Builds a manifest for the current tree.
+    #[allow(clippy::too_many_arguments)]
     pub fn for_run(
         scenario: &str,
         master_seed: u64,
@@ -62,6 +69,7 @@ impl RunManifest {
         grid: Vec<String>,
         quick: bool,
         shard: &str,
+        space: Vec<String>,
     ) -> Self {
         RunManifest {
             scenario: scenario.to_string(),
@@ -72,6 +80,7 @@ impl RunManifest {
             git: git_describe(),
             quick,
             shard: shard.to_string(),
+            space,
             version: 1,
         }
     }
@@ -126,6 +135,19 @@ impl RunManifest {
                 .and_then(Value::as_str)
                 .unwrap_or("0/1")
                 .to_string(),
+            // Absent in pre-space manifests: default to unrecorded.
+            space: match v.get("space") {
+                Some(Value::Arr(items)) => items
+                    .iter()
+                    .map(|i| {
+                        i.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| LabError::BadRecord("non-string space line".into()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                None => Vec::new(),
+                Some(_) => return Err(LabError::BadRecord("'space' is not an array".into())),
+            },
             version: need("version")?
                 .as_u64()
                 .ok_or_else(|| LabError::BadRecord("'version' not a u64".into()))?
@@ -148,6 +170,10 @@ impl ToJson for RunManifest {
             ("git".to_string(), Value::Str(self.git.clone())),
             ("quick".to_string(), Value::Bool(self.quick)),
             ("shard".to_string(), Value::Str(self.shard.clone())),
+            (
+                "space".to_string(),
+                Value::Arr(self.space.iter().cloned().map(Value::Str).collect()),
+            ),
             ("version".to_string(), Value::UInt(self.version as u64)),
         ])
     }
@@ -348,6 +374,7 @@ mod tests {
             vec!["cell-a".into(), "cell-b".into()],
             false,
             "2/4",
+            vec!["topo=cycle(n=8),complete(n=4)".into()],
         );
         write_run(&dir, &manifest, &records, &summary).unwrap();
 
@@ -368,14 +395,17 @@ mod tests {
 
     #[test]
     fn pre_shard_manifests_parse_with_default_shard() {
-        let manifest = RunManifest::for_run("demo", 1, 2, 3, vec!["a".into()], true, "0/1");
+        let manifest =
+            RunManifest::for_run("demo", 1, 2, 3, vec!["a".into()], true, "0/1", Vec::new());
         let mut v = manifest.to_json();
-        // Simulate a manifest written before the shard field existed.
+        // Simulate a manifest written before the shard and space fields
+        // existed.
         if let Value::Obj(pairs) = &mut v {
-            pairs.retain(|(k, _)| k != "shard");
+            pairs.retain(|(k, _)| k != "shard" && k != "space");
         }
         let back = RunManifest::from_json(&v).unwrap();
         assert_eq!(back.shard, "0/1");
+        assert_eq!(back.space, Vec::<String>::new());
         assert_eq!(back.scenario, "demo");
     }
 

@@ -1,0 +1,96 @@
+//! Pins the `ale-lab` process exit-code contract end to end, against the
+//! real binary:
+//!
+//! * `0` — success;
+//! * `1` — `check` found a cost **regression** (the CI gate's signal);
+//! * `2` — **usage/run errors**, including every `--param`/`--n`/`--topo`
+//!   parse or validation failure. A malformed sweep request must never
+//!   masquerade as a regression.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ale_lab(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ale-lab"))
+        .args(args)
+        .output()
+        .expect("spawn ale-lab")
+}
+
+fn exit_code(args: &[&str]) -> i32 {
+    ale_lab(args).status.code().expect("exit code")
+}
+
+#[test]
+fn success_paths_exit_zero() {
+    assert_eq!(exit_code(&["list"]), 0);
+    assert_eq!(exit_code(&["describe", "diffusion"]), 0);
+    assert_eq!(
+        exit_code(&[
+            "run",
+            "diffusion",
+            "--quick",
+            "--quiet",
+            "--seeds",
+            "1",
+            "--workers",
+            "1"
+        ]),
+        0
+    );
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    // Unknown scenario / command / flag.
+    assert_eq!(exit_code(&["run", "nope"]), 2);
+    assert_eq!(exit_code(&["frobnicate"]), 2);
+    assert_eq!(exit_code(&["run", "diffusion", "--bogus"]), 2);
+    // --param validation: unknown key, unparseable value, bad syntax.
+    assert_eq!(exit_code(&["run", "diffusion", "--param", "nope=1"]), 2);
+    assert_eq!(exit_code(&["run", "diffusion", "--param", "gamma=abc"]), 2);
+    assert_eq!(exit_code(&["run", "diffusion", "--param", "gamma"]), 2);
+    // --n / --topo parse failures are usage errors too.
+    assert_eq!(exit_code(&["run", "diffusion", "--n", "many"]), 2);
+    assert_eq!(exit_code(&["run", "diffusion", "--topo", "klein:4"]), 2);
+    // A scenario with no 'n' axis rejects --n loudly instead of silently
+    // ignoring it.
+    assert_eq!(exit_code(&["run", "cautious", "--n", "64"]), 2);
+    // An override that only an inactive block could consume is rejected
+    // too: revocable's topology axis exists only in the --n-gated ladder
+    // block, so a bare --topo must not silently run the default grid.
+    assert_eq!(exit_code(&["run", "revocable", "--topo", "complete:6"]), 2);
+    // The error channel is stderr, not stdout.
+    let out = ale_lab(&["run", "diffusion", "--param", "nope=1"]);
+    assert!(out.stdout.is_empty());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown parameter 'nope'"));
+}
+
+#[test]
+fn check_regressions_exit_one_but_check_usage_errors_exit_two() {
+    let dir = std::env::temp_dir().join(format!("ale-lab-exitcodes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let header = "point,family,algorithm,n,metric,count,mean,ci95,median,min,max,spilled";
+    let base = dir.join("base.csv");
+    let cur = dir.join("cur.csv");
+    std::fs::write(
+        &base,
+        format!("{header}\np,f,-,8,messages,4,100,0,100,100,100,false\n"),
+    )
+    .unwrap();
+    std::fs::write(
+        &cur,
+        format!("{header}\np,f,-,8,messages,4,300,0,300,300,300,false\n"),
+    )
+    .unwrap();
+    let p = |p: &PathBuf| p.to_string_lossy().to_string();
+    // Self-check: success.
+    assert_eq!(exit_code(&["check", &p(&base), "--baseline", &p(&base)]), 0);
+    // 3x growth: the regression exit code, distinct from usage errors.
+    assert_eq!(exit_code(&["check", &p(&cur), "--baseline", &p(&base)]), 1);
+    // Missing --baseline and a missing file are usage/run errors.
+    assert_eq!(exit_code(&["check", &p(&cur)]), 2);
+    let ghost = dir.join("ghost.csv");
+    assert_eq!(exit_code(&["check", &p(&cur), "--baseline", &p(&ghost)]), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -222,6 +222,91 @@ pub fn mixing_time_from_state(
     })
 }
 
+/// Deterministic start-state sample for multi-start mixing estimation:
+/// `count` distinct states drawn from a SplitMix64 stream seeded with
+/// `seed` (all states when `count >= n`). Pure — the same `(n, count,
+/// seed)` always yields the same starts, so estimator results stay
+/// byte-reproducible across runs and worker counts.
+///
+/// # Examples
+///
+/// ```
+/// use ale_markov::mixing;
+/// let a = mixing::sample_starts(1000, 3, 7);
+/// assert_eq!(a, mixing::sample_starts(1000, 3, 7));
+/// assert_eq!(a.len(), 3);
+/// assert_eq!(mixing::sample_starts(4, 10, 1), vec![0, 1, 2, 3]);
+/// ```
+pub fn sample_starts(n: usize, count: usize, seed: u64) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if count >= n {
+        return (0..n).collect();
+    }
+    let mut starts = Vec::with_capacity(count);
+    let mut state = seed;
+    while starts.len() < count {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let s = (z % n as u64) as usize;
+        if !starts.contains(&s) {
+            starts.push(s);
+        }
+    }
+    starts
+}
+
+/// Multi-start sampling estimator for the mixing time: the **maximum**
+/// of [`mixing_time_from_state`] over the given start states.
+///
+/// Each start's first-mixed round is exact for that start and a lower
+/// bound on the worst-case `t_mix`; the max over a sample tightens that
+/// bound on families that are *not* vertex-transitive (stars, barbells,
+/// random regular graphs), where a single arbitrary start can be far
+/// from the slowest one. Cost is `O(t·nnz)` per start on either backend
+/// — the cheap estimator of choice at the tens-of-thousands-of-nodes
+/// scale where [`mixing_time_exact`]'s matrix powering is out of reach.
+/// Pair with [`sample_starts`] for a deterministic sample.
+///
+/// # Errors
+///
+/// * [`MarkovError::Empty`] when `starts` is empty.
+/// * Propagates every per-start failure of [`mixing_time_from_state`]
+///   ([`MarkovError::Reducible`], [`MarkovError::NotConverged`], an
+///   out-of-range start).
+///
+/// # Examples
+///
+/// ```
+/// use ale_markov::{mixing, MarkovChain};
+/// // A barbell-ish path is not vertex-transitive: the endpoint mixes
+/// // slower than the middle, and the multi-start max sees that.
+/// let adj: Vec<Vec<usize>> = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+/// let chain = MarkovChain::lazy_random_walk(&adj)?;
+/// let mid = mixing::mixing_time_from_state(&chain, 1, 1 << 20)?;
+/// let multi = mixing::mixing_time_multi_start(&chain, &[0, 1, 3], 1 << 20)?;
+/// assert!(multi >= mid);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn mixing_time_multi_start(
+    chain: &MarkovChain,
+    starts: &[usize],
+    cap: u64,
+) -> Result<u64, MarkovError> {
+    if starts.is_empty() {
+        return Err(MarkovError::Empty);
+    }
+    let mut worst = 0u64;
+    for &start in starts {
+        worst = worst.max(mixing_time_from_state(chain, start, cap)?);
+    }
+    Ok(worst)
+}
+
 /// Spectral upper bound on mixing time for symmetric doubly-stochastic
 /// chains: `t_mix ≤ ⌈ln(2n)/(1 − λ₂)⌉`.
 ///
@@ -401,6 +486,38 @@ mod tests {
         ));
         let singleton = MarkovChain::from_matrix(Matrix::identity(1)).unwrap();
         assert_eq!(mixing_time_from_state(&singleton, 0, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn multi_start_dominates_each_start_and_stays_deterministic() {
+        // A star is not vertex-transitive: leaf starts mix slower than
+        // the hub. The multi-start max must dominate every sampled start.
+        let n = 9;
+        let adj: Vec<Vec<usize>> = std::iter::once((1..n).collect::<Vec<_>>())
+            .chain((1..n).map(|_| vec![0usize]))
+            .collect();
+        let c = lazy(&adj);
+        let starts = sample_starts(n, 4, 42);
+        assert_eq!(starts, sample_starts(n, 4, 42));
+        let multi = mixing_time_multi_start(&c, &starts, 1 << 22).unwrap();
+        for &s in &starts {
+            assert!(multi >= mixing_time_from_state(&c, s, 1 << 22).unwrap());
+        }
+        // On a vertex-transitive family it equals the exact mixing time.
+        let cyc = lazy(&cycle_adj(12));
+        assert_eq!(
+            mixing_time_multi_start(&cyc, &sample_starts(12, 3, 1), 1 << 24).unwrap(),
+            mixing_time_exact(&cyc, 1 << 24).unwrap()
+        );
+        // Errors: empty starts, bad start index.
+        assert!(matches!(
+            mixing_time_multi_start(&cyc, &[], 100),
+            Err(MarkovError::Empty)
+        ));
+        assert!(matches!(
+            mixing_time_multi_start(&cyc, &[99], 100),
+            Err(MarkovError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
