@@ -60,13 +60,15 @@ pub mod metrics;
 pub mod network;
 pub mod process;
 pub mod reference;
+pub mod trace;
 
 pub use error::CongestError;
 pub use message::{congest_budget, Payload};
-pub use metrics::{Metrics, RoundTrace};
+pub use metrics::{Metrics, RoundInfo, RoundTrace};
 pub use network::{Network, RunStatus};
 pub use process::{Incoming, NodeCtx, OutCtx, Process};
 pub use reference::ReferenceNetwork;
+pub use trace::{clear_trace_factory, install_trace_factory, TraceSink};
 
 #[cfg(test)]
 mod crate_tests {

@@ -26,6 +26,29 @@ pub struct RoundTrace {
     pub max_bits: usize,
 }
 
+/// A per-round observation handed to a live
+/// [`TraceSink`](crate::trace::TraceSink) — what [`RoundTrace`] records,
+/// plus the engine-health signals a telemetry layer wants (active-set
+/// size and the delivery-buffer high-water mark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundInfo {
+    /// Round number (0-based).
+    pub round: u64,
+    /// Messages delivered out of this round.
+    pub messages: u64,
+    /// Payload bits delivered out of this round.
+    pub bits: u64,
+    /// Widest payload this round, in bits.
+    pub max_bits: usize,
+    /// Non-halted processes *after* this round (nodes that halted during
+    /// the round are already excluded).
+    pub active: usize,
+    /// High-water mark (capacity) of the engine's delivery buffer, in
+    /// messages — engine-specific: the arena engine reports its flat inbox
+    /// arena, the reference engine its per-node send buffer.
+    pub buffer_cap: usize,
+}
+
 /// Aggregated counters for one network run.
 ///
 /// All fields are plain counters, so the type is `Copy`: harnesses can

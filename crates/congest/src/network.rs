@@ -54,8 +54,9 @@
 //! * **Halting is permanent** (see [`Process::is_halted`]).
 
 use crate::error::CongestError;
-use crate::metrics::{Metrics, RoundTrace};
+use crate::metrics::{Metrics, RoundInfo, RoundTrace};
 use crate::process::{EngineSink, Incoming, NodeCtx, OutCtx, Process, RoundStats, Sink};
+use crate::trace::{TraceSink, TraceSlot};
 use ale_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -137,6 +138,9 @@ pub struct Network<'g, P: Process> {
     /// Non-halted node ids, ascending. Nodes leave when they halt and
     /// never return (see the `Process::is_halted` invariant).
     active: Vec<u32>,
+    /// Streaming per-round observer (see [`crate::trace`]); empty unless
+    /// a sink was set explicitly or a thread-local factory was installed.
+    sink: TraceSlot,
 }
 
 /// SplitMix64 step, used to derive independent per-node seeds from the
@@ -183,6 +187,7 @@ impl<'g, P: Process> Network<'g, P> {
             port_marks: vec![0; graph.max_degree()],
             mark: 0,
             active,
+            sink: TraceSlot::attach(),
         }
     }
 
@@ -235,6 +240,15 @@ impl<'g, P: Process> Network<'g, P> {
     /// [`Network::enable_trace`] was called).
     pub fn trace(&self) -> &[RoundTrace] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Attaches a streaming per-round observer (replacing — and ending —
+    /// any sink attached earlier, including one auto-attached by
+    /// [`crate::trace::install_trace_factory`]). The sink sees every
+    /// successfully committed round from now on and the final metrics
+    /// when the network is dropped.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink.replace(sink, &self.metrics);
     }
 
     /// Executes one synchronous round (see the
@@ -395,6 +409,14 @@ impl<'g, P: Process> Network<'g, P> {
                 max_bits: stats.max_bits,
             });
         }
+        self.sink.on_round(&RoundInfo {
+            round: self.round,
+            messages: stats.messages,
+            bits: stats.bits,
+            max_bits: stats.max_bits,
+            active: self.active.len(),
+            buffer_cap: self.in_arena.capacity(),
+        });
         self.round += 1;
         Ok(())
     }
@@ -497,6 +519,12 @@ impl<'g, P: Process> Network<'g, P> {
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
         self.graph
+    }
+}
+
+impl<P: Process> Drop for Network<'_, P> {
+    fn drop(&mut self) {
+        self.sink.finish(&self.metrics);
     }
 }
 

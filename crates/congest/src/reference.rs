@@ -21,9 +21,10 @@
 //! deliberately naive.
 
 use crate::error::CongestError;
-use crate::metrics::{Metrics, RoundTrace};
+use crate::metrics::{Metrics, RoundInfo, RoundTrace};
 use crate::network::{node_rngs, RunStatus};
 use crate::process::{Incoming, NodeCtx, OutCtx, Process};
+use crate::trace::{TraceSink, TraceSlot};
 use ale_graph::Graph;
 use rand::rngs::StdRng;
 
@@ -41,6 +42,7 @@ pub struct ReferenceNetwork<'g, P: Process> {
     staging: Vec<Vec<Incoming<P::Msg>>>,
     outbox: Vec<(usize, P::Msg)>,
     trace: Option<Vec<RoundTrace>>,
+    sink: TraceSlot,
 }
 
 impl<'g, P: Process> ReferenceNetwork<'g, P> {
@@ -74,6 +76,7 @@ impl<'g, P: Process> ReferenceNetwork<'g, P> {
             staging: (0..n).map(|_| Vec::new()).collect(),
             outbox: Vec::new(),
             trace: None,
+            sink: TraceSlot::attach(),
         })
     }
 
@@ -96,6 +99,7 @@ impl<'g, P: Process> ReferenceNetwork<'g, P> {
             staging: (0..n).map(|_| Vec::new()).collect(),
             outbox: Vec::new(),
             trace: None,
+            sink: TraceSlot::attach(),
         }
     }
 
@@ -110,6 +114,12 @@ impl<'g, P: Process> ReferenceNetwork<'g, P> {
     /// [`ReferenceNetwork::enable_trace`] was called).
     pub fn trace(&self) -> &[RoundTrace] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Attaches a streaming per-round observer (the reference twin of
+    /// [`Network::set_trace_sink`](crate::network::Network::set_trace_sink)).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink.replace(sink, &self.metrics);
     }
 
     /// Executes one synchronous round with the pre-arena algorithm.
@@ -189,6 +199,14 @@ impl<'g, P: Process> ReferenceNetwork<'g, P> {
                 max_bits: max_bits_this_round,
             });
         }
+        self.sink.on_round(&RoundInfo {
+            round: self.round,
+            messages: messages_this_round,
+            bits: bits_this_round,
+            max_bits: max_bits_this_round,
+            active: self.procs.iter().filter(|p| !p.is_halted()).count(),
+            buffer_cap: self.outbox.capacity(),
+        });
         for inbox in &mut self.inboxes {
             inbox.clear();
         }
@@ -255,6 +273,12 @@ impl<'g, P: Process> ReferenceNetwork<'g, P> {
     /// A point-in-time copy of the metrics.
     pub fn metrics_snapshot(&self) -> Metrics {
         self.metrics.snapshot()
+    }
+}
+
+impl<P: Process> Drop for ReferenceNetwork<'_, P> {
+    fn drop(&mut self) {
+        self.sink.finish(&self.metrics);
     }
 }
 

@@ -1,0 +1,326 @@
+//! The `ale-lab bench` subcommand: in-process microbenchmarks seeding the
+//! repo's perf trajectory.
+//!
+//! Mirrors the two criterion benches in `crates/bench/benches`
+//! (`simulator.rs`, `diffusion.rs`) but runs in-process with plain
+//! [`Instant`] timing, so one binary can emit machine-comparable numbers
+//! without a bench harness: warm up once, estimate the per-iteration
+//! cost, then measure `clamp(budget / cost, 3, 100)` iterations — the
+//! same strategy the workspace's criterion shim uses.
+//!
+//! Output is two JSON files in the chosen directory (default: the
+//! current directory, i.e. the repo root in CI):
+//!
+//! * `BENCH_simulator.json` — CONGEST round throughput, arena vs
+//!   reference engine (dense gossip + the mostly-halted beacon tail);
+//! * `BENCH_diffusion.json` — `Avg` diffusion steps, dense matrix vs
+//!   sparse CSR backend on tori.
+//!
+//! Schema: `{"suite", "git", "quick", "cases": [{"id", "iters",
+//! "wall_ms_per_iter"}]}`. Numbers are wall-clock on whatever machine ran
+//! them — compare across commits on one box, not across boxes.
+
+use crate::json::Value;
+use crate::scenario::LabError;
+use ale_congest::{Incoming, Network, NodeCtx, OutCtx, Process, ReferenceNetwork};
+use ale_graph::{transition, Topology};
+use ale_markov::MarkovChain;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One measured case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    /// Stable identifier (`group/engine/param`).
+    pub id: String,
+    /// Measured iterations (budget-derived, 3..=100).
+    pub iters: u64,
+    /// Mean wall-clock per iteration, in milliseconds.
+    pub wall_ms_per_iter: f64,
+}
+
+/// Warm up, estimate, then time `f` under `budget`.
+fn time_case(budget: Duration, mut f: impl FnMut()) -> (u64, f64) {
+    f(); // warm-up: touch caches, fault pages, fill allocator pools
+    let once = {
+        let t = Instant::now();
+        f();
+        t.elapsed().max(Duration::from_micros(1))
+    };
+    let iters = (budget.as_nanos() / once.as_nanos()).clamp(3, 100) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (iters, start.elapsed().as_secs_f64() * 1e3 / iters as f64)
+}
+
+fn suite_json(suite: &str, quick: bool, cases: &[Case]) -> Value {
+    Value::obj(vec![
+        ("suite".to_string(), Value::Str(suite.to_string())),
+        ("git".to_string(), Value::Str(crate::store::git_describe())),
+        ("quick".to_string(), Value::Bool(quick)),
+        (
+            "cases".to_string(),
+            Value::Arr(
+                cases
+                    .iter()
+                    .map(|c| {
+                        Value::obj(vec![
+                            ("id".to_string(), Value::Str(c.id.clone())),
+                            ("iters".to_string(), Value::UInt(c.iters)),
+                            (
+                                "wall_ms_per_iter".to_string(),
+                                Value::Num(c.wall_ms_per_iter),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// All-ports gossip: the simulator-overhead yardstick (mirrors the
+/// criterion bench's `Gossip`).
+#[derive(Debug, Clone)]
+struct Gossip(u64);
+
+impl Process for Gossip {
+    type Msg = u64;
+    type Output = u64;
+
+    fn round(
+        &mut self,
+        _ctx: &mut NodeCtx<'_>,
+        inbox: &[Incoming<u64>],
+        out: &mut OutCtx<'_, u64>,
+    ) {
+        for m in inbox {
+            self.0 = self.0.wrapping_add(m.msg);
+        }
+        out.broadcast(self.0);
+    }
+
+    fn output(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Only 1-in-`keep` nodes stay active after round 0: the long
+/// mostly-halted tail of a large revocable run.
+#[derive(Debug, Clone)]
+struct Beacon {
+    active: bool,
+    value: u64,
+    done: bool,
+}
+
+impl Process for Beacon {
+    type Msg = u64;
+    type Output = u64;
+
+    fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>], out: &mut OutCtx<'_, u64>) {
+        for m in inbox {
+            self.value = self.value.wrapping_add(m.msg);
+        }
+        out.broadcast(self.value);
+        if ctx.round == 0 && !self.active {
+            self.done = true;
+        }
+    }
+
+    fn is_halted(&self) -> bool {
+        self.done
+    }
+
+    fn output(&self) -> u64 {
+        self.value
+    }
+}
+
+fn simulator_cases(quick: bool, budget: Duration) -> Result<Vec<Case>, LabError> {
+    let mut cases = Vec::new();
+
+    let n = if quick { 256 } else { 1024 };
+    let graph = Topology::RandomRegular { n, d: 4 }.build(1)?;
+    let (iters, ms) = time_case(budget, || {
+        let mut net = Network::from_fn(&graph, 1, 64, |_d, _r| Gossip(1));
+        net.run_for(100).expect("gossip run");
+        std::hint::black_box(net.metrics().messages);
+    });
+    cases.push(Case {
+        id: format!("dense-gossip-100-rounds/arena/{n}"),
+        iters,
+        wall_ms_per_iter: ms,
+    });
+    let (iters, ms) = time_case(budget, || {
+        let mut net = ReferenceNetwork::from_fn(&graph, 1, 64, |_d, _r| Gossip(1));
+        net.run_for(100).expect("gossip run");
+        std::hint::black_box(net.metrics().messages);
+    });
+    cases.push(Case {
+        id: format!("dense-gossip-100-rounds/reference/{n}"),
+        iters,
+        wall_ms_per_iter: ms,
+    });
+
+    let (n, keep, rounds) = if quick {
+        (2_000usize, 100u64, 200u64)
+    } else {
+        (20_000, 200, 1000)
+    };
+    let graph = Topology::RandomRegular { n, d: 4 }.build(2)?;
+    let make = |_d: usize, rng: &mut rand::rngs::StdRng| {
+        use rand::Rng;
+        Beacon {
+            active: rng.gen_range(0..keep) == 0,
+            value: 1,
+            done: false,
+        }
+    };
+    let (iters, ms) = time_case(budget, || {
+        let mut net = Network::from_fn(&graph, 3, 64, make);
+        net.run_for(rounds).expect("beacon run");
+        std::hint::black_box(net.metrics().messages);
+    });
+    cases.push(Case {
+        id: format!("mostly-halted-{rounds}-rounds/arena/{n}"),
+        iters,
+        wall_ms_per_iter: ms,
+    });
+    let (iters, ms) = time_case(budget, || {
+        let mut net = ReferenceNetwork::from_fn(&graph, 3, 64, make);
+        net.run_for(rounds).expect("beacon run");
+        std::hint::black_box(net.metrics().messages);
+    });
+    cases.push(Case {
+        id: format!("mostly-halted-{rounds}-rounds/reference/{n}"),
+        iters,
+        wall_ms_per_iter: ms,
+    });
+    Ok(cases)
+}
+
+const ALPHA: f64 = 1.0 / 64.0;
+
+fn diffusion_cases(quick: bool, budget: Duration) -> Result<Vec<Case>, LabError> {
+    let torus = |side: usize| Topology::Grid2d {
+        rows: side,
+        cols: side,
+        torus: true,
+    };
+    let potential =
+        |n: usize| -> Vec<f64> { (0..n).map(|i| if i % 7 == 0 { 0.0 } else { 1.0 }).collect() };
+    let markov = |e: ale_markov::MarkovError| LabError::BadArgs(format!("bench chain: {e}"));
+    let mut cases = Vec::new();
+
+    let dense_sides: &[usize] = if quick { &[8] } else { &[8, 32] };
+    for &side in dense_sides {
+        let graph = torus(side).build(1)?;
+        let n = graph.n();
+        let chain = MarkovChain::diffusion(&graph.adjacency(), ALPHA).map_err(markov)?;
+        let pot = potential(n);
+        let mut out = vec![0.0; n];
+        let (iters, ms) = time_case(budget, || {
+            chain.step_into(&pot, &mut out).expect("dense step");
+        });
+        cases.push(Case {
+            id: format!("step/dense/torus:{side}x{side}"),
+            iters,
+            wall_ms_per_iter: ms,
+        });
+    }
+
+    let sparse_sides: &[usize] = if quick { &[8, 32] } else { &[8, 32, 100, 200] };
+    for &side in sparse_sides {
+        let graph = torus(side).build(1)?;
+        let n = graph.n();
+        let chain = transition::diffusion_chain(&graph, ALPHA)?;
+        let pot = potential(n);
+        let mut out = vec![0.0; n];
+        let (iters, ms) = time_case(budget, || {
+            chain.step_into(&pot, &mut out).expect("sparse step");
+        });
+        cases.push(Case {
+            id: format!("step/sparse/torus:{side}x{side}"),
+            iters,
+            wall_ms_per_iter: ms,
+        });
+    }
+    Ok(cases)
+}
+
+/// Runs both suites and writes `BENCH_simulator.json` /
+/// `BENCH_diffusion.json` into `out_dir`; returns the report text.
+///
+/// # Errors
+///
+/// [`LabError::Graph`]/[`LabError::BadArgs`] on graph/chain construction
+/// failures, [`LabError::Io`] when an output file cannot be written.
+pub fn run(quick: bool, out_dir: &Path) -> Result<String, LabError> {
+    let budget = if quick {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(1)
+    };
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| LabError::Io(format!("create {}: {e}", out_dir.display())))?;
+    let mut report = String::new();
+    for (suite, cases) in [
+        ("simulator", simulator_cases(quick, budget)?),
+        ("diffusion", diffusion_cases(quick, budget)?),
+    ] {
+        let path = out_dir.join(format!("BENCH_{suite}.json"));
+        let json = suite_json(suite, quick, &cases);
+        std::fs::write(&path, json.render_pretty() + "\n")
+            .map_err(|e| LabError::Io(format!("write {}: {e}", path.display())))?;
+        let _ = writeln!(report, "suite {suite} -> {}", path.display());
+        for c in &cases {
+            let _ = writeln!(
+                report,
+                "  {:<44} {:>10.3} ms/iter  ({} iters)",
+                c.id, c.wall_ms_per_iter, c.iters
+            );
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_case_respects_the_iteration_clamp() {
+        let mut calls = 0u64;
+        let (iters, ms) = time_case(Duration::from_millis(1), || calls += 1);
+        assert!((3..=100).contains(&iters));
+        // warm-up + estimate + measured iterations
+        assert_eq!(calls, iters + 2);
+        assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn suite_json_has_the_pinned_schema() {
+        let cases = [Case {
+            id: "a/b/8".to_string(),
+            iters: 5,
+            wall_ms_per_iter: 1.25,
+        }];
+        let v = suite_json("simulator", true, &cases);
+        assert_eq!(v.get("suite").and_then(Value::as_str), Some("simulator"));
+        assert_eq!(v.get("quick").and_then(Value::as_bool), Some(true));
+        assert!(v.get("git").and_then(Value::as_str).is_some());
+        let Some(Value::Arr(cs)) = v.get("cases") else {
+            panic!("cases array");
+        };
+        assert_eq!(cs[0].get("id").and_then(Value::as_str), Some("a/b/8"));
+        assert_eq!(cs[0].get("iters").and_then(Value::as_u64), Some(5));
+        assert_eq!(
+            cs[0].get("wall_ms_per_iter").and_then(Value::as_f64),
+            Some(1.25)
+        );
+    }
+}

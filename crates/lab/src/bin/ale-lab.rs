@@ -1,4 +1,5 @@
-//! The `ale-lab` CLI: `list | run <scenario> | export <jsonl>`.
+//! The `ale-lab` CLI: `list | describe | run <scenario> | export |
+//! merge | check | report <telemetry.jsonl> | bench`.
 //!
 //! See `ale-lab help` (or [`ale_lab::cli::USAGE`]) for options and
 //! examples.

@@ -3,16 +3,18 @@
 //!
 //! ```text
 //! ale-lab list
-//! ale-lab describe <scenario>
+//! ale-lab describe <scenario> [--json]
 //! ale-lab run <scenario> [--seeds N] [--workers N] [--master-seed S]
 //!                        [--quick] [--param key=v1,v2,...]
 //!                        [--n 64,128] [--topo complete:64,...]
 //!                        [--algo this-work,kutten15] [--shard i/k]
-//!                        [--out DIR] [--quiet]
+//!                        [--out DIR] [--telemetry PATH] [--quiet]
 //! ale-lab export <trials.jsonl> [--csv PATH]
 //! ale-lab merge <run-dir> <run-dir> ... [--out DIR]
 //! ale-lab check <summary.csv> --baseline <summary.csv>
 //!               [--tolerance 0.25] [--metrics rounds,messages]
+//! ale-lab report <telemetry.jsonl>
+//! ale-lab bench [--quick] [--out DIR]
 //! ```
 
 use crate::check::{check_files, CheckOptions};
@@ -29,8 +31,10 @@ ale-lab — deterministic parallel experiment orchestration
 
 USAGE:
     ale-lab list                       list registered scenarios
-    ale-lab describe <scenario>        show a scenario's declared parameter
-                                       space (axes, kinds, defaults)
+    ale-lab describe <scenario> [--json]
+                                       show a scenario's declared parameter
+                                       space (axes, kinds, defaults);
+                                       --json emits a machine-readable dump
     ale-lab run <scenario> [options]   run a scenario's grid × seed fleet
     ale-lab export <trials.jsonl> [--csv PATH]
                                        convert a stored JSONL log to CSV
@@ -43,6 +47,15 @@ USAGE:
     ale-lab check <summary.csv> --baseline <summary.csv> [options]
                                        fail (exit 1) on cost regressions
                                        vs a stored baseline summary
+    ale-lab report <telemetry.jsonl>   per-phase wall-clock breakdown of a
+                                       `run --telemetry` event stream (top
+                                       spans, per-point throughput,
+                                       histograms)
+    ale-lab bench [--quick] [--out DIR]
+                                       in-process microbenchmarks; writes
+                                       BENCH_simulator.json and
+                                       BENCH_diffusion.json (default: the
+                                       current directory)
     ale-lab help                       this text
 
 RUN OPTIONS:
@@ -69,6 +82,11 @@ RUN OPTIONS:
                       byte (manifest records the shard)
     --out DIR         persist manifest.json, trials.jsonl, trials.csv,
                       summary.csv under DIR
+    --telemetry PATH  stream structured events (spans, counters,
+                      histograms) to PATH as JSONL; with --out the stream
+                      is also copied to DIR/telemetry.jsonl — a
+                      side-channel outside the byte-identical store
+                      guarantees (inspect with `ale-lab report PATH`)
     --quiet           suppress progress lines on stderr
 
 CHECK OPTIONS:
@@ -88,6 +106,10 @@ EXAMPLES:
     ale-lab merge runs/shard0 runs/shard1 runs/shard2 runs/shard3 --out runs/full
     ale-lab export runs/table1/trials.jsonl --csv runs/table1/flat.csv
     ale-lab check runs/new/summary.csv --baseline runs/base/summary.csv
+    ale-lab run diffusion --quick --telemetry /tmp/t.jsonl
+    ale-lab report /tmp/t.jsonl
+    ale-lab describe revocable --json
+    ale-lab bench --quick
 ";
 
 fn parse_u64(flag: &str, value: Option<String>) -> Result<u64, LabError> {
@@ -189,6 +211,12 @@ fn parse_args(args: &[String]) -> Result<(String, RunSpec), LabError> {
                         LabError::BadArgs("--out needs a directory".into())
                     })?));
             }
+            "--telemetry" => {
+                spec.telemetry =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        LabError::BadArgs("--telemetry needs a file path".into())
+                    })?));
+            }
             other => {
                 return Err(LabError::BadArgs(format!(
                     "unknown run option '{other}' (see `ale-lab help`)"
@@ -223,16 +251,45 @@ fn cmd_describe(args: &[String]) -> Result<String, LabError> {
     let name = args
         .first()
         .ok_or_else(|| LabError::BadArgs("describe needs a scenario name".into()))?;
-    if let Some(extra) = args.get(1) {
-        return Err(LabError::BadArgs(format!(
-            "unknown describe option '{extra}'"
-        )));
+    let mut json = false;
+    for extra in &args[1..] {
+        match extra.as_str() {
+            "--json" => json = true,
+            other => {
+                return Err(LabError::BadArgs(format!(
+                    "unknown describe option '{other}'"
+                )))
+            }
+        }
     }
     let scenario = registry::find(name).ok_or_else(|| LabError::UnknownScenario(name.clone()))?;
     let space = scenario.space();
     // Validate the declaration while we are here (duplicate names with
     // conflicting kinds would otherwise only surface on `run`).
     space.axis_kinds()?;
+    if json {
+        use crate::json::Value;
+        return Ok(Value::obj(vec![
+            (
+                "scenario".to_string(),
+                Value::Str(scenario.name().to_string()),
+            ),
+            (
+                "description".to_string(),
+                Value::Str(scenario.description().to_string()),
+            ),
+            (
+                "default_seeds".to_string(),
+                Value::UInt(scenario.default_seeds(false)),
+            ),
+            (
+                "quick_seeds".to_string(),
+                Value::UInt(scenario.default_seeds(true)),
+            ),
+            ("space".to_string(), space.to_json()),
+        ])
+        .render_pretty());
+    }
     Ok(format!(
         "{} — {}
 default seeds/point: {} (quick: {})
@@ -358,6 +415,37 @@ fn cmd_check(args: &[String]) -> Result<String, LabError> {
     check_files(&current, &baseline, &opts)
 }
 
+fn cmd_report(args: &[String]) -> Result<String, LabError> {
+    let path = args
+        .first()
+        .ok_or_else(|| LabError::BadArgs("report needs a telemetry.jsonl path".into()))?;
+    if let Some(extra) = args.get(1) {
+        return Err(LabError::BadArgs(format!(
+            "unknown report option '{extra}'"
+        )));
+    }
+    crate::report::report_file(std::path::Path::new(path))
+}
+
+fn cmd_bench(args: &[String]) -> Result<String, LabError> {
+    let mut quick = false;
+    let mut out = PathBuf::from(".");
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| LabError::BadArgs("--out needs a directory".into()))?,
+                );
+            }
+            other => return Err(LabError::BadArgs(format!("unknown bench option '{other}'"))),
+        }
+    }
+    crate::bench::run(quick, &out)
+}
+
 /// Runs the CLI on pre-split arguments (no `argv\[0\]`), returning the text
 /// to print on success.
 ///
@@ -373,6 +461,8 @@ pub fn run(args: &[String]) -> Result<String, LabError> {
         Some("export") => cmd_export(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some(other) => Err(LabError::BadArgs(format!(
             "unknown command '{other}' (see `ale-lab help`)"
         ))),
@@ -519,6 +609,35 @@ mod tests {
         for bad in ["4/4", "x/2", "1", "2/0"] {
             assert!(parse_args(&strs(&["t", "--shard", bad])).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn describe_json_and_new_subcommands_parse() {
+        use crate::json::Value;
+        let text = run(&strs(&["describe", "diffusion", "--json"])).unwrap();
+        let v = crate::json::parse(&text).unwrap();
+        assert_eq!(v.get("scenario").and_then(Value::as_str), Some("diffusion"));
+        assert!(v.get("space").and_then(|s| s.get("blocks")).is_some());
+        assert!(matches!(
+            run(&strs(&["describe", "diffusion", "--frob"])),
+            Err(LabError::BadArgs(_))
+        ));
+        // run --telemetry threads through to the spec.
+        let (_, spec) = parse_args(&strs(&["table1", "--telemetry", "/tmp/t.jsonl"])).unwrap();
+        assert_eq!(
+            spec.telemetry.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        // report/bench usage errors.
+        assert!(matches!(run(&strs(&["report"])), Err(LabError::BadArgs(_))));
+        assert!(matches!(
+            run(&strs(&["report", "/nonexistent/t.jsonl"])),
+            Err(LabError::Io(_))
+        ));
+        assert!(matches!(
+            run(&strs(&["bench", "--frob"])),
+            Err(LabError::BadArgs(_))
+        ));
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct RunSpec {
     pub out: Option<PathBuf>,
     /// Emit progress lines to stderr.
     pub progress: bool,
+    /// Stream telemetry events (JSONL) to this path for the duration of
+    /// the run. The stream is a side-channel: it never participates in
+    /// the store's byte-identical guarantees (see [`crate::telemetry`]).
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for RunSpec {
@@ -53,6 +57,7 @@ impl Default for RunSpec {
             shard: (0, 1),
             out: None,
             progress: false,
+            telemetry: None,
         }
     }
 }
@@ -74,7 +79,20 @@ pub struct RunOutput {
 ///
 /// Propagates grid/bind/trial failures and result-store IO errors.
 pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, LabError> {
+    // Declared before any span so it drops last: spans emitted during
+    // unwinding/return still reach the sink before it is uninstalled.
+    let telemetry_guard = match &spec.telemetry {
+        Some(path) => Some(crate::telemetry::TelemetryGuard::install(path)?),
+        None => None,
+    };
+    let mut sweep = ale_telemetry::Span::begin("sweep")
+        .attr("scenario", scenario.name())
+        .attr("master_seed", spec.master_seed)
+        .attr("quick", spec.grid.quick);
+
+    let expand_span = ale_telemetry::Span::begin("expand");
     let expansion = scenario.space().expand(&spec.grid)?;
+    drop(expand_span);
     let resolved_space = expansion.resolved_lines();
     let full_grid = expansion.points;
     if full_grid.is_empty() {
@@ -130,13 +148,17 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
     }
     let workers = fleet::effective_workers(spec.workers);
 
+    sweep.set_attr("points", grid.len());
+
     // One-time per-point preparation, itself fleet-parallel (property
     // computation dominates for large grids).
+    let bind_span = ale_telemetry::Span::begin("bind").attr("points", grid.len());
     let bound = fleet::run_indexed(grid.len(), workers, |i| scenario.bind(&grid[i]));
     let mut binders = Vec::with_capacity(bound.len());
     for b in bound {
         binders.push(b?);
     }
+    drop(bind_span);
 
     // Flatten (point × seed-index) into a dense task list.
     let counts: Vec<u64> = grid
@@ -155,10 +177,13 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
 
     let scenario_name = scenario.name();
     let master = spec.master_seed;
+    let telemetry_on = spec.telemetry.is_some();
     let grid_ref = &grid;
     let binders_ref = &binders;
     let offsets_ref = &offsets;
     let selected_ref = &selected;
+    let trials_done = ale_telemetry::Counter::new("trials_completed");
+    let trials_done_ref = &trials_done;
     let task = move |t: usize| -> Result<(usize, TrialRecord), LabError> {
         let t = t as u64;
         // partition_point: first offset beyond t identifies the point.
@@ -166,12 +191,34 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
         let si = t - offsets_ref[pi];
         // Seed stream = the point's position in the FULL grid.
         let seed = fleet::derive_seed(master, selected_ref[pi] as u64, si);
-        let record = binders_ref[pi](seed)?;
+        // Tag every network this trial builds with the task index, so its
+        // round-batch events stay attributable across worker schedules.
+        let _trace = telemetry_on.then(|| crate::telemetry::TrialTraceGuard::install(t));
+        let start = std::time::Instant::now();
+        let mut record = binders_ref[pi](seed)?;
+        let wall = start.elapsed().as_secs_f64();
+        record.wall_ms = Some(wall * 1e3);
+        if wall > 0.0 {
+            record.msgs_per_sec = Some(record.messages as f64 / wall);
+        }
+        trials_done_ref.add(1);
         Ok((pi, record))
     };
 
-    let progress_fn = |done: usize, all: usize| {
-        eprintln!("[{scenario_name}] {done}/{all} trials");
+    let run_start = std::time::Instant::now();
+    let progress_fn = move |done: usize, all: usize| {
+        // ETA from the throughput counter: completed trials over elapsed
+        // wall-clock, assuming the remaining trials cost the same.
+        let completed = (trials_done_ref.value() as usize).max(done).min(all);
+        let elapsed = run_start.elapsed().as_secs_f64();
+        trials_done_ref.sample();
+        if completed > 0 && elapsed > 0.0 {
+            let rate = completed as f64 / elapsed;
+            let eta = (all - completed) as f64 / rate;
+            eprintln!("[{scenario_name}] {completed}/{all} trials ({rate:.1}/s, ETA {eta:.0}s)");
+        } else {
+            eprintln!("[{scenario_name}] {completed}/{all} trials");
+        }
     };
     let raw = fleet::run_indexed_with_progress(
         total,
@@ -181,13 +228,108 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
             .then_some(&progress_fn as &(dyn Fn(usize, usize) + Sync)),
     );
 
+    // Merge in task order. Trial/point spans are emitted HERE, not from
+    // the workers, so the event sequence is deterministic at any worker
+    // count (wall-clock attribute values still vary, sequences do not).
     let mut summary = RunSummary::new(scenario_name, &grid, master, seeds_global, workers);
     let mut records = Vec::with_capacity(total);
+    let mut wall_hist = ale_telemetry::Histogram::new("trial_wall_us");
+    // (point index, wall_ms, messages, rounds, trials) of the point
+    // currently being merged.
+    let mut open_point: Option<(usize, f64, u64, u64, u64)> = None;
+    let emit_point = |pi: usize, wall_ms: f64, messages: u64, rounds: u64, trials: u64| {
+        let wall_s = wall_ms / 1e3;
+        let mut attrs = vec![
+            (
+                "point".to_string(),
+                ale_telemetry::AttrValue::Str(grid_ref[pi].label.clone()),
+            ),
+            (
+                "n".to_string(),
+                ale_telemetry::AttrValue::U64(grid_ref[pi].n as u64),
+            ),
+            ("trials".to_string(), ale_telemetry::AttrValue::U64(trials)),
+            (
+                "messages".to_string(),
+                ale_telemetry::AttrValue::U64(messages),
+            ),
+            ("rounds".to_string(), ale_telemetry::AttrValue::U64(rounds)),
+        ];
+        if wall_s > 0.0 {
+            attrs.push((
+                "msgs_per_sec".to_string(),
+                ale_telemetry::AttrValue::F64(messages as f64 / wall_s),
+            ));
+            attrs.push((
+                "rounds_per_sec".to_string(),
+                ale_telemetry::AttrValue::F64(rounds as f64 / wall_s),
+            ));
+        }
+        ale_telemetry::emit_span("point", (wall_ms * 1e3) as u64, attrs);
+    };
     for item in raw {
         let (pi, record) = item?;
+        if ale_telemetry::enabled() {
+            let wall_ms = record.wall_ms.unwrap_or(0.0);
+            wall_hist.record((wall_ms * 1e3) as u64);
+            let mut attrs = vec![
+                (
+                    "point".to_string(),
+                    ale_telemetry::AttrValue::Str(record.point.clone()),
+                ),
+                (
+                    "seed".to_string(),
+                    ale_telemetry::AttrValue::U64(record.seed),
+                ),
+                ("n".to_string(), ale_telemetry::AttrValue::U64(record.n)),
+                (
+                    "rounds".to_string(),
+                    ale_telemetry::AttrValue::U64(record.rounds),
+                ),
+                (
+                    "congest_rounds".to_string(),
+                    ale_telemetry::AttrValue::U64(record.congest_rounds),
+                ),
+                (
+                    "messages".to_string(),
+                    ale_telemetry::AttrValue::U64(record.messages),
+                ),
+                (
+                    "bits".to_string(),
+                    ale_telemetry::AttrValue::U64(record.bits),
+                ),
+                ("ok".to_string(), ale_telemetry::AttrValue::Bool(record.ok)),
+            ];
+            if let Some(mps) = record.msgs_per_sec {
+                attrs.push((
+                    "msgs_per_sec".to_string(),
+                    ale_telemetry::AttrValue::F64(mps),
+                ));
+            }
+            ale_telemetry::emit_span("trial", (wall_ms * 1e3) as u64, attrs);
+            open_point = match open_point.take() {
+                Some((open_pi, wall, msgs, rounds, trials)) if open_pi == pi => Some((
+                    pi,
+                    wall + wall_ms,
+                    msgs + record.messages,
+                    rounds + record.rounds,
+                    trials + 1,
+                )),
+                Some((open_pi, wall, msgs, rounds, trials)) => {
+                    emit_point(open_pi, wall, msgs, rounds, trials);
+                    Some((pi, wall_ms, record.messages, record.rounds, 1))
+                }
+                None => Some((pi, wall_ms, record.messages, record.rounds, 1)),
+            };
+        }
         summary.record(pi, &record);
         records.push(record);
     }
+    if let Some((pi, wall, msgs, rounds, trials)) = open_point.take() {
+        emit_point(pi, wall, msgs, rounds, trials);
+    }
+    wall_hist.sample(Vec::new());
+    trials_done.sample();
 
     let report = scenario.summarize(&summary);
 
@@ -203,6 +345,19 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
             resolved_space,
         );
         crate::store::write_run(dir, &manifest, &records, &summary)?;
+    }
+
+    // End the sweep span, then tear the sink down (flushing the file)
+    // before the side-channel copy below reads it.
+    sweep.set_attr("trials", records.len());
+    sweep.end();
+    drop(telemetry_guard);
+    if let (Some(src), Some(dir)) = (&spec.telemetry, &spec.out) {
+        let dst = dir.join("telemetry.jsonl");
+        if src != &dst {
+            std::fs::copy(src, &dst)
+                .map_err(|e| LabError::Io(format!("copy telemetry to {}: {e}", dst.display())))?;
+        }
     }
 
     Ok(RunOutput {

@@ -80,11 +80,14 @@ where
 
     let mut batches: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let next = &next;
                 let completed = &completed;
                 let f = &f;
                 scope.spawn(move || {
+                    // Inert unless a telemetry sink is installed.
+                    let mut span =
+                        ale_telemetry::Span::begin("worker-batch").attr("worker", w as u64);
                     let mut batch: Vec<(usize, T)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -94,6 +97,8 @@ where
                         batch.push((i, f(i)));
                         completed.fetch_add(1, Ordering::Relaxed);
                     }
+                    span.set_attr("tasks", batch.len());
+                    drop(span);
                     batch
                 })
             })
@@ -103,11 +108,16 @@ where
             let done = &done;
             let completed = &completed;
             scope.spawn(move || {
+                // Time-based throttling: one line per 500ms tick, and only
+                // when the count moved since the last line — a stalled
+                // fleet stays quiet instead of repeating itself.
+                let mut last = 0usize;
                 while !done.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(500));
                     let c = completed.load(Ordering::Relaxed);
-                    if c < tasks {
+                    if c < tasks && c != last {
                         report(c, tasks);
+                        last = c;
                     }
                 }
             });

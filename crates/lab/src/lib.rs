@@ -23,9 +23,14 @@
 //! * [`agg`] / [`stats`] — streaming statistics;
 //! * [`store`] / [`json`] — JSONL/CSV persistence with manifests;
 //! * [`check`] — baseline regression gating over `summary.csv` files;
+//! * [`telemetry`] — the JSONL event sink and engine round-batch adapter
+//!   behind `run --telemetry` (see also the zero-dependency
+//!   `ale-telemetry` crate);
+//! * [`report`] — per-phase wall-clock breakdown of a telemetry stream;
+//! * [`mod@bench`] — in-process microbenchmarks writing `BENCH_*.json`;
 //! * [`cli`] — the `ale-lab` binary
-//!   (`list | describe | run | export | merge | check`), also backing the
-//!   legacy per-figure binaries in `ale-bench`;
+//!   (`list | describe | run | export | merge | check | report | bench`),
+//!   also backing the legacy per-figure binaries in `ale-bench`;
 //! * [`runners`], [`table`], [`fit`] — the shared driver/report plumbing
 //!   (moved here from `ale-bench`, which re-exports them).
 //!
@@ -52,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod agg;
+pub mod bench;
 pub mod check;
 pub mod cli;
 pub mod engine;
@@ -61,12 +67,14 @@ pub mod json;
 pub mod merge;
 pub mod params;
 pub mod registry;
+pub mod report;
 pub mod runners;
 pub mod scenario;
 pub mod scenarios;
 pub mod stats;
 pub mod store;
 pub mod table;
+pub mod telemetry;
 
 pub use agg::RunSummary;
 pub use engine::{execute, RunOutput, RunSpec};

@@ -303,6 +303,25 @@ pub fn merge_dirs(dirs: &[PathBuf], out: Option<&Path>) -> Result<String, LabErr
             "results stored under {} (manifest.json, trials.jsonl, trials.csv, summary.csv)\n",
             dir.display()
         ));
+        // Telemetry is a side-channel outside the byte-identical store
+        // guarantees: union the inputs' streams in input order, without
+        // validating a single line.
+        let mut telemetry = String::new();
+        let mut sources = 0usize;
+        for src in dirs {
+            if let Ok(events) = std::fs::read_to_string(src.join("telemetry.jsonl")) {
+                telemetry.push_str(&events);
+                sources += 1;
+            }
+        }
+        if sources > 0 {
+            let dst = dir.join("telemetry.jsonl");
+            std::fs::write(&dst, telemetry)
+                .map_err(|e| LabError::Io(format!("write {}: {e}", dst.display())))?;
+            report.push_str(&format!(
+                "telemetry side-channel: unioned {sources} stream(s) into telemetry.jsonl (unvalidated)\n"
+            ));
+        }
     } else {
         report.push_str("dry run (pass --out DIR to write the merged store)\n");
     }

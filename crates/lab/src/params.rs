@@ -755,6 +755,75 @@ impl ParamSpace {
         }
         out
     }
+
+    /// The declared axes as a JSON value — the machine-readable face of
+    /// [`ParamSpace::describe`], behind `ale-lab describe <scenario>
+    /// --json`. Value lists render as their `Display` strings (the same
+    /// tokens `--param` parses).
+    pub fn to_json(&self) -> crate::json::Value {
+        use crate::json::Value;
+        fn vals(vals: &[AxisValue]) -> Value {
+            Value::Arr(
+                vals.iter()
+                    .map(|v| Value::Str(v.to_string()))
+                    .collect::<Vec<_>>(),
+            )
+        }
+        fn axis(a: &Axis) -> Value {
+            Value::obj(vec![
+                ("name".to_string(), Value::Str(a.name.to_string())),
+                ("kind".to_string(), Value::Str(a.kind.label().to_string())),
+                ("default".to_string(), vals(&a.default)),
+                (
+                    "quick".to_string(),
+                    a.quick.as_deref().map_or(Value::Null, vals),
+                ),
+                ("linked".to_string(), Value::Bool(a.link.is_some())),
+                ("help".to_string(), Value::Str(a.help.to_string())),
+            ])
+        }
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| {
+                Value::obj(vec![
+                    ("name".to_string(), Value::Str(b.name.to_string())),
+                    (
+                        "when".to_string(),
+                        Value::Str(
+                            match b.when {
+                                When::Always => "always",
+                                When::SmallGrid => "small-grid",
+                                When::SizeSweep => "size-sweep",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    (
+                        "axes".to_string(),
+                        Value::Arr(b.axes.iter().map(axis).collect::<Vec<_>>()),
+                    ),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Value::obj(vec![
+            (
+                "shared".to_string(),
+                Value::Arr(self.shared.iter().map(axis).collect::<Vec<_>>()),
+            ),
+            ("blocks".to_string(), Value::Arr(blocks)),
+            (
+                "ladder".to_string(),
+                self.ladder.as_ref().map_or(Value::Null, |l| {
+                    Value::obj(vec![
+                        ("axis".to_string(), Value::Str(l.axis.to_string())),
+                        ("target".to_string(), Value::Str(l.target.to_string())),
+                        ("help".to_string(), Value::Str(l.help.to_string())),
+                    ])
+                }),
+            ),
+        ])
+    }
 }
 
 /// The recursive expansion state.
@@ -1132,5 +1201,46 @@ mod tests {
         assert!(text.contains("--param gamma="));
         assert!(text.contains("quick: 0.1"));
         assert!(text.contains("size ladder"));
+    }
+
+    #[test]
+    fn to_json_mirrors_the_declaration() {
+        use crate::json::Value;
+        let v = simple_space().to_json();
+        let Some(Value::Arr(blocks)) = v.get("blocks") else {
+            panic!("blocks array");
+        };
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(
+            blocks[0].get("when").and_then(Value::as_str),
+            Some("always")
+        );
+        let Some(Value::Arr(axes)) = blocks[0].get("axes") else {
+            panic!("axes array");
+        };
+        assert_eq!(axes[0].get("name").and_then(Value::as_str), Some("topo"));
+        assert_eq!(
+            axes[0].get("kind").and_then(Value::as_str),
+            Some("topology")
+        );
+        assert_eq!(axes[1].get("name").and_then(Value::as_str), Some("gamma"));
+        // Value lists render as the same tokens --param parses.
+        assert_eq!(
+            axes[1].get("default").map(Value::render),
+            Some(r#"["0.1","0.01"]"#.to_string())
+        );
+        assert_eq!(
+            axes[1].get("quick").map(Value::render),
+            Some(r#"["0.1"]"#.to_string())
+        );
+        assert_eq!(
+            v.get("ladder")
+                .and_then(|l| l.get("axis"))
+                .and_then(Value::as_str),
+            Some("n")
+        );
+        // Round-trips through the workspace JSON parser.
+        let parsed = crate::json::parse(&v.render()).unwrap();
+        assert_eq!(parsed.render(), v.render());
     }
 }

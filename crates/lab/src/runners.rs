@@ -78,8 +78,11 @@ impl GraphContext {
     ///
     /// Propagates generation/property failures.
     pub fn build(topology: Topology, graph_seed: u64) -> Result<Self, CoreError> {
+        let span = ale_telemetry::Span::begin("graph-build").attr("topology", topology.to_string());
         let graph = topology.build(graph_seed)?;
+        let span = span.attr("n", graph.n());
         let props = GraphProps::compute_for(&graph, &topology)?;
+        drop(span);
         let knowledge = NetworkKnowledge::from_props(&props);
         Ok(GraphContext {
             topology,

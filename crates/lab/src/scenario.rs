@@ -298,7 +298,13 @@ impl PointView<'_> {
 }
 
 /// One trial's complete, serializable outcome.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality and the JSON form deliberately exclude the wall-clock
+/// side-channel ([`TrialRecord::wall_ms`] / [`TrialRecord::msgs_per_sec`]):
+/// those depend on the machine and the moment, while everything else is
+/// seed-deterministic. Keeping them out preserves the store's
+/// byte-identical guarantee and the determinism tests that pin it.
+#[derive(Debug, Clone)]
 pub struct TrialRecord {
     /// Scenario name.
     pub scenario: String,
@@ -326,6 +332,30 @@ pub struct TrialRecord {
     pub ok: bool,
     /// Scenario-specific numeric outputs.
     pub extra: Vec<(String, f64)>,
+    /// Wall-clock time the trial took, in milliseconds. Telemetry
+    /// side-channel: not serialized, not compared (see the type docs).
+    pub wall_ms: Option<f64>,
+    /// Messages per wall-clock second. Telemetry side-channel: not
+    /// serialized, not compared.
+    pub msgs_per_sec: Option<f64>,
+}
+
+impl PartialEq for TrialRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.scenario == other.scenario
+            && self.point == other.point
+            && self.family == other.family
+            && self.algorithm == other.algorithm
+            && self.n == other.n
+            && self.seed == other.seed
+            && self.rounds == other.rounds
+            && self.congest_rounds == other.congest_rounds
+            && self.messages == other.messages
+            && self.bits == other.bits
+            && self.leaders == other.leaders
+            && self.ok == other.ok
+            && self.extra == other.extra
+    }
 }
 
 impl TrialRecord {
@@ -347,6 +377,8 @@ impl TrialRecord {
             leaders: 0,
             ok: false,
             extra: Vec::new(),
+            wall_ms: None,
+            msgs_per_sec: None,
         }
     }
 
@@ -463,6 +495,8 @@ impl TrialRecord {
                 .and_then(Value::as_bool)
                 .ok_or_else(|| LabError::BadRecord("missing bool field 'ok'".into()))?,
             extra,
+            wall_ms: None,
+            msgs_per_sec: None,
         })
     }
 }

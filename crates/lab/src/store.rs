@@ -207,6 +207,7 @@ pub fn write_run(
     records: &[TrialRecord],
     summary: &RunSummary,
 ) -> Result<(), LabError> {
+    let _span = ale_telemetry::Span::begin("store-write").attr("records", records.len());
     fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
 
     let manifest_path = dir.join("manifest.json");

@@ -218,6 +218,7 @@ fn broadcast_once(topo: Topology, seed: u64) -> (ale::graph::Graph, Vec<Irrevoca
     let mut net = Network::new(&g, procs, seed, budget).expect("network");
     net.run_for(cfg.broadcast_rounds()).expect("run");
     let procs = net.processes().to_vec();
+    drop(net); // Network borrows `g` until its Drop (trace-sink flush)
     (g, procs)
 }
 
