@@ -97,6 +97,21 @@ impl Metrics {
         self.congest_rounds += charge;
     }
 
+    /// Folds one committed round's send-time counters into the run totals
+    /// and charges the step — the arena engine's batched alternative to
+    /// per-send [`Metrics::record_message`] calls (sums and maxes commute,
+    /// so the resulting metrics are identical; the per-message oversize
+    /// test already happened at send time).
+    pub(crate) fn record_round(&mut self, stats: &crate::process::RoundStats) {
+        self.messages += stats.messages;
+        self.bits += stats.bits;
+        if stats.max_bits > self.max_message_bits {
+            self.max_message_bits = stats.max_bits;
+        }
+        self.oversize_messages += stats.oversize;
+        self.record_step(stats.max_bits);
+    }
+
     /// Records one delivered message of `bits` payload bits.
     pub(crate) fn record_message(&mut self, bits: usize) {
         self.messages += 1;

@@ -16,10 +16,13 @@
 //!    (`in_arena[in_start[v]..in_end[v]]`);
 //! 2. **send** — each [`OutCtx::send`] validates the port, stamps the
 //!    port-use mark (multi-send detection without a per-node `Vec<bool>`),
-//!    meters [`bit_size`](crate::message::Payload::bit_size) into the
-//!    metrics and the round trace, and appends the message plus its target
-//!    to the staging arena — metering happens *at send time*, so commit
-//!    never rescans messages;
+//!    accumulates [`bit_size`](crate::message::Payload::bit_size) into a
+//!    stack-local per-round counter batch, and appends the message plus
+//!    its target to the staging arena through one fused
+//!    target/reverse-port lookup — counters are gathered at send time and
+//!    folded into the metrics *once per round* at commit, so commit never
+//!    rescans messages and the hot path never touches the `Metrics`
+//!    struct;
 //! 3. **commit** — a stable counting sort by target (bucket offsets from
 //!    the per-target counts accumulated during sends, then a destination
 //!    index per staged message) lays out where every message belongs;
@@ -263,7 +266,6 @@ impl<'g, P: Process> Network<'g, P> {
     /// and the round counter does not advance.
     pub fn step(&mut self) -> Result<(), CongestError> {
         debug_assert!(self.staged_msgs.is_empty() && self.touched.is_empty());
-        let saved_metrics = self.metrics;
         let mut stats = RoundStats::default();
         let mut failure: Option<CongestError> = None;
         let mut any_halted = false;
@@ -328,18 +330,17 @@ impl<'g, P: Process> Network<'g, P> {
         if let Some(e) = failure {
             // A protocol bug surfaced mid-round: drop the partial round so
             // the network stays consistent for inspection — inboxes intact,
-            // staging empty, no messages metered, round not advanced.
-            // Multi-send violations recorded before the failure stick,
-            // matching the outbox engine's behavior.
+            // staging empty, round not advanced. The round's send counters
+            // live only in the dropped `stats` batch, so nothing was
+            // metered; multi-send violations recorded before the failure
+            // stick (they go straight to the metrics), matching the outbox
+            // engine's behavior.
             self.staged_msgs.clear();
             self.staged_targets.clear();
             for &t in &self.touched {
                 self.counts[t as usize] = 0;
             }
             self.touched.clear();
-            let multi = self.metrics.multi_send_violations;
-            self.metrics = saved_metrics;
-            self.metrics.multi_send_violations = multi;
             // Nodes that ran before the failure may have halted.
             let procs = &self.procs;
             self.active.retain(|&v| !procs[v as usize].is_halted());
@@ -400,7 +401,21 @@ impl<'g, P: Process> Network<'g, P> {
         }));
         self.staged_msgs.clear();
 
-        self.metrics.record_step(stats.max_bits);
+        // Capacity bound: when traffic collapses well below a buffer's
+        // high-water mark (nodes halting, protocol going quiet), release
+        // the excess so resident memory tracks *in-flight* messages, not
+        // the historical peak. The 8× hysteresis keeps steady-state
+        // protocols (e.g. never-halting revocable election) from ever
+        // reallocating.
+        let watermark = staged.max(64) * 8;
+        if self.in_arena.capacity() > watermark {
+            self.in_arena.shrink_to(staged.max(64) * 2);
+            self.staged_msgs.shrink_to(staged.max(64) * 2);
+            self.staged_targets.shrink_to(staged.max(64) * 2);
+            self.dest.shrink_to(staged.max(64) * 2);
+        }
+
+        self.metrics.record_round(&stats);
         if let Some(trace) = self.trace.as_mut() {
             trace.push(RoundTrace {
                 round: self.round,

@@ -20,7 +20,8 @@
 //! at commit time. The current API inverts the flow: the network hands the
 //! process a send handle, [`OutCtx`], and every [`OutCtx::send`] writes
 //! straight into the network-owned, capacity-retained staging arena,
-//! metering bits and detecting multi-sends at the moment of the send.
+//! accumulating bit counters and detecting multi-sends at the moment of
+//! the send (commit folds the counters into the metrics once per round).
 //!
 //! Migrating an implementation is mechanical. Before:
 //!
@@ -88,13 +89,19 @@ pub struct Incoming<M> {
     pub msg: M,
 }
 
-/// Per-round delivery counters accumulated at send time (the numbers a
-/// [`RoundTrace`](crate::metrics::RoundTrace) records on commit).
+/// Per-round delivery counters accumulated at send time. Commit folds the
+/// whole batch into [`Metrics`](crate::metrics::Metrics) with one
+/// [`record_round`](crate::metrics::Metrics::record_round) call (the
+/// counters also feed the [`RoundTrace`](crate::metrics::RoundTrace)), so
+/// the per-send hot path touches only this small stack-local struct.
 #[derive(Debug, Default)]
 pub(crate) struct RoundStats {
     pub(crate) messages: u64,
     pub(crate) bits: u64,
     pub(crate) max_bits: usize,
+    /// Messages wider than the CONGEST budget, counted per message at send
+    /// time (the aggregate alone could not recover the per-message test).
+    pub(crate) oversize: u64,
 }
 
 /// The arena engine's send path: borrowed slices of network-owned state,
@@ -147,8 +154,10 @@ pub(crate) enum Sink<'a, M> {
 /// 2. records a multi-send violation if the port was already used this
 ///    round (the duplicate is still delivered — counted, not merged);
 /// 3. meters the payload's [`bit_size`](crate::message::Payload::bit_size)
-///    into the run metrics and the per-round trace counters;
-/// 4. stages the message in the network's flat delivery arena.
+///    into the per-round counters, which commit folds into the run metrics
+///    in one batched update;
+/// 4. stages the message in the network's flat delivery arena with a
+///    single fused target/reverse-port lookup.
 pub struct OutCtx<'a, M: Payload> {
     pub(crate) degree: usize,
     pub(crate) sink: Sink<'a, M>,
@@ -204,14 +213,16 @@ impl<'a, M: Payload> OutCtx<'a, M> {
                     e.marks[port] = e.mark;
                 }
                 let bits = msg.bit_size();
-                e.metrics.record_message(bits);
                 e.stats.messages += 1;
                 e.stats.bits += bits as u64;
                 if bits > e.stats.max_bits {
                     e.stats.max_bits = bits;
                 }
-                let target = e.graph.port_target(e.node, port);
-                let arrival = e.graph.reverse_port(e.node, port);
+                let budget = e.metrics.budget_bits;
+                if budget > 0 && bits > budget {
+                    e.stats.oversize += 1;
+                }
+                let (target, arrival) = e.graph.port_and_reverse(e.node, port);
                 if e.counts[target] == 0 {
                     e.touched.push(target as u32);
                 }

@@ -11,7 +11,7 @@
 use ale_congest::{
     CongestError, Incoming, Metrics, Network, NodeCtx, OutCtx, Process, ReferenceNetwork, RunStatus,
 };
-use ale_graph::{Graph, Topology};
+use ale_graph::{Graph, ImplicitTopology, Topology};
 use rand::Rng;
 
 /// A deliberately messy protocol that exercises every metering path:
@@ -134,6 +134,31 @@ fn equivalent_on_torus_graphs() {
         for seed in 0..8 {
             assert_equivalent_run(&g, seed, 8, 64);
         }
+    }
+}
+
+#[test]
+fn equivalent_on_an_implicit_torus() {
+    // The O(1)-memory computed-neighbor backend must be invisible to the
+    // engines: an arena run on an implicit torus matches a reference run
+    // on the *explicit* twin of the same torus, trace for trace — so the
+    // engines can tell neither the backends nor each other apart.
+    let implicit = Graph::from_implicit(ImplicitTopology::Torus { rows: 5, cols: 7 }).unwrap();
+    assert!(implicit.is_implicit());
+    let explicit = ale_graph::generators::grid2d(5, 7, true).unwrap();
+    for seed in 0..8 {
+        let mut arena = Network::from_fn(&implicit, seed, 8, chaos_factory(seed));
+        let mut reference = ReferenceNetwork::from_fn(&explicit, seed, 8, chaos_factory(seed));
+        arena.enable_trace();
+        reference.enable_trace();
+        while !arena.all_halted() {
+            arena.step().expect("arena step");
+            reference.step().expect("reference step");
+        }
+        assert!(reference.all_halted());
+        assert_eq!(arena.outputs(), reference.outputs(), "outputs diverged");
+        assert_eq!(arena.metrics_snapshot(), reference.metrics_snapshot());
+        assert_eq!(arena.trace(), reference.trace(), "traces diverged");
     }
 }
 

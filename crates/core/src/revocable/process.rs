@@ -49,13 +49,32 @@ pub struct RevocableVerdict {
     pub revocations: u64,
 }
 
+// Boolean state, bit-packed into one byte (the memory-diet layout: at
+// n = 10⁶ nodes every `Vec<RevocableProcess>` byte is a megabyte).
+const FLAG_STARTED: u8 = 1 << 0;
+const FLAG_LINGERING: u8 = 1 << 1;
+const FLAG_FROZEN: u8 = 1 << 2;
+const FLAG_WHITE: u8 = 1 << 3;
+const FLAG_LOW: u8 = 1 << 4;
+const FLAG_WHITE_SEEN: u8 = 1 << 5;
+
 /// One node's state machine for Blind Leader Election with Certificates via
 /// Diffusion with Thresholds.
+///
+/// # Memory layout
+///
+/// The struct is on a diet (`size_of` is pinned by a regression test): the
+/// six boolean flags pack into one byte, the degree is `u32` (node ids are
+/// `u32` engine-wide), and the per-estimate derived constants
+/// (`k^{1+ε}`, `τ(k)`, the potential word width) are cached at estimate
+/// boundaries instead of being recomputed from `powf`/`log2` every round —
+/// the single biggest CPU cost in large-n ladder runs.
 #[derive(Debug, Clone)]
 pub struct RevocableProcess {
     params: RevocableParams,
-    degree: usize,
-    started: bool,
+    degree: u32,
+    /// Bit-packed booleans (`FLAG_*`).
+    flags: u8,
     /// Host-side simulation horizon: the largest estimate to execute.
     /// `None` = run forever (the true protocol). When the estimate doubles
     /// past the horizon the process first **lingers** — it keeps
@@ -67,8 +86,6 @@ pub struct RevocableProcess {
     /// `Ω(k^{2(2+ε)})` rounds each.
     horizon: Option<u64>,
     linger_left: u64,
-    lingering: bool,
-    frozen: bool,
     // Estimate-level state.
     k: u64,
     f_k: u64,
@@ -76,11 +93,15 @@ pub struct RevocableProcess {
     diss_k: u64,
     iter: u64,
     phase_round: u64,
+    // Derived per-estimate constants, recomputed only when `k` changes
+    // (identical values to evaluating the formulas every round — f64
+    // arithmetic is deterministic).
+    k_pow: f64,
+    tau_k: f64,
+    /// Potential word width `⌈log₂(2k^{1+ε})⌉` (≥ 1) for bit accounting.
+    word: u32,
     // Iteration-level state.
-    white: bool,
     potential: f64,
-    low: bool,
-    white_seen: bool,
     // Estimate-level tallies.
     empty_count: u64,
     probing_count: u64,
@@ -89,6 +110,11 @@ pub struct RevocableProcess {
     cert: Option<u64>,
     view: Option<LeaderRecord>,
     revocations: u64,
+}
+
+/// Bit-by-bit potential word width `⌈log₂(2k^{1+ε})⌉`, at least 1.
+fn word_width(k_pow: f64) -> u32 {
+    (2.0 * k_pow).log2().ceil().max(1.0) as u32
 }
 
 impl RevocableProcess {
@@ -101,30 +127,41 @@ impl RevocableProcess {
     /// Creates a node that freezes once its estimate doubles past
     /// `horizon` — the harness's simulation cutoff (see the field docs).
     pub fn with_horizon(params: RevocableParams, degree: usize, horizon: Option<u64>) -> Self {
+        let k_pow = params.k_pow(2);
         RevocableProcess {
             params,
-            degree,
+            degree: degree.try_into().expect("degree fits in u32"),
+            flags: 0,
             horizon,
             linger_left: 0,
-            lingering: false,
-            frozen: false,
-            started: false,
             k: 2,
             f_k: params.f(2),
             r_k: params.r(2),
             diss_k: params.dissemination(2),
             iter: 0,
             phase_round: 0,
-            white: false,
+            k_pow,
+            tau_k: params.tau(2),
+            word: word_width(k_pow),
             potential: 1.0,
-            low: false,
-            white_seen: false,
             empty_count: 0,
             probing_count: 0,
             id: None,
             cert: None,
             view: None,
             revocations: 0,
+        }
+    }
+
+    fn flag(&self, bit: u8) -> bool {
+        self.flags & bit != 0
+    }
+
+    fn set_flag(&mut self, bit: u8, value: bool) {
+        if value {
+            self.flags |= bit;
+        } else {
+            self.flags &= !bit;
         }
     }
 
@@ -145,12 +182,12 @@ impl RevocableProcess {
 
     /// Whether the node flagged the current estimate low.
     pub fn is_low(&self) -> bool {
-        self.low
+        self.flag(FLAG_LOW)
     }
 
     /// Whether the node was white this iteration.
     pub fn is_white(&self) -> bool {
-        self.white
+        self.flag(FLAG_WHITE)
     }
 
     /// Merges an incoming record, counting view *changes after the first
@@ -164,11 +201,12 @@ impl RevocableProcess {
 
     fn start_iteration(&mut self, rng: &mut StdRng) {
         // Algorithm 6 line 10: white with probability p(k).
-        self.white = rng.gen_bool(self.params.p(self.k).clamp(0.0, 1.0));
+        let white = rng.gen_bool(self.params.p(self.k).clamp(0.0, 1.0));
+        self.set_flag(FLAG_WHITE, white);
         // Algorithm 7 lines 2–4.
-        self.white_seen = self.white;
-        self.low = false;
-        self.potential = if self.white { 0.0 } else { 1.0 };
+        self.set_flag(FLAG_WHITE_SEEN, white);
+        self.set_flag(FLAG_LOW, false);
+        self.potential = if white { 0.0 } else { 1.0 };
     }
 
     fn advance_estimate(&mut self, rng: &mut StdRng) {
@@ -184,20 +222,23 @@ impl RevocableProcess {
         if self.horizon.is_some_and(|h| self.k > h) {
             // Drain phase: spread final records for one dissemination
             // length of the last executed estimate (k/2), then freeze.
-            self.lingering = true;
+            self.set_flag(FLAG_LINGERING, true);
             self.linger_left = 2 * self.params.dissemination(self.k / 2) + 2;
             return;
         }
         self.f_k = self.params.f(self.k);
         self.r_k = self.params.r(self.k);
         self.diss_k = self.params.dissemination(self.k);
+        self.k_pow = self.params.k_pow(self.k);
+        self.tau_k = self.params.tau(self.k);
+        self.word = word_width(self.k_pow);
         self.iter = 0;
         self.empty_count = 0;
         self.probing_count = 0;
     }
 
     fn absorb(&mut self, inbox: &[Incoming<RevMsg>]) {
-        if !self.started || self.phase_round == 0 {
+        if !self.flag(FLAG_STARTED) || self.phase_round == 0 {
             return;
         }
         if self.phase_round <= self.r_k {
@@ -219,47 +260,55 @@ impl RevocableProcess {
                     self.merge_and_count(view.as_ref());
                 }
             }
-            debug_assert_eq!(count, self.degree, "lockstep diffusion exchange");
+            debug_assert_eq!(count, self.degree as usize, "lockstep diffusion exchange");
             // Algorithm 7 lines 7–9: averaging only while everyone probes
             // and the degree fits the estimate.
-            let k_pow = self.params.k_pow(self.k);
-            if !self.low && (self.degree as f64) <= k_pow && !any_low {
+            let k_pow = self.k_pow;
+            if !self.flag(FLAG_LOW) && (self.degree as f64) <= k_pow && !any_low {
                 let alpha = 1.0 / (2.0 * k_pow);
                 self.potential += alpha * sum_in - alpha * self.degree as f64 * self.potential;
             } else {
-                self.low = true;
+                self.set_flag(FLAG_LOW, true);
                 self.potential = 1.0;
             }
         } else {
             // Dissemination merge (Algorithm 7 lines 16–21).
+            let mut low = self.flag(FLAG_LOW);
+            let mut white_seen = self.flag(FLAG_WHITE_SEEN);
             for m in inbox {
-                if let RevMsg::Disseminate { low, white, view } = &m.msg {
-                    self.low |= low;
-                    self.white_seen |= white;
+                if let RevMsg::Disseminate {
+                    low: l,
+                    white,
+                    view,
+                } = &m.msg
+                {
+                    low |= l;
+                    white_seen |= white;
                     self.merge_and_count(view.as_ref());
                 }
             }
+            self.set_flag(FLAG_LOW, low);
+            self.set_flag(FLAG_WHITE_SEEN, white_seen);
         }
     }
 
     fn diffuse_msg(&self) -> RevMsg {
-        let k_pow = self.params.k_pow(self.k);
-        let word = (2.0 * k_pow).log2().ceil().max(1.0) as usize;
         RevMsg::Diffuse {
             potential: self.potential,
-            low: self.low,
-            white: self.white,
+            low: self.flag(FLAG_LOW),
+            white: self.flag(FLAG_WHITE),
             view: self.view,
             // Bit-by-bit potential width at send index `phase_round`
-            // (1-indexed in the paper's accounting).
-            pot_bits: (self.phase_round as usize + 1) * word,
+            // (1-indexed in the paper's accounting); `word` is the cached
+            // per-estimate `⌈log₂(2k^{1+ε})⌉`.
+            pot_bits: (self.phase_round as usize + 1) * self.word as usize,
         }
     }
 
     fn disseminate_msg(&self) -> RevMsg {
         RevMsg::Disseminate {
-            low: self.low,
-            white: self.white_seen,
+            low: self.flag(FLAG_LOW),
+            white: self.flag(FLAG_WHITE_SEEN),
             view: self.view,
         }
     }
@@ -275,11 +324,11 @@ impl Process for RevocableProcess {
         inbox: &[Incoming<RevMsg>],
         out: &mut OutCtx<'_, RevMsg>,
     ) {
-        debug_assert_eq!(ctx.degree, self.degree);
-        if self.frozen {
+        debug_assert_eq!(ctx.degree, self.degree as usize);
+        if self.flag(FLAG_FROZEN) {
             return;
         }
-        if self.lingering {
+        if self.flag(FLAG_LINGERING) {
             // Horizon drain: merge views from anything still arriving and
             // keep disseminating the final record.
             for m in inbox {
@@ -290,7 +339,7 @@ impl Process for RevocableProcess {
                 }
             }
             if self.linger_left == 0 {
-                self.frozen = true;
+                self.set_flag(FLAG_FROZEN, true);
                 return;
             }
             self.linger_left -= 1;
@@ -299,8 +348,8 @@ impl Process for RevocableProcess {
         }
         self.absorb(inbox);
 
-        if !self.started {
-            self.started = true;
+        if !self.flag(FLAG_STARTED) {
+            self.set_flag(FLAG_STARTED, true);
             self.start_iteration(ctx.rng);
             out.broadcast(self.diffuse_msg());
             self.phase_round = 1;
@@ -315,8 +364,8 @@ impl Process for RevocableProcess {
 
         if self.phase_round == self.r_k {
             // End-of-diffusion threshold detection (Lemma 5's check).
-            if self.potential > self.params.tau(self.k) {
-                self.low = true;
+            if self.potential > self.tau_k {
+                self.set_flag(FLAG_LOW, true);
                 self.potential = 1.0;
             }
             out.broadcast(self.disseminate_msg());
@@ -331,16 +380,16 @@ impl Process for RevocableProcess {
         }
 
         // phase_round == r_k + diss_k: iteration boundary.
-        if !self.white_seen {
+        if !self.flag(FLAG_WHITE_SEEN) {
             self.empty_count += 1;
         }
-        if !self.low {
+        if !self.flag(FLAG_LOW) {
             self.probing_count += 1;
         }
         self.iter += 1;
         if self.iter >= self.f_k {
             self.advance_estimate(ctx.rng);
-            if self.lingering {
+            if self.flag(FLAG_LINGERING) {
                 self.linger_left -= 1;
                 out.broadcast(self.disseminate_msg());
                 return;
@@ -354,7 +403,7 @@ impl Process for RevocableProcess {
     fn is_halted(&self) -> bool {
         // The protocol never halts (Definition 2); freezing is purely the
         // harness's simulation cutoff.
-        self.frozen
+        self.flag(FLAG_FROZEN)
     }
 
     fn output(&self) -> RevocableVerdict {
@@ -569,6 +618,46 @@ mod tests {
             round += 1;
         }
         assert!(p.k() >= 4, "estimate must have advanced, k = {}", p.k());
+    }
+
+    #[test]
+    fn memory_diet_struct_sizes_are_pinned() {
+        // At n = 10⁶ nodes, every byte of `RevocableProcess` is a megabyte
+        // of RSS and every byte of `RevMsg` is ~4 MB of delivery arena on a
+        // torus. These budgets are the memory-diet contract; raising them
+        // is a deliberate decision, not drive-by field growth.
+        assert!(
+            std::mem::size_of::<RevocableProcess>() <= 304,
+            "RevocableProcess grew to {} bytes",
+            std::mem::size_of::<RevocableProcess>()
+        );
+        assert!(
+            std::mem::size_of::<RevMsg>() <= 80,
+            "RevMsg grew to {} bytes",
+            std::mem::size_of::<RevMsg>()
+        );
+    }
+
+    #[test]
+    fn flag_packing_roundtrips() {
+        let mut p = RevocableProcess::new(small_params(), 2);
+        assert!(!p.is_low() && !p.is_white());
+        p.set_flag(FLAG_LOW, true);
+        p.set_flag(FLAG_WHITE, true);
+        assert!(p.is_low() && p.is_white());
+        p.set_flag(FLAG_LOW, false);
+        assert!(!p.is_low() && p.is_white(), "flags are independent");
+    }
+
+    #[test]
+    fn cached_estimate_constants_match_the_formulas() {
+        let params = small_params();
+        let p = RevocableProcess::new(params, 2);
+        assert_eq!(p.k_pow, params.k_pow(2));
+        assert_eq!(p.tau_k, params.tau(2));
+        assert_eq!(p.word as usize, {
+            (2.0 * params.k_pow(2)).log2().ceil().max(1.0) as usize
+        });
     }
 
     #[test]

@@ -15,10 +15,17 @@
 
 use crate::error::GraphError;
 use crate::graph::{Graph, NodeId};
+use crate::implicit::ImplicitTopology;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use std::fmt;
+
+/// Node count at and above which [`Topology::build`] switches the families
+/// with closed-form port maps (cycle, torus, hypercube, CCC) to the
+/// O(1)-memory [`ImplicitTopology`] backend. Below it the explicit CSR
+/// builder is used, which doubles as the equivalence oracle in tests.
+pub const IMPLICIT_THRESHOLD: usize = 100_000;
 
 /// A named topology with its parameters; build concrete graphs with
 /// [`Topology::build`].
@@ -66,6 +73,14 @@ pub enum Topology {
     /// Hypercube `Q_d` on `2^d` nodes.
     Hypercube {
         /// Dimension (d ≥ 1).
+        dim: usize,
+    },
+    /// Cube-connected cycles `CCC_d` on `d·2^d` nodes: each hypercube
+    /// corner replaced by a `d`-cycle, giving a degree-3 vertex-transitive
+    /// expander-adjacent family that scales to millions of nodes with O(1)
+    /// graph memory.
+    Ccc {
+        /// Dimension (3 ≤ d ≤ 26).
         dim: usize,
     },
     /// Complete binary tree on `n` nodes (n ≥ 1).
@@ -122,7 +137,18 @@ impl Topology {
     /// [`GraphError::InvalidParameters`] for out-of-range parameters;
     /// [`GraphError::GenerationFailed`] if a randomized family exhausts its
     /// retry budget.
+    ///
+    /// Families with closed-form port maps (cycle, torus, hypercube, CCC)
+    /// switch to the O(1)-memory implicit backend once the node count
+    /// reaches [`IMPLICIT_THRESHOLD`]; the produced graph is structurally
+    /// identical to the explicit one (same neighbors, ports, and reverse
+    /// ports — see `tests/implicit_equivalence.rs`).
     pub fn build(self, seed: u64) -> Result<Graph, GraphError> {
+        if let Some(topo) = self.implicit_form() {
+            if self.node_count() >= IMPLICIT_THRESHOLD {
+                return Graph::from_implicit(topo);
+            }
+        }
         match self {
             Topology::Cycle { n } => cycle(n),
             Topology::Path { n } => path(n),
@@ -130,12 +156,28 @@ impl Topology {
             Topology::Star { n } => star(n),
             Topology::Grid2d { rows, cols, torus } => grid2d(rows, cols, torus),
             Topology::Hypercube { dim } => hypercube(dim),
+            Topology::Ccc { dim } => ccc(dim),
             Topology::BinaryTree { n } => binary_tree(n),
             Topology::RandomRegular { n, d } => random_regular(n, d, seed),
             Topology::Gnp { n, ppm } => gnp_connected(n, ppm as f64 / 1e6, seed),
             Topology::Barbell { k } => barbell(k),
             Topology::Lollipop { k, tail } => lollipop(k, tail),
             Topology::RingOfCliques { cliques, k } => ring_of_cliques(cliques, k),
+        }
+    }
+
+    /// The implicit counterpart of this topology, if one exists.
+    fn implicit_form(self) -> Option<ImplicitTopology> {
+        match self {
+            Topology::Cycle { n } => Some(ImplicitTopology::Ring { n }),
+            Topology::Grid2d {
+                rows,
+                cols,
+                torus: true,
+            } => Some(ImplicitTopology::Torus { rows, cols }),
+            Topology::Hypercube { dim } => Some(ImplicitTopology::Hypercube { dim }),
+            Topology::Ccc { dim } => Some(ImplicitTopology::Ccc { dim }),
+            _ => None,
         }
     }
 
@@ -151,6 +193,7 @@ impl Topology {
             | Topology::Gnp { n, .. } => n,
             Topology::Grid2d { rows, cols, .. } => rows * cols,
             Topology::Hypercube { dim } => 1usize << dim,
+            Topology::Ccc { dim } => dim << dim,
             Topology::Barbell { k } => 2 * k,
             Topology::Lollipop { k, tail } => k + tail,
             Topology::RingOfCliques { cliques, k } => cliques * k,
@@ -167,6 +210,7 @@ impl Topology {
             Topology::Grid2d { torus: true, .. } => "torus",
             Topology::Grid2d { torus: false, .. } => "grid",
             Topology::Hypercube { .. } => "hypercube",
+            Topology::Ccc { .. } => "ccc",
             Topology::BinaryTree { .. } => "btree",
             Topology::RandomRegular { .. } => "rregular",
             Topology::Gnp { .. } => "gnp",
@@ -220,6 +264,7 @@ impl std::str::FromStr for Topology {
             "complete" | "clique" => Ok(Topology::Complete { n: one()? }),
             "star" => Ok(Topology::Star { n: one()? }),
             "hypercube" => Ok(Topology::Hypercube { dim: one()? }),
+            "ccc" => Ok(Topology::Ccc { dim: one()? }),
             "btree" => Ok(Topology::BinaryTree { n: one()? }),
             "barbell" => Ok(Topology::Barbell { k: one()? }),
             "grid" => {
@@ -272,8 +317,8 @@ impl std::str::FromStr for Topology {
             }
             other => Err(bad(format!(
                 "unknown topology family '{other}' \
-                 (cycle, path, complete, star, grid, torus, hypercube, btree, \
-                 rregular, gnp, barbell, lollipop, ringcliques)"
+                 (cycle, path, complete, star, grid, torus, hypercube, ccc, \
+                 btree, rregular, gnp, barbell, lollipop, ringcliques)"
             ))),
         }
     }
@@ -294,6 +339,7 @@ impl fmt::Display for Topology {
                 )
             }
             Topology::Hypercube { dim } => write!(f, "hypercube(d={dim})"),
+            Topology::Ccc { dim } => write!(f, "ccc(d={dim})"),
             Topology::BinaryTree { n } => write!(f, "btree(n={n})"),
             Topology::RandomRegular { n, d } => write!(f, "rregular(n={n},d={d})"),
             Topology::Gnp { n, ppm } => write!(f, "gnp(n={n},p={})", *ppm as f64 / 1e6),
@@ -396,6 +442,18 @@ pub fn hypercube(dim: usize) -> Result<Graph, GraphError> {
         }
     }
     Graph::from_edges(n, &edges)
+}
+
+/// Cube-connected cycles `CCC_d`: hypercube corner `w` becomes the cycle
+/// of nodes `(w, i)` for `i ∈ 0..d` (node id `w·d + i`), with ring edges
+/// along each cycle and an "across" edge from `(w, i)` to `(w ⊕ 2^i, i)`.
+///
+/// Built by materializing the implicit port formulas — the CCC port order
+/// `[ring-pred, ring-succ, across]` is not expressible as a single edge
+/// list fed to [`Graph::from_edges`], so the implicit backend is the
+/// canonical definition and this explicit form is its materialization.
+pub fn ccc(dim: usize) -> Result<Graph, GraphError> {
+    ImplicitTopology::Ccc { dim }.materialize()
 }
 
 /// Complete binary tree (heap layout: children of `i` are `2i+1`, `2i+2`).
@@ -599,6 +657,34 @@ mod tests {
     }
 
     #[test]
+    fn ccc_properties() {
+        let g = ccc(3).unwrap();
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.m(), 36);
+        assert!((0..24).all(|v| g.degree(v) == 3));
+        assert!(g.is_connected());
+        assert!(ccc(2).is_err());
+    }
+
+    #[test]
+    fn large_families_switch_to_the_implicit_backend() {
+        // Just below the threshold: explicit. At/above: implicit.
+        let small = Topology::Cycle { n: 1000 }.build(0).unwrap();
+        assert!(!small.is_implicit());
+        let big = Topology::Cycle {
+            n: IMPLICIT_THRESHOLD,
+        }
+        .build(0)
+        .unwrap();
+        assert!(big.is_implicit());
+        assert_eq!(big.n(), IMPLICIT_THRESHOLD);
+        assert_eq!(big.degree(0), 2);
+        // Non-closed-form families never switch.
+        let tree = Topology::BinaryTree { n: 200_000 }.build(0).unwrap();
+        assert!(!tree.is_implicit());
+    }
+
+    #[test]
     fn binary_tree_properties() {
         let g = binary_tree(7).unwrap();
         assert_eq!(g.m(), 6);
@@ -663,11 +749,12 @@ mod tests {
 
     #[test]
     fn parses_cli_specs() {
-        let cases: [(&str, Topology); 10] = [
+        let cases: [(&str, Topology); 11] = [
             ("complete:64", Topology::Complete { n: 64 }),
             ("clique:8", Topology::Complete { n: 8 }),
             ("cycle:32", Topology::Cycle { n: 32 }),
             ("hypercube:6", Topology::Hypercube { dim: 6 }),
+            ("ccc:4", Topology::Ccc { dim: 4 }),
             (
                 "grid:4x6",
                 Topology::Grid2d {
@@ -725,6 +812,7 @@ mod tests {
                 torus: true,
             },
             Topology::Hypercube { dim: 3 },
+            Topology::Ccc { dim: 3 },
             Topology::BinaryTree { n: 10 },
             Topology::RandomRegular { n: 10, d: 3 },
             Topology::Gnp {

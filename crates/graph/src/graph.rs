@@ -5,8 +5,23 @@
 //! labeling of their incident links ("port numbers"). The simulator and
 //! protocols address neighbors exclusively through ports; node ids exist
 //! only on the host side (for wiring and analysis), never inside a protocol.
+//!
+//! Two storage backends sit behind one API:
+//!
+//! * **Explicit** — a compact CSR layout (`u32` offsets/targets/reverse
+//!   ports in three flat vectors), built by [`Graph::from_edges`]. Memory
+//!   is ~`4·(n + 4m)` bytes, with no per-node allocations.
+//! * **Implicit** — an [`ImplicitTopology`] whose neighbors and ports are
+//!   computed on demand ([`Graph::from_implicit`]): O(1) graph memory for
+//!   the regular ladder families (ring/torus/hypercube/CCC) at millions of
+//!   nodes.
+//!
+//! Equality ([`PartialEq`]) is structural — same node count, edge count,
+//! and per-node port lists — so an implicit graph compares equal to its
+//! materialized explicit twin.
 
 use crate::error::GraphError;
+use crate::implicit::ImplicitTopology;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -16,6 +31,61 @@ pub type NodeId = usize;
 /// A port index in `0..degree(v)`, the only way a protocol can address a
 /// neighbor. (The paper numbers ports `1..=N`; we use 0-based indices.)
 pub type Port = usize;
+
+/// Compressed-sparse-row port tables: node `v`'s ports live at
+/// `offsets[v]..offsets[v+1]` in `targets` (neighbor ids, port order) and
+/// `reverses` (the matching return ports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    reverses: Vec<u32>,
+}
+
+impl Csr {
+    /// Flattens per-node port/reverse tables into CSR form.
+    fn from_tables(ports: Vec<Vec<NodeId>>, reverse: Vec<Vec<Port>>) -> Csr {
+        let n = ports.len();
+        let total: usize = ports.iter().map(Vec::len).sum();
+        assert!(n < u32::MAX as usize, "graph too large for u32 indexing");
+        assert!(
+            total < u32::MAX as usize,
+            "graph too large for u32 indexing"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(total);
+        let mut reverses = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for (pv, rv) in ports.into_iter().zip(reverse) {
+            targets.extend(pv.into_iter().map(|t| t as u32));
+            reverses.extend(rv.into_iter().map(|q| q as u32));
+            offsets.push(targets.len() as u32);
+        }
+        Csr {
+            offsets,
+            targets,
+            reverses,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Start of node `v`'s port range, with the range length.
+    fn range(&self, v: NodeId) -> (usize, usize) {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        (lo, hi - lo)
+    }
+}
+
+/// The storage backend behind a [`Graph`].
+#[derive(Debug, Clone)]
+enum Repr {
+    Explicit(Csr),
+    Implicit(ImplicitTopology),
+}
 
 /// A simple, connected, undirected graph with explicit port numbering.
 ///
@@ -39,15 +109,63 @@ pub type Port = usize;
 /// assert_eq!(g.port_target(u, back), 0);
 /// # Ok::<(), ale_graph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Graph {
-    /// `ports[v][p]` is the node reached from `v` through port `p`.
-    ports: Vec<Vec<NodeId>>,
-    /// `reverse[v][p]` is the port at `ports[v][p]` that leads back to `v`.
-    reverse: Vec<Vec<Port>>,
+    repr: Repr,
     /// Number of undirected edges.
     m: usize,
 }
+
+/// Iterator over a node's neighbors in port order (see
+/// [`Graph::neighbors`]).
+#[derive(Debug, Clone)]
+pub struct Neighbors<'g> {
+    inner: NeighborsInner<'g>,
+}
+
+#[derive(Debug, Clone)]
+enum NeighborsInner<'g> {
+    Slice(std::slice::Iter<'g, u32>),
+    Implicit {
+        topo: &'g ImplicitTopology,
+        v: NodeId,
+        next: Port,
+        degree: usize,
+    },
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        match &mut self.inner {
+            NeighborsInner::Slice(it) => it.next().map(|&t| t as usize),
+            NeighborsInner::Implicit {
+                topo,
+                v,
+                next,
+                degree,
+            } => {
+                if *next >= *degree {
+                    return None;
+                }
+                let t = topo.port_target(*v, *next);
+                *next += 1;
+                Some(t)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let len = match &self.inner {
+            NeighborsInner::Slice(it) => it.len(),
+            NeighborsInner::Implicit { next, degree, .. } => degree - next,
+        };
+        (len, Some(len))
+    }
+}
+
+impl ExactSizeIterator for Neighbors<'_> {}
 
 impl Graph {
     /// Builds a graph from an explicit undirected edge list.
@@ -69,6 +187,7 @@ impl Graph {
             });
         }
         let mut ports: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut reverse: Vec<Vec<Port>> = vec![Vec::new(); n];
         let mut seen = std::collections::HashSet::with_capacity(edges.len());
         for &(u, v) in edges {
             if u >= n {
@@ -84,24 +203,43 @@ impl Graph {
             if !seen.insert(key) {
                 return Err(GraphError::DuplicateEdge { u, v });
             }
+            // The two endpoints' new ports point at each other — reverse
+            // ports fall out of the insertion order with no lookup.
+            let pu = ports[u].len();
+            let pv = ports[v].len();
             ports[u].push(v);
             ports[v].push(u);
+            reverse[u].push(pv);
+            reverse[v].push(pu);
         }
-        let g = Self::from_ports(ports, edges.len())?;
+        let g = Graph::from_port_tables(ports, reverse, edges.len());
         if !g.is_connected() {
             return Err(GraphError::Disconnected);
         }
         Ok(g)
     }
 
+    /// Internal constructor from consistent port/reverse tables (no
+    /// validation beyond CSR flattening); used by [`Graph::from_edges`]
+    /// and [`ImplicitTopology::materialize`].
+    pub(crate) fn from_port_tables(
+        ports: Vec<Vec<NodeId>>,
+        reverse: Vec<Vec<Port>>,
+        m: usize,
+    ) -> Self {
+        Graph {
+            repr: Repr::Explicit(Csr::from_tables(ports, reverse)),
+            m,
+        }
+    }
+
     /// Internal constructor: computes reverse ports from a port table.
     fn from_ports(ports: Vec<Vec<NodeId>>, m: usize) -> Result<Self, GraphError> {
         let n = ports.len();
-        let mut reverse: Vec<Vec<Port>> = ports.iter().map(|p| vec![usize::MAX; p.len()]).collect();
         // For each node u and port p, find the port q at v = ports[u][p]
         // with ports[v][q] == u. Ports to the same neighbor are unique in a
-        // simple graph, so a linear scan per edge endpoint suffices; build a
-        // map to keep it O(m).
+        // simple graph, so a map per node keeps it O(m).
+        let mut reverse: Vec<Vec<Port>> = ports.iter().map(|p| vec![usize::MAX; p.len()]).collect();
         let mut port_of: Vec<std::collections::HashMap<NodeId, Port>> =
             vec![std::collections::HashMap::new(); n];
         for (u, nbrs) in ports.iter().enumerate() {
@@ -117,12 +255,36 @@ impl Graph {
                 reverse[u][p] = q;
             }
         }
-        Ok(Graph { ports, reverse, m })
+        Ok(Graph::from_port_tables(ports, reverse, m))
+    }
+
+    /// Wraps an [`ImplicitTopology`] without materializing it: graph
+    /// memory stays O(1) no matter how large `n` is.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameters`] if the family parameters are
+    /// invalid (connectivity and simplicity hold by construction for
+    /// valid parameters).
+    pub fn from_implicit(topo: ImplicitTopology) -> Result<Self, GraphError> {
+        topo.validate()?;
+        Ok(Graph {
+            m: topo.m(),
+            repr: Repr::Implicit(topo),
+        })
+    }
+
+    /// Whether this graph uses the implicit (computed) backend.
+    pub fn is_implicit(&self) -> bool {
+        matches!(self.repr, Repr::Implicit(_))
     }
 
     /// Number of nodes `n = |V|`.
     pub fn n(&self) -> usize {
-        self.ports.len()
+        match &self.repr {
+            Repr::Explicit(csr) => csr.n(),
+            Repr::Implicit(t) => t.n(),
+        }
     }
 
     /// Number of undirected edges `m = |E|`.
@@ -136,12 +298,21 @@ impl Graph {
     ///
     /// Panics if `v >= n`.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.ports[v].len()
+        match &self.repr {
+            Repr::Explicit(csr) => csr.range(v).1,
+            Repr::Implicit(t) => {
+                assert!(v < t.n(), "node {v} out of range");
+                t.degree(v)
+            }
+        }
     }
 
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        self.ports.iter().map(Vec::len).max().unwrap_or(0)
+        match &self.repr {
+            Repr::Explicit(csr) => (0..csr.n()).map(|v| csr.range(v).1).max().unwrap_or(0),
+            Repr::Implicit(t) => t.max_degree(),
+        }
     }
 
     /// The node reached from `v` through port `p`.
@@ -150,7 +321,14 @@ impl Graph {
     ///
     /// Panics if `v` or `p` is out of range.
     pub fn port_target(&self, v: NodeId, p: Port) -> NodeId {
-        self.ports[v][p]
+        match &self.repr {
+            Repr::Explicit(csr) => {
+                let (lo, d) = csr.range(v);
+                assert!(p < d, "port {p} out of range for node {v}");
+                csr.targets[lo + p] as usize
+            }
+            Repr::Implicit(t) => t.port_target(v, p),
+        }
     }
 
     /// The port at `port_target(v, p)` that leads back to `v`.
@@ -163,7 +341,31 @@ impl Graph {
     ///
     /// Panics if `v` or `p` is out of range.
     pub fn reverse_port(&self, v: NodeId, p: Port) -> Port {
-        self.reverse[v][p]
+        match &self.repr {
+            Repr::Explicit(csr) => {
+                let (lo, d) = csr.range(v);
+                assert!(p < d, "port {p} out of range for node {v}");
+                csr.reverses[lo + p] as usize
+            }
+            Repr::Implicit(t) => t.reverse_port(v, p),
+        }
+    }
+
+    /// Fused `(port_target, reverse_port)` lookup: one bounds check and one
+    /// row resolution instead of two — the simulator's per-send path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `p` is out of range.
+    pub fn port_and_reverse(&self, v: NodeId, p: Port) -> (NodeId, Port) {
+        match &self.repr {
+            Repr::Explicit(csr) => {
+                let (lo, d) = csr.range(v);
+                assert!(p < d, "port {p} out of range for node {v}");
+                (csr.targets[lo + p] as usize, csr.reverses[lo + p] as usize)
+            }
+            Repr::Implicit(t) => t.port_and_reverse(v, p),
+        }
     }
 
     /// Neighbors of `v` in port order.
@@ -171,22 +373,40 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `v >= n`.
-    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.ports[v]
+    pub fn neighbors(&self, v: NodeId) -> Neighbors<'_> {
+        let inner = match &self.repr {
+            Repr::Explicit(csr) => {
+                let lo = csr.offsets[v] as usize;
+                let hi = csr.offsets[v + 1] as usize;
+                NeighborsInner::Slice(csr.targets[lo..hi].iter())
+            }
+            Repr::Implicit(t) => {
+                assert!(v < t.n(), "node {v} out of range");
+                NeighborsInner::Implicit {
+                    topo: t,
+                    v,
+                    next: 0,
+                    degree: t.degree(v),
+                }
+            }
+        };
+        Neighbors { inner }
     }
 
     /// Iterator over all undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.ports
-            .iter()
-            .enumerate()
-            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+        (0..self.n()).flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
     }
 
     /// Plain adjacency lists (neighbor ids per node, in port order) — the
-    /// format consumed by `ale-markov` chain constructors.
+    /// format consumed by `ale-markov` chain constructors. Materialized on
+    /// call (O(n + m) memory) for either backend.
     pub fn adjacency(&self) -> Vec<Vec<NodeId>> {
-        self.ports.clone()
+        (0..self.n()).map(|v| self.neighbors(v).collect()).collect()
     }
 
     /// Sum of degrees of the nodes in `set` (the paper's `Vol(S)`).
@@ -203,7 +423,7 @@ impl Graph {
         }
         let mut cut = 0;
         for &v in set {
-            for &u in self.neighbors(v) {
+            for u in self.neighbors(v) {
                 if !in_set[u] {
                     cut += 1;
                 }
@@ -223,7 +443,7 @@ impl Graph {
         seen[0] = true;
         let mut count = 1;
         while let Some(u) = queue.pop_front() {
-            for &v in self.neighbors(u) {
+            for v in self.neighbors(u) {
                 if !seen[v] {
                     seen[v] = true;
                     count += 1;
@@ -240,12 +460,14 @@ impl Graph {
     /// Anonymity means no protocol may behave differently under such a
     /// permutation beyond what its own randomness induces; property tests
     /// use this to hunt for accidental dependence on port order.
+    /// An implicit graph materializes into explicit storage here — shuffled
+    /// ports cannot be computed.
     pub fn with_shuffled_ports(&self, seed: u64) -> Graph {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let n = self.n();
         let mut ports: Vec<Vec<NodeId>> = Vec::with_capacity(n);
         for v in 0..n {
-            let mut nbrs = self.ports[v].clone();
+            let mut nbrs: Vec<NodeId> = self.neighbors(v).collect();
             nbrs.shuffle(&mut rng);
             ports.push(nbrs);
         }
@@ -260,7 +482,7 @@ impl Graph {
         let mut queue = std::collections::VecDeque::from([src]);
         dist[src] = 0;
         while let Some(u) = queue.pop_front() {
-            for &v in self.neighbors(u) {
+            for v in self.neighbors(u) {
                 if dist[v] == usize::MAX {
                     dist[v] = dist[u] + 1;
                     queue.push_back(v);
@@ -285,6 +507,25 @@ impl Graph {
             .unwrap_or(0)
     }
 }
+
+impl PartialEq for Graph {
+    /// Structural equality: same node count, edge count, and per-node port
+    /// lists in order — an implicit graph equals its materialized twin.
+    fn eq(&self, other: &Graph) -> bool {
+        if self.m != other.m || self.n() != other.n() {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Explicit(a), Repr::Explicit(b)) => a == b,
+            (Repr::Implicit(a), Repr::Implicit(b)) if a == b => true,
+            _ => (0..self.n()).all(|v| {
+                self.degree(v) == other.degree(v) && self.neighbors(v).eq(other.neighbors(v))
+            }),
+        }
+    }
+}
+
+impl Eq for Graph {}
 
 #[cfg(test)]
 mod tests {
@@ -336,6 +577,7 @@ mod tests {
                 let q = g.reverse_port(v, p);
                 assert_eq!(g.port_target(u, q), v, "reverse port must lead back");
                 assert_eq!(g.reverse_port(u, q), p, "reverse is an involution");
+                assert_eq!(g.port_and_reverse(v, p), (u, q), "fused lookup agrees");
             }
         }
     }
@@ -376,8 +618,8 @@ mod tests {
         assert_eq!(s.n(), g.n());
         assert_eq!(s.m(), g.m());
         for v in 0..g.n() {
-            let mut a: Vec<_> = g.neighbors(v).to_vec();
-            let mut b: Vec<_> = s.neighbors(v).to_vec();
+            let mut a: Vec<_> = g.neighbors(v).collect();
+            let mut b: Vec<_> = s.neighbors(v).collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "node {v} neighborhood changed");
@@ -396,7 +638,28 @@ mod tests {
         let g = triangle();
         let adj = g.adjacency();
         for (v, adj_v) in adj.iter().enumerate() {
-            assert_eq!(adj_v, g.neighbors(v));
+            let nbrs: Vec<_> = g.neighbors(v).collect();
+            assert_eq!(adj_v, &nbrs);
         }
+    }
+
+    #[test]
+    fn implicit_backend_equals_materialized_explicit() {
+        let topo = ImplicitTopology::Torus { rows: 4, cols: 5 };
+        let implicit = Graph::from_implicit(topo).unwrap();
+        let explicit = topo.materialize().unwrap();
+        assert!(implicit.is_implicit());
+        assert!(!explicit.is_implicit());
+        assert_eq!(implicit, explicit);
+        assert_eq!(explicit, implicit);
+        assert_eq!(implicit.diameter(), explicit.diameter());
+        // A different topology compares unequal through the structural path.
+        let ring = Graph::from_implicit(ImplicitTopology::Ring { n: 20 }).unwrap();
+        assert_ne!(ring, implicit);
+    }
+
+    #[test]
+    fn implicit_rejects_bad_parameters() {
+        assert!(Graph::from_implicit(ImplicitTopology::Ring { n: 2 }).is_err());
     }
 }

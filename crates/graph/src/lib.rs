@@ -37,14 +37,16 @@ pub mod error;
 pub mod generators;
 #[allow(clippy::module_inception)]
 mod graph;
+pub mod implicit;
 pub mod props;
 pub mod spectral_sparse;
 pub mod transition;
 
 pub use builder::GraphBuilder;
 pub use error::GraphError;
-pub use generators::Topology;
-pub use graph::{Graph, NodeId, Port};
+pub use generators::{Topology, IMPLICIT_THRESHOLD};
+pub use graph::{Graph, Neighbors, NodeId, Port};
+pub use implicit::ImplicitTopology;
 pub use props::{GraphProps, NetworkKnowledge};
 
 #[cfg(test)]

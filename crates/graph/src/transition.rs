@@ -43,7 +43,14 @@ fn numeric(context: &str, e: MarkovError) -> GraphError {
 /// ```
 pub fn lazy_walk_csr(g: &Graph) -> CsrMatrix {
     let n = g.n();
-    let rows = (0..n).map(|v| lazy_walk_row(v, g.neighbors(v))).collect();
+    let mut nbrs = Vec::new();
+    let rows = (0..n)
+        .map(|v| {
+            nbrs.clear();
+            nbrs.extend(g.neighbors(v));
+            lazy_walk_row(v, &nbrs)
+        })
+        .collect();
     CsrMatrix::from_row_entries(n, rows).expect("validated graph yields a well-formed CSR")
 }
 
@@ -57,10 +64,11 @@ pub fn lazy_walk_csr(g: &Graph) -> CsrMatrix {
 pub fn diffusion_csr(g: &Graph, alpha: f64) -> Result<CsrMatrix, GraphError> {
     let n = g.n();
     let mut rows = Vec::with_capacity(n);
+    let mut nbrs = Vec::new();
     for v in 0..n {
-        rows.push(
-            diffusion_row(v, g.neighbors(v), alpha).map_err(|e| numeric("diffusion row", e))?,
-        );
+        nbrs.clear();
+        nbrs.extend(g.neighbors(v));
+        rows.push(diffusion_row(v, &nbrs, alpha).map_err(|e| numeric("diffusion row", e))?);
     }
     CsrMatrix::from_row_entries(n, rows).map_err(|e| numeric("diffusion csr", e))
 }
@@ -78,8 +86,7 @@ pub fn normalized_lazy_csr(g: &Graph) -> CsrMatrix {
         entries.push((v, 0.5));
         entries.extend(
             g.neighbors(v)
-                .iter()
-                .map(|&u| (u, 0.5 / (sqrt_deg[v] * sqrt_deg[u]))),
+                .map(|u| (u, 0.5 / (sqrt_deg[v] * sqrt_deg[u]))),
         );
         rows.push(entries);
     }

@@ -8,21 +8,29 @@
 //! cost, then measure `clamp(budget / cost, 3, 100)` iterations — the
 //! same strategy the workspace's criterion shim uses.
 //!
-//! Output is two JSON files in the chosen directory (default: the
+//! Output is three JSON files in the chosen directory (default: the
 //! current directory, i.e. the repo root in CI):
 //!
+//! * `BENCH_memory.json` — resident-set growth (bytes/node) of the
+//!   large-n revocable engine on ladder tori, sampled from
+//!   `/proc/self/status` around graph and engine construction;
 //! * `BENCH_simulator.json` — CONGEST round throughput, arena vs
 //!   reference engine (dense gossip + the mostly-halted beacon tail);
 //! * `BENCH_diffusion.json` — `Avg` diffusion steps, dense matrix vs
 //!   sparse CSR backend on tori.
 //!
-//! Schema: `{"suite", "git", "quick", "cases": [{"id", "iters",
-//! "wall_ms_per_iter"}]}`. Numbers are wall-clock on whatever machine ran
-//! them — compare across commits on one box, not across boxes.
+//! Timing schema: `{"suite", "git", "quick", "cases": [{"id", "iters",
+//! "wall_ms_per_iter"}]}`; the memory suite's cases carry `{"id", "n",
+//! "graph_kb", "engine_kb", "bytes_per_node"}` instead. The `git` stamp
+//! is the exact short sha of `HEAD`, `-dirty`-suffixed when the work
+//! tree has uncommitted changes. Numbers are wall-clock/RSS on whatever
+//! machine ran them — compare across commits on one box, not across
+//! boxes.
 
 use crate::json::Value;
 use crate::scenario::LabError;
-use ale_congest::{Incoming, Network, NodeCtx, OutCtx, Process, ReferenceNetwork};
+use ale_congest::{congest_budget, Incoming, Network, NodeCtx, OutCtx, Process, ReferenceNetwork};
+use ale_core::revocable::{RevocableParams, RevocableProcess};
 use ale_graph::{transition, Topology};
 use ale_markov::MarkovChain;
 use std::fmt::Write as _;
@@ -59,7 +67,7 @@ fn time_case(budget: Duration, mut f: impl FnMut()) -> (u64, f64) {
 fn suite_json(suite: &str, quick: bool, cases: &[Case]) -> Value {
     Value::obj(vec![
         ("suite".to_string(), Value::Str(suite.to_string())),
-        ("git".to_string(), Value::Str(crate::store::git_describe())),
+        ("git".to_string(), Value::Str(crate::store::git_stamp())),
         ("quick".to_string(), Value::Bool(quick)),
         (
             "cases".to_string(),
@@ -203,6 +211,115 @@ fn simulator_cases(quick: bool, budget: Duration) -> Result<Vec<Case>, LabError>
     Ok(cases)
 }
 
+/// One memory-suite measurement: RSS growth across graph construction
+/// and across engine construction + a short protocol run, per node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemCase {
+    /// Stable identifier (`rss/<backend>/torus:<side>x<side>`).
+    pub id: String,
+    /// Nodes in the measured graph.
+    pub n: u64,
+    /// RSS growth across graph construction, in KiB.
+    pub graph_kb: u64,
+    /// RSS growth across engine construction plus the measured rounds,
+    /// in KiB.
+    pub engine_kb: u64,
+    /// Total RSS growth per node: `(graph_kb + engine_kb)·1024 / n`.
+    pub bytes_per_node: f64,
+}
+
+/// Current resident set size (`VmRSS`) in KiB from `/proc/self/status`,
+/// or `None` where that interface does not exist (non-Linux).
+fn vm_rss_kb() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    text.lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Rounds the memory suite drives the revocable engine for: enough to
+/// populate the staged/in-flight buffers to their dense steady state
+/// (every node broadcasts every round), few enough that even the 10⁶
+/// case stays in the seconds range.
+const MEMORY_ROUNDS: u64 = 16;
+
+fn memory_cases(quick: bool) -> Result<Vec<MemCase>, LabError> {
+    // The ladder tori, ascending so each case's allocations are fresh
+    // growth past the previous high-water mark (per-case deltas would
+    // otherwise be masked by allocator reuse).
+    let ns: &[usize] = if quick {
+        &[20_000, 200_000]
+    } else {
+        &[20_000, 200_000, 1_000_000]
+    };
+    // The mode-4 large-n ladder configuration of the revocable scenario.
+    let params = RevocableParams::paper_blind(1.0, 0.2).with_scales(0.002, 0.05, 1.0);
+    let mut cases = Vec::new();
+    for &n in ns {
+        let side = (n as f64).sqrt().floor() as usize;
+        let before = vm_rss_kb().unwrap_or(0);
+        let graph = Topology::Grid2d {
+            rows: side,
+            cols: side,
+            torus: true,
+        }
+        .build(0)?;
+        let after_graph = vm_rss_kb().unwrap_or(0);
+        let nodes = graph.n();
+        let budget = congest_budget(nodes.max(2), params.congest_factor);
+        let mut net = Network::from_fn(&graph, 1, budget, |deg, _rng| {
+            RevocableProcess::with_horizon(params, deg, Some(4))
+        });
+        net.run_for(MEMORY_ROUNDS)
+            .expect("memory-suite revocable run");
+        std::hint::black_box(net.metrics().messages);
+        let after_run = vm_rss_kb().unwrap_or(0);
+        let backend = if graph.is_implicit() {
+            "implicit"
+        } else {
+            "explicit"
+        };
+        let graph_kb = after_graph.saturating_sub(before);
+        let engine_kb = after_run.saturating_sub(after_graph);
+        cases.push(MemCase {
+            id: format!("rss/{backend}/torus:{side}x{side}"),
+            n: nodes as u64,
+            graph_kb,
+            engine_kb,
+            bytes_per_node: (graph_kb + engine_kb) as f64 * 1024.0 / nodes as f64,
+        });
+    }
+    Ok(cases)
+}
+
+fn memory_suite_json(quick: bool, cases: &[MemCase]) -> Value {
+    Value::obj(vec![
+        ("suite".to_string(), Value::Str("memory".to_string())),
+        ("git".to_string(), Value::Str(crate::store::git_stamp())),
+        ("quick".to_string(), Value::Bool(quick)),
+        (
+            "cases".to_string(),
+            Value::Arr(
+                cases
+                    .iter()
+                    .map(|c| {
+                        Value::obj(vec![
+                            ("id".to_string(), Value::Str(c.id.clone())),
+                            ("n".to_string(), Value::UInt(c.n)),
+                            ("graph_kb".to_string(), Value::UInt(c.graph_kb)),
+                            ("engine_kb".to_string(), Value::UInt(c.engine_kb)),
+                            ("bytes_per_node".to_string(), Value::Num(c.bytes_per_node)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 const ALPHA: f64 = 1.0 / 64.0;
 
 fn diffusion_cases(quick: bool, budget: Duration) -> Result<Vec<Case>, LabError> {
@@ -252,8 +369,9 @@ fn diffusion_cases(quick: bool, budget: Duration) -> Result<Vec<Case>, LabError>
     Ok(cases)
 }
 
-/// Runs both suites and writes `BENCH_simulator.json` /
-/// `BENCH_diffusion.json` into `out_dir`; returns the report text.
+/// Runs all three suites and writes `BENCH_memory.json` /
+/// `BENCH_simulator.json` / `BENCH_diffusion.json` into `out_dir`;
+/// returns the report text.
 ///
 /// # Errors
 ///
@@ -268,6 +386,22 @@ pub fn run(quick: bool, out_dir: &Path) -> Result<String, LabError> {
     std::fs::create_dir_all(out_dir)
         .map_err(|e| LabError::Io(format!("create {}: {e}", out_dir.display())))?;
     let mut report = String::new();
+
+    // The memory suite runs first: its RSS deltas are only meaningful on
+    // a heap the timing suites have not yet grown and fragmented.
+    let mem = memory_cases(quick)?;
+    let path = out_dir.join("BENCH_memory.json");
+    std::fs::write(&path, memory_suite_json(quick, &mem).render_pretty() + "\n")
+        .map_err(|e| LabError::Io(format!("write {}: {e}", path.display())))?;
+    let _ = writeln!(report, "suite memory -> {}", path.display());
+    for c in &mem {
+        let _ = writeln!(
+            report,
+            "  {:<44} {:>10.1} bytes/node  (graph {} KiB, engine {} KiB)",
+            c.id, c.bytes_per_node, c.graph_kb, c.engine_kb
+        );
+    }
+
     for (suite, cases) in [
         ("simulator", simulator_cases(quick, budget)?),
         ("diffusion", diffusion_cases(quick, budget)?),
@@ -300,6 +434,44 @@ mod tests {
         // warm-up + estimate + measured iterations
         assert_eq!(calls, iters + 2);
         assert!(ms >= 0.0);
+    }
+
+    #[test]
+    fn vm_rss_is_readable_and_positive_on_linux() {
+        if !std::path::Path::new("/proc/self/status").exists() {
+            return;
+        }
+        let kb = vm_rss_kb().expect("VmRSS line present");
+        assert!(kb > 0);
+    }
+
+    #[test]
+    fn memory_suite_json_has_the_pinned_schema() {
+        let cases = [MemCase {
+            id: "rss/implicit/torus:447x447".to_string(),
+            n: 199_809,
+            graph_kb: 12,
+            engine_kb: 34_000,
+            bytes_per_node: 174.3,
+        }];
+        let v = memory_suite_json(true, &cases);
+        assert_eq!(v.get("suite").and_then(Value::as_str), Some("memory"));
+        assert_eq!(v.get("quick").and_then(Value::as_bool), Some(true));
+        assert!(v.get("git").and_then(Value::as_str).is_some());
+        let Some(Value::Arr(cs)) = v.get("cases") else {
+            panic!("cases array");
+        };
+        assert_eq!(
+            cs[0].get("id").and_then(Value::as_str),
+            Some("rss/implicit/torus:447x447")
+        );
+        assert_eq!(cs[0].get("n").and_then(Value::as_u64), Some(199_809));
+        assert_eq!(cs[0].get("graph_kb").and_then(Value::as_u64), Some(12));
+        assert_eq!(cs[0].get("engine_kb").and_then(Value::as_u64), Some(34_000));
+        assert_eq!(
+            cs[0].get("bytes_per_node").and_then(Value::as_f64),
+            Some(174.3)
+        );
     }
 
     #[test]

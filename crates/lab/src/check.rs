@@ -9,7 +9,13 @@
 //! mean exceeds `baseline · (1 + tolerance)`. Points present in only one
 //! file are skipped (filtered/sharded runs legitimately cover subsets),
 //! but the report counts them so a silently shrunken run is visible.
+//!
+//! The same subcommand also gates memory benchmarks: when both inputs
+//! are `BENCH_memory.json` files (the `ale-lab bench` memory suite),
+//! the per-case `bytes_per_node` figures are compared under the tighter
+//! [`DEFAULT_MEMORY_TOLERANCE`] instead of the summary-CSV path.
 
+use crate::json::Value;
 use crate::scenario::LabError;
 use crate::table::Table;
 use std::collections::BTreeMap;
@@ -17,6 +23,10 @@ use std::path::Path;
 
 /// Default relative tolerance: a mean may grow by 25% before failing.
 pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Default relative tolerance for memory-suite `bytes_per_node`: RSS per
+/// node may grow by 10% before failing.
+pub const DEFAULT_MEMORY_TOLERANCE: f64 = 0.10;
 
 /// Absolute slack added on top of the relative band, so near-zero
 /// baselines don't fail on floating-point noise.
@@ -30,6 +40,8 @@ pub const DEFAULT_METRICS: [&str; 4] = ["rounds", "congest_rounds", "messages", 
 pub struct CheckOptions {
     /// Relative tolerance on mean growth.
     pub tolerance: f64,
+    /// Relative tolerance on memory-suite `bytes_per_node` growth.
+    pub memory_tolerance: f64,
     /// Metrics to gate (empty → [`DEFAULT_METRICS`]).
     pub metrics: Vec<String>,
 }
@@ -38,6 +50,7 @@ impl Default for CheckOptions {
     fn default() -> Self {
         CheckOptions {
             tolerance: DEFAULT_TOLERANCE,
+            memory_tolerance: DEFAULT_MEMORY_TOLERANCE,
             metrics: Vec::new(),
         }
     }
@@ -200,11 +213,110 @@ pub fn check_text(current: &str, baseline: &str, opts: &CheckOptions) -> Result<
     Ok(report)
 }
 
-/// File-path front end for [`check_text`] (the `ale-lab check` subcommand).
+/// Parses a memory-suite bench JSON into `case id → bytes_per_node`.
+fn parse_memory(text: &str, source: &str) -> Result<BTreeMap<String, f64>, LabError> {
+    let v = crate::json::parse(text).map_err(|e| LabError::BadRecord(format!("{source}: {e}")))?;
+    if v.get("suite").and_then(Value::as_str) != Some("memory") {
+        return Err(LabError::BadRecord(format!(
+            "{source}: not a memory bench file (suite != \"memory\")"
+        )));
+    }
+    let Some(Value::Arr(cases)) = v.get("cases") else {
+        return Err(LabError::BadRecord(format!(
+            "{source}: memory bench lacks a 'cases' array"
+        )));
+    };
+    let mut rows = BTreeMap::new();
+    for c in cases {
+        let id = c
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| LabError::BadRecord(format!("{source}: memory case without an 'id'")))?;
+        let bpn = c
+            .get("bytes_per_node")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| {
+                LabError::BadRecord(format!(
+                    "{source}: case '{id}' lacks a numeric 'bytes_per_node'"
+                ))
+            })?;
+        rows.insert(id.to_string(), bpn);
+    }
+    Ok(rows)
+}
+
+/// Compares two memory-suite bench JSON **texts** per case id; returns
+/// the rendered report, or [`LabError::Regression`] carrying it when any
+/// `bytes_per_node` grew beyond the memory tolerance.
 ///
 /// # Errors
 ///
-/// IO failures as [`LabError::Io`]; otherwise as [`check_text`].
+/// * [`LabError::BadRecord`] on malformed JSON or disjoint case sets.
+/// * [`LabError::Regression`] when regressions were found.
+pub fn check_memory_text(
+    current: &str,
+    baseline: &str,
+    opts: &CheckOptions,
+) -> Result<String, LabError> {
+    let cur = parse_memory(current, "current")?;
+    let base = parse_memory(baseline, "baseline")?;
+    let mut tbl = Table::new([
+        "case",
+        "baseline bytes/node",
+        "current bytes/node",
+        "ratio",
+        "verdict",
+    ]);
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    for (id, b) in &base {
+        let Some(c) = cur.get(id) else {
+            missing += 1;
+            continue;
+        };
+        compared += 1;
+        let limit = b + b.abs() * opts.memory_tolerance + ABS_SLACK;
+        let regressed = *c > limit;
+        if regressed {
+            regressions += 1;
+        }
+        let ratio = if b.abs() > 0.0 { c / b } else { f64::INFINITY };
+        tbl.push_row([
+            id.clone(),
+            format!("{b:.1}"),
+            format!("{c:.1}"),
+            format!("{ratio:.3}"),
+            if regressed { "REGRESSED" } else { "ok" }.to_string(),
+        ]);
+    }
+    let report = format!(
+        "# memory regression check (bytes/node, tolerance +{:.0}%)\n\n{}\n\
+         {compared} cases compared, {regressions} regressed, \
+         {missing} baseline cases absent from the current run.\n",
+        opts.memory_tolerance * 100.0,
+        tbl.to_markdown()
+    );
+    if compared == 0 {
+        return Err(LabError::BadRecord(
+            "no comparable memory cases between current and baseline".into(),
+        ));
+    }
+    if regressions > 0 {
+        return Err(LabError::Regression(report));
+    }
+    Ok(report)
+}
+
+/// File-path front end for [`check_text`]/[`check_memory_text`] (the
+/// `ale-lab check` subcommand). Inputs that parse as JSON objects are
+/// routed to the memory-bench comparison; everything else is treated as
+/// a summary CSV.
+///
+/// # Errors
+///
+/// IO failures as [`LabError::Io`]; a JSON/CSV input mix as
+/// [`LabError::BadRecord`]; otherwise as the routed checker.
 pub fn check_files(
     current: &Path,
     baseline: &Path,
@@ -214,7 +326,14 @@ pub fn check_files(
         .map_err(|e| LabError::Io(format!("{}: {e}", current.display())))?;
     let base = std::fs::read_to_string(baseline)
         .map_err(|e| LabError::Io(format!("{}: {e}", baseline.display())))?;
-    check_text(&cur, &base, opts)
+    let json = |s: &str| s.trim_start().starts_with('{');
+    match (json(&cur), json(&base)) {
+        (true, true) => check_memory_text(&cur, &base, opts),
+        (false, false) => check_text(&cur, &base, opts),
+        _ => Err(LabError::BadRecord(
+            "cannot compare a memory-bench JSON against a summary CSV".into(),
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -340,6 +459,70 @@ mod tests {
             check_text(&other, &base, &CheckOptions::default()),
             Err(LabError::BadRecord(_))
         ));
+    }
+
+    fn memory_json(rows: &[(&str, f64)]) -> String {
+        let cases = rows
+            .iter()
+            .map(|(id, bpn)| {
+                format!(
+                    r#"{{"id": "{id}", "n": 1000, "graph_kb": 1, "engine_kb": 1, "bytes_per_node": {bpn}}}"#
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(r#"{{"suite": "memory", "git": "abc", "quick": false, "cases": [{cases}]}}"#)
+    }
+
+    #[test]
+    fn memory_gate_uses_the_tighter_tolerance() {
+        let base = memory_json(&[("rss/implicit/torus:1000x1000", 1000.0)]);
+        // +9% passes under the 10% memory tolerance...
+        let ok = memory_json(&[("rss/implicit/torus:1000x1000", 1090.0)]);
+        let report = check_memory_text(&ok, &base, &CheckOptions::default()).unwrap();
+        assert!(report.contains("1 cases compared, 0 regressed"));
+        // ...+12% fails, even though the CSV tolerance (25%) would admit it.
+        let bad = memory_json(&[("rss/implicit/torus:1000x1000", 1120.0)]);
+        let err = check_memory_text(&bad, &base, &CheckOptions::default()).unwrap_err();
+        assert!(matches!(err, LabError::Regression(_)));
+        assert!(err.to_string().contains("REGRESSED"));
+        // Improvements and missing cases pass (missing is counted).
+        let better = memory_json(&[("rss/implicit/torus:1000x1000", 500.0), ("rss/new", 1.0)]);
+        assert!(check_memory_text(&better, &base, &CheckOptions::default()).is_ok());
+        let other = memory_json(&[("rss/other", 1.0)]);
+        assert!(matches!(
+            check_memory_text(&other, &base, &CheckOptions::default()),
+            Err(LabError::BadRecord(_))
+        ));
+        // Malformed inputs are rejected.
+        assert!(check_memory_text("{}", &base, &CheckOptions::default()).is_err());
+        assert!(check_memory_text(
+            r#"{"suite": "simulator", "cases": []}"#,
+            &base,
+            &CheckOptions::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn check_files_routes_json_to_the_memory_gate() {
+        let dir = std::env::temp_dir().join(format!("ale-lab-memcheck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base_p = dir.join("base.json");
+        let cur_p = dir.join("cur.json");
+        std::fs::write(&base_p, memory_json(&[("rss/x", 100.0)])).unwrap();
+        std::fs::write(&cur_p, memory_json(&[("rss/x", 150.0)])).unwrap();
+        let err = check_files(&cur_p, &base_p, &CheckOptions::default()).unwrap_err();
+        assert!(matches!(err, LabError::Regression(_)));
+        assert!(check_files(&base_p, &base_p, &CheckOptions::default()).is_ok());
+        // A JSON/CSV mix is a usage error, not a silent pass.
+        let csv_p = dir.join("summary.csv");
+        std::fs::write(&csv_p, summary(&[("a", "messages", 1.0)])).unwrap();
+        assert!(matches!(
+            check_files(&cur_p, &csv_p, &CheckOptions::default()),
+            Err(LabError::BadRecord(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -46,13 +46,17 @@ USAGE:
                                        --out for a dry-run validation)
     ale-lab check <summary.csv> --baseline <summary.csv> [options]
                                        fail (exit 1) on cost regressions
-                                       vs a stored baseline summary
+                                       vs a stored baseline summary; two
+                                       BENCH_memory.json files instead
+                                       gate bytes/node (tolerance 0.10)
     ale-lab report <telemetry.jsonl>   per-phase wall-clock breakdown of a
                                        `run --telemetry` event stream (top
                                        spans, per-point throughput,
                                        histograms)
     ale-lab bench [--quick] [--out DIR]
                                        in-process microbenchmarks; writes
+                                       BENCH_memory.json (bytes/node of
+                                       the large-n revocable engine),
                                        BENCH_simulator.json and
                                        BENCH_diffusion.json (default: the
                                        current directory)
@@ -66,7 +70,10 @@ RUN OPTIONS:
     --param K=V1,V2   override any declared axis of the scenario's
                       parameter space (see `ale-lab describe <scenario>`);
                       repeatable, validated — unknown keys and unparseable
-                      values exit 2. New sweeps need no code.
+                      values exit 2. New sweeps need no code. The
+                      engine-level pseudo-axis seeds-per-point=N sets
+                      the per-point seed count like --seeds (exactly
+                      one positive integer; conflicts with --seeds)
     --n A,B,...       sugar for --param n=A,B — engages the scenario's
                       size ladder (diffusion/thresholds/walks/revocable
                       build sparse large-n ladders)
@@ -90,10 +97,13 @@ RUN OPTIONS:
     --quiet           suppress progress lines on stderr
 
 CHECK OPTIONS:
-    --baseline PATH   the baseline summary.csv (required)
-    --tolerance T     allowed relative mean growth (default 0.25)
+    --baseline PATH   the baseline summary.csv or BENCH_memory.json
+                      (required)
+    --tolerance T     allowed relative mean growth (default 0.25 for
+                      summaries, 0.10 for memory benches; setting it
+                      overrides both)
     --metrics A,B     metrics to gate (default rounds, congest_rounds,
-                      messages, bits)
+                      messages, bits; ignored for memory benches)
 
 EXAMPLES:
     ale-lab run table1 --n 64 --seeds 32 --workers 8 --out runs/table1
@@ -399,6 +409,9 @@ fn cmd_check(args: &[String]) -> Result<String, LabError> {
                 if opts.tolerance.is_nan() || opts.tolerance < 0.0 {
                     return Err(LabError::BadArgs("--tolerance must be non-negative".into()));
                 }
+                // An explicit tolerance overrides both gates; the tighter
+                // memory default only applies when the flag is absent.
+                opts.memory_tolerance = opts.tolerance;
             }
             "--metrics" => {
                 let list = it
@@ -734,6 +747,39 @@ mod tests {
             run(&strs(&["check", &cur_s, "--frob"])),
             Err(LabError::BadArgs(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_subcommand_routes_memory_benches() {
+        let dir = std::env::temp_dir().join(format!("ale-lab-cli-mem-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mem = |bpn: f64| {
+            format!(
+                "{{\"suite\":\"memory\",\"cases\":[{{\"id\":\"rss/implicit/torus:10x10\",\
+                 \"n\":100,\"graph_kb\":1,\"engine_kb\":1,\"bytes_per_node\":{bpn}}}]}}"
+            )
+        };
+        let base = dir.join("BENCH_memory_base.json");
+        let cur = dir.join("BENCH_memory_cur.json");
+        std::fs::write(&base, mem(100.0)).unwrap();
+        std::fs::write(&cur, mem(115.0)).unwrap();
+        let base_s = base.to_string_lossy().to_string();
+        let cur_s = cur.to_string_lossy().to_string();
+        // Self-check passes; +15% bytes/node breaks the tighter 10% default...
+        assert!(run(&strs(&["check", &base_s, "--baseline", &base_s])).is_ok());
+        let err = run(&strs(&["check", &cur_s, "--baseline", &base_s])).unwrap_err();
+        assert!(matches!(err, LabError::Regression(_)));
+        // ...and --tolerance overrides the memory gate too.
+        assert!(run(&strs(&[
+            "check",
+            &cur_s,
+            "--baseline",
+            &base_s,
+            "--tolerance",
+            "0.2"
+        ]))
+        .is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -73,6 +73,50 @@ pub struct RunOutput {
     pub report: String,
 }
 
+/// Splits the engine-level `seeds-per-point` pseudo-axis out of the grid
+/// config: returns the config without it plus the parsed count, if given.
+///
+/// # Errors
+///
+/// [`LabError::BadArgs`] when the key is repeated, carries anything but
+/// exactly one value, or the value is not a positive integer — the same
+/// exit-2 contract real `--param` axes have.
+fn extract_seeds_per_point(grid: &GridConfig) -> Result<(GridConfig, Option<u64>), LabError> {
+    let mut cfg = grid.clone();
+    let mut seeds: Option<u64> = None;
+    let mut rest = Vec::with_capacity(cfg.params.len());
+    for (key, values) in std::mem::take(&mut cfg.params) {
+        if key != "seeds-per-point" {
+            rest.push((key, values));
+            continue;
+        }
+        if seeds.is_some() {
+            return Err(LabError::BadArgs(
+                "parameter 'seeds-per-point' given more than once".into(),
+            ));
+        }
+        let [value] = values.as_slice() else {
+            return Err(LabError::BadArgs(format!(
+                "--param seeds-per-point: expected exactly one value, got {}",
+                values.len()
+            )));
+        };
+        let parsed: u64 = value.parse().map_err(|_| {
+            LabError::BadArgs(format!(
+                "--param seeds-per-point: '{value}' is not an unsigned integer"
+            ))
+        })?;
+        if parsed == 0 {
+            return Err(LabError::BadArgs(
+                "--param seeds-per-point must be at least 1".into(),
+            ));
+        }
+        seeds = Some(parsed);
+    }
+    cfg.params = rest;
+    Ok((cfg, seeds))
+}
+
 /// Executes `scenario` under `spec`.
 ///
 /// # Errors
@@ -90,8 +134,21 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
         .attr("master_seed", spec.master_seed)
         .attr("quick", spec.grid.quick);
 
+    // `seeds-per-point` is an engine-level pseudo-axis: `--param
+    // seeds-per-point=N` sets the per-point seed count exactly like
+    // `--seeds N`, but rides the `--param` channel so declarative sweep
+    // invocations need no dedicated flag. It is extracted (and validated
+    // with the same BadArgs/exit-2 contract as real axes) before space
+    // expansion — scenarios do not declare it.
+    let (grid_cfg, seeds_param) = extract_seeds_per_point(&spec.grid)?;
+    if seeds_param.is_some() && spec.seeds.is_some() {
+        return Err(LabError::BadArgs(
+            "--param seeds-per-point conflicts with --seeds (give one)".into(),
+        ));
+    }
+
     let expand_span = ale_telemetry::Span::begin("expand");
-    let expansion = scenario.space().expand(&spec.grid)?;
+    let expansion = scenario.space().expand(&grid_cfg)?;
     drop(expand_span);
     let resolved_space = expansion.resolved_lines();
     let full_grid = expansion.points;
@@ -142,7 +199,8 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
 
     let seeds_global = spec
         .seeds
-        .unwrap_or_else(|| scenario.default_seeds(spec.grid.quick));
+        .or(seeds_param)
+        .unwrap_or_else(|| scenario.default_seeds(grid_cfg.quick));
     if seeds_global == 0 {
         return Err(LabError::BadArgs("--seeds must be at least 1".into()));
     }
@@ -232,6 +290,26 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
     // the workers, so the event sequence is deterministic at any worker
     // count (wall-clock attribute values still vary, sequences do not).
     let mut summary = RunSummary::new(scenario_name, &grid, master, seeds_global, workers);
+    // Stream records to the store as they merge: a large-n ladder run's
+    // trial log reaches disk record by record instead of being buffered
+    // behind the whole merge (the CSV views, which need the full record
+    // set, are derived once at finish).
+    let mut writer = match &spec.out {
+        Some(dir) => {
+            let manifest = crate::store::RunManifest::for_run(
+                scenario_name,
+                master,
+                seeds_global,
+                workers,
+                grid_ref.iter().map(|p| p.label.clone()).collect(),
+                grid_cfg.quick,
+                &format!("{shard_i}/{shard_k}"),
+                resolved_space,
+            );
+            Some(crate::store::RunWriter::create(dir, &manifest)?)
+        }
+        None => None,
+    };
     let mut records = Vec::with_capacity(total);
     let mut wall_hist = ale_telemetry::Histogram::new("trial_wall_us");
     // (point index, wall_ms, messages, rounds, trials) of the point
@@ -323,6 +401,9 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
             };
         }
         summary.record(pi, &record);
+        if let Some(w) = writer.as_mut() {
+            w.append(&record)?;
+        }
         records.push(record);
     }
     if let Some((pi, wall, msgs, rounds, trials)) = open_point.take() {
@@ -333,18 +414,8 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
 
     let report = scenario.summarize(&summary);
 
-    if let Some(dir) = &spec.out {
-        let manifest = crate::store::RunManifest::for_run(
-            scenario_name,
-            master,
-            seeds_global,
-            workers,
-            grid_ref.iter().map(|p| p.label.clone()).collect(),
-            spec.grid.quick,
-            &format!("{shard_i}/{shard_k}"),
-            resolved_space,
-        );
-        crate::store::write_run(dir, &manifest, &records, &summary)?;
+    if let Some(w) = writer.take() {
+        w.finish(&records, &summary)?;
     }
 
     // End the sweep span, then tear the sink down (flushing the file)
@@ -602,5 +673,87 @@ mod tests {
             },
         );
         assert!(matches!(err, Err(LabError::BadArgs(_))));
+    }
+
+    fn seeds_param_spec(values: &[&str]) -> RunSpec {
+        RunSpec {
+            grid: GridConfig {
+                params: vec![(
+                    "seeds-per-point".into(),
+                    values.iter().map(|v| v.to_string()).collect(),
+                )],
+                ..GridConfig::default()
+            },
+            ..RunSpec::default()
+        }
+    }
+
+    #[test]
+    fn seeds_per_point_param_sets_the_global_seed_count() {
+        let out = execute(&Synthetic, &seeds_param_spec(&["2"])).unwrap();
+        // p0: 2 seeds from the pseudo-axis; p1 keeps its override of 3.
+        assert_eq!(out.summary.points[0].trials, 2);
+        assert_eq!(out.summary.points[1].trials, 3);
+        // Identical to the same run via --seeds, record for record.
+        let flagged = execute(
+            &Synthetic,
+            &RunSpec {
+                seeds: Some(2),
+                ..RunSpec::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.records, flagged.records);
+    }
+
+    #[test]
+    fn seeds_per_point_param_is_validated() {
+        for values in [
+            &["0"][..],      // zero seeds
+            &["x"][..],      // not an integer
+            &["2", "3"][..], // multi-value: one count, not a sweep axis
+            &[][..],         // empty value list
+        ] {
+            let err = execute(&Synthetic, &seeds_param_spec(values));
+            assert!(matches!(err, Err(LabError::BadArgs(_))), "{values:?}");
+        }
+        // Repeated key.
+        let mut spec = seeds_param_spec(&["2"]);
+        spec.grid
+            .params
+            .push(("seeds-per-point".into(), vec!["3".into()]));
+        assert!(matches!(
+            execute(&Synthetic, &spec),
+            Err(LabError::BadArgs(_))
+        ));
+        // Conflict with --seeds.
+        let mut spec = seeds_param_spec(&["2"]);
+        spec.seeds = Some(4);
+        assert!(matches!(
+            execute(&Synthetic, &spec),
+            Err(LabError::BadArgs(_))
+        ));
+    }
+
+    #[test]
+    fn out_runs_stream_to_a_complete_store() {
+        let dir =
+            std::env::temp_dir().join(format!("ale-lab-engine-stream-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let out = execute(
+            &Synthetic,
+            &RunSpec {
+                out: Some(dir.clone()),
+                ..RunSpec::default()
+            },
+        )
+        .unwrap();
+        let loaded = crate::store::load_jsonl(&dir.join("trials.jsonl")).unwrap();
+        assert_eq!(loaded, out.records);
+        let manifest = crate::store::load_manifest(&dir.join("manifest.json")).unwrap();
+        assert_eq!(manifest.scenario, "synthetic");
+        assert!(dir.join("trials.csv").exists());
+        assert!(dir.join("summary.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -7,7 +7,9 @@
 //! 2. Corollary 1 paper-exact blind on tiny graphs;
 //! 3. scaled blind shape sweep in `n`;
 //! 4. `--n` **large-n engine ladder**: the sparse-topology ladder (torus /
-//!    ring / 4-regular expander, tens of thousands of nodes) running the
+//!    ring / a well-connected rung — 4-regular expander, or
+//!    cube-connected cycles past the implicit-backend threshold — at tens
+//!    of thousands to millions of nodes) running the
 //!    full never-halting protocol on the CONGEST simulator with heavily
 //!    scaled schedules and a fixed estimate horizon — an engine-scale
 //!    demonstration (every node broadcasts every round), not a theory
@@ -172,7 +174,7 @@ impl Scenario for Revocable {
         .with_ladder(
             "n",
             "topo",
-            "torus / ring / expander engine ladder at each size",
+            "torus / ring / expander (CCC at implicit-backend sizes) engine ladder at each size",
             super::large_n_topologies,
         )
     }

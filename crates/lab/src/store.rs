@@ -192,6 +192,37 @@ pub fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// The exact short sha of `HEAD`, suffixed `-dirty` when the work tree
+/// has uncommitted changes (`git status --porcelain` non-empty);
+/// "unknown" outside a repo.
+///
+/// Unlike [`git_describe`], the stamp never moves when tags do, and the
+/// dirtiness test sees untracked files — `describe --dirty` only reports
+/// modifications to tracked content, so a bench run with new uncommitted
+/// sources would previously stamp itself as clean.
+pub fn git_stamp() -> String {
+    let git = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let Some(sha) = git(&["rev-parse", "--short", "HEAD"])
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+    else {
+        return "unknown".to_string();
+    };
+    let dirty = git(&["status", "--porcelain"]).is_some_and(|s| !s.trim().is_empty());
+    if dirty {
+        format!("{sha}-dirty")
+    } else {
+        sha
+    }
+}
+
 fn io_err(path: &Path, e: std::io::Error) -> LabError {
     LabError::Io(format!("{}: {e}", path.display()))
 }
@@ -226,6 +257,76 @@ pub fn write_run(
     let summary_path = dir.join("summary.csv");
     fs::write(&summary_path, summary.summary_csv()).map_err(|e| io_err(&summary_path, e))?;
     Ok(())
+}
+
+/// Streams one run to disk as it executes: [`RunWriter::create`] writes
+/// `manifest.json` and opens `trials.jsonl`, [`RunWriter::append`] logs
+/// each merged record as it arrives, and [`RunWriter::finish`] derives
+/// `trials.csv`/`summary.csv` once the streaming aggregates are
+/// complete. The engine uses this for `--out` runs so a large-n ladder's
+/// records reach the store per trial instead of being buffered until the
+/// run ends; the resulting directory is byte-identical to a post-hoc
+/// [`write_run`] of the same records.
+pub struct RunWriter {
+    dir: std::path::PathBuf,
+    jsonl_path: std::path::PathBuf,
+    jsonl: std::io::BufWriter<fs::File>,
+    records: usize,
+}
+
+impl RunWriter {
+    /// Creates the run directory, writes the manifest, and opens the
+    /// trial log.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures surface as [`LabError::Io`].
+    pub fn create(dir: &Path, manifest: &RunManifest) -> Result<RunWriter, LabError> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let manifest_path = dir.join("manifest.json");
+        fs::write(&manifest_path, manifest.to_json().render_pretty() + "\n")
+            .map_err(|e| io_err(&manifest_path, e))?;
+        let jsonl_path = dir.join("trials.jsonl");
+        let jsonl = fs::File::create(&jsonl_path).map_err(|e| io_err(&jsonl_path, e))?;
+        Ok(RunWriter {
+            dir: dir.to_path_buf(),
+            jsonl_path,
+            jsonl: std::io::BufWriter::new(jsonl),
+            records: 0,
+        })
+    }
+
+    /// Appends one record to `trials.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures surface as [`LabError::Io`].
+    pub fn append(&mut self, record: &TrialRecord) -> Result<(), LabError> {
+        writeln!(self.jsonl, "{}", record.to_json().render())
+            .map_err(|e| io_err(&self.jsonl_path, e))?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes the trial log and derives the CSV views. `records` must be
+    /// the records passed to [`RunWriter::append`], in order — the flat
+    /// CSV's header is the union of extra-metric keys across the whole
+    /// run, so it cannot stream.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures surface as [`LabError::Io`].
+    pub fn finish(mut self, records: &[TrialRecord], summary: &RunSummary) -> Result<(), LabError> {
+        let _span = ale_telemetry::Span::begin("store-write").attr("records", self.records);
+        self.jsonl
+            .flush()
+            .map_err(|e| io_err(&self.jsonl_path, e))?;
+        let csv_path = self.dir.join("trials.csv");
+        fs::write(&csv_path, records_csv(records)).map_err(|e| io_err(&csv_path, e))?;
+        let summary_path = self.dir.join("summary.csv");
+        fs::write(&summary_path, summary.summary_csv()).map_err(|e| io_err(&summary_path, e))?;
+        Ok(())
+    }
 }
 
 /// Appends records to an existing `trials.jsonl` (resumable sharded runs).
@@ -392,6 +493,54 @@ mod tests {
         assert_eq!(lines.count(), 2);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_writer_matches_write_run_byte_for_byte() {
+        let base = std::env::temp_dir().join(format!("ale-lab-stream-{}", std::process::id()));
+        let records = sample_records();
+        let grid = vec![
+            GridPoint::new("cell-a").on(Topology::Cycle { n: 8 }),
+            GridPoint::new("cell-b").on(Topology::Complete { n: 4 }),
+        ];
+        let mut summary = RunSummary::new("demo", &grid, 1, 1, 1);
+        summary.record(0, &records[0]);
+        summary.record(1, &records[1]);
+        let manifest = RunManifest::for_run(
+            "demo",
+            1,
+            1,
+            1,
+            vec!["cell-a".into(), "cell-b".into()],
+            false,
+            "0/1",
+            Vec::new(),
+        );
+        let batch_dir = base.join("batch");
+        write_run(&batch_dir, &manifest, &records, &summary).unwrap();
+        let stream_dir = base.join("stream");
+        let mut writer = RunWriter::create(&stream_dir, &manifest).unwrap();
+        for r in &records {
+            writer.append(r).unwrap();
+        }
+        writer.finish(&records, &summary).unwrap();
+        for file in ["manifest.json", "trials.jsonl", "trials.csv", "summary.csv"] {
+            let batch = std::fs::read(batch_dir.join(file)).unwrap();
+            let stream = std::fs::read(stream_dir.join(file)).unwrap();
+            assert_eq!(batch, stream, "{file} diverged");
+        }
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn git_stamp_is_a_sha_with_optional_dirty_suffix() {
+        let stamp = git_stamp();
+        assert!(!stamp.is_empty());
+        if stamp != "unknown" {
+            let sha = stamp.strip_suffix("-dirty").unwrap_or(&stamp);
+            assert!(sha.len() >= 4, "short sha expected, got '{stamp}'");
+            assert!(sha.chars().all(|c| c.is_ascii_hexdigit()), "'{stamp}'");
+        }
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Implicit-vs-explicit topology equivalence: the computed-neighbor
+//! backend must be indistinguishable from the explicit CSR builders it
+//! replaces above `IMPLICIT_THRESHOLD`.
+//!
+//! The explicit generators (`generators::cycle` / `grid2d` / `hypercube`)
+//! always build CSR graphs, so they serve as the oracle here; the implicit
+//! side is `Graph::from_implicit`. Equivalence is checked port-by-port —
+//! same targets, same reverse ports, same degrees — plus BFS structure
+//! (diameter on small instances, sampled eccentricities at n ≈ 10⁴).
+
+use ale::graph::{generators, Graph, ImplicitTopology};
+
+/// Asserts full port-map equality: degree, port targets, reverse ports,
+/// the fused lookup, and neighbor iteration order for every node.
+fn assert_port_maps_equal(implicit: &Graph, explicit: &Graph, label: &str) {
+    assert!(implicit.is_implicit(), "{label}: expected implicit backend");
+    assert!(!explicit.is_implicit(), "{label}: expected explicit oracle");
+    assert_eq!(implicit.n(), explicit.n(), "{label}: n");
+    assert_eq!(implicit.m(), explicit.m(), "{label}: m");
+    assert_eq!(
+        implicit.max_degree(),
+        explicit.max_degree(),
+        "{label}: max_degree"
+    );
+    for v in 0..explicit.n() {
+        let d = explicit.degree(v);
+        assert_eq!(implicit.degree(v), d, "{label}: degree({v})");
+        for p in 0..d {
+            let target = explicit.port_target(v, p);
+            let back = explicit.reverse_port(v, p);
+            assert_eq!(
+                implicit.port_target(v, p),
+                target,
+                "{label}: port_target({v}, {p})"
+            );
+            assert_eq!(
+                implicit.reverse_port(v, p),
+                back,
+                "{label}: reverse_port({v}, {p})"
+            );
+            assert_eq!(
+                implicit.port_and_reverse(v, p),
+                (target, back),
+                "{label}: port_and_reverse({v}, {p})"
+            );
+        }
+        assert!(
+            implicit.neighbors(v).eq(explicit.neighbors(v)),
+            "{label}: neighbors({v})"
+        );
+    }
+    assert_eq!(implicit, explicit, "{label}: structural equality");
+}
+
+#[test]
+fn ring_matches_explicit_cycle() {
+    for n in [3, 4, 7, 100, 1021, 10_000] {
+        let implicit = Graph::from_implicit(ImplicitTopology::Ring { n }).unwrap();
+        let explicit = generators::cycle(n).unwrap();
+        assert_port_maps_equal(&implicit, &explicit, &format!("ring n={n}"));
+    }
+}
+
+#[test]
+fn torus_matches_explicit_grid() {
+    for (rows, cols) in [(3, 3), (3, 5), (4, 4), (7, 11), (31, 17), (100, 100)] {
+        let implicit = Graph::from_implicit(ImplicitTopology::Torus { rows, cols }).unwrap();
+        let explicit = generators::grid2d(rows, cols, true).unwrap();
+        assert_port_maps_equal(&implicit, &explicit, &format!("torus {rows}x{cols}"));
+    }
+}
+
+#[test]
+fn hypercube_matches_explicit_builder() {
+    for dim in [1, 2, 3, 5, 9, 13] {
+        let implicit = Graph::from_implicit(ImplicitTopology::Hypercube { dim }).unwrap();
+        let explicit = generators::hypercube(dim).unwrap();
+        assert_port_maps_equal(&implicit, &explicit, &format!("hypercube d={dim}"));
+    }
+}
+
+#[test]
+fn ccc_matches_its_materialization() {
+    // CCC has no independent edge-list oracle (its port order is defined by
+    // the implicit formulas), so the check is implicit vs materialized CSR.
+    for dim in [3, 4, 6, 9] {
+        let topo = ImplicitTopology::Ccc { dim };
+        let implicit = Graph::from_implicit(topo).unwrap();
+        let explicit = topo.materialize().unwrap();
+        assert_port_maps_equal(&implicit, &explicit, &format!("ccc d={dim}"));
+        assert!(explicit.is_connected());
+    }
+}
+
+#[test]
+fn bfs_structure_matches_on_small_instances() {
+    let cases: Vec<(ImplicitTopology, Graph)> = vec![
+        (
+            ImplicitTopology::Ring { n: 31 },
+            generators::cycle(31).unwrap(),
+        ),
+        (
+            ImplicitTopology::Torus { rows: 6, cols: 9 },
+            generators::grid2d(6, 9, true).unwrap(),
+        ),
+        (
+            ImplicitTopology::Hypercube { dim: 6 },
+            generators::hypercube(6).unwrap(),
+        ),
+    ];
+    for (topo, explicit) in cases {
+        let implicit = Graph::from_implicit(topo).unwrap();
+        assert!(implicit.is_connected());
+        assert_eq!(
+            implicit.diameter(),
+            explicit.diameter(),
+            "diameter ({topo:?})"
+        );
+    }
+}
+
+#[test]
+fn bfs_distances_match_at_ten_thousand_nodes() {
+    // Full diameter is O(n·m); at n = 10⁴ sample a few BFS sources instead.
+    let implicit = Graph::from_implicit(ImplicitTopology::Torus {
+        rows: 100,
+        cols: 100,
+    })
+    .unwrap();
+    let explicit = generators::grid2d(100, 100, true).unwrap();
+    for src in [0, 17, 4999, 9999] {
+        assert_eq!(
+            implicit.bfs_distances(src),
+            explicit.bfs_distances(src),
+            "bfs from {src}"
+        );
+    }
+}

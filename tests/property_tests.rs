@@ -62,7 +62,7 @@ fn generators_produce_connected_simple_graphs() {
         assert!(g.is_connected(), "case {case} ({topo})");
         // Simplicity: no self-loops, no duplicate neighbor entries.
         for v in 0..g.n() {
-            let mut nbrs: Vec<_> = g.neighbors(v).to_vec();
+            let mut nbrs: Vec<_> = g.neighbors(v).collect();
             assert!(nbrs.iter().all(|&u| u != v), "self-loop at {v} ({topo})");
             nbrs.sort_unstable();
             let before = nbrs.len();
