@@ -219,6 +219,38 @@ impl Topology {
             Topology::RingOfCliques { .. } => "ringcliques",
         }
     }
+
+    /// The round-trippable `family:args` spec — exactly the CLI form
+    /// [`std::str::FromStr`] parses, unlike [`std::fmt::Display`]'s
+    /// human-oriented `family(k=v)` rendering. Run manifests persist
+    /// topology overrides in this form so a stored run can be re-expanded
+    /// verbatim (`ale-lab run --resume`).
+    pub fn spec(&self) -> String {
+        match self {
+            Topology::Cycle { n } => format!("cycle:{n}"),
+            Topology::Path { n } => format!("path:{n}"),
+            Topology::Complete { n } => format!("complete:{n}"),
+            Topology::Star { n } => format!("star:{n}"),
+            Topology::Grid2d {
+                rows,
+                cols,
+                torus: false,
+            } => format!("grid:{rows}x{cols}"),
+            Topology::Grid2d {
+                rows,
+                cols,
+                torus: true,
+            } => format!("torus:{rows}x{cols}"),
+            Topology::Hypercube { dim } => format!("hypercube:{dim}"),
+            Topology::Ccc { dim } => format!("ccc:{dim}"),
+            Topology::BinaryTree { n } => format!("btree:{n}"),
+            Topology::RandomRegular { n, d } => format!("rregular:{n}x{d}"),
+            Topology::Gnp { n, ppm } => format!("gnp:{n}x{}", *ppm as f64 / 1e6),
+            Topology::Barbell { k } => format!("barbell:{k}"),
+            Topology::Lollipop { k, tail } => format!("lollipop:{k}x{tail}"),
+            Topology::RingOfCliques { cliques, k } => format!("ringcliques:{cliques}x{k}"),
+        }
+    }
 }
 
 impl std::str::FromStr for Topology {
@@ -829,6 +861,18 @@ mod tests {
             assert!(g.is_connected());
             assert!(!t.family().is_empty());
             assert!(!t.to_string().is_empty());
+            // The spec form round-trips through FromStr (the Display form
+            // intentionally does not — it is for humans).
+            assert_eq!(t.spec().parse::<Topology>().unwrap(), t, "{t}");
         }
+        // A grid (non-torus) variant too, since the array above only has
+        // the torus flavor.
+        let grid = Topology::Grid2d {
+            rows: 3,
+            cols: 5,
+            torus: false,
+        };
+        assert_eq!(grid.spec(), "grid:3x5");
+        assert_eq!(grid.spec().parse::<Topology>().unwrap(), grid);
     }
 }

@@ -343,6 +343,34 @@ impl RunSummary {
         }
         table.to_csv()
     }
+
+    /// The summary as keyed rows for the durable store: one `(point
+    /// label, metric, row object)` triple per [`RunSummary::summary_csv`]
+    /// line, in the same order, carrying the same fields.
+    pub fn summary_rows(&self) -> Vec<(String, String, crate::json::Value)> {
+        use crate::json::Value;
+        let mut rows = Vec::new();
+        for p in &self.points {
+            for (name, agg) in &p.metrics {
+                let row = Value::obj([
+                    ("point".to_string(), Value::Str(p.label.clone())),
+                    ("family".to_string(), Value::Str(p.family.clone())),
+                    ("algorithm".to_string(), Value::Str(p.algorithm.clone())),
+                    ("n".to_string(), Value::UInt(p.n)),
+                    ("metric".to_string(), Value::Str(name.clone())),
+                    ("count".to_string(), Value::UInt(agg.count())),
+                    ("mean".to_string(), Value::Num(agg.mean())),
+                    ("ci95".to_string(), Value::Num(agg.ci95())),
+                    ("median".to_string(), Value::Num(agg.median())),
+                    ("min".to_string(), Value::Num(agg.min())),
+                    ("max".to_string(), Value::Num(agg.max())),
+                    ("spilled".to_string(), Value::Bool(agg.spilled)),
+                ]);
+                rows.push((p.label.clone(), name.clone(), row));
+            }
+        }
+        rows
+    }
 }
 
 #[cfg(test)]

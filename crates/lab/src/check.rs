@@ -10,6 +10,12 @@
 //! file are skipped (filtered/sharded runs legitimately cover subsets),
 //! but the report counts them so a silently shrunken run is visible.
 //!
+//! Either side may also be a **run directory**: directories are served
+//! from the durable keyed store (`trials.db` summary rows via
+//! [`crate::store::load_summary_rows`]) instead of re-parsing CSV,
+//! falling back to the directory's `summary.csv` for pre-store runs.
+//! Incomplete (crashed) stores are refused with a `run --resume` hint.
+//!
 //! The same subcommand also gates memory benchmarks: when both inputs
 //! are `BENCH_memory.json` files (the `ale-lab bench` memory suite),
 //! the per-case `bytes_per_node` figures are compared under the tighter
@@ -146,6 +152,17 @@ fn parse_summary(
 pub fn check_text(current: &str, baseline: &str, opts: &CheckOptions) -> Result<String, LabError> {
     let cur = parse_summary(current, "current")?;
     let base = parse_summary(baseline, "baseline")?;
+    check_rows(&cur, &base, opts)
+}
+
+/// Compares two parsed `(point, metric) → (mean, count)` maps — the
+/// shared core behind [`check_text`] and the store-backed run-directory
+/// inputs of [`check_files`].
+fn check_rows(
+    cur: &BTreeMap<(String, String), SummaryRow>,
+    base: &BTreeMap<(String, String), SummaryRow>,
+    opts: &CheckOptions,
+) -> Result<String, LabError> {
     let metrics: Vec<&str> = if opts.metrics.is_empty() {
         DEFAULT_METRICS.to_vec()
     } else {
@@ -163,7 +180,7 @@ pub fn check_text(current: &str, baseline: &str, opts: &CheckOptions) -> Result<
     let mut compared = 0usize;
     let mut regressions = 0usize;
     let mut missing = 0usize;
-    for ((point, metric), b) in &base {
+    for ((point, metric), b) in base {
         if !metrics.iter().any(|m| m == metric) {
             continue;
         }
@@ -308,28 +325,74 @@ pub fn check_memory_text(
     Ok(report)
 }
 
+/// One side of a `check` comparison, loaded from disk.
+enum CheckInput {
+    /// A memory-suite bench JSON (raw text; parsed by the memory gate).
+    Memory(String),
+    /// Summary rows — from a parsed `summary.csv` or a run directory's
+    /// durable store.
+    Summary(BTreeMap<(String, String), SummaryRow>),
+}
+
+/// Loads one `check` input. Run **directories** are served from the
+/// durable store ([`crate::store::load_summary_rows`] over the `s/` rows
+/// of `trials.db`), falling back to the directory's `summary.csv` only
+/// when no store is present; **files** route by content (a JSON object
+/// is a memory bench, anything else a summary CSV).
+fn load_input(path: &Path, side: &str) -> Result<CheckInput, LabError> {
+    if path.is_dir() {
+        if let Some(rows) = crate::store::load_summary_rows(path)? {
+            return Ok(CheckInput::Summary(
+                rows.into_iter()
+                    .map(|r| {
+                        (
+                            (r.point, r.metric),
+                            SummaryRow {
+                                mean: r.mean,
+                                count: r.count,
+                            },
+                        )
+                    })
+                    .collect(),
+            ));
+        }
+        let csv = path.join("summary.csv");
+        let text = std::fs::read_to_string(&csv)
+            .map_err(|e| LabError::Io(format!("{}: {e}", csv.display())))?;
+        return Ok(CheckInput::Summary(parse_summary(&text, side)?));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| LabError::Io(format!("{}: {e}", path.display())))?;
+    if text.trim_start().starts_with('{') {
+        Ok(CheckInput::Memory(text))
+    } else {
+        Ok(CheckInput::Summary(parse_summary(&text, side)?))
+    }
+}
+
 /// File-path front end for [`check_text`]/[`check_memory_text`] (the
-/// `ale-lab check` subcommand). Inputs that parse as JSON objects are
-/// routed to the memory-bench comparison; everything else is treated as
-/// a summary CSV.
+/// `ale-lab check` subcommand). Either side may be a summary CSV file,
+/// a memory-bench JSON file, or a **run directory** — directories are
+/// served from the durable store (falling back to their `summary.csv`
+/// when no `trials.db` exists), so gating no longer re-parses CSV for
+/// stored runs. Incomplete (crashed) stores are rejected with a hint to
+/// `run --resume` rather than silently gating partial data.
 ///
 /// # Errors
 ///
-/// IO failures as [`LabError::Io`]; a JSON/CSV input mix as
-/// [`LabError::BadRecord`]; otherwise as the routed checker.
+/// IO failures as [`LabError::Io`]; a JSON/CSV input mix or an
+/// incomplete/truncated store as [`LabError::BadRecord`]; otherwise as
+/// the routed checker.
 pub fn check_files(
     current: &Path,
     baseline: &Path,
     opts: &CheckOptions,
 ) -> Result<String, LabError> {
-    let cur = std::fs::read_to_string(current)
-        .map_err(|e| LabError::Io(format!("{}: {e}", current.display())))?;
-    let base = std::fs::read_to_string(baseline)
-        .map_err(|e| LabError::Io(format!("{}: {e}", baseline.display())))?;
-    let json = |s: &str| s.trim_start().starts_with('{');
-    match (json(&cur), json(&base)) {
-        (true, true) => check_memory_text(&cur, &base, opts),
-        (false, false) => check_text(&cur, &base, opts),
+    let cur = load_input(current, "current")?;
+    let base = load_input(baseline, "baseline")?;
+    match (cur, base) {
+        (CheckInput::Memory(c), CheckInput::Memory(b)) => check_memory_text(&c, &b, opts),
+        (CheckInput::Summary(c), CheckInput::Summary(b)) => check_rows(&c, &b, opts),
         _ => Err(LabError::BadRecord(
             "cannot compare a memory-bench JSON against a summary CSV".into(),
         )),
@@ -523,6 +586,61 @@ mod tests {
             Err(LabError::BadRecord(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_directories_are_served_from_the_store() {
+        use crate::scenario::{GridPoint, TrialRecord};
+        use crate::store;
+        use ale_graph::Topology;
+
+        let dir = std::env::temp_dir().join(format!("ale-lab-checkdir-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let grid = vec![GridPoint::new("cell-a").on(Topology::Cycle { n: 8 })];
+        let mut r = TrialRecord::new("demo", &grid[0], 11);
+        r.messages = 40;
+        r.ok = true;
+        let records = vec![r];
+        let mut summary = crate::agg::RunSummary::new("demo", &grid, 1, 1, 1);
+        summary.record(0, &records[0]);
+        let manifest = store::RunManifest::for_run(
+            "demo",
+            1,
+            1,
+            1,
+            vec!["cell-a".into()],
+            false,
+            "0/1",
+            vec!["topo=cycle(n=8)".into()],
+        );
+        store::write_run(&dir, &manifest, &records, &summary).unwrap();
+
+        // The directory gates against itself, and against its own CSV
+        // view — the store rows carry the same statistics the CSV does.
+        assert!(check_files(&dir, &dir, &CheckOptions::default()).is_ok());
+        assert!(check_files(&dir, &dir.join("summary.csv"), &CheckOptions::default()).is_ok());
+
+        // A directory without a store falls back to its summary.csv.
+        let no_db =
+            std::env::temp_dir().join(format!("ale-lab-checkdir-nodb-{}", std::process::id()));
+        std::fs::create_dir_all(&no_db).unwrap();
+        std::fs::copy(dir.join("summary.csv"), no_db.join("summary.csv")).unwrap();
+        assert!(check_files(&no_db, &dir, &CheckOptions::default()).is_ok());
+
+        // An incomplete (crashed) store is refused, not silently gated.
+        let mut crashed = manifest.clone();
+        crashed.complete = false;
+        std::fs::write(
+            dir.join("manifest.json"),
+            crate::json::ToJson::to_json(&crashed).render_pretty() + "\n",
+        )
+        .unwrap();
+        let err =
+            check_files(&dir, &dir.join("summary.csv"), &CheckOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("--resume"), "{err}");
+
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&no_db).ok();
     }
 
     #[test]

@@ -9,9 +9,10 @@
 //!                        [--n 64,128] [--topo complete:64,...]
 //!                        [--algo this-work,kutten15] [--shard i/k]
 //!                        [--out DIR] [--telemetry PATH] [--quiet]
+//! ale-lab run --resume <run-dir> [--workers N] [--quiet]
 //! ale-lab export <trials.jsonl> [--csv PATH]
 //! ale-lab merge <run-dir> <run-dir> ... [--out DIR]
-//! ale-lab check <summary.csv> --baseline <summary.csv>
+//! ale-lab check <summary.csv|run-dir> --baseline <summary.csv|run-dir>
 //!               [--tolerance 0.25] [--metrics rounds,messages]
 //! ale-lab report <telemetry.jsonl>
 //! ale-lab bench [--quick] [--out DIR]
@@ -36,6 +37,14 @@ USAGE:
                                        space (axes, kinds, defaults);
                                        --json emits a machine-readable dump
     ale-lab run <scenario> [options]   run a scenario's grid × seed fleet
+    ale-lab run --resume <run-dir> [--workers N] [--quiet]
+                                       complete an interrupted run in
+                                       place: the invocation is rebuilt
+                                       from the stored manifest, trials
+                                       already durable in the trials.db
+                                       journal are skipped, and the
+                                       finished store is byte-identical
+                                       to an uninterrupted run
     ale-lab export <trials.jsonl> [--csv PATH]
                                        convert a stored JSONL log to CSV
     ale-lab merge <run-dir> <run-dir> ... [--out DIR]
@@ -44,9 +53,12 @@ USAGE:
                                        complete shard set restores the
                                        unsharded run byte for byte (omit
                                        --out for a dry-run validation)
-    ale-lab check <summary.csv> --baseline <summary.csv> [options]
+    ale-lab check <summary.csv|run-dir> --baseline <summary.csv|run-dir> [options]
                                        fail (exit 1) on cost regressions
-                                       vs a stored baseline summary; two
+                                       vs a stored baseline summary; run
+                                       directories are read from their
+                                       durable store (trials.db) and
+                                       incomplete runs refused; two
                                        BENCH_memory.json files instead
                                        gate bytes/node (tolerance 0.10)
     ale-lab report <telemetry.jsonl>   per-phase wall-clock breakdown of a
@@ -87,8 +99,11 @@ RUN OPTIONS:
     --shard I/K       run every K-th grid point starting at I; the K
                       shards of a sweep union to the full run byte for
                       byte (manifest records the shard)
-    --out DIR         persist manifest.json, trials.jsonl, trials.csv,
-                      summary.csv under DIR
+    --out DIR         persist the durable run store under DIR:
+                      manifest.json, the trials.db keyed journal (each
+                      trial durable the moment it completes — the state
+                      `run --resume` recovers), trials.jsonl, trials.csv,
+                      summary.csv
     --telemetry PATH  stream structured events (spans, counters,
                       histograms) to PATH as JSONL; with --out the stream
                       is also copied to DIR/telemetry.jsonl — a
@@ -113,6 +128,7 @@ EXAMPLES:
     ale-lab run diffusion --n 20000 --quick
     ale-lab run revocable --n 20000 --quick
     ale-lab run scaling --shard 0/4 --out runs/shard0
+    ale-lab run --resume runs/shard0
     ale-lab merge runs/shard0 runs/shard1 runs/shard2 runs/shard3 --out runs/full
     ale-lab export runs/table1/trials.jsonl --csv runs/table1/flat.csv
     ale-lab check runs/new/summary.csv --baseline runs/base/summary.csv
@@ -317,16 +333,50 @@ override any axis with: ale-lab run {} --param <axis>=v1,v2,...
 }
 
 fn cmd_run(args: &[String]) -> Result<String, LabError> {
+    if args.first().map(String::as_str) == Some("--resume") {
+        return cmd_resume(&args[1..]);
+    }
     let (name, spec) = parse_args(args)?;
     let scenario = registry::find(&name).ok_or_else(|| LabError::UnknownScenario(name.clone()))?;
     let output = execute(scenario.as_ref(), &spec)?;
     let mut text = output.report;
     if let Some(dir) = &spec.out {
         text.push_str(&format!(
-            "\nresults stored under {} (manifest.json, trials.jsonl, trials.csv, summary.csv)\n",
+            "\nresults stored under {} (manifest.json, trials.db, trials.jsonl, trials.csv, \
+             summary.csv)\n",
             dir.display()
         ));
     }
+    Ok(text)
+}
+
+fn cmd_resume(args: &[String]) -> Result<String, LabError> {
+    let mut it = args.iter().cloned();
+    let dir = PathBuf::from(
+        it.next()
+            .ok_or_else(|| LabError::BadArgs("run --resume needs a run directory".into()))?,
+    );
+    let mut workers: Option<usize> = None;
+    let mut progress = true;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => workers = Some(parse_u64("--workers", it.next())? as usize),
+            "--quiet" => progress = false,
+            other => {
+                return Err(LabError::BadArgs(format!(
+                    "unknown resume option '{other}' — --resume reuses the stored invocation \
+                     (only --workers and --quiet apply)"
+                )))
+            }
+        }
+    }
+    let output = crate::engine::resume(&dir, workers, progress)?;
+    let mut text = output.report;
+    text.push_str(&format!(
+        "\nresumed run completed in place under {} (manifest.json, trials.db, trials.jsonl, \
+         trials.csv, summary.csv)\n",
+        dir.display()
+    ));
     Ok(text)
 }
 
@@ -591,6 +641,26 @@ mod tests {
         assert_eq!(spec.grid.topologies.len(), 2);
         assert_eq!(spec.out.as_deref(), Some(std::path::Path::new("runs/x")));
         assert!(!spec.progress);
+    }
+
+    #[test]
+    fn resume_usage_errors() {
+        // Missing directory.
+        assert!(matches!(
+            run(&strs(&["run", "--resume"])),
+            Err(LabError::BadArgs(_))
+        ));
+        // Run flags other than --workers/--quiet are refused: the stored
+        // invocation is authoritative.
+        assert!(matches!(
+            run(&strs(&["run", "--resume", "/tmp", "--seeds", "3"])),
+            Err(LabError::BadArgs(_))
+        ));
+        // A directory with no manifest is an IO error.
+        assert!(matches!(
+            run(&strs(&["run", "--resume", "/nonexistent-run-dir"])),
+            Err(LabError::Io(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,475 @@
+//! A pluggable key/value store behind the run directory.
+//!
+//! The lab's durable state — every trial record, plus the summary rows
+//! derived from them — lives behind one small [`Db`] trait (get/put/
+//! iterate over keyed batches), so the engine, `merge`, and `check` can
+//! share a single keyed view of a run regardless of backend:
+//!
+//! * [`MemDb`] — a sorted in-memory map, for tests and scratch unions;
+//! * [`AofDb`] — an append-only file (`trials.db` in a run directory).
+//!   Every [`Db::put`] appends one length-framed entry and reaches the
+//!   OS immediately, so a killed run loses at most the entry being
+//!   written; reopening recovers the valid prefix and reports whether a
+//!   torn tail was dropped. [`AofDb::compact`] rewrites the log sorted
+//!   by key (last put wins) via temp-file + rename, which is what makes
+//!   a finished store byte-identical across run/resume/merge paths.
+//!
+//! Keys are ordered bytes; [`Db::iter_prefix`] returns entries sorted by
+//! key, so fixed-width encodings (see `store::TrialKey`) make
+//! lexicographic order equal numeric order.
+//!
+//! ## Entry framing
+//!
+//! ```text
+//! entry := '#' <key-len> ' ' <value-len> '\n' <key-bytes> <value-bytes> '\n'
+//! ```
+//!
+//! Lengths are ASCII decimals, so the file stays greppable for the JSON
+//! values it carries while still supporting arbitrary bytes. A reader
+//! stops at the first entry that is malformed or runs past end-of-file:
+//! everything before it is the recovered prefix, everything after is the
+//! torn tail a crash left behind.
+
+use crate::scenario::LabError;
+use std::collections::BTreeMap;
+use std::io::{Read as _, Seek as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// A keyed batch store: the persistence seam between the engine and its
+/// backends. Implementations keep keys sorted so prefix scans stream in
+/// key order.
+pub trait Db {
+    /// The value last [`Db::put`] under `key`, if any.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Inserts or overwrites `key` (last put wins).
+    ///
+    /// # Errors
+    ///
+    /// Backend write failures as [`LabError::Io`].
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), LabError>;
+
+    /// Every `(key, value)` whose key starts with `prefix`, sorted by key.
+    fn iter_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+
+    /// Number of distinct keys.
+    fn len(&self) -> usize;
+
+    /// True when no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes buffered writes to the backend.
+    ///
+    /// # Errors
+    ///
+    /// Backend sync failures as [`LabError::Io`].
+    fn flush(&mut self) -> Result<(), LabError>;
+}
+
+/// In-memory [`Db`] backend (a sorted map).
+#[derive(Debug, Default)]
+pub struct MemDb {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl MemDb {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemDb::default()
+    }
+}
+
+impl Db for MemDb {
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.map.get(key).cloned()
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), LabError> {
+        self.map.insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn iter_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.map
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn flush(&mut self) -> Result<(), LabError> {
+        Ok(())
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> LabError {
+    LabError::Io(format!("{}: {e}", path.display()))
+}
+
+/// Renders one length-framed entry.
+fn frame(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(key.len() + value.len() + 24);
+    out.extend_from_slice(format!("#{} {}\n", key.len(), value.len()).as_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+    out.push(b'\n');
+    out
+}
+
+/// Parses entries from `data`; returns the recovered index and the byte
+/// offset of the first malformed/torn entry (== `data.len()` when the
+/// whole file parsed).
+fn replay(data: &[u8]) -> (BTreeMap<Vec<u8>, Vec<u8>>, usize) {
+    let mut index = BTreeMap::new();
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let Some(entry_len) = parse_entry(&data[offset..], &mut index) else {
+            break;
+        };
+        offset += entry_len;
+    }
+    (index, offset)
+}
+
+/// Parses one entry at the start of `data` into `index`; returns its
+/// total length, or `None` when the entry is malformed or incomplete.
+fn parse_entry(data: &[u8], index: &mut BTreeMap<Vec<u8>, Vec<u8>>) -> Option<usize> {
+    if data.first() != Some(&b'#') {
+        return None;
+    }
+    // Header: "#<klen> <vlen>\n" — lengths are short, so cap the scan.
+    let header_end = data.iter().take(40).position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&data[1..header_end]).ok()?;
+    let (klen, vlen) = header.split_once(' ')?;
+    let klen: usize = klen.parse().ok()?;
+    let vlen: usize = vlen.parse().ok()?;
+    let body = header_end + 1;
+    let total = body.checked_add(klen)?.checked_add(vlen)?.checked_add(1)?;
+    if data.len() < total || data[total - 1] != b'\n' {
+        return None;
+    }
+    index.insert(
+        data[body..body + klen].to_vec(),
+        data[body + klen..body + klen + vlen].to_vec(),
+    );
+    Some(total)
+}
+
+/// Append-only-file [`Db`] backend.
+pub struct AofDb {
+    path: PathBuf,
+    /// `None` in read-only snapshots; puts then fail.
+    file: Option<std::fs::File>,
+    index: BTreeMap<Vec<u8>, Vec<u8>>,
+    truncated: bool,
+}
+
+impl AofDb {
+    /// Creates (or truncates) the log at `path`, writable.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures as [`LabError::Io`].
+    pub fn create(path: &Path) -> Result<AofDb, LabError> {
+        let file = std::fs::File::create(path).map_err(|e| io_err(path, e))?;
+        Ok(AofDb {
+            path: path.to_path_buf(),
+            file: Some(file),
+            index: BTreeMap::new(),
+            truncated: false,
+        })
+    }
+
+    /// Opens an existing log for appending, recovering the valid prefix.
+    /// A torn tail (a crash mid-[`Db::put`]) is dropped — the file is
+    /// truncated back to the last complete entry — and
+    /// [`AofDb::truncated`] reports that it happened. A missing file
+    /// starts empty.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures as [`LabError::Io`].
+    pub fn open(path: &Path) -> Result<AofDb, LabError> {
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data).map_err(|e| io_err(path, e))?;
+        let (index, good_len) = replay(&data);
+        let truncated = good_len < data.len();
+        if truncated {
+            file.set_len(good_len as u64).map_err(|e| io_err(path, e))?;
+        }
+        file.seek(std::io::SeekFrom::Start(good_len as u64))
+            .map_err(|e| io_err(path, e))?;
+        Ok(AofDb {
+            path: path.to_path_buf(),
+            file: Some(file),
+            index,
+            truncated,
+        })
+    }
+
+    /// Opens a read-only snapshot: the valid prefix is indexed, the file
+    /// is left untouched (a torn tail stays on disk), and [`Db::put`]
+    /// fails. This is the `check`/`merge` read path.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures as [`LabError::Io`].
+    pub fn open_read(path: &Path) -> Result<AofDb, LabError> {
+        let data = std::fs::read(path).map_err(|e| io_err(path, e))?;
+        let (index, good_len) = replay(&data);
+        Ok(AofDb {
+            path: path.to_path_buf(),
+            file: None,
+            index,
+            truncated: good_len < data.len(),
+        })
+    }
+
+    /// True when opening dropped (or, read-only, skipped) a torn tail.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Rewrites the log as one entry per key, sorted — the canonical
+    /// byte-deterministic form a finished run stores. Written to a temp
+    /// file and renamed into place, so a crash mid-compaction leaves the
+    /// old log intact.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures as [`LabError::Io`].
+    pub fn compact(&mut self) -> Result<(), LabError> {
+        let file_name = self
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_else(|| "db".to_string());
+        let tmp = self.path.with_file_name(format!("{file_name}.tmp"));
+        {
+            let mut out =
+                std::io::BufWriter::new(std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?);
+            for (k, v) in &self.index {
+                out.write_all(&frame(k, v)).map_err(|e| io_err(&tmp, e))?;
+            }
+            out.flush().map_err(|e| io_err(&tmp, e))?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err(&self.path, e))?;
+        if self.file.is_some() {
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&self.path)
+                .map_err(|e| io_err(&self.path, e))?;
+            file.seek(std::io::SeekFrom::End(0))
+                .map_err(|e| io_err(&self.path, e))?;
+            self.file = Some(file);
+        }
+        self.truncated = false;
+        Ok(())
+    }
+}
+
+impl Db for AofDb {
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.index.get(key).cloned()
+    }
+
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), LabError> {
+        let Some(file) = self.file.as_mut() else {
+            return Err(LabError::Io(format!(
+                "{}: store opened read-only",
+                self.path.display()
+            )));
+        };
+        // One write call per entry: a kill between puts never tears an
+        // already-written entry, and a kill mid-write tears only this one
+        // (recovered and dropped by the next open).
+        file.write_all(&frame(key, value))
+            .map_err(|e| io_err(&self.path, e))?;
+        self.index.insert(key.to_vec(), value.to_vec());
+        Ok(())
+    }
+
+    fn iter_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.index
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn flush(&mut self) -> Result<(), LabError> {
+        if let Some(file) = self.file.as_mut() {
+            file.flush().map_err(|e| io_err(&self.path, e))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ale-lab-db-{}-{name}", std::process::id()))
+    }
+
+    /// The shared put script the equivalence tests replay: inserts,
+    /// overwrites, and two key prefixes.
+    fn script(db: &mut dyn Db) {
+        db.put(b"t/a/01", b"one").unwrap();
+        db.put(b"t/a/00", b"zero").unwrap();
+        db.put(b"s/a/rounds", b"{\"mean\":1.0}").unwrap();
+        db.put(b"t/a/01", b"one-rewritten").unwrap();
+        db.put(b"t/b/00", b"other").unwrap();
+        db.flush().unwrap();
+    }
+
+    fn snapshot(db: &dyn Db) -> Vec<(Vec<u8>, Vec<u8>)> {
+        db.iter_prefix(b"")
+    }
+
+    #[test]
+    fn mem_and_aof_backends_are_equivalent() {
+        let path = tmp("equiv.db");
+        std::fs::remove_file(&path).ok();
+        let mut mem = MemDb::new();
+        let mut aof = AofDb::create(&path).unwrap();
+        script(&mut mem);
+        script(&mut aof);
+        assert_eq!(snapshot(&mem), snapshot(&aof));
+        assert_eq!(mem.len(), 4);
+        assert_eq!(mem.get(b"t/a/01"), Some(b"one-rewritten".to_vec()));
+        assert_eq!(aof.get(b"t/a/01"), Some(b"one-rewritten".to_vec()));
+        assert_eq!(mem.get(b"t/nope"), None);
+        // Prefix scans agree and are sorted.
+        let t_mem = mem.iter_prefix(b"t/");
+        let t_aof = aof.iter_prefix(b"t/");
+        assert_eq!(t_mem, t_aof);
+        assert_eq!(t_mem.len(), 3);
+        assert!(t_mem.windows(2).all(|w| w[0].0 < w[1].0));
+        // Reopening the file replays to the same state.
+        drop(aof);
+        let reopened = AofDb::open(&path).unwrap();
+        assert!(!reopened.truncated());
+        assert_eq!(snapshot(&reopened), snapshot(&mem));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_recovered_and_dropped() {
+        let path = tmp("torn.db");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut db = AofDb::create(&path).unwrap();
+            script(&mut db);
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Chop mid-way through the final entry.
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        // Read-only open reports the tear without touching the file.
+        let ro = AofDb::open_read(&path).unwrap();
+        assert!(ro.truncated());
+        assert_eq!(ro.len(), 3);
+        assert_eq!(std::fs::read(&path).unwrap().len(), full.len() - 3);
+        // Writable open drops the tail; appends land cleanly after it.
+        let mut db = AofDb::open(&path).unwrap();
+        assert!(db.truncated());
+        assert_eq!(db.get(b"t/b/00"), None, "torn entry dropped");
+        db.put(b"t/b/00", b"other").unwrap();
+        drop(db);
+        let back = AofDb::open(&path).unwrap();
+        assert!(!back.truncated());
+        assert_eq!(back.get(b"t/b/00"), Some(b"other".to_vec()));
+        assert_eq!(back.len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_prefix_recovers_nothing() {
+        let path = tmp("garbage.db");
+        std::fs::write(&path, b"not an aof\n").unwrap();
+        let db = AofDb::open_read(&path).unwrap();
+        assert!(db.truncated());
+        assert_eq!(db.len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_is_sorted_deduplicated_and_deterministic() {
+        let a = tmp("compact-a.db");
+        let b = tmp("compact-b.db");
+        for p in [&a, &b] {
+            std::fs::remove_file(p).ok();
+        }
+        // Same final state via different put orders.
+        let mut da = AofDb::create(&a).unwrap();
+        script(&mut da);
+        let mut db_b = AofDb::create(&b).unwrap();
+        db_b.put(b"t/b/00", b"other").unwrap();
+        db_b.put(b"s/a/rounds", b"{\"mean\":1.0}").unwrap();
+        db_b.put(b"t/a/00", b"zero").unwrap();
+        db_b.put(b"t/a/01", b"one-rewritten").unwrap();
+        da.compact().unwrap();
+        db_b.compact().unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        // Compacted logs replay to the same index, and stay appendable.
+        da.put(b"z/tail", b"post-compact").unwrap();
+        drop(da);
+        let back = AofDb::open(&a).unwrap();
+        assert!(!back.truncated());
+        assert_eq!(back.get(b"z/tail"), Some(b"post-compact".to_vec()));
+        assert_eq!(back.len(), 5);
+        for p in [&a, &b] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn values_with_newlines_and_tabs_survive_framing() {
+        let path = tmp("binary.db");
+        std::fs::remove_file(&path).ok();
+        let mut db = AofDb::create(&path).unwrap();
+        let value = b"line1\nline2\tcol\n#fake 0 0\n";
+        db.put(b"k\n1", value).unwrap();
+        drop(db);
+        let back = AofDb::open(&path).unwrap();
+        assert!(!back.truncated());
+        assert_eq!(back.get(b"k\n1"), Some(value.to_vec()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_only_snapshots_refuse_puts() {
+        let path = tmp("ro.db");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut db = AofDb::create(&path).unwrap();
+            db.put(b"a", b"1").unwrap();
+        }
+        let mut ro = AofDb::open_read(&path).unwrap();
+        assert!(matches!(ro.put(b"b", b"2"), Err(LabError::Io(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -17,7 +17,9 @@ use crate::agg::RunSummary;
 use crate::fleet;
 use crate::runners::Algorithm;
 use crate::scenario::{GridConfig, LabError, Scenario, TrialRecord};
-use std::path::PathBuf;
+use crate::store::{RunConfig, RunManifest, RunWriter, TrialKey};
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
 
 /// Everything needed to execute one run.
 #[derive(Debug, Clone)]
@@ -123,6 +125,104 @@ fn extract_seeds_per_point(grid: &GridConfig) -> Result<(GridConfig, Option<u64>
 ///
 /// Propagates grid/bind/trial failures and result-store IO errors.
 pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, LabError> {
+    execute_inner(scenario, spec, None)
+}
+
+/// Completes an interrupted (or torn) run directory in place: rebuilds
+/// the [`RunSpec`] from the manifest's stored invocation config,
+/// re-expands the parameter space, verifies it hashes to the stored
+/// sweep identity, recovers every already-durable trial from the
+/// `trials.db` journal (and any valid `trials.jsonl` prefix), executes
+/// only the missing trials, and finishes the store — producing a
+/// directory byte-identical to an uninterrupted run, at any worker
+/// count. `workers` overrides the thread count for the remaining work
+/// only; the manifest keeps the original value.
+///
+/// # Errors
+///
+/// [`LabError::BadArgs`] when the directory is not resumable (pre-v2
+/// manifest with no config, a merged multi-slice store, or a parameter
+/// space that no longer matches the stored one);
+/// [`LabError::BadRecord`] on corrupt journal/log contents; trial and
+/// IO failures propagate.
+pub fn resume(dir: &Path, workers: Option<usize>, progress: bool) -> Result<RunOutput, LabError> {
+    let manifest = crate::store::load_manifest(&dir.join("manifest.json"))?;
+    let Some(config) = manifest.config.clone() else {
+        return Err(LabError::BadArgs(format!(
+            "{}: manifest records no invocation config (store written before resume support) — \
+             re-run the sweep instead",
+            dir.display()
+        )));
+    };
+    let shard = parse_resumable_shard(&manifest.shard, dir)?;
+    let scenario = crate::registry::find(&manifest.scenario).ok_or_else(|| {
+        LabError::UnknownScenario(format!(
+            "{} (named by {}/manifest.json)",
+            manifest.scenario,
+            dir.display()
+        ))
+    })?;
+    let mut topologies = Vec::with_capacity(config.topos.len());
+    for t in &config.topos {
+        topologies.push(
+            t.parse().map_err(|e| {
+                LabError::BadRecord(format!("manifest topology override '{t}': {e}"))
+            })?,
+        );
+    }
+    let mut algos = Vec::with_capacity(config.algos.len());
+    for name in &config.algos {
+        algos.push(Algorithm::from_name(name).ok_or_else(|| {
+            LabError::BadRecord(format!("manifest names unknown algorithm '{name}'"))
+        })?);
+    }
+    let spec = RunSpec {
+        master_seed: manifest.master_seed,
+        seeds: Some(manifest.seeds),
+        workers: workers.unwrap_or(manifest.workers),
+        grid: GridConfig {
+            quick: manifest.quick,
+            ns: config.ns.iter().map(|&n| n as usize).collect(),
+            topologies,
+            params: config.params.clone(),
+        },
+        algos,
+        shard,
+        out: Some(dir.to_path_buf()),
+        progress,
+        telemetry: None,
+    };
+    execute_inner(scenario.as_ref(), &spec, Some(&manifest))
+}
+
+/// Parses a manifest shard label back into `(i, k)`. Merged partial
+/// stores carry multi-index labels (`"0,2/3"`) — those are unions, not
+/// executable slices, so they are not resumable.
+fn parse_resumable_shard(label: &str, dir: &Path) -> Result<(u64, u64), LabError> {
+    let parse = |s: &str| s.parse::<u64>().ok();
+    if let Some((i, k)) = label.split_once('/') {
+        if let (Some(i), Some(k)) = (parse(i), parse(k)) {
+            return Ok((i, k));
+        }
+        if i.contains(',') {
+            return Err(LabError::BadArgs(format!(
+                "{}: shard '{label}' is a merged partial union — resume the remaining original \
+                 shards and merge again instead",
+                dir.display()
+            )));
+        }
+    }
+    Err(LabError::BadArgs(format!(
+        "{}: manifest shard '{label}' is not an 'i/k' slice",
+        dir.display()
+    )))
+}
+
+fn execute_inner(
+    scenario: &dyn Scenario,
+    spec: &RunSpec,
+    resume_from: Option<&RunManifest>,
+) -> Result<RunOutput, LabError> {
     // Declared before any span so it drops last: spans emitted during
     // unwinding/return still reach the sink before it is uninstalled.
     let telemetry_guard = match &spec.telemetry {
@@ -236,7 +336,79 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
     let scenario_name = scenario.name();
     let master = spec.master_seed;
     let telemetry_on = spec.telemetry.is_some();
+
+    // Persist as we go: the manifest (marked incomplete) and the keyed
+    // trials.db journal exist BEFORE the first trial executes, and every
+    // worker makes its record durable the moment it finishes — a kill at
+    // any point leaves a directory `run --resume` can complete.
+    let labels: Vec<String> = grid.iter().map(|p| p.label.clone()).collect();
+    let store_hash = crate::store::space_hash(
+        scenario_name,
+        master,
+        seeds_global,
+        grid_cfg.quick,
+        &resolved_space,
+    );
+    let mut durable: BTreeMap<usize, TrialRecord> = BTreeMap::new();
+    let writer = match &spec.out {
+        Some(dir) => Some(match resume_from {
+            None => {
+                let mut m = RunManifest::for_run(
+                    scenario_name,
+                    master,
+                    seeds_global,
+                    workers,
+                    labels.clone(),
+                    grid_cfg.quick,
+                    &format!("{shard_i}/{shard_k}"),
+                    resolved_space,
+                );
+                m.positions = selected.iter().map(|&i| i as u64).collect();
+                m.counts = counts.clone();
+                m.config = Some(RunConfig {
+                    ns: grid_cfg.ns.iter().map(|&n| n as u64).collect(),
+                    topos: grid_cfg.topologies.iter().map(|t| t.spec()).collect(),
+                    params: grid_cfg.params.clone(),
+                    algos: spec.algos.iter().map(|a| a.to_string()).collect(),
+                });
+                RunWriter::create(dir, &m)?
+            }
+            Some(stored) => {
+                let positions: Vec<u64> = selected.iter().map(|&i| i as u64).collect();
+                verify_resumable(
+                    stored,
+                    &labels,
+                    &positions,
+                    &counts,
+                    &resolved_space,
+                    seeds_global,
+                    store_hash,
+                )?;
+                // Keep the stored manifest verbatim (its `workers`, git
+                // stamps, …) so the finished store is byte-identical to
+                // the uninterrupted run's.
+                let (w, entries) = RunWriter::resume(dir, stored)?;
+                durable = recover_durable(
+                    dir,
+                    &w,
+                    entries,
+                    scenario_name,
+                    store_hash,
+                    master,
+                    &selected,
+                    &labels,
+                    &counts,
+                    &offsets,
+                )?;
+                w
+            }
+        }),
+        None => None,
+    };
+    let missing: Vec<usize> = (0..total).filter(|t| !durable.contains_key(t)).collect();
+
     let grid_ref = &grid;
+    let writer_ref = writer.as_ref();
     let binders_ref = &binders;
     let offsets_ref = &offsets;
     let selected_ref = &selected;
@@ -259,6 +431,19 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
         if wall > 0.0 {
             record.msgs_per_sec = Some(record.messages as f64 / wall);
         }
+        // Durable the moment the trial ends: once the journal append
+        // returns, a crash cannot lose this record.
+        if let Some(w) = writer_ref {
+            w.put(
+                &TrialKey {
+                    scenario: scenario_name.to_string(),
+                    space_hash: store_hash,
+                    position: selected_ref[pi] as u64,
+                    seed_index: si,
+                },
+                &record,
+            )?;
+        }
         trials_done_ref.add(1);
         Ok((pi, record))
     };
@@ -278,10 +463,13 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
             eprintln!("[{scenario_name}] {completed}/{all} trials");
         }
     };
+    // Only the tasks the journal does not already hold execute; a fresh
+    // run has them all missing, a resume typically few.
+    let missing_ref = &missing;
     let raw = fleet::run_indexed_with_progress(
-        total,
+        missing_ref.len(),
         workers,
-        task,
+        move |j| task(missing_ref[j]),
         spec.progress
             .then_some(&progress_fn as &(dyn Fn(usize, usize) + Sync)),
     );
@@ -290,26 +478,6 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
     // the workers, so the event sequence is deterministic at any worker
     // count (wall-clock attribute values still vary, sequences do not).
     let mut summary = RunSummary::new(scenario_name, &grid, master, seeds_global, workers);
-    // Stream records to the store as they merge: a large-n ladder run's
-    // trial log reaches disk record by record instead of being buffered
-    // behind the whole merge (the CSV views, which need the full record
-    // set, are derived once at finish).
-    let mut writer = match &spec.out {
-        Some(dir) => {
-            let manifest = crate::store::RunManifest::for_run(
-                scenario_name,
-                master,
-                seeds_global,
-                workers,
-                grid_ref.iter().map(|p| p.label.clone()).collect(),
-                grid_cfg.quick,
-                &format!("{shard_i}/{shard_k}"),
-                resolved_space,
-            );
-            Some(crate::store::RunWriter::create(dir, &manifest)?)
-        }
-        None => None,
-    };
     let mut records = Vec::with_capacity(total);
     let mut wall_hist = ale_telemetry::Histogram::new("trial_wall_us");
     // (point index, wall_ms, messages, rounds, trials) of the point
@@ -345,8 +513,23 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
         }
         ale_telemetry::emit_span("point", (wall_ms * 1e3) as u64, attrs);
     };
-    for item in raw {
-        let (pi, record) = item?;
+    // Merge durable (journal-recovered) and fresh (fleet) results back
+    // into the dense task order: `missing` is ascending and the fleet
+    // returns results in task-submission order, so pulling the next
+    // fresh result exactly when a task is not durable reproduces the
+    // uninterrupted run's record sequence.
+    let mut fresh = raw.into_iter();
+    for t in 0..total {
+        let record = match durable.remove(&t) {
+            Some(r) => r,
+            None => {
+                let (_, r) = fresh
+                    .next()
+                    .expect("fleet returned fewer results than missing tasks")?;
+                r
+            }
+        };
+        let pi = offsets.partition_point(|&o| o <= t as u64) - 1;
         if ale_telemetry::enabled() {
             let wall_ms = record.wall_ms.unwrap_or(0.0);
             wall_hist.record((wall_ms * 1e3) as u64);
@@ -401,9 +584,6 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
             };
         }
         summary.record(pi, &record);
-        if let Some(w) = writer.as_mut() {
-            w.append(&record)?;
-        }
         records.push(record);
     }
     if let Some((pi, wall, msgs, rounds, trials)) = open_point.take() {
@@ -414,7 +594,7 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
 
     let report = scenario.summarize(&summary);
 
-    if let Some(w) = writer.take() {
+    if let Some(w) = writer {
         w.finish(&records, &summary)?;
     }
 
@@ -436,6 +616,151 @@ pub fn execute(scenario: &dyn Scenario, spec: &RunSpec) -> Result<RunOutput, Lab
         summary,
         report,
     })
+}
+
+/// Checks that a re-expanded sweep matches the manifest it resumes:
+/// already-durable records keyed under the stored identity must mean the
+/// same trials today, or completing the run would silently mix sweeps.
+fn verify_resumable(
+    stored: &RunManifest,
+    labels: &[String],
+    positions: &[u64],
+    counts: &[u64],
+    resolved_space: &[String],
+    seeds_global: u64,
+    hash: u64,
+) -> Result<(), LabError> {
+    let drift = |what: &str| {
+        LabError::BadArgs(format!(
+            "--resume: the re-expanded parameter space does not match the stored manifest \
+             ({what} changed) — the scenario or its overrides drifted since the run started, \
+             so its records cannot be completed; start a fresh run"
+        ))
+    };
+    if stored.space != resolved_space {
+        return Err(drift("resolved space"));
+    }
+    if stored.seeds != seeds_global {
+        return Err(drift("seed count"));
+    }
+    if stored.space_hash != 0 && stored.space_hash != hash {
+        return Err(drift("space hash"));
+    }
+    if stored.grid != labels {
+        return Err(drift("grid labels"));
+    }
+    if stored.effective_positions() != positions {
+        return Err(drift("grid positions"));
+    }
+    if stored.effective_counts() != counts {
+        return Err(drift("per-point trial counts"));
+    }
+    Ok(())
+}
+
+/// Collects every already-durable trial of a resumed run, keyed by dense
+/// task index: the `trials.db` journal's recovered prefix, plus any
+/// valid `trials.jsonl` prefix (a finished store whose journal was lost,
+/// or a log truncated by the crash) — jsonl-only records are re-put into
+/// the journal so they stay durable through the resumed run too. Every
+/// record is validated against the sweep identity (key fields, derived
+/// seed, point label) before being trusted.
+#[allow(clippy::too_many_arguments)]
+fn recover_durable(
+    dir: &Path,
+    writer: &RunWriter,
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    scenario_name: &str,
+    hash: u64,
+    master: u64,
+    selected: &[usize],
+    labels: &[String],
+    counts: &[u64],
+    offsets: &[u64],
+) -> Result<BTreeMap<usize, TrialRecord>, LabError> {
+    let mut durable: BTreeMap<usize, TrialRecord> = BTreeMap::new();
+    let pos_to_pi: HashMap<u64, usize> = selected
+        .iter()
+        .enumerate()
+        .map(|(pi, &i)| (i as u64, pi))
+        .collect();
+    let bad = |key: &[u8], why: &str| {
+        LabError::BadRecord(format!(
+            "{}/trials.db: entry '{}' {why}",
+            dir.display(),
+            String::from_utf8_lossy(key)
+        ))
+    };
+    for (key, value) in entries {
+        let k = TrialKey::decode(&key)?;
+        if k.scenario != scenario_name || k.space_hash != hash {
+            return Err(bad(&key, "belongs to a different sweep"));
+        }
+        let Some(&pi) = pos_to_pi.get(&k.position) else {
+            return Err(bad(&key, "names a grid position outside this shard"));
+        };
+        if k.seed_index >= counts[pi] {
+            return Err(bad(&key, "has a seed index beyond the point's trial count"));
+        }
+        let text =
+            std::str::from_utf8(&value).map_err(|_| bad(&key, "holds a non-UTF-8 payload"))?;
+        let record = crate::json::parse(text)
+            .map_err(LabError::BadRecord)
+            .and_then(|v| TrialRecord::from_json(&v))
+            .map_err(|e| bad(&key, &format!("does not parse: {e}")))?;
+        let seed = fleet::derive_seed(master, k.position, k.seed_index);
+        if record.seed != seed || record.point != labels[pi] {
+            return Err(bad(&key, "payload disagrees with its key (corruption)"));
+        }
+        durable.insert((offsets[pi] + k.seed_index) as usize, record);
+    }
+    let jsonl = dir.join("trials.jsonl");
+    if jsonl.exists() {
+        let (recovered, _truncated) = crate::store::load_jsonl_recover(&jsonl)?;
+        let mut task_of: HashMap<(String, u64), usize> = HashMap::new();
+        for (pi, label) in labels.iter().enumerate() {
+            for si in 0..counts[pi] {
+                let seed = fleet::derive_seed(master, selected[pi] as u64, si);
+                task_of.insert((label.clone(), seed), (offsets[pi] + si) as usize);
+            }
+        }
+        for record in recovered {
+            let Some(&task) = task_of.get(&(record.point.clone(), record.seed)) else {
+                return Err(LabError::BadRecord(format!(
+                    "{}/trials.jsonl: record for point '{}' seed {} is outside this sweep",
+                    dir.display(),
+                    record.point,
+                    record.seed
+                )));
+            };
+            match durable.entry(task) {
+                std::collections::btree_map::Entry::Occupied(slot) => {
+                    if slot.get() != &record {
+                        return Err(LabError::BadRecord(format!(
+                            "{}: trials.jsonl and trials.db disagree on point '{}' seed {}",
+                            dir.display(),
+                            record.point,
+                            record.seed
+                        )));
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    let pi = offsets.partition_point(|&o| o <= task as u64) - 1;
+                    writer.put(
+                        &TrialKey {
+                            scenario: scenario_name.to_string(),
+                            space_hash: hash,
+                            position: selected[pi] as u64,
+                            seed_index: task as u64 - offsets[pi],
+                        },
+                        &record,
+                    )?;
+                    slot.insert(record);
+                }
+            }
+        }
+    }
+    Ok(durable)
 }
 
 #[cfg(test)]

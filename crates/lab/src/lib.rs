@@ -8,9 +8,12 @@
 //! derive positionally from one master seed via a SplitMix64 stream).
 //!
 //! Results stream into bounded-memory aggregates (mean/CI95/min/max plus
-//! capped-exact medians) and persist as JSONL + CSV with a run manifest
-//! (scenario, master seed, grid, `git describe`) so runs are resumable
-//! and comparable across PRs.
+//! capped-exact medians) and persist as a durable keyed store: every
+//! trial is journaled under `(scenario, space-hash, grid-position,
+//! seed-index)` the moment it completes, alongside JSONL + CSV views and
+//! a run manifest (scenario, master seed, grid, invocation config, git
+//! stamp, completion marker) — so a killed sweep is completed in place
+//! by `run --resume` and runs stay comparable across PRs.
 //!
 //! ## Layers
 //!
@@ -21,7 +24,10 @@
 //! * [`scenarios`] / [`registry`] — the 11 built-in experiments;
 //! * [`engine`] — space → expand → bind → fleet → aggregate → store;
 //! * [`agg`] / [`stats`] — streaming statistics;
-//! * [`store`] / [`json`] — JSONL/CSV persistence with manifests;
+//! * [`db`] — the pluggable keyed-batch [`db::Db`] trait (in-memory and
+//!   append-only-file backends) the durable store journals through;
+//! * [`store`] / [`json`] — the keyed run store (`trials.db` journal,
+//!   JSONL/CSV views, manifests with completion markers);
 //! * [`check`] — baseline regression gating over `summary.csv` files;
 //! * [`telemetry`] — the JSONL event sink and engine round-batch adapter
 //!   behind `run --telemetry` (see also the zero-dependency
@@ -60,6 +66,7 @@ pub mod agg;
 pub mod bench;
 pub mod check;
 pub mod cli;
+pub mod db;
 pub mod engine;
 pub mod fit;
 pub mod fleet;

@@ -3,30 +3,36 @@
 //! A `--shard i/k` sweep produces `k` run directories whose trial records
 //! are, by the engine's determinism contract, exactly the trials the full
 //! run would have produced for the points each shard selected. `merge`
-//! validates that the shards really belong to one logical sweep —
-//! same scenario, master seed, seed count, quick flag, and shard divisor;
-//! distinct shard indices; disjoint grids — and then unions them:
+//! validates that the shards really belong to one logical sweep — same
+//! scenario, master seed, seed count, quick flag, resolved space, and
+//! shard divisor; distinct shard indices; disjoint grids — and that each
+//! shard is **whole**: a manifest still marked incomplete, a truncated
+//! `trials.jsonl`, or a record set that does not cover every
+//! `(grid point, seed index)` key the shard's manifest promises is
+//! rejected with a diagnostic naming the shard and the missing keys
+//! (`run --resume` the shard first).
 //!
-//! * when **all** `k` shards are present, the merged directory is
-//!   byte-identical to what `--shard 0/1` (no sharding) would have
-//!   written for `trials.jsonl`/`trials.csv`: grid points are re-
-//!   interleaved into full-grid order (shard `i` held positions
-//!   `i, i+k, …` of the grid) and records follow their points;
-//! * a **partial** union interleaves the present shards the same way
-//!   (round-robin over the ascending slice indices) and records which
-//!   slices it contains (e.g. shard `"0,2/4"`). That layout keeps every
-//!   constituent slice recoverable, so a partial merge's output is a
-//!   valid *input* to a later merge — the remaining shard directories
-//!   can finish the job.
+//! The union itself is a store union over keys: every grid point carries
+//! its full-grid *position* (stored in v2 manifests; reconstructed from
+//! the shard arithmetic for older ones), the merged grid is the points
+//! sorted by position, and records follow their points. When all `k`
+//! shards are present that order **is** the unsharded run's, so the
+//! merged directory is byte-identical to what `--shard 0/1` would have
+//! written — `trials.jsonl`, `trials.csv`, and the compacted `trials.db`
+//! journal alike. A partial union keeps per-point positions in its
+//! manifest and records which slices it contains (e.g. shard `"0,2/4"`),
+//! so its output is a valid *input* to a later merge — the remaining
+//! shard directories can finish the job.
 //!
 //! The merged `summary.csv` is recomputed from the unioned records
 //! ([`RunSummary::from_records`]); `manifest.json` carries the union
 //! shard label and the max worker count (informational).
 
 use crate::agg::RunSummary;
+use crate::fleet;
 use crate::scenario::{LabError, TrialRecord};
 use crate::store::{self, RunManifest};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// One constituent shard slice recovered from an input directory. A raw
@@ -35,7 +41,15 @@ use std::path::{Path, PathBuf};
 struct Slice {
     dir: PathBuf,
     index: u64,
-    grid: Vec<String>,
+}
+
+/// One grid point of the union: full-grid position, label, expected
+/// trial count, and the input directory it came from.
+struct KeyedPoint {
+    position: u64,
+    label: String,
+    count: u64,
+    dir: PathBuf,
 }
 
 /// Parses a shard label: `"i/k"` from the engine, `"i1,i2,…/k"` from a
@@ -62,47 +76,100 @@ fn parse_shard_label(label: &str) -> Result<(Vec<u64>, u64), LabError> {
     Ok((indices, k))
 }
 
-/// Splits an input's grid back into its constituent slices. Merge output
-/// is always interleaved round-robin over the ascending slice indices
-/// (matching the engine's full-grid position order), so slice `r` of `s`
-/// owns grid positions `r, r+s, …` of the stored grid.
-fn split_slices(dir: &Path, indices: &[u64], grid: &[String]) -> Vec<Slice> {
-    let s = indices.len();
-    let mut grids: Vec<Vec<String>> = vec![Vec::new(); s];
-    for (j, label) in grid.iter().enumerate() {
-        grids[j % s].push(label.clone());
+/// The full-grid position of every grid entry: v2 manifests store them;
+/// for older ones, reconstruct from the shard arithmetic. A raw shard
+/// `i/k` holds positions `i, i+k, i+2k, …` in order; a pre-v2 partial
+/// merge dealt its grid round-robin over the ascending slice indices
+/// (block `b` of slice `r` at grid index `b·s + r`), which inverts to
+/// `indices[j mod s] + (j div s)·k`.
+fn grid_positions(manifest: &RunManifest, indices: &[u64], k: u64) -> Vec<u64> {
+    if manifest.positions.len() == manifest.grid.len() {
+        return manifest.positions.clone();
     }
-    indices
-        .iter()
-        .zip(grids)
-        .map(|(&index, grid)| Slice {
-            dir: dir.to_path_buf(),
-            index,
-            grid,
-        })
+    let s = indices.len();
+    (0..manifest.grid.len())
+        .map(|j| indices[j % s] + (j / s) as u64 * k)
         .collect()
 }
 
-/// Interleaves slices (sorted by index) round-robin, which for a complete
-/// slice set is exactly the engine's full-grid order: position `p` of the
-/// full grid belongs to shard `p mod k` at offset `p div k`.
-fn interleave(slices: &[Slice]) -> Vec<String> {
-    let longest = slices.iter().map(|s| s.grid.len()).max().unwrap_or(0);
-    let mut grid = Vec::with_capacity(slices.iter().map(|s| s.grid.len()).sum());
-    for block in 0..longest {
-        for s in slices {
-            if let Some(label) = s.grid.get(block) {
-                grid.push(label.clone());
+fn resume_hint(dir: &Path) -> String {
+    format!(
+        "complete it with `ale-lab run --resume {}` before merging",
+        dir.display()
+    )
+}
+
+/// Loads one input directory, rejecting interrupted or torn stores: a
+/// manifest still marked incomplete, or a `trials.jsonl` whose final
+/// record was cut mid-line.
+fn load_shard(dir: &Path) -> Result<(RunManifest, Vec<TrialRecord>), LabError> {
+    let manifest = store::load_manifest(&dir.join("manifest.json"))?;
+    if !manifest.complete {
+        return Err(LabError::BadRecord(format!(
+            "{}: run is incomplete (crashed or still running) — {}",
+            dir.display(),
+            resume_hint(dir)
+        )));
+    }
+    let (records, truncated) = store::load_jsonl_recover(&dir.join("trials.jsonl"))?;
+    if truncated {
+        return Err(LabError::BadRecord(format!(
+            "{}: trials.jsonl is truncated mid-record — the shard lost data; {}",
+            dir.display(),
+            resume_hint(dir)
+        )));
+    }
+    Ok((manifest, records))
+}
+
+/// Checks that a shard's records cover every `(grid point, seed index)`
+/// key its manifest promises — `seeds × |grid slice|` trials, each under
+/// its positionally-derived seed. Named missing keys make a silently
+/// short shard (a kill the manifest never witnessed, a hand-edited log)
+/// loud.
+fn check_shard_covers_its_keys(
+    dir: &Path,
+    manifest: &RunManifest,
+    records: &[TrialRecord],
+    positions: &[u64],
+) -> Result<(), LabError> {
+    let counts = manifest.effective_counts();
+    let mut seen: BTreeMap<&str, BTreeSet<u64>> = BTreeMap::new();
+    for r in records {
+        seen.entry(r.point.as_str()).or_default().insert(r.seed);
+    }
+    let mut missing: Vec<String> = Vec::new();
+    for ((label, &position), &count) in manifest.grid.iter().zip(positions).zip(&counts) {
+        let seeds = seen.get(label.as_str());
+        for si in 0..count {
+            let seed = fleet::derive_seed(manifest.master_seed, position, si);
+            if !seeds.is_some_and(|s| s.contains(&seed)) {
+                missing.push(format!("('{label}', seed index {si})"));
             }
         }
     }
-    grid
-}
-
-fn load_shard(dir: &Path) -> Result<(RunManifest, Vec<TrialRecord>), LabError> {
-    let manifest = store::load_manifest(&dir.join("manifest.json"))?;
-    let records = store::load_jsonl(&dir.join("trials.jsonl"))?;
-    Ok((manifest, records))
+    if !missing.is_empty() {
+        let total = missing.len();
+        let shown = missing.into_iter().take(8).collect::<Vec<_>>().join(", ");
+        let more = if total > 8 { ", …" } else { "" };
+        return Err(LabError::BadRecord(format!(
+            "{}: shard {} is missing {total} trial(s): {shown}{more} — {}",
+            dir.display(),
+            manifest.shard,
+            resume_hint(dir)
+        )));
+    }
+    let expected: u64 = counts.iter().sum();
+    if records.len() as u64 != expected {
+        return Err(LabError::BadRecord(format!(
+            "{}: shard {} holds {} records where its manifest promises {expected} — \
+             duplicated or foreign trials",
+            dir.display(),
+            manifest.shard,
+            records.len()
+        )));
+    }
+    Ok(())
 }
 
 /// Checks that two shard manifests describe the same logical sweep.
@@ -141,13 +208,14 @@ fn check_compatible(a: &RunManifest, b: &RunManifest, dir: &Path) -> Result<(), 
 /// Merges sharded run directories; returns the report text.
 ///
 /// With `out`, writes a complete merged run directory (`manifest.json`,
-/// `trials.jsonl`, `trials.csv`, `summary.csv`); without, only validates
-/// and reports (a dry run).
+/// `trials.db`, `trials.jsonl`, `trials.csv`, `summary.csv`); without,
+/// only validates and reports (a dry run).
 ///
 /// # Errors
 ///
 /// [`LabError::BadArgs`] on incompatible or overlapping shards,
-/// [`LabError::BadRecord`]/[`LabError::Io`] on unreadable inputs.
+/// [`LabError::BadRecord`] on incomplete/truncated shards or unreadable
+/// inputs, [`LabError::Io`] on filesystem failures.
 pub fn merge_dirs(dirs: &[PathBuf], out: Option<&Path>) -> Result<String, LabError> {
     if dirs.len() < 2 {
         return Err(LabError::BadArgs(
@@ -158,6 +226,7 @@ pub fn merge_dirs(dirs: &[PathBuf], out: Option<&Path>) -> Result<String, LabErr
     let mut manifests: Vec<RunManifest> = Vec::new();
     let mut all_records: Vec<TrialRecord> = Vec::new();
     let mut slices: Vec<Slice> = Vec::new();
+    let mut points: Vec<KeyedPoint> = Vec::new();
     let mut divisor: Option<u64> = None;
     for dir in dirs {
         let (manifest, records) = load_shard(dir)?;
@@ -175,58 +244,65 @@ pub fn merge_dirs(dirs: &[PathBuf], out: Option<&Path>) -> Result<String, LabErr
         if let Some(first) = manifests.first() {
             check_compatible(first, &manifest, dir)?;
         }
-        for slice in split_slices(dir, &indices, &manifest.grid) {
-            if let Some(dup) = slices.iter().find(|s| s.index == slice.index) {
+        let positions = grid_positions(&manifest, &indices, k);
+        check_shard_covers_its_keys(dir, &manifest, &records, &positions)?;
+        for &index in &indices {
+            if let Some(dup) = slices.iter().find(|s| s.index == index) {
                 return Err(LabError::BadArgs(format!(
-                    "{} and {} both contain shard {}/{k}",
+                    "{} and {} both contain shard {index}/{k}",
                     dup.dir.display(),
                     dir.display(),
-                    slice.index
                 )));
             }
-            slices.push(slice);
+            slices.push(Slice {
+                dir: dir.to_path_buf(),
+                index,
+            });
+        }
+        let counts = manifest.effective_counts();
+        for ((label, &position), &count) in manifest.grid.iter().zip(&positions).zip(&counts) {
+            points.push(KeyedPoint {
+                position,
+                label: label.clone(),
+                count,
+                dir: dir.to_path_buf(),
+            });
         }
         manifests.push(manifest);
         all_records.extend(records);
     }
     let k = divisor.expect("at least two inputs loaded");
 
-    // Grids of one sweep are disjoint by construction; overlap means the
-    // inputs are not what they claim to be.
+    // Grids of one sweep are disjoint by construction; a duplicated
+    // label or full-grid position means the inputs are not what they
+    // claim to be.
     let mut seen: BTreeMap<String, PathBuf> = BTreeMap::new();
-    for s in &slices {
-        for label in &s.grid {
-            if let Some(prev) = seen.insert(label.clone(), s.dir.clone()) {
-                return Err(LabError::BadArgs(format!(
-                    "grid point '{label}' appears in both {} and {}",
-                    prev.display(),
-                    s.dir.display()
-                )));
-            }
+    for p in &points {
+        if let Some(prev) = seen.insert(p.label.clone(), p.dir.clone()) {
+            return Err(LabError::BadArgs(format!(
+                "grid point '{}' appears in both {} and {}",
+                p.label,
+                prev.display(),
+                p.dir.display()
+            )));
         }
     }
-
+    // The union over keys: points sorted by full-grid position. For a
+    // complete slice set this IS the unsharded run's grid order.
+    points.sort_by_key(|p| p.position);
+    for w in points.windows(2) {
+        if w[0].position == w[1].position {
+            return Err(LabError::BadArgs(format!(
+                "grid position {} appears in both {} and {} — not slices of one grid",
+                w[0].position,
+                w[0].dir.display(),
+                w[1].dir.display()
+            )));
+        }
+    }
     slices.sort_by_key(|s| s.index);
-    // Sanity: full-grid slicing gives ascending indices non-increasing
-    // grid lengths, never differing by more than one.
-    for w in slices.windows(2) {
-        if w[1].grid.len() > w[0].grid.len() {
-            return Err(LabError::BadRecord(format!(
-                "shard {} has more grid points than shard {} — not slices of one grid",
-                w[1].index, w[0].index
-            )));
-        }
-    }
-    if let (Some(first), Some(last)) = (slices.first(), slices.last()) {
-        if first.grid.len() > last.grid.len() + 1 {
-            return Err(LabError::BadRecord(format!(
-                "shard {} and shard {} grid sizes differ by more than one —                  not slices of one grid",
-                first.index, last.index
-            )));
-        }
-    }
     let complete = slices.len() as u64 == k;
-    let grid = interleave(&slices);
+    let grid: Vec<String> = points.iter().map(|p| p.label.clone()).collect();
     let shard_label = if complete {
         "0/1".to_string()
     } else {
@@ -273,14 +349,26 @@ pub fn merge_dirs(dirs: &[PathBuf], out: Option<&Path>) -> Result<String, LabErr
         &shard_label,
         first.space.clone(),
     );
+    manifest.positions = points.iter().map(|p| p.position).collect();
+    manifest.counts = points.iter().map(|p| p.count).collect();
+    // The invocation config survives only when every input agrees (a
+    // merged whole sweep is resumable/reproducible; mixed inputs not).
+    let configs: Vec<_> = manifests.iter().map(|m| m.config.as_ref()).collect();
+    manifest.config = match configs.first() {
+        Some(Some(c)) if configs.iter().all(|x| *x == Some(*c)) => Some((*c).clone()),
+        _ => None,
+    };
     // Preserve provenance: the producing trees' git state, not the
     // merging tree's.
-    let gits: Vec<&str> = manifests.iter().map(|m| m.git.as_str()).collect();
-    manifest.git = if gits.windows(2).all(|w| w[0] == w[1]) {
-        gits[0].to_string()
-    } else {
-        "mixed".to_string()
+    let pick = |values: Vec<&str>| {
+        if values.windows(2).all(|w| w[0] == w[1]) {
+            values[0].to_string()
+        } else {
+            "mixed".to_string()
+        }
     };
+    manifest.git = pick(manifests.iter().map(|m| m.git.as_str()).collect());
+    manifest.git_describe = pick(manifests.iter().map(|m| m.git_describe.as_str()).collect());
 
     let mut report = format!(
         "merged {} shard slices of '{}' (master seed {}, {} seeds/point): \
@@ -300,7 +388,8 @@ pub fn merge_dirs(dirs: &[PathBuf], out: Option<&Path>) -> Result<String, LabErr
     if let Some(dir) = out {
         store::write_run(dir, &manifest, &records, &summary)?;
         report.push_str(&format!(
-            "results stored under {} (manifest.json, trials.jsonl, trials.csv, summary.csv)\n",
+            "results stored under {} (manifest.json, trials.db, trials.jsonl, trials.csv, \
+             summary.csv)\n",
             dir.display()
         ));
         // Telemetry is a side-channel outside the byte-identical store
@@ -430,10 +519,19 @@ mod tests {
             read(&full.join("summary.csv")),
             read(&merged.join("summary.csv"))
         );
+        // So does the compacted keyed journal: same sweep identity, same
+        // keys, same record payloads.
+        assert_eq!(
+            std::fs::read(full.join("trials.db")).unwrap(),
+            std::fs::read(merged.join("trials.db")).unwrap()
+        );
         let m = store::load_manifest(&merged.join("manifest.json")).unwrap();
         assert_eq!(m.shard, "0/1");
         let f = store::load_manifest(&full.join("manifest.json")).unwrap();
         assert_eq!(m.grid, f.grid, "full-grid order restored");
+        assert_eq!(m.positions, f.positions);
+        assert_eq!(m.counts, f.counts);
+        assert_eq!(m.space_hash, f.space_hash);
 
         std::fs::remove_dir_all(&base).ok();
     }
@@ -450,6 +548,10 @@ mod tests {
         assert!(report.contains("partial union"), "{report}");
         let m = store::load_manifest(&merged.join("manifest.json")).unwrap();
         assert_eq!(m.shard, "0,2/3", "ascending indices");
+        // Positions survive the union (sorted), so a later merge can key
+        // on them.
+        assert!(m.positions.windows(2).all(|w| w[0] < w[1]));
+        assert!(m.positions.iter().all(|p| p % 3 != 1));
         // Records survive a load round-trip and cover both shards.
         let records = store::load_jsonl(&merged.join("trials.jsonl")).unwrap();
         let s0_records = store::load_jsonl(&s0.join("trials.jsonl")).unwrap();
@@ -488,6 +590,10 @@ mod tests {
         assert_eq!(
             read(&full.join("summary.csv")),
             read(&merged.join("summary.csv"))
+        );
+        assert_eq!(
+            std::fs::read(full.join("trials.db")).unwrap(),
+            std::fs::read(merged.join("trials.db")).unwrap()
         );
         std::fs::remove_dir_all(&base).ok();
     }
@@ -539,6 +645,53 @@ mod tests {
         // Dry run on valid shards succeeds without writing anything.
         let report = merge_dirs(&[s0, s1], None).unwrap();
         assert!(report.contains("dry run"));
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn truncated_or_incomplete_shards_are_rejected_with_a_diagnostic() {
+        let base = tmp("torn");
+        let s0 = base.join("s0");
+        let s1 = base.join("s1");
+        run_with((0, 2), &s0);
+        run_with((1, 2), &s1);
+
+        // Truncate s1's trial log mid-record: merge must refuse, naming
+        // the shard.
+        let log = s1.join("trials.jsonl");
+        let text = read(&log);
+        std::fs::write(&log, &text[..text.len() - 9]).unwrap();
+        let err = merge_dirs(&[s0.clone(), s1.clone()], None).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("truncated"), "{msg}");
+        assert!(msg.contains("s1"), "names the shard: {msg}");
+        assert!(msg.contains("--resume"), "{msg}");
+
+        // Cleanly drop a whole record (valid JSONL, one trial short):
+        // the key-coverage check catches it and names the missing keys.
+        let keep: Vec<&str> = text.lines().collect();
+        std::fs::write(&log, format!("{}\n", keep[..keep.len() - 1].join("\n"))).unwrap();
+        let err = merge_dirs(&[s0.clone(), s1.clone()], None).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("missing 1 trial(s)"), "{msg}");
+        assert!(msg.contains("seed index 2"), "names the key: {msg}");
+
+        // Restore the log but mark the manifest incomplete: still refused.
+        std::fs::write(&log, &text).unwrap();
+        assert!(merge_dirs(&[s0.clone(), s1.clone()], None).is_ok());
+        let manifest_path = s1.join("manifest.json");
+        let mut manifest = store::load_manifest(&manifest_path).unwrap();
+        manifest.complete = false;
+        std::fs::write(
+            &manifest_path,
+            crate::json::ToJson::to_json(&manifest).render_pretty() + "\n",
+        )
+        .unwrap();
+        let err = merge_dirs(&[s0, s1], None).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("incomplete"), "{msg}");
+        assert!(msg.contains("--resume"), "{msg}");
+
         std::fs::remove_dir_all(&base).ok();
     }
 }

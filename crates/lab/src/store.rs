@@ -1,29 +1,166 @@
-//! The result store: run manifests, JSONL trial logs, and CSV exports.
+//! The result store: run manifests, a keyed durable journal, JSONL trial
+//! logs, and CSV exports.
 //!
 //! Layout of one run directory:
 //!
 //! ```text
 //! <out>/
-//!   manifest.json   — scenario, master seed, grid labels, git describe
+//!   manifest.json   — scenario, master seed, grid + positions, config,
+//!                     git stamp, `complete` marker (written LAST)
+//!   trials.db       — append-only keyed journal (crate::db::AofDb): one
+//!                     entry per trial, durable the moment the trial
+//!                     finishes; plus the summary rows after completion
 //!   trials.jsonl    — one TrialRecord per line, (point, seed-index) order
 //!   trials.csv      — the same records, flat columns (extras unioned)
 //!   summary.csv     — per-(point, metric) streaming statistics
 //! ```
 //!
-//! JSONL is the source of truth: append-friendly, diff-friendly, and
-//! parseable without this crate. `trials.csv`/`summary.csv` are derived
-//! conveniences for plotting. Because record order is deterministic (see
-//! [`crate::engine`]), two runs with the same spec produce byte-identical
-//! stores — the property the determinism tests pin.
+//! `trials.db` is the crash-safe source of truth while a run executes:
+//! every record is [`crate::db::Db::put`] under its [`TrialKey`] —
+//! `(scenario, space-hash, grid-position, seed-index)` — as soon as a
+//! worker produces it, so a killed sweep can be completed by `ale-lab run
+//! --resume` instead of restarted. The derived views (`trials.jsonl`,
+//! `trials.csv`, `summary.csv`) are written at [`RunWriter::finish`] via
+//! temp-file + rename, the journal is compacted to its sorted canonical
+//! form, and only then is the manifest rewritten with `complete: true` —
+//! so an interrupted run is always distinguishable from a finished one.
+//! Because record order is deterministic (see [`crate::engine`]), two
+//! runs with the same spec — or a killed-and-resumed run — produce
+//! byte-identical stores; the property the determinism and resume tests
+//! pin.
 
 use crate::agg::RunSummary;
+use crate::db::{AofDb, Db as _};
 use crate::json::{parse, ToJson, Value};
 use crate::scenario::{LabError, TrialRecord};
 use crate::table::Table;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fs;
-use std::io::Write as _;
 use std::path::Path;
+
+/// Manifest schema version written by this tree. Version 2 added the
+/// durable-store fields: `positions`, `counts`, `config`, `space_hash`,
+/// `complete`, `git_describe` (and changed `git` to the [`git_stamp`]
+/// form).
+pub const STORE_VERSION: u32 = 2;
+
+/// The raw invocation a run was launched with — enough to re-expand the
+/// exact same grid for `run --resume`. Unlike the resolved `space` lines
+/// (which record the *output* of expansion, including per-combination
+/// linked-axis values that cannot be replayed as overrides), this is the
+/// *input*: the `--n`/`--topo`/`--param`/`--algo` overrides as given.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunConfig {
+    /// `--n` sizes.
+    pub ns: Vec<u64>,
+    /// `--topo` overrides in [`ale_graph::Topology::spec`] form (the
+    /// round-trippable `family:args` string).
+    pub topos: Vec<String>,
+    /// Raw `--param key=v1,v2` overrides (minus engine pseudo-axes).
+    pub params: Vec<(String, Vec<String>)>,
+    /// `--algo` filter, by algorithm name.
+    pub algos: Vec<String>,
+}
+
+impl RunConfig {
+    fn to_json(&self) -> Value {
+        Value::obj([
+            (
+                "ns".to_string(),
+                Value::Arr(self.ns.iter().map(|&n| Value::UInt(n)).collect()),
+            ),
+            (
+                "topos".to_string(),
+                Value::Arr(self.topos.iter().cloned().map(Value::Str).collect()),
+            ),
+            (
+                "params".to_string(),
+                Value::Arr(
+                    self.params
+                        .iter()
+                        .map(|(k, vs)| {
+                            Value::Arr(vec![
+                                Value::Str(k.clone()),
+                                Value::Arr(vs.iter().cloned().map(Value::Str).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "algos".to_string(),
+                Value::Arr(self.algos.iter().cloned().map(Value::Str).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Result<RunConfig, LabError> {
+        let strings = |key: &str| -> Result<Vec<String>, LabError> {
+            match v.get(key) {
+                Some(Value::Arr(items)) => items
+                    .iter()
+                    .map(|i| {
+                        i.as_str().map(str::to_string).ok_or_else(|| {
+                            LabError::BadRecord(format!("config '{key}' holds a non-string"))
+                        })
+                    })
+                    .collect(),
+                None => Ok(Vec::new()),
+                Some(_) => Err(LabError::BadRecord(format!(
+                    "config '{key}' is not an array"
+                ))),
+            }
+        };
+        let ns = match v.get("ns") {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(|i| {
+                    i.as_u64()
+                        .ok_or_else(|| LabError::BadRecord("config 'ns' holds a non-u64".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            Some(_) => return Err(LabError::BadRecord("config 'ns' is not an array".into())),
+        };
+        let params = match v.get("params") {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(|pair| {
+                    let bad = || {
+                        LabError::BadRecord("config 'params' entry is not [key, [values…]]".into())
+                    };
+                    let Value::Arr(kv) = pair else {
+                        return Err(bad());
+                    };
+                    let [k, vs] = kv.as_slice() else {
+                        return Err(bad());
+                    };
+                    let key = k.as_str().ok_or_else(bad)?.to_string();
+                    let Value::Arr(vs) = vs else {
+                        return Err(bad());
+                    };
+                    let values = vs
+                        .iter()
+                        .map(|s| s.as_str().map(str::to_string).ok_or_else(bad))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok((key, values))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            Some(_) => {
+                return Err(LabError::BadRecord(
+                    "config 'params' is not an array".into(),
+                ))
+            }
+        };
+        Ok(RunConfig {
+            ns,
+            topos: strings("topos")?,
+            params,
+            algos: strings("algos")?,
+        })
+    }
+}
 
 /// Everything needed to interpret (and re-run) a stored run.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,8 +175,21 @@ pub struct RunManifest {
     pub workers: usize,
     /// Grid-point labels in execution order.
     pub grid: Vec<String>,
-    /// `git describe` of the producing tree (or "unknown").
+    /// Full-grid position of each grid point, parallel to `grid` — the
+    /// seed-stream discriminator and the position component of every
+    /// [`TrialKey`]. Empty in pre-v2 manifests (then position == index,
+    /// valid for unfiltered `i/k` shards).
+    pub positions: Vec<u64>,
+    /// Expected trial count per grid point, parallel to `grid` (points
+    /// may override the global `seeds`). Empty in pre-v2 manifests.
+    pub counts: Vec<u64>,
+    /// [`git_stamp`] of the producing tree: exact short sha, `-dirty`
+    /// when the work tree had uncommitted changes — the same stamp bench
+    /// JSON carries, so all artifacts of one run agree.
     pub git: String,
+    /// `git describe` of the producing tree (tag-relative; extra
+    /// provenance, kept alongside the stamp).
+    pub git_describe: String,
     /// Whether the quick grid was used.
     pub quick: bool,
     /// Grid shard this run executed, as `"i/k"` (`"0/1"` = the whole
@@ -54,12 +204,26 @@ pub struct RunManifest {
     /// which sweep this run actually executed once `--quick`/`--param`
     /// overrides were applied. Empty in pre-space manifests.
     pub space: Vec<String>,
+    /// [`space_hash`] over (scenario, master seed, seeds, quick, space) —
+    /// the sweep identity every [`TrialKey`] embeds. 0 in pre-v2
+    /// manifests.
+    pub space_hash: u64,
+    /// The raw invocation (see [`RunConfig`]); `None` in pre-v2
+    /// manifests and in merged stores whose inputs disagreed.
+    pub config: Option<RunConfig>,
+    /// `false` from [`RunWriter::create`] until [`RunWriter::finish`]
+    /// rewrites the manifest — the completion marker that makes an
+    /// interrupted run distinguishable from a finished one. Pre-v2
+    /// manifests (which had no marker) parse as `true`.
+    pub complete: bool,
     /// Manifest schema version.
     pub version: u32,
 }
 
 impl RunManifest {
-    /// Builds a manifest for the current tree.
+    /// Builds a (complete) manifest for the current tree. The
+    /// durable-store extras (`positions`, `counts`, `config`) start
+    /// empty/none; callers that have them set the fields directly.
     #[allow(clippy::too_many_arguments)]
     pub fn for_run(
         scenario: &str,
@@ -71,17 +235,47 @@ impl RunManifest {
         shard: &str,
         space: Vec<String>,
     ) -> Self {
+        let hash = space_hash(scenario, master_seed, seeds, quick, &space);
         RunManifest {
             scenario: scenario.to_string(),
             master_seed,
             seeds,
             workers,
             grid,
-            git: git_describe(),
+            positions: Vec::new(),
+            counts: Vec::new(),
+            git: git_stamp(),
+            git_describe: git_describe(),
             quick,
             shard: shard.to_string(),
             space,
-            version: 1,
+            space_hash: hash,
+            config: None,
+            complete: true,
+            version: STORE_VERSION,
+        }
+    }
+
+    /// The full-grid position of each grid point: the stored `positions`
+    /// when present, else (pre-v2) the grid index — correct for
+    /// unfiltered whole runs, and the best available reconstruction for
+    /// old shards.
+    pub fn effective_positions(&self) -> Vec<u64> {
+        if self.positions.len() == self.grid.len() {
+            self.positions.clone()
+        } else {
+            (0..self.grid.len() as u64).collect()
+        }
+    }
+
+    /// The expected trial count of each grid point: the stored `counts`
+    /// when present, else the global `seeds` (pre-v2 manifests could not
+    /// record per-point overrides).
+    pub fn effective_counts(&self) -> Vec<u64> {
+        if self.counts.len() == self.grid.len() {
+            self.counts.clone()
+        } else {
+            vec![self.seeds; self.grid.len()]
         }
     }
 
@@ -95,15 +289,32 @@ impl RunManifest {
             v.get(k)
                 .ok_or_else(|| LabError::BadRecord(format!("manifest missing '{k}'")))
         };
-        let grid = match need("grid")? {
-            Value::Arr(items) => items
+        let string_arr = |k: &str, items: &[Value]| -> Result<Vec<String>, LabError> {
+            items
                 .iter()
                 .map(|i| {
                     i.as_str()
                         .map(str::to_string)
-                        .ok_or_else(|| LabError::BadRecord("non-string grid label".into()))
+                        .ok_or_else(|| LabError::BadRecord(format!("non-string entry in '{k}'")))
                 })
-                .collect::<Result<Vec<_>, _>>()?,
+                .collect()
+        };
+        let u64_arr = |k: &str| -> Result<Vec<u64>, LabError> {
+            match v.get(k) {
+                Some(Value::Arr(items)) => items
+                    .iter()
+                    .map(|i| {
+                        i.as_u64()
+                            .ok_or_else(|| LabError::BadRecord(format!("non-u64 entry in '{k}'")))
+                    })
+                    .collect(),
+                // Absent in pre-v2 manifests.
+                None => Ok(Vec::new()),
+                Some(_) => Err(LabError::BadRecord(format!("'{k}' is not an array"))),
+            }
+        };
+        let grid = match need("grid")? {
+            Value::Arr(items) => string_arr("grid", items)?,
             _ => return Err(LabError::BadRecord("'grid' is not an array".into())),
         };
         Ok(RunManifest {
@@ -122,9 +333,17 @@ impl RunManifest {
                 .ok_or_else(|| LabError::BadRecord("'workers' not a u64".into()))?
                 as usize,
             grid,
+            positions: u64_arr("positions")?,
+            counts: u64_arr("counts")?,
             git: need("git")?
                 .as_str()
                 .ok_or_else(|| LabError::BadRecord("'git' not a string".into()))?
+                .to_string(),
+            // Absent in pre-v2 manifests (whose 'git' WAS the describe).
+            git_describe: v
+                .get("git_describe")
+                .and_then(Value::as_str)
+                .unwrap_or("")
                 .to_string(),
             quick: need("quick")?
                 .as_bool()
@@ -137,17 +356,18 @@ impl RunManifest {
                 .to_string(),
             // Absent in pre-space manifests: default to unrecorded.
             space: match v.get("space") {
-                Some(Value::Arr(items)) => items
-                    .iter()
-                    .map(|i| {
-                        i.as_str()
-                            .map(str::to_string)
-                            .ok_or_else(|| LabError::BadRecord("non-string space line".into()))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?,
+                Some(Value::Arr(items)) => string_arr("space", items)?,
                 None => Vec::new(),
                 Some(_) => return Err(LabError::BadRecord("'space' is not an array".into())),
             },
+            space_hash: v.get("space_hash").and_then(Value::as_u64).unwrap_or(0),
+            config: match v.get("config") {
+                Some(Value::Null) | None => None,
+                Some(c) => Some(RunConfig::from_json(c)?),
+            },
+            // Pre-v2 manifests had no completion marker; they were only
+            // ever produced by runs that reached the end.
+            complete: v.get("complete").and_then(Value::as_bool).unwrap_or(true),
             version: need("version")?
                 .as_u64()
                 .ok_or_else(|| LabError::BadRecord("'version' not a u64".into()))?
@@ -167,16 +387,138 @@ impl ToJson for RunManifest {
                 "grid".to_string(),
                 Value::Arr(self.grid.iter().cloned().map(Value::Str).collect()),
             ),
+            (
+                "positions".to_string(),
+                Value::Arr(self.positions.iter().map(|&p| Value::UInt(p)).collect()),
+            ),
+            (
+                "counts".to_string(),
+                Value::Arr(self.counts.iter().map(|&c| Value::UInt(c)).collect()),
+            ),
             ("git".to_string(), Value::Str(self.git.clone())),
+            (
+                "git_describe".to_string(),
+                Value::Str(self.git_describe.clone()),
+            ),
             ("quick".to_string(), Value::Bool(self.quick)),
             ("shard".to_string(), Value::Str(self.shard.clone())),
             (
                 "space".to_string(),
                 Value::Arr(self.space.iter().cloned().map(Value::Str).collect()),
             ),
+            ("space_hash".to_string(), Value::UInt(self.space_hash)),
+            (
+                "config".to_string(),
+                self.config.as_ref().map_or(Value::Null, RunConfig::to_json),
+            ),
+            ("complete".to_string(), Value::Bool(self.complete)),
             ("version".to_string(), Value::UInt(self.version as u64)),
         ])
     }
+}
+
+/// FNV-1a over the sweep identity: scenario, master seed, global seed
+/// count, quick flag, and the resolved space lines. Every [`TrialKey`]
+/// embeds this hash, so records from a drifted space (edited scenario
+/// code, different overrides) can never be mistaken for resumable state.
+pub fn space_hash(
+    scenario: &str,
+    master_seed: u64,
+    seeds: u64,
+    quick: bool,
+    space: &[String],
+) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        // Field separator: a byte no field can contain alone.
+        h ^= 0x1f;
+        h = h.wrapping_mul(PRIME);
+    };
+    eat(scenario.as_bytes());
+    eat(&master_seed.to_le_bytes());
+    eat(&seeds.to_le_bytes());
+    eat(&[u8::from(quick)]);
+    for line in space {
+        eat(line.as_bytes());
+    }
+    h
+}
+
+/// The key every trial record is stored under: `(scenario, space-hash,
+/// full-grid position, seed index)`, encoded fixed-width so the journal's
+/// lexicographic key order equals `(position, seed-index)` numeric order.
+///
+/// ```text
+/// t/<scenario>/<space-hash:016x>/<position:08x>/<seed-index:08x>
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TrialKey {
+    /// Scenario name.
+    pub scenario: String,
+    /// [`space_hash`] of the sweep.
+    pub space_hash: u64,
+    /// The grid point's position in the FULL grid (the seed-stream
+    /// discriminator).
+    pub position: u64,
+    /// Seed index within the point.
+    pub seed_index: u64,
+}
+
+impl TrialKey {
+    /// Renders the key bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        format!(
+            "t/{}/{:016x}/{:08x}/{:08x}",
+            self.scenario, self.space_hash, self.position, self.seed_index
+        )
+        .into_bytes()
+    }
+
+    /// Parses key bytes back.
+    ///
+    /// # Errors
+    ///
+    /// [`LabError::BadRecord`] on anything that is not an encoded trial
+    /// key.
+    pub fn decode(key: &[u8]) -> Result<TrialKey, LabError> {
+        let bad = || {
+            LabError::BadRecord(format!(
+                "'{}' is not a trial key (t/<scenario>/<hash>/<pos>/<seed-index>)",
+                String::from_utf8_lossy(key)
+            ))
+        };
+        let text = std::str::from_utf8(key).map_err(|_| bad())?;
+        let rest = text.strip_prefix("t/").ok_or_else(bad)?;
+        // Scenario names are free-form; the three fixed-width tail
+        // segments are ours, so split from the right.
+        let mut parts = rest.rsplitn(4, '/');
+        let seed_index =
+            u64::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+        let position = u64::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+        let space_hash =
+            u64::from_str_radix(parts.next().ok_or_else(bad)?, 16).map_err(|_| bad())?;
+        let scenario = parts.next().ok_or_else(bad)?.to_string();
+        if scenario.is_empty() {
+            return Err(bad());
+        }
+        Ok(TrialKey {
+            scenario,
+            space_hash,
+            position,
+            seed_index,
+        })
+    }
+}
+
+/// The key a summary row is stored under after a run completes:
+/// `s/<scenario>/<space-hash:016x>/<position:08x>/<metric>`.
+pub fn summary_key(scenario: &str, space_hash: u64, position: u64, metric: &str) -> Vec<u8> {
+    format!("s/{scenario}/{space_hash:016x}/{position:08x}/{metric}").into_bytes()
 }
 
 /// `git describe --always --dirty`, or "unknown" outside a repo.
@@ -199,7 +541,8 @@ pub fn git_describe() -> String {
 /// Unlike [`git_describe`], the stamp never moves when tags do, and the
 /// dirtiness test sees untracked files — `describe --dirty` only reports
 /// modifications to tracked content, so a bench run with new uncommitted
-/// sources would previously stamp itself as clean.
+/// sources would previously stamp itself as clean. Run manifests and
+/// bench JSON both stamp with this, so artifacts of one run agree.
 pub fn git_stamp() -> String {
     let git = |args: &[&str]| {
         std::process::Command::new("git")
@@ -227,7 +570,102 @@ fn io_err(path: &Path, e: std::io::Error) -> LabError {
     LabError::Io(format!("{}: {e}", path.display()))
 }
 
-/// Writes a complete run directory (creating it if needed).
+/// Writes `bytes` to `path` via a temp file in the same directory plus an
+/// atomic rename, so readers never observe a torn file and a crash
+/// mid-write leaves any previous version intact.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), LabError> {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().to_string())
+        .unwrap_or_else(|| "file".to_string());
+    let tmp = path.with_file_name(format!("{name}.tmp"));
+    fs::write(&tmp, bytes).map_err(|e| io_err(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+fn jsonl_bytes(records: &[TrialRecord]) -> Vec<u8> {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json().render());
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// Assigns every record its [`TrialKey`] from the manifest's grid:
+/// position from `positions` (parallel to `grid`), seed index by
+/// occurrence order within the point.
+fn keyed_records<'a>(
+    manifest: &RunManifest,
+    records: &'a [TrialRecord],
+) -> Result<Vec<(TrialKey, &'a TrialRecord)>, LabError> {
+    let positions = manifest.effective_positions();
+    let pos_of: HashMap<&str, u64> = manifest
+        .grid
+        .iter()
+        .zip(&positions)
+        .map(|(label, &pos)| (label.as_str(), pos))
+        .collect();
+    let mut next_seed: HashMap<&str, u64> = HashMap::new();
+    records
+        .iter()
+        .map(|r| {
+            let &position = pos_of.get(r.point.as_str()).ok_or_else(|| {
+                LabError::BadRecord(format!(
+                    "record for '{}', which the manifest grid does not list",
+                    r.point
+                ))
+            })?;
+            let seed_index = next_seed.entry(r.point.as_str()).or_insert(0);
+            let key = TrialKey {
+                scenario: manifest.scenario.clone(),
+                space_hash: manifest.space_hash,
+                position,
+                seed_index: *seed_index,
+            };
+            *seed_index += 1;
+            Ok((key, r))
+        })
+        .collect()
+}
+
+/// Upserts every trial and summary row into `db` and compacts it to the
+/// canonical sorted form. Idempotent: values are pure functions of the
+/// records, so re-putting over a journal that already holds them (the
+/// [`RunWriter::finish`] path) changes nothing but the layout.
+fn populate_db(
+    db: &mut AofDb,
+    manifest: &RunManifest,
+    records: &[TrialRecord],
+    summary: &RunSummary,
+) -> Result<(), LabError> {
+    for (key, r) in keyed_records(manifest, records)? {
+        db.put(&key.encode(), r.to_json().render().as_bytes())?;
+    }
+    let positions = manifest.effective_positions();
+    let pos_of: HashMap<&str, u64> = manifest
+        .grid
+        .iter()
+        .zip(&positions)
+        .map(|(label, &pos)| (label.as_str(), pos))
+        .collect();
+    for (label, metric, row) in summary.summary_rows() {
+        let &position = pos_of.get(label.as_str()).ok_or_else(|| {
+            LabError::BadRecord(format!(
+                "summary row for '{label}', which the manifest grid does not list"
+            ))
+        })?;
+        db.put(
+            &summary_key(&manifest.scenario, manifest.space_hash, position, &metric),
+            row.render().as_bytes(),
+        )?;
+    }
+    db.compact()
+}
+
+/// Writes a complete run directory (creating it if needed): the derived
+/// views atomically, the keyed journal in compacted form, and the
+/// manifest last.
 ///
 /// # Errors
 ///
@@ -240,101 +678,142 @@ pub fn write_run(
 ) -> Result<(), LabError> {
     let _span = ale_telemetry::Span::begin("store-write").attr("records", records.len());
     fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
-
-    let manifest_path = dir.join("manifest.json");
-    fs::write(&manifest_path, manifest.to_json().render_pretty() + "\n")
-        .map_err(|e| io_err(&manifest_path, e))?;
-
-    let jsonl_path = dir.join("trials.jsonl");
-    let mut jsonl = fs::File::create(&jsonl_path).map_err(|e| io_err(&jsonl_path, e))?;
-    for r in records {
-        writeln!(jsonl, "{}", r.to_json().render()).map_err(|e| io_err(&jsonl_path, e))?;
-    }
-
-    let csv_path = dir.join("trials.csv");
-    fs::write(&csv_path, records_csv(records)).map_err(|e| io_err(&csv_path, e))?;
-
-    let summary_path = dir.join("summary.csv");
-    fs::write(&summary_path, summary.summary_csv()).map_err(|e| io_err(&summary_path, e))?;
-    Ok(())
+    write_atomic(&dir.join("trials.jsonl"), &jsonl_bytes(records))?;
+    write_atomic(&dir.join("trials.csv"), records_csv(records).as_bytes())?;
+    write_atomic(&dir.join("summary.csv"), summary.summary_csv().as_bytes())?;
+    let mut db = AofDb::create(&dir.join("trials.db"))?;
+    populate_db(&mut db, manifest, records, summary)?;
+    write_atomic(
+        &dir.join("manifest.json"),
+        (manifest.to_json().render_pretty() + "\n").as_bytes(),
+    )
 }
 
-/// Streams one run to disk as it executes: [`RunWriter::create`] writes
-/// `manifest.json` and opens `trials.jsonl`, [`RunWriter::append`] logs
-/// each merged record as it arrives, and [`RunWriter::finish`] derives
-/// `trials.csv`/`summary.csv` once the streaming aggregates are
-/// complete. The engine uses this for `--out` runs so a large-n ladder's
-/// records reach the store per trial instead of being buffered until the
-/// run ends; the resulting directory is byte-identical to a post-hoc
-/// [`write_run`] of the same records.
+/// What [`RunWriter::resume`] hands back: the reopened writer plus the
+/// `(key, value)` trial entries that survived the crash in the journal.
+pub type ResumedWriter = (RunWriter, Vec<(Vec<u8>, Vec<u8>)>);
+
+/// Streams one run to disk as it executes, crash-safely:
+/// [`RunWriter::create`] writes the manifest with `complete: false` and
+/// opens the `trials.db` journal; [`RunWriter::put`] makes each record
+/// durable under its [`TrialKey`] the moment a worker produces it (thread
+/// safe — the engine calls it from the fleet); [`RunWriter::finish`]
+/// derives `trials.jsonl`/`trials.csv`/`summary.csv` via temp-file +
+/// rename, compacts the journal, and only then rewrites the manifest
+/// with `complete: true`. A kill at any point leaves either a resumable
+/// directory (`complete: false`, journal prefix intact) or a finished
+/// one — never a silently torn store. The finished directory is
+/// byte-identical to a post-hoc [`write_run`] of the same records.
 pub struct RunWriter {
     dir: std::path::PathBuf,
-    jsonl_path: std::path::PathBuf,
-    jsonl: std::io::BufWriter<fs::File>,
-    records: usize,
+    manifest: RunManifest,
+    db: std::sync::Mutex<AofDb>,
 }
 
 impl RunWriter {
-    /// Creates the run directory, writes the manifest, and opens the
-    /// trial log.
+    fn marked_incomplete(dir: &Path, manifest: &RunManifest) -> Result<RunManifest, LabError> {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        let mut m = manifest.clone();
+        m.complete = false;
+        write_atomic(
+            &dir.join("manifest.json"),
+            (m.to_json().render_pretty() + "\n").as_bytes(),
+        )?;
+        Ok(m)
+    }
+
+    /// Creates the run directory, writes the manifest (marked
+    /// incomplete), and opens a fresh journal.
     ///
     /// # Errors
     ///
     /// Filesystem failures surface as [`LabError::Io`].
     pub fn create(dir: &Path, manifest: &RunManifest) -> Result<RunWriter, LabError> {
-        fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
-        let manifest_path = dir.join("manifest.json");
-        fs::write(&manifest_path, manifest.to_json().render_pretty() + "\n")
-            .map_err(|e| io_err(&manifest_path, e))?;
-        let jsonl_path = dir.join("trials.jsonl");
-        let jsonl = fs::File::create(&jsonl_path).map_err(|e| io_err(&jsonl_path, e))?;
+        let manifest = Self::marked_incomplete(dir, manifest)?;
+        let db = AofDb::create(&dir.join("trials.db"))?;
         Ok(RunWriter {
             dir: dir.to_path_buf(),
-            jsonl_path,
-            jsonl: std::io::BufWriter::new(jsonl),
-            records: 0,
+            manifest,
+            db: std::sync::Mutex::new(db),
         })
     }
 
-    /// Appends one record to `trials.jsonl`.
+    /// Reopens an interrupted run directory for completion: re-marks the
+    /// manifest incomplete, recovers the journal's valid prefix (a torn
+    /// tail from the crash is dropped), and returns the surviving
+    /// `(key, value)` trial entries alongside the writer.
     ///
     /// # Errors
     ///
     /// Filesystem failures surface as [`LabError::Io`].
-    pub fn append(&mut self, record: &TrialRecord) -> Result<(), LabError> {
-        writeln!(self.jsonl, "{}", record.to_json().render())
-            .map_err(|e| io_err(&self.jsonl_path, e))?;
-        self.records += 1;
-        Ok(())
+    pub fn resume(dir: &Path, manifest: &RunManifest) -> Result<ResumedWriter, LabError> {
+        let manifest = Self::marked_incomplete(dir, manifest)?;
+        let db = AofDb::open(&dir.join("trials.db"))?;
+        let entries = db.iter_prefix(b"t/");
+        Ok((
+            RunWriter {
+                dir: dir.to_path_buf(),
+                manifest,
+                db: std::sync::Mutex::new(db),
+            },
+            entries,
+        ))
     }
 
-    /// Flushes the trial log and derives the CSV views. `records` must be
-    /// the records passed to [`RunWriter::append`], in order — the flat
-    /// CSV's header is the union of extra-metric keys across the whole
-    /// run, so it cannot stream.
+    /// Makes one record durable in the journal. Safe to call from worker
+    /// threads; entry order in the journal is scheduling-dependent, but
+    /// [`RunWriter::finish`] compacts to sorted canonical form.
     ///
     /// # Errors
     ///
     /// Filesystem failures surface as [`LabError::Io`].
-    pub fn finish(mut self, records: &[TrialRecord], summary: &RunSummary) -> Result<(), LabError> {
-        let _span = ale_telemetry::Span::begin("store-write").attr("records", self.records);
-        self.jsonl
-            .flush()
-            .map_err(|e| io_err(&self.jsonl_path, e))?;
-        let csv_path = self.dir.join("trials.csv");
-        fs::write(&csv_path, records_csv(records)).map_err(|e| io_err(&csv_path, e))?;
-        let summary_path = self.dir.join("summary.csv");
-        fs::write(&summary_path, summary.summary_csv()).map_err(|e| io_err(&summary_path, e))?;
-        Ok(())
+    pub fn put(&self, key: &TrialKey, record: &TrialRecord) -> Result<(), LabError> {
+        let mut db = self
+            .db
+            .lock()
+            .map_err(|_| LabError::Io("trials.db: journal lock poisoned".into()))?;
+        db.put(&key.encode(), record.to_json().render().as_bytes())
+    }
+
+    /// Derives the CSV/JSONL views (temp-file + rename), stores the
+    /// summary rows, compacts the journal, and rewrites the manifest
+    /// with `complete: true` — in that order, so the completion marker
+    /// is the last thing to land. `records` must be the full record set
+    /// in task order.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures surface as [`LabError::Io`].
+    pub fn finish(self, records: &[TrialRecord], summary: &RunSummary) -> Result<(), LabError> {
+        let _span = ale_telemetry::Span::begin("store-write").attr("records", records.len());
+        let RunWriter {
+            dir,
+            mut manifest,
+            db,
+        } = self;
+        let mut db = db
+            .into_inner()
+            .map_err(|_| LabError::Io("trials.db: journal lock poisoned".into()))?;
+        write_atomic(&dir.join("trials.jsonl"), &jsonl_bytes(records))?;
+        write_atomic(&dir.join("trials.csv"), records_csv(records).as_bytes())?;
+        write_atomic(&dir.join("summary.csv"), summary.summary_csv().as_bytes())?;
+        populate_db(&mut db, &manifest, records, summary)?;
+        manifest.complete = true;
+        write_atomic(
+            &dir.join("manifest.json"),
+            (manifest.to_json().render_pretty() + "\n").as_bytes(),
+        )
     }
 }
 
-/// Appends records to an existing `trials.jsonl` (resumable sharded runs).
+/// Appends records to an existing `trials.jsonl` (ad-hoc log surgery;
+/// the engine itself persists through [`RunWriter`]).
 ///
 /// # Errors
 ///
 /// Filesystem failures surface as [`LabError::Io`].
 pub fn append_jsonl(path: &Path, records: &[TrialRecord]) -> Result<(), LabError> {
+    use std::io::Write as _;
     let mut file = fs::OpenOptions::new()
         .create(true)
         .append(true)
@@ -346,7 +825,9 @@ pub fn append_jsonl(path: &Path, records: &[TrialRecord]) -> Result<(), LabError
     Ok(())
 }
 
-/// Loads every record from a JSONL trial log.
+/// Loads every record from a JSONL trial log, erroring loudly on any
+/// malformed line — including a mid-line-truncated final record. Use
+/// [`load_jsonl_recover`] when a truncated tail should be survivable.
 ///
 /// # Errors
 ///
@@ -367,6 +848,48 @@ pub fn load_jsonl(path: &Path) -> Result<Vec<TrialRecord>, LabError> {
     Ok(records)
 }
 
+/// Loads a JSONL trial log, tolerating a truncated tail: returns the
+/// valid record prefix plus a flag reporting whether the file ended
+/// mid-record (an unparseable final line, or a final line the writer
+/// never terminated with `\n`). A malformed line *followed by further
+/// records* is still a hard error — that is corruption, not a crash
+/// tail. This is the `--resume`/`merge` read path; plain [`load_jsonl`]
+/// keeps erroring loudly.
+///
+/// # Errors
+///
+/// IO failures and malformed non-final lines.
+pub fn load_jsonl_recover(path: &Path) -> Result<(Vec<TrialRecord>, bool), LabError> {
+    let text = fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    let lines: Vec<&str> = text.lines().collect();
+    let mut records = Vec::new();
+    for (lineno, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = parse(line)
+            .map_err(LabError::BadRecord)
+            .and_then(|v| TrialRecord::from_json(&v));
+        match parsed {
+            Ok(record) => records.push(record),
+            Err(e) => {
+                let is_tail = lines[lineno + 1..].iter().all(|l| l.trim().is_empty());
+                if is_tail {
+                    return Ok((records, true));
+                }
+                return Err(LabError::BadRecord(format!(
+                    "line {}: {e} (followed by further records — corruption, not a torn tail)",
+                    lineno + 1
+                )));
+            }
+        }
+    }
+    // Every line parsed; a missing final newline still means the writer
+    // was cut (exactly at the record boundary), so flag it.
+    let truncated = !text.is_empty() && !text.ends_with('\n');
+    Ok((records, truncated))
+}
+
 /// Loads a run manifest.
 ///
 /// # Errors
@@ -376,6 +899,97 @@ pub fn load_manifest(path: &Path) -> Result<RunManifest, LabError> {
     let text = fs::read_to_string(path).map_err(|e| io_err(path, e))?;
     let value = parse(&text).map_err(LabError::BadRecord)?;
     RunManifest::from_json(&value)
+}
+
+/// One summary row served from the durable store (the `summaries` read
+/// path `check` consumes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredSummaryRow {
+    /// Grid-point label.
+    pub point: String,
+    /// Metric name.
+    pub metric: String,
+    /// Streaming mean.
+    pub mean: f64,
+    /// Samples seen.
+    pub count: u64,
+}
+
+/// Serves a run directory's summary rows from the keyed store
+/// (`trials.db` `s/` prefix). Returns `Ok(None)` when the directory has
+/// no journal (pre-v2 store) — callers fall back to `summary.csv` — and
+/// errors loudly on an incomplete or torn store instead of serving
+/// partial statistics.
+///
+/// # Errors
+///
+/// [`LabError::BadRecord`] on an incomplete run (manifest `complete:
+/// false`), a truncated journal, or malformed rows; IO failures as
+/// [`LabError::Io`].
+pub fn load_summary_rows(dir: &Path) -> Result<Option<Vec<StoredSummaryRow>>, LabError> {
+    let manifest_path = dir.join("manifest.json");
+    if manifest_path.exists() {
+        let manifest = load_manifest(&manifest_path)?;
+        if !manifest.complete {
+            return Err(LabError::BadRecord(format!(
+                "{}: run is incomplete (crashed or still running) — finish it with \
+                 `ale-lab run --resume {}` first",
+                dir.display(),
+                dir.display()
+            )));
+        }
+    }
+    let db_path = dir.join("trials.db");
+    if !db_path.exists() {
+        return Ok(None);
+    }
+    let db = AofDb::open_read(&db_path)?;
+    if db.truncated() {
+        return Err(LabError::BadRecord(format!(
+            "{}: trials.db is truncated mid-entry — resume the run before reading summaries",
+            dir.display()
+        )));
+    }
+    let mut rows = Vec::new();
+    for (key, value) in db.iter_prefix(b"s/") {
+        let text = String::from_utf8(value).map_err(|_| {
+            LabError::BadRecord(format!(
+                "{}: summary row '{}' is not UTF-8",
+                dir.display(),
+                String::from_utf8_lossy(&key)
+            ))
+        })?;
+        let v = parse(&text).map_err(LabError::BadRecord)?;
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| {
+                LabError::BadRecord(format!(
+                    "{}: summary row '{}' lacks '{name}'",
+                    dir.display(),
+                    String::from_utf8_lossy(&key)
+                ))
+            })
+        };
+        rows.push(StoredSummaryRow {
+            point: field("point")?
+                .as_str()
+                .ok_or_else(|| LabError::BadRecord("summary row 'point' not a string".into()))?
+                .to_string(),
+            metric: field("metric")?
+                .as_str()
+                .ok_or_else(|| LabError::BadRecord("summary row 'metric' not a string".into()))?
+                .to_string(),
+            mean: field("mean")?
+                .as_f64()
+                .ok_or_else(|| LabError::BadRecord("summary row 'mean' not a number".into()))?,
+            count: field("count")?
+                .as_u64()
+                .ok_or_else(|| LabError::BadRecord("summary row 'count' not a u64".into()))?,
+        });
+    }
+    if rows.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(rows))
 }
 
 /// Renders records as flat CSV; extra metrics become columns (the union
@@ -457,10 +1071,7 @@ mod tests {
         vec![a, b]
     }
 
-    #[test]
-    fn jsonl_roundtrip_via_disk() {
-        let dir = std::env::temp_dir().join(format!("ale-lab-store-{}", std::process::id()));
-        let records = sample_records();
+    fn sample_summary(records: &[TrialRecord]) -> RunSummary {
         let grid = vec![
             GridPoint::new("cell-a").on(Topology::Cycle { n: 8 }),
             GridPoint::new("cell-b").on(Topology::Complete { n: 4 }),
@@ -468,6 +1079,14 @@ mod tests {
         let mut summary = RunSummary::new("demo", &grid, 1, 1, 1);
         summary.record(0, &records[0]);
         summary.record(1, &records[1]);
+        summary
+    }
+
+    #[test]
+    fn jsonl_roundtrip_via_disk() {
+        let dir = std::env::temp_dir().join(format!("ale-lab-store-{}", std::process::id()));
+        let records = sample_records();
+        let summary = sample_summary(&records);
         let manifest = RunManifest::for_run(
             "demo",
             1,
@@ -484,6 +1103,8 @@ mod tests {
         assert_eq!(loaded, records);
         let m = load_manifest(&dir.join("manifest.json")).unwrap();
         assert_eq!(m, manifest);
+        assert!(m.complete);
+        assert_eq!(m.version, STORE_VERSION);
 
         let csv = csv_from_jsonl(&dir.join("trials.jsonl")).unwrap();
         let mut lines = csv.lines();
@@ -492,20 +1113,21 @@ mod tests {
         assert!(header.ends_with("ok,ratio,territory"));
         assert_eq!(lines.count(), 2);
 
+        // The journal serves both record and summary keys.
+        let db = AofDb::open_read(&dir.join("trials.db")).unwrap();
+        assert!(!db.truncated());
+        assert_eq!(db.iter_prefix(b"t/").len(), 2);
+        assert!(!db.iter_prefix(b"s/").is_empty());
+
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn streaming_writer_matches_write_run_byte_for_byte() {
         let base = std::env::temp_dir().join(format!("ale-lab-stream-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
         let records = sample_records();
-        let grid = vec![
-            GridPoint::new("cell-a").on(Topology::Cycle { n: 8 }),
-            GridPoint::new("cell-b").on(Topology::Complete { n: 4 }),
-        ];
-        let mut summary = RunSummary::new("demo", &grid, 1, 1, 1);
-        summary.record(0, &records[0]);
-        summary.record(1, &records[1]);
+        let summary = sample_summary(&records);
         let manifest = RunManifest::for_run(
             "demo",
             1,
@@ -519,17 +1141,62 @@ mod tests {
         let batch_dir = base.join("batch");
         write_run(&batch_dir, &manifest, &records, &summary).unwrap();
         let stream_dir = base.join("stream");
-        let mut writer = RunWriter::create(&stream_dir, &manifest).unwrap();
-        for r in &records {
-            writer.append(r).unwrap();
+        let writer = RunWriter::create(&stream_dir, &manifest).unwrap();
+        // Mid-run, the manifest says incomplete.
+        let midway = load_manifest(&stream_dir.join("manifest.json")).unwrap();
+        assert!(!midway.complete);
+        for (key, r) in keyed_records(&manifest, &records).unwrap() {
+            writer.put(&key, r).unwrap();
         }
         writer.finish(&records, &summary).unwrap();
-        for file in ["manifest.json", "trials.jsonl", "trials.csv", "summary.csv"] {
+        for file in [
+            "manifest.json",
+            "trials.jsonl",
+            "trials.csv",
+            "summary.csv",
+            "trials.db",
+        ] {
             let batch = std::fs::read(batch_dir.join(file)).unwrap();
             let stream = std::fs::read(stream_dir.join(file)).unwrap();
             assert_eq!(batch, stream, "{file} diverged");
         }
         std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn trial_keys_roundtrip_and_sort_numerically() {
+        let key = TrialKey {
+            scenario: "ablation-cautious".into(),
+            space_hash: 0xdead_beef_0123_4567,
+            position: 300,
+            seed_index: 7,
+        };
+        assert_eq!(TrialKey::decode(&key.encode()).unwrap(), key);
+        // Fixed-width hex: byte order == numeric order.
+        let lo = TrialKey {
+            position: 9,
+            ..key.clone()
+        };
+        let hi = TrialKey {
+            position: 10,
+            ..key.clone()
+        };
+        assert!(lo.encode() < hi.encode());
+        for bad in [&b"t/x/zz/00/00"[..], b"s/x/0/0/0", b"t/", b"nope"] {
+            assert!(TrialKey::decode(bad).is_err(), "{:?}", bad);
+        }
+    }
+
+    #[test]
+    fn space_hash_is_sensitive_to_every_component() {
+        let space = vec!["n=8,16".to_string()];
+        let base = space_hash("s", 1, 4, false, &space);
+        assert_eq!(base, space_hash("s", 1, 4, false, &space));
+        assert_ne!(base, space_hash("t", 1, 4, false, &space));
+        assert_ne!(base, space_hash("s", 2, 4, false, &space));
+        assert_ne!(base, space_hash("s", 1, 5, false, &space));
+        assert_ne!(base, space_hash("s", 1, 4, true, &space));
+        assert_ne!(base, space_hash("s", 1, 4, false, &["n=8,32".to_string()]));
     }
 
     #[test]
@@ -544,19 +1211,75 @@ mod tests {
     }
 
     #[test]
-    fn pre_shard_manifests_parse_with_default_shard() {
+    fn manifests_stamp_git_like_bench_json_does() {
+        // The provenance-drift fix: manifest.git is the exact stamp (the
+        // same function bench JSON uses), with describe kept alongside.
+        let manifest =
+            RunManifest::for_run("demo", 1, 1, 1, vec!["a".into()], false, "0/1", Vec::new());
+        assert_eq!(manifest.git, git_stamp());
+        assert_eq!(manifest.git_describe, git_describe());
+    }
+
+    #[test]
+    fn pre_v2_manifests_parse_with_defaults() {
         let manifest =
             RunManifest::for_run("demo", 1, 2, 3, vec!["a".into()], true, "0/1", Vec::new());
         let mut v = manifest.to_json();
-        // Simulate a manifest written before the shard and space fields
-        // existed.
+        // Simulate a manifest written before the shard/space/durable-store
+        // fields existed.
         if let Value::Obj(pairs) = &mut v {
-            pairs.retain(|(k, _)| k != "shard" && k != "space");
+            pairs.retain(|(k, _)| {
+                ![
+                    "shard",
+                    "space",
+                    "space_hash",
+                    "positions",
+                    "counts",
+                    "config",
+                    "complete",
+                    "git_describe",
+                ]
+                .contains(&k.as_str())
+            });
         }
         let back = RunManifest::from_json(&v).unwrap();
         assert_eq!(back.shard, "0/1");
         assert_eq!(back.space, Vec::<String>::new());
         assert_eq!(back.scenario, "demo");
+        // Pre-v2 stores had no completion marker: they parse as complete,
+        // with index-positions and global-seeds counts.
+        assert!(back.complete);
+        assert_eq!(back.space_hash, 0);
+        assert_eq!(back.config, None);
+        assert_eq!(back.effective_positions(), vec![0]);
+        assert_eq!(back.effective_counts(), vec![2]);
+    }
+
+    #[test]
+    fn manifest_roundtrips_with_durable_store_fields() {
+        let mut manifest = RunManifest::for_run(
+            "demo",
+            1,
+            2,
+            3,
+            vec!["a".into(), "b".into()],
+            true,
+            "1/2",
+            vec!["n=8,16".into()],
+        );
+        manifest.positions = vec![1, 3];
+        manifest.counts = vec![2, 5];
+        manifest.complete = false;
+        manifest.config = Some(RunConfig {
+            ns: vec![8, 16],
+            topos: vec!["cycle:8".into()],
+            params: vec![("gamma".into(), vec!["0.1".into(), "0.3".into()])],
+            algos: vec!["this-work".into()],
+        });
+        let back = RunManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(back, manifest);
+        assert_eq!(back.effective_positions(), vec![1, 3]);
+        assert_eq!(back.effective_counts(), vec![2, 5]);
     }
 
     #[test]
@@ -578,5 +1301,91 @@ mod tests {
         let err = load_jsonl(&path).unwrap_err();
         assert!(err.to_string().contains("line 1"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recover_returns_the_valid_prefix_of_a_torn_log() {
+        let path = std::env::temp_dir().join(format!("ale-lab-torn-{}.jsonl", std::process::id()));
+        let records = sample_records();
+        let text = String::from_utf8(jsonl_bytes(&records)).unwrap();
+
+        // Intact log: full records, no truncation.
+        std::fs::write(&path, &text).unwrap();
+        let (got, truncated) = load_jsonl_recover(&path).unwrap();
+        assert_eq!(got, records);
+        assert!(!truncated);
+        // Plain load still succeeds on intact logs…
+        assert!(load_jsonl(&path).is_ok());
+
+        // Mid-line truncation: the prefix survives, the flag is set, and
+        // the strict loader errors loudly.
+        std::fs::write(&path, &text[..text.len() - 17]).unwrap();
+        let (got, truncated) = load_jsonl_recover(&path).unwrap();
+        assert_eq!(got, records[..1]);
+        assert!(truncated);
+        assert!(load_jsonl(&path).is_err());
+
+        // Truncation exactly at the record boundary (missing final
+        // newline): the record is kept, the flag still reports a cut.
+        std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+        let (got, truncated) = load_jsonl_recover(&path).unwrap();
+        assert_eq!(got, records);
+        assert!(truncated);
+
+        // A malformed line with records after it is corruption, not a
+        // torn tail: hard error even in recovery mode.
+        let lines: Vec<&str> = text.lines().collect();
+        std::fs::write(&path, format!("{}broken\n{}\n", "", lines[1])).unwrap();
+        assert!(load_jsonl_recover(&path).is_err());
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summary_rows_are_served_from_the_store() {
+        let dir = std::env::temp_dir().join(format!("ale-lab-sumrows-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let records = sample_records();
+        let summary = sample_summary(&records);
+        let manifest = RunManifest::for_run(
+            "demo",
+            1,
+            1,
+            1,
+            vec!["cell-a".into(), "cell-b".into()],
+            false,
+            "0/1",
+            Vec::new(),
+        );
+        write_run(&dir, &manifest, &records, &summary).unwrap();
+        let rows = load_summary_rows(&dir).unwrap().expect("rows stored");
+        let msgs: Vec<&StoredSummaryRow> = rows.iter().filter(|r| r.metric == "messages").collect();
+        assert_eq!(msgs.len(), 2);
+        let a = msgs.iter().find(|r| r.point == "cell-a").unwrap();
+        assert_eq!(a.mean, 40.0);
+        assert_eq!(a.count, 1);
+
+        // An incomplete manifest blocks the read path loudly.
+        let mut m = manifest.clone();
+        m.complete = false;
+        write_atomic(
+            &dir.join("manifest.json"),
+            (m.to_json().render_pretty() + "\n").as_bytes(),
+        )
+        .unwrap();
+        assert!(load_summary_rows(&dir)
+            .unwrap_err()
+            .to_string()
+            .contains("incomplete"));
+
+        // No journal → None (callers fall back to summary.csv).
+        std::fs::remove_file(dir.join("trials.db")).unwrap();
+        write_atomic(
+            &dir.join("manifest.json"),
+            (manifest.to_json().render_pretty() + "\n").as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(load_summary_rows(&dir).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -67,6 +67,57 @@ fn usage_errors_exit_two() {
 }
 
 #[test]
+fn resume_completes_torn_runs_and_resume_usage_errors_exit_two() {
+    let dir = std::env::temp_dir().join(format!("ale-lab-exit-resume-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let p = dir.to_string_lossy().to_string();
+    assert_eq!(
+        exit_code(&[
+            "run",
+            "diffusion",
+            "--quick",
+            "--quiet",
+            "--seeds",
+            "1",
+            "--workers",
+            "1",
+            "--out",
+            &p
+        ]),
+        0
+    );
+    // Simulate a kill: tear both persisted tails, drop the derived
+    // views, and leave the manifest unmarked-complete.
+    for (name, chop) in [("trials.db", 9u64), ("trials.jsonl", 5u64)] {
+        let path = dir.join(name);
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - chop).unwrap();
+    }
+    std::fs::remove_file(dir.join("trials.csv")).unwrap();
+    std::fs::remove_file(dir.join("summary.csv")).unwrap();
+    let manifest_path = dir.join("manifest.json");
+    let manifest = std::fs::read_to_string(&manifest_path).unwrap();
+    assert!(manifest.contains("\"complete\": true"));
+    std::fs::write(
+        &manifest_path,
+        manifest.replace("\"complete\": true", "\"complete\": false"),
+    )
+    .unwrap();
+    // A torn run resumes to success; the views are back.
+    assert_eq!(exit_code(&["run", "--resume", &p, "--quiet"]), 0);
+    assert!(dir.join("summary.csv").exists());
+    assert!(std::fs::read_to_string(&manifest_path)
+        .unwrap()
+        .contains("\"complete\": true"));
+    // Resume usage errors are exit 2, never a silent re-run.
+    assert_eq!(exit_code(&["run", "--resume"]), 2);
+    assert_eq!(exit_code(&["run", "--resume", &p, "--seeds", "3"]), 2);
+    assert_eq!(exit_code(&["run", "--resume", "/nonexistent-run-dir"]), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn check_regressions_exit_one_but_check_usage_errors_exit_two() {
     let dir = std::env::temp_dir().join(format!("ale-lab-exitcodes-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
