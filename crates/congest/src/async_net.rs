@@ -1,0 +1,928 @@
+//! The event-driven asynchronous engine with an adversary model.
+//!
+//! [`AsyncNetwork`] is the second execution engine behind the same
+//! [`Process`] trait: instead of the arena engine's lockstep rounds, it
+//! keeps a deterministic priority queue of **message-delivery events** on
+//! a virtual-time axis. Nodes stay tick-synchronous — every active node
+//! executes once per virtual tick — but *links* are asynchronous: a
+//! message sent at tick `t` arrives at the start of tick `t + L`, where
+//! `L ≥ 1` is drawn per message from the declared [`LatencyDist`]. An
+//! adversary ([`FaultSpec`]) may additionally crash nodes at a scheduled
+//! tick, drop messages at send time, or inject duplicate copies.
+//!
+//! ## Event-queue invariants
+//!
+//! * Events are ordered by `(time, seq)` where `seq` is a global send
+//!   counter — for any fixed arrival tick, delivery order equals global
+//!   send order (sender id ascending, then send order within the sender).
+//!   At **unit latency with zero faults** this reproduces the synchronous
+//!   engines' inbox order exactly, which is what makes the arena engine
+//!   ([`Network`](crate::network::Network)) the equivalence oracle for
+//!   this one: outputs, [`Metrics`], and traces are byte-identical
+//!   (pinned by `crates/congest/tests/async_equivalence.rs`).
+//! * Virtual time only moves forward: a tick pops exactly the events
+//!   scheduled for `now`, runs every active node, pushes the newly staged
+//!   events (all strictly in the future), and advances.
+//! * **Fault atomicity**: a message's fate — dropped, delivered once, or
+//!   duplicated — is decided entirely at send time from the adversary's
+//!   own SplitMix64 streams. By construction the counters always
+//!   reconcile: `delivered == messages − dropped + duplicated`.
+//! * **Failed ticks deliver nothing**: an invalid port drops the whole
+//!   tick exactly like the synchronous engines drop a round — nothing is
+//!   staged or metered, virtual time does not advance, and the tick's
+//!   input messages are retained for inspection/retry; multi-send
+//!   violations recorded before the failure stick.
+//!
+//! ## Determinism
+//!
+//! All adversary randomness derives from the construction seed through
+//! fixed-constant SplitMix64 streams (one for message fate, one for
+//! latency, one positional per-node draw for crash schedules), so a run
+//! is a pure function of `(graph, seed, config)` — independent of worker
+//! count, wall clock, and host. The node RNGs are the same
+//! `node_rngs` streams every engine uses.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::error::CongestError;
+use crate::message::Payload;
+use crate::metrics::{Metrics, RoundInfo, RoundTrace};
+use crate::network::{node_rngs, splitmix64, RunStatus};
+use crate::process::{Incoming, NodeCtx, OutCtx, Process, RoundStats};
+use crate::trace::{TraceSink, TraceSlot};
+use ale_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+
+/// Stream-domain constants: each adversary stream hashes the construction
+/// seed with its own constant so the streams are mutually independent and
+/// disjoint from the node-RNG derivation (`seed ^ splitmix64(v + 1)`).
+const FATE_STREAM: u64 = 0xFA7E_5EED_0000_0001;
+const LATENCY_STREAM: u64 = 0x1A7E_5EED_0000_0002;
+const CRASH_STREAM: u64 = 0xC4A5_8EED_0000_0003;
+
+/// Per-edge message latency, in virtual ticks. Every distribution has
+/// support on `L ≥ 1`: a message sent at tick `t` is never visible before
+/// tick `t + 1` (the synchronous lower bound).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LatencyDist {
+    /// Every message takes exactly one tick — the synchronous schedule.
+    /// Consumes no randomness, so a unit-latency run leaves the latency
+    /// stream untouched.
+    #[default]
+    Unit,
+    /// Uniform over `{min, …, max}` ticks (inclusive; `1 ≤ min ≤ max`).
+    Uniform {
+        /// Smallest latency, ≥ 1.
+        min: u64,
+        /// Largest latency, ≥ `min`.
+        max: u64,
+    },
+    /// `1 +` a geometric number of failures with success probability `p`
+    /// (`0 < p ≤ 1`), capped at 64 ticks — a long-tailed link.
+    Geometric {
+        /// Per-tick arrival probability.
+        p: f64,
+    },
+}
+
+/// The adversary: per-message drop/duplication probabilities and a
+/// per-node crash schedule. `FaultSpec::default()` is the fault-free
+/// adversary (all probabilities zero).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Probability a sent message is discarded (never delivered).
+    pub drop: f64,
+    /// Probability a delivered message gets one extra copy (with its own
+    /// independently drawn latency).
+    pub duplicate: f64,
+    /// Probability a node is scheduled to crash at all.
+    pub crash: f64,
+    /// Crash ticks are uniform in `[0, crash_window)`; must be ≥ 1 when
+    /// `crash > 0`. A crashed node stops executing at the start of its
+    /// crash tick and never returns; messages addressed to it still count
+    /// as delivered (they arrive at a dead mailbox).
+    pub crash_window: u64,
+}
+
+impl FaultSpec {
+    /// True when no fault can ever fire — the configuration under which
+    /// [`AsyncNetwork`] is byte-equivalent to the synchronous engines
+    /// (given unit latency).
+    pub fn is_zero(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.crash == 0.0
+    }
+}
+
+/// Execution configuration for [`AsyncNetwork`]: the link-latency
+/// distribution and the adversary. The default — unit latency, zero
+/// faults — makes the engine observationally identical to
+/// [`Network`](crate::network::Network).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecConfig {
+    /// Per-message link latency.
+    pub latency: LatencyDist,
+    /// The fault adversary.
+    pub faults: FaultSpec,
+}
+
+impl ExecConfig {
+    /// Validates probabilities and distribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::BadExecConfig`] naming the violated constraint:
+    /// probabilities outside `[0, 1]` (or non-finite), a uniform latency
+    /// range with `min < 1` or `max < min`, a geometric `p` outside
+    /// `(0, 1]`, or a crash probability without a positive window.
+    pub fn validate(&self) -> Result<(), CongestError> {
+        let bad = |reason: String| Err(CongestError::BadExecConfig { reason });
+        for (name, p) in [
+            ("drop", self.faults.drop),
+            ("duplicate", self.faults.duplicate),
+            ("crash", self.faults.crash),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return bad(format!("{name} probability {p} outside [0, 1]"));
+            }
+        }
+        match self.latency {
+            LatencyDist::Unit => {}
+            LatencyDist::Uniform { min, max } => {
+                if min < 1 {
+                    return bad(format!("uniform latency min {min} < 1"));
+                }
+                if max < min {
+                    return bad(format!("uniform latency max {max} < min {min}"));
+                }
+            }
+            LatencyDist::Geometric { p } => {
+                if !(p.is_finite() && p > 0.0 && p <= 1.0) {
+                    return bad(format!("geometric latency p {p} outside (0, 1]"));
+                }
+            }
+        }
+        if self.faults.crash > 0.0 && self.faults.crash_window == 0 {
+            return bad("crash probability set but crash_window is 0".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// A SplitMix64 output stream — the adversary's deterministic randomness,
+/// kept separate from the node RNGs so protocols cannot observe (or
+/// perturb) adversary decisions.
+#[derive(Debug, Clone)]
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = splitmix64(self.state);
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        out
+    }
+
+    /// A uniform draw in `[0, 1)` from the top 53 bits.
+    fn next_unit(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+
+    /// True with probability `p`. Callers gate on `p > 0` so a zero-fault
+    /// run consumes nothing from the stream.
+    fn chance(&mut self, p: f64) -> bool {
+        self.next_unit() < p
+    }
+}
+
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One scheduled delivery. Ordering compares `(time, seq)` only — the
+/// payload does not participate, so `Msg` needs no `Ord`.
+#[derive(Debug)]
+struct Event<M> {
+    time: u64,
+    seq: u64,
+    target: u32,
+    port: u32,
+    msg: M,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Tick sentinel for "never crashes".
+const NEVER: u64 = u64::MAX;
+
+/// The event-driven asynchronous engine (see the [module docs](self) for
+/// the event-queue invariants and the determinism contract).
+///
+/// API surface mirrors [`Network`](crate::network::Network); `round()`
+/// reports the current virtual tick.
+#[derive(Debug)]
+pub struct AsyncNetwork<'g, P: Process> {
+    graph: &'g Graph,
+    procs: Vec<P>,
+    rngs: Vec<StdRng>,
+    config: ExecConfig,
+    /// Current virtual tick.
+    now: u64,
+    metrics: Metrics,
+    /// The delivery queue: min-heap on `(time, seq)`.
+    heap: BinaryHeap<Reverse<Event<P::Msg>>>,
+    /// Global send counter — the event tiebreak within one arrival tick.
+    seq: u64,
+    /// Per-node arrival buffers for the current tick.
+    inboxes: Vec<Vec<Incoming<P::Msg>>>,
+    /// Nodes whose inbox is non-empty this tick (cleared after a
+    /// successful tick; a failed tick leaves them for the retry).
+    filled: Vec<u32>,
+    /// True when `inboxes` already hold tick `now`'s arrivals — set by a
+    /// failed tick so the retry reruns with the same inputs instead of
+    /// re-popping the heap.
+    inboxes_ready: bool,
+    /// Reusable per-node send collection buffer.
+    outbox: Vec<(usize, P::Msg)>,
+    /// Events staged during the current tick, promoted to the heap only
+    /// if the tick commits (failed ticks stage nothing).
+    staging: Vec<Event<P::Msg>>,
+    /// Epoch-stamped port-use marks for multi-send detection (arena
+    /// style: sized to the max degree, never cleared).
+    port_marks: Vec<u64>,
+    mark: u64,
+    /// Non-halted, non-crashed node ids, ascending.
+    active: Vec<u32>,
+    /// Scheduled crash tick per node ([`NEVER`] = none).
+    crash_at: Vec<u64>,
+    /// Adversary streams: message fate (drop/duplicate) and latency.
+    fate: SplitMix,
+    latency: SplitMix,
+    trace: Option<Vec<RoundTrace>>,
+    sink: TraceSlot,
+}
+
+impl<'g, P: Process> AsyncNetwork<'g, P> {
+    fn build(
+        graph: &'g Graph,
+        procs: Vec<P>,
+        rngs: Vec<StdRng>,
+        budget_bits: usize,
+        seed: u64,
+        config: ExecConfig,
+    ) -> Result<Self, CongestError> {
+        config.validate()?;
+        let n = graph.n();
+        assert!(n <= u32::MAX as usize, "node ids must fit in u32");
+        // Positional per-node crash draws: independent of iteration order
+        // and of every other stream, so the schedule is a pure function of
+        // (seed, node id, config).
+        let crash_seed = splitmix64(seed ^ splitmix64(CRASH_STREAM));
+        let crash_at: Vec<u64> = (0..n)
+            .map(|v| {
+                if config.faults.crash == 0.0 {
+                    return NEVER;
+                }
+                let h = splitmix64(crash_seed ^ splitmix64(v as u64 + 1));
+                if unit_f64(h) < config.faults.crash {
+                    splitmix64(h) % config.faults.crash_window.max(1)
+                } else {
+                    NEVER
+                }
+            })
+            .collect();
+        let active = (0..n)
+            .filter(|&v| !procs[v].is_halted())
+            .map(|v| v as u32)
+            .collect();
+        let max_degree = (0..n).map(|v| graph.degree(v)).max().unwrap_or(0);
+        Ok(AsyncNetwork {
+            graph,
+            procs,
+            rngs,
+            config,
+            now: 0,
+            metrics: Metrics::new(budget_bits),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            filled: Vec::new(),
+            inboxes_ready: false,
+            outbox: Vec::new(),
+            staging: Vec::new(),
+            port_marks: vec![0; max_degree],
+            mark: 0,
+            active,
+            crash_at,
+            fate: SplitMix::new(splitmix64(seed ^ splitmix64(FATE_STREAM))),
+            latency: SplitMix::new(splitmix64(seed ^ splitmix64(LATENCY_STREAM))),
+            trace: None,
+            sink: TraceSlot::attach(),
+        })
+    }
+
+    /// Wires explicit process instances to the graph's nodes with the
+    /// default (unit latency, fault-free) configuration — the async twin
+    /// of [`Network::new`](crate::network::Network::new), identical
+    /// seeding.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::ProcessCountMismatch`] when
+    /// `procs.len() != graph.n()`.
+    pub fn new(
+        graph: &'g Graph,
+        procs: Vec<P>,
+        seed: u64,
+        budget_bits: usize,
+    ) -> Result<Self, CongestError> {
+        Self::new_with(graph, procs, seed, budget_bits, ExecConfig::default())
+    }
+
+    /// [`AsyncNetwork::new`] with an explicit execution configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::ProcessCountMismatch`] on a process-count mismatch,
+    /// [`CongestError::BadExecConfig`] when the configuration fails
+    /// validation.
+    pub fn new_with(
+        graph: &'g Graph,
+        procs: Vec<P>,
+        seed: u64,
+        budget_bits: usize,
+        config: ExecConfig,
+    ) -> Result<Self, CongestError> {
+        if procs.len() != graph.n() {
+            return Err(CongestError::ProcessCountMismatch {
+                nodes: graph.n(),
+                processes: procs.len(),
+            });
+        }
+        let rngs = node_rngs(graph.n(), seed);
+        Self::build(graph, procs, rngs, budget_bits, seed, config)
+    }
+
+    /// Builds one process per node with the factory `f` under the default
+    /// configuration — the async twin of
+    /// [`Network::from_fn`](crate::network::Network::from_fn).
+    pub fn from_fn<F>(graph: &'g Graph, seed: u64, budget_bits: usize, f: F) -> Self
+    where
+        F: FnMut(usize, &mut StdRng) -> P,
+    {
+        Self::from_fn_with(graph, seed, budget_bits, ExecConfig::default(), f)
+            .expect("default ExecConfig always validates")
+    }
+
+    /// [`AsyncNetwork::from_fn`] with an explicit execution configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::BadExecConfig`] when the configuration fails
+    /// validation.
+    pub fn from_fn_with<F>(
+        graph: &'g Graph,
+        seed: u64,
+        budget_bits: usize,
+        config: ExecConfig,
+        mut f: F,
+    ) -> Result<Self, CongestError>
+    where
+        F: FnMut(usize, &mut StdRng) -> P,
+    {
+        let n = graph.n();
+        let mut rngs = node_rngs(n, seed);
+        let procs = (0..n).map(|v| f(graph.degree(v), &mut rngs[v])).collect();
+        Self::build(graph, procs, rngs, budget_bits, seed, config)
+    }
+
+    /// Starts recording per-round statistics from the next tick on.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The recorded per-tick trace (empty unless
+    /// [`AsyncNetwork::enable_trace`] was called).
+    pub fn trace(&self) -> &[RoundTrace] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Attaches a streaming per-tick observer (the async twin of
+    /// [`Network::set_trace_sink`](crate::network::Network::set_trace_sink)).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink.replace(sink, &self.metrics);
+    }
+
+    /// Draws one message latency; `Unit` consumes no randomness.
+    fn draw_latency(latency: &mut SplitMix, dist: LatencyDist) -> u64 {
+        match dist {
+            LatencyDist::Unit => 1,
+            LatencyDist::Uniform { min, max } => min + latency.next_u64() % (max - min + 1),
+            LatencyDist::Geometric { p } => {
+                let mut l = 1;
+                while l < 64 && latency.next_unit() >= p {
+                    l += 1;
+                }
+                l
+            }
+        }
+    }
+
+    /// Executes one virtual tick: deliver the events scheduled for `now`,
+    /// run every active node, decide each send's fate, and advance time.
+    ///
+    /// # Errors
+    ///
+    /// [`CongestError::InvalidPort`] on a protocol bug; the failed tick is
+    /// dropped wholesale — nothing staged or metered, virtual time frozen,
+    /// this tick's arrivals retained — exactly matching the synchronous
+    /// engines' failed-round semantics.
+    pub fn step(&mut self) -> Result<(), CongestError> {
+        debug_assert!(self.staging.is_empty());
+        // Deliver: pop this tick's events into the per-node buffers. A
+        // retry after a failed tick skips this — the buffers already hold
+        // tick `now`'s arrivals.
+        if !self.inboxes_ready {
+            for &v in &self.filled {
+                self.inboxes[v as usize].clear();
+            }
+            self.filled.clear();
+            while let Some(Reverse(ev)) = self.heap.peek() {
+                debug_assert!(ev.time >= self.now, "event from the past");
+                if ev.time > self.now {
+                    break;
+                }
+                let Reverse(ev) = self.heap.pop().expect("peeked");
+                let inbox = &mut self.inboxes[ev.target as usize];
+                if inbox.is_empty() {
+                    self.filled.push(ev.target);
+                }
+                inbox.push(Incoming {
+                    port: ev.port as usize,
+                    msg: ev.msg,
+                });
+            }
+            self.inboxes_ready = true;
+        }
+        // Crashes scheduled for this tick fire before anyone computes.
+        if self.config.faults.crash > 0.0 {
+            let crash_at = &self.crash_at;
+            let now = self.now;
+            self.active.retain(|&v| crash_at[v as usize] > now);
+        }
+
+        let mut stats = RoundStats::default();
+        let mut failure: Option<CongestError> = None;
+        let mut any_halted = false;
+        let drop_p = self.config.faults.drop;
+        let dup_p = self.config.faults.duplicate;
+
+        'nodes: for &v in &self.active {
+            let v = v as usize;
+            let degree = self.graph.degree(v);
+            let mut ctx = NodeCtx {
+                degree,
+                round: self.now,
+                rng: &mut self.rngs[v],
+            };
+            self.outbox.clear();
+            let mut out = OutCtx::collector(degree, &mut self.outbox);
+            self.procs[v].round(&mut ctx, &self.inboxes[v], &mut out);
+            if self.procs[v].is_halted() {
+                any_halted = true;
+            }
+            self.mark += 1;
+            for (port, msg) in self.outbox.drain(..) {
+                if port >= degree {
+                    failure = Some(CongestError::InvalidPort {
+                        node: v,
+                        port,
+                        degree,
+                    });
+                    break 'nodes;
+                }
+                if self.port_marks[port] == self.mark {
+                    self.metrics.record_multi_send();
+                } else {
+                    self.port_marks[port] = self.mark;
+                }
+                let bits = msg.bit_size();
+                stats.messages += 1;
+                stats.bits += bits as u64;
+                if bits > stats.max_bits {
+                    stats.max_bits = bits;
+                }
+                let budget = self.metrics.budget_bits;
+                if budget > 0 && bits > budget {
+                    stats.oversize += 1;
+                }
+                // Fate: decided wholly at send time. A dropped message
+                // consumes exactly one fate draw and nothing else.
+                if drop_p > 0.0 && self.fate.chance(drop_p) {
+                    stats.dropped += 1;
+                    continue;
+                }
+                let (target, arrival) = self.graph.port_and_reverse(v, port);
+                let duplicate = dup_p > 0.0 && self.fate.chance(dup_p);
+                if duplicate {
+                    stats.duplicated += 1;
+                    let l = Self::draw_latency(&mut self.latency, self.config.latency);
+                    self.staging.push(Event {
+                        time: self.now + l,
+                        seq: self.seq,
+                        target: target as u32,
+                        port: arrival as u32,
+                        msg: msg.clone(),
+                    });
+                    self.seq += 1;
+                }
+                let l = Self::draw_latency(&mut self.latency, self.config.latency);
+                self.staging.push(Event {
+                    time: self.now + l,
+                    seq: self.seq,
+                    target: target as u32,
+                    port: arrival as u32,
+                    msg,
+                });
+                self.seq += 1;
+            }
+        }
+
+        if let Some(e) = failure {
+            // Drop the partial tick: nothing staged, nothing metered,
+            // virtual time frozen, this tick's arrivals kept for the
+            // retry; multi-send violations recorded before the failure
+            // stick — matching the synchronous engines.
+            self.staging.clear();
+            self.outbox.clear();
+            let procs = &self.procs;
+            self.active.retain(|&v| !procs[v as usize].is_halted());
+            return Err(e);
+        }
+
+        if any_halted {
+            let procs = &self.procs;
+            self.active.retain(|&v| !procs[v as usize].is_halted());
+        }
+
+        for ev in self.staging.drain(..) {
+            self.heap.push(Reverse(ev));
+        }
+
+        self.metrics.record_round(&stats);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(RoundTrace {
+                round: self.now,
+                messages: stats.messages,
+                bits: stats.bits,
+                max_bits: stats.max_bits,
+            });
+        }
+        self.sink.on_round(&RoundInfo {
+            round: self.now,
+            messages: stats.messages,
+            bits: stats.bits,
+            max_bits: stats.max_bits,
+            active: self.active.len(),
+            buffer_cap: self.heap.capacity(),
+        });
+        self.inboxes_ready = false;
+        self.now += 1;
+        Ok(())
+    }
+
+    /// Runs until every process halts (or crashes), up to `max_rounds`
+    /// ticks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AsyncNetwork::step`] errors.
+    pub fn run_to_halt(&mut self, max_rounds: u64) -> Result<RunStatus, CongestError> {
+        self.run_until(max_rounds, |_| false)
+    }
+
+    /// Runs exactly `rounds` ticks (or stops early if all halt).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AsyncNetwork::step`] errors.
+    pub fn run_for(&mut self, rounds: u64) -> Result<RunStatus, CongestError> {
+        let target = self.now + rounds;
+        while self.now < target {
+            if self.all_halted() {
+                return Ok(RunStatus::AllHalted);
+            }
+            self.step()?;
+        }
+        Ok(RunStatus::RoundLimit)
+    }
+
+    /// Runs until all processes halt, `pred` becomes true (checked after
+    /// every tick), or `max_rounds` ticks elapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AsyncNetwork::step`] errors.
+    pub fn run_until<F>(&mut self, max_rounds: u64, mut pred: F) -> Result<RunStatus, CongestError>
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        let start = self.now;
+        loop {
+            if self.all_halted() {
+                return Ok(RunStatus::AllHalted);
+            }
+            if self.now - start >= max_rounds {
+                return Ok(RunStatus::RoundLimit);
+            }
+            self.step()?;
+            if pred(self) {
+                return Ok(RunStatus::PredicateMet);
+            }
+        }
+    }
+
+    /// True when no process can act again — every node halted or crashed.
+    /// O(1), like the arena engine's active set.
+    pub fn all_halted(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Number of nodes still executing (neither halted nor crashed).
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Current virtual tick (ticks executed so far) — the async engine's
+    /// round counter.
+    pub fn round(&self) -> u64 {
+        self.now
+    }
+
+    /// Messages currently in flight (scheduled but not yet delivered).
+    pub fn in_flight(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Outputs of all processes, indexed by host-side node id.
+    pub fn outputs(&self) -> Vec<P::Output> {
+        self.procs.iter().map(Process::output).collect()
+    }
+
+    /// Borrows the accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// A point-in-time copy of the metrics (see [`Metrics::snapshot`]).
+    pub fn metrics_snapshot(&self) -> Metrics {
+        self.metrics.snapshot()
+    }
+
+    /// Borrows a single process for inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn process(&self, v: NodeId) -> &P {
+        &self.procs[v]
+    }
+
+    /// Borrows all processes.
+    pub fn processes(&self) -> &[P] {
+        &self.procs
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+}
+
+impl<P: Process> Drop for AsyncNetwork<'_, P> {
+    fn drop(&mut self) {
+        self.sink.finish(&self.metrics);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ale_graph::generators;
+
+    /// Broadcasts a counter for `left` ticks, summing everything heard.
+    #[derive(Debug)]
+    struct Pulse {
+        left: u64,
+        heard: u64,
+    }
+    impl Process for Pulse {
+        type Msg = u64;
+        type Output = u64;
+        fn round(
+            &mut self,
+            _ctx: &mut NodeCtx<'_>,
+            inbox: &[Incoming<u64>],
+            out: &mut OutCtx<'_, u64>,
+        ) {
+            self.heard += inbox.iter().map(|m| m.msg).sum::<u64>();
+            if self.left > 0 {
+                self.left -= 1;
+                out.broadcast(1);
+            }
+        }
+        fn is_halted(&self) -> bool {
+            self.left == 0
+        }
+        fn output(&self) -> u64 {
+            self.heard
+        }
+    }
+
+    fn pulse_net(graph: &Graph, config: ExecConfig, seed: u64) -> AsyncNetwork<'_, Pulse> {
+        AsyncNetwork::from_fn_with(graph, seed, 64, config, |_, _| Pulse { left: 3, heard: 0 })
+            .expect("valid config")
+    }
+
+    #[test]
+    fn unit_latency_fault_free_runs_like_a_synchronous_engine() {
+        let g = generators::cycle(6).unwrap();
+        let mut net = pulse_net(&g, ExecConfig::default(), 7);
+        net.enable_trace();
+        let status = net.run_to_halt(10).unwrap();
+        assert_eq!(status, RunStatus::AllHalted);
+        let m = net.metrics();
+        assert_eq!(m.messages, 6 * 3 * 2);
+        assert_eq!(m.delivered, m.messages);
+        assert_eq!((m.dropped, m.duplicated), (0, 0));
+        assert_eq!(net.trace().len() as u64, m.rounds);
+        // Everyone halts after tick 2, so the tick-2 sends land at a dead
+        // mailbox: each node hears its two neighbors for ticks 1 and 2 —
+        // exactly the synchronous engines' halting semantics.
+        assert!(net.outputs().iter().all(|&h| h == 4));
+    }
+
+    #[test]
+    fn latency_delays_but_does_not_lose_messages() {
+        let g = generators::cycle(6).unwrap();
+        let cfg = ExecConfig {
+            latency: LatencyDist::Uniform { min: 1, max: 5 },
+            ..ExecConfig::default()
+        };
+        let mut unit = pulse_net(&g, ExecConfig::default(), 7);
+        let mut slow = pulse_net(&g, cfg, 7);
+        unit.run_for(40).unwrap();
+        slow.run_for(40).unwrap();
+        // Same sends, same enqueue-time accounting; only the delivery
+        // schedule differs — and late arrivals can land after their
+        // reader halted, so a node may *hear* less, never more.
+        assert_eq!(unit.metrics().messages, slow.metrics().messages);
+        assert_eq!(slow.metrics().delivered, slow.metrics().messages);
+        for (u, s) in unit.outputs().into_iter().zip(slow.outputs()) {
+            assert!(s <= u, "latency cannot create messages");
+        }
+    }
+
+    #[test]
+    fn drops_and_duplicates_reconcile() {
+        let g = generators::complete(8).unwrap();
+        let cfg = ExecConfig {
+            faults: FaultSpec {
+                drop: 0.3,
+                duplicate: 0.2,
+                ..FaultSpec::default()
+            },
+            ..ExecConfig::default()
+        };
+        let mut net = pulse_net(&g, cfg, 11);
+        net.run_for(10).unwrap();
+        let m = net.metrics();
+        assert!(m.dropped > 0, "0.3 over {} sends must fire", m.messages);
+        assert!(m.duplicated > 0);
+        assert_eq!(m.delivered, m.messages - m.dropped + m.duplicated);
+        assert!(m.congest_clean(), "faults are not protocol violations");
+    }
+
+    #[test]
+    fn crashed_nodes_stop_executing() {
+        let g = generators::complete(16).unwrap();
+        let cfg = ExecConfig {
+            faults: FaultSpec {
+                crash: 0.5,
+                crash_window: 2,
+                ..FaultSpec::default()
+            },
+            ..ExecConfig::default()
+        };
+        let mut net = pulse_net(&g, cfg, 3);
+        net.step().unwrap();
+        let after_first = net.active_count();
+        assert!(after_first < 16, "seed 3 schedules at least one crash");
+        net.run_for(5).unwrap();
+        // Crash window is [0, 2): no crashes after tick 1, and survivors
+        // halt on their own schedule.
+        assert_eq!(net.all_halted(), net.active_count() == 0);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_fault_schedules_exactly() {
+        let g = generators::complete(8).unwrap();
+        let cfg = ExecConfig {
+            latency: LatencyDist::Geometric { p: 0.5 },
+            faults: FaultSpec {
+                drop: 0.2,
+                duplicate: 0.1,
+                crash: 0.2,
+                crash_window: 4,
+            },
+        };
+        let run = |seed: u64| {
+            let mut net = pulse_net(&g, cfg, seed);
+            net.enable_trace();
+            net.run_for(20).unwrap();
+            (net.outputs(), net.metrics_snapshot(), net.trace().to_vec())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).1, run(43).1, "different seeds must diverge");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_loudly() {
+        let cases = [
+            ExecConfig {
+                faults: FaultSpec {
+                    drop: 1.5,
+                    ..FaultSpec::default()
+                },
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                faults: FaultSpec {
+                    duplicate: -0.1,
+                    ..FaultSpec::default()
+                },
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                latency: LatencyDist::Uniform { min: 0, max: 3 },
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                latency: LatencyDist::Uniform { min: 5, max: 2 },
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                latency: LatencyDist::Geometric { p: 0.0 },
+                ..ExecConfig::default()
+            },
+            ExecConfig {
+                faults: FaultSpec {
+                    crash: 0.5,
+                    crash_window: 0,
+                    ..FaultSpec::default()
+                },
+                ..ExecConfig::default()
+            },
+        ];
+        for cfg in cases {
+            assert!(
+                matches!(cfg.validate(), Err(CongestError::BadExecConfig { .. })),
+                "{cfg:?} must be rejected"
+            );
+        }
+        assert!(ExecConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn process_count_mismatch_is_detected() {
+        let g = generators::complete(4).unwrap();
+        let procs = (0..3).map(|_| Pulse { left: 1, heard: 0 }).collect();
+        assert!(matches!(
+            AsyncNetwork::new(&g, procs, 0, 8),
+            Err(CongestError::ProcessCountMismatch { .. })
+        ));
+    }
+}

@@ -27,6 +27,12 @@ pub enum CongestError {
         /// The cap that was hit.
         limit: u64,
     },
+    /// An execution configuration (latency distribution / fault
+    /// probabilities) failed validation at network construction time.
+    BadExecConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CongestError {
@@ -41,6 +47,9 @@ impl fmt::Display for CongestError {
             }
             CongestError::RoundLimitExceeded { limit } => {
                 write!(f, "round limit {limit} exceeded before stop condition")
+            }
+            CongestError::BadExecConfig { reason } => {
+                write!(f, "bad execution config: {reason}")
             }
         }
     }
@@ -65,6 +74,9 @@ mod tests {
                 degree: 2,
             },
             CongestError::RoundLimitExceeded { limit: 100 },
+            CongestError::BadExecConfig {
+                reason: "drop probability 1.5 outside [0, 1]".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

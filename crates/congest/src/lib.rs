@@ -1,10 +1,12 @@
-//! # ale-congest — synchronous anonymous CONGEST simulator
+//! # ale-congest — anonymous CONGEST simulator
 //!
-//! A discrete, round-driven simulator of the model in Section 2 of
-//! Kowalski & Mosteiro (ICDCS 2021): a connected undirected network of
-//! **anonymous** nodes with port-numbered links, globally synchronous
-//! rounds, reliable communication, and an `O(log n)`-bit per-link-per-round
-//! CONGEST budget.
+//! A discrete simulator of the model in Section 2 of Kowalski & Mosteiro
+//! (ICDCS 2021): a connected undirected network of **anonymous** nodes
+//! with port-numbered links, globally synchronous rounds, reliable
+//! communication, and an `O(log n)`-bit per-link-per-round CONGEST
+//! budget — plus an event-driven asynchronous engine that relaxes the
+//! synchrony and reliability assumptions behind the same [`Process`]
+//! trait, for measuring degradation off the model.
 //!
 //! * [`Process`] — one node's protocol state machine; sees only its degree,
 //!   the round number, port-tagged messages, and private randomness.
@@ -18,6 +20,10 @@
 //!   invariants).
 //! * [`reference::ReferenceNetwork`] — the slow pre-arena engine, kept as
 //!   the equivalence oracle and benchmark baseline.
+//! * [`async_net::AsyncNetwork`] — the event-driven asynchronous engine:
+//!   per-message link latencies and a crash/drop/duplicate adversary
+//!   ([`ExecConfig`]), byte-identical to [`Network`] at unit latency with
+//!   zero faults.
 //! * [`Metrics`] — rounds, CONGEST-charged rounds, messages, and bits; the
 //!   units Theorems 1 and 3 of the paper bound. Bit-level metering is what
 //!   lets runs be compared against bit-round bounds from the literature.
@@ -54,20 +60,24 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod async_net;
 pub mod error;
 pub mod message;
 pub mod metrics;
 pub mod network;
 pub mod process;
 pub mod reference;
+pub mod testkit;
 pub mod trace;
 
+pub use async_net::{AsyncNetwork, ExecConfig, FaultSpec, LatencyDist};
 pub use error::CongestError;
 pub use message::{congest_budget, Payload};
 pub use metrics::{Metrics, RoundInfo, RoundTrace};
 pub use network::{Network, RunStatus};
 pub use process::{Incoming, NodeCtx, OutCtx, Process};
 pub use reference::ReferenceNetwork;
+pub use testkit::{AnyNetwork, EngineKind};
 pub use trace::{clear_trace_factory, install_trace_factory, TraceSink};
 
 #[cfg(test)]

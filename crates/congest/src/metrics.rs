@@ -74,6 +74,14 @@ pub struct Metrics {
     /// Rounds in which some node sent more than one message through the
     /// same port — a protocol bug under CONGEST; counted, not merged.
     pub multi_send_violations: u64,
+    /// Messages actually enqueued for delivery. On the fault-free
+    /// synchronous engines this always equals `messages`; under the
+    /// asynchronous adversary it is `messages - dropped + duplicated`.
+    pub delivered: u64,
+    /// Messages the adversary discarded at send time (never delivered).
+    pub dropped: u64,
+    /// Extra copies the adversary injected (each delivered separately).
+    pub duplicated: u64,
 }
 
 impl Metrics {
@@ -109,12 +117,16 @@ impl Metrics {
             self.max_message_bits = stats.max_bits;
         }
         self.oversize_messages += stats.oversize;
+        self.delivered += stats.messages - stats.dropped + stats.duplicated;
+        self.dropped += stats.dropped;
+        self.duplicated += stats.duplicated;
         self.record_step(stats.max_bits);
     }
 
     /// Records one delivered message of `bits` payload bits.
     pub(crate) fn record_message(&mut self, bits: usize) {
         self.messages += 1;
+        self.delivered += 1;
         self.bits += bits as u64;
         if bits > self.max_message_bits {
             self.max_message_bits = bits;
@@ -169,10 +181,31 @@ mod tests {
         m.record_message(5);
         m.record_message(9);
         assert_eq!(m.messages, 2);
+        assert_eq!(m.delivered, 2);
         assert_eq!(m.bits, 14);
         assert_eq!(m.max_message_bits, 9);
         assert_eq!(m.oversize_messages, 1);
         assert!(!m.congest_clean());
+    }
+
+    #[test]
+    fn fault_counters_reconcile_through_record_round() {
+        let mut m = Metrics::new(8);
+        let stats = crate::process::RoundStats {
+            messages: 10,
+            bits: 40,
+            max_bits: 4,
+            oversize: 0,
+            dropped: 3,
+            duplicated: 2,
+        };
+        m.record_round(&stats);
+        assert_eq!(m.messages, 10);
+        assert_eq!(m.dropped, 3);
+        assert_eq!(m.duplicated, 2);
+        // delivered = sent - dropped + duplicated, always.
+        assert_eq!(m.delivered, m.messages - m.dropped + m.duplicated);
+        assert!(m.congest_clean(), "faults are not protocol violations");
     }
 
     #[test]

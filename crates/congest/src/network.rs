@@ -147,8 +147,9 @@ pub struct Network<'g, P: Process> {
 }
 
 /// SplitMix64 step, used to derive independent per-node seeds from the
-/// experiment seed without exposing node ids to protocols.
-fn splitmix64(state: u64) -> u64 {
+/// experiment seed without exposing node ids to protocols (and, in the
+/// asynchronous engine, to derive its positional adversary streams).
+pub(crate) fn splitmix64(state: u64) -> u64 {
     let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -102,6 +102,12 @@ pub(crate) struct RoundStats {
     /// Messages wider than the CONGEST budget, counted per message at send
     /// time (the aggregate alone could not recover the per-message test).
     pub(crate) oversize: u64,
+    /// Sends the adversary discarded this round (asynchronous engine only;
+    /// always 0 on the fault-free synchronous engines).
+    pub(crate) dropped: u64,
+    /// Extra copies the adversary injected this round (asynchronous engine
+    /// only; always 0 on the fault-free synchronous engines).
+    pub(crate) duplicated: u64,
 }
 
 /// The arena engine's send path: borrowed slices of network-owned state,

@@ -265,6 +265,12 @@ impl<'g, P: Process> ReferenceNetwork<'g, P> {
         self.procs.iter().map(Process::output).collect()
     }
 
+    /// Borrows all processes (same inspection surface as the other
+    /// engines, so engine-generic tests can dispatch over all three).
+    pub fn processes(&self) -> &[P] {
+        &self.procs
+    }
+
     /// Borrows the accumulated metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics

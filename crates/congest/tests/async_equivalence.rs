@@ -1,27 +1,29 @@
-//! Arena engine ↔ reference engine equivalence.
+//! Async engine ↔ arena engine equivalence — the oracle suite.
 //!
-//! The flat-arena engine (`Network`) must be observationally identical to
-//! the pre-arena reference engine (`ReferenceNetwork`): for the same graph
-//! and seed, outputs, metrics, and per-round traces match byte for byte —
-//! no process can tell which engine is driving it. These tests pin that on
-//! seeded random-regular and torus graphs, through mid-run halts,
-//! multi-sends, congest-oversized payloads, and the invalid-port
-//! drop-the-round path.
+//! At **unit latency with zero faults** the event-driven engine
+//! (`AsyncNetwork`) must be observationally identical to the arena engine
+//! (`Network`): for the same graph and seed, outputs, metrics, and
+//! per-round traces match byte for byte — no process can tell which
+//! engine is driving it. This is the load-bearing contract that lets the
+//! battle-tested synchronous engine serve as the correctness oracle for
+//! the asynchronous one; every fault/latency feature then deviates from a
+//! pinned baseline rather than from hope. The suite mirrors the
+//! arena↔reference suite (`equivalence.rs`) protocol for protocol:
+//! seeded random-regular and torus graphs, the implicit-topology backend,
+//! staggered mid-run halts, multi-sends, congest-oversized payloads, and
+//! the invalid-port drop-the-round path.
 
 use ale_congest::{
-    CongestError, Incoming, Metrics, Network, NodeCtx, OutCtx, Process, ReferenceNetwork, RunStatus,
+    AsyncNetwork, CongestError, Incoming, Metrics, Network, NodeCtx, OutCtx, Process, RunStatus,
 };
 use ale_graph::{Graph, ImplicitTopology, Topology};
 use rand::Rng;
 
 /// A deliberately messy protocol that exercises every metering path:
-///
-/// * random per-round fan-out (including silence),
-/// * occasional double-sends on port 0 (multi-send violations),
-/// * payload sizes crossing the CONGEST budget (oversize charging),
-/// * random mid-run halts, staggered per node,
-/// * RNG consumption that depends on received messages (so any delivery
-///   difference snowballs into divergent outputs within a round or two).
+/// random fan-out (including silence), double-sends on port 0, payloads
+/// crossing the CONGEST budget, staggered mid-run halts, and RNG
+/// consumption that depends on received messages — so any delivery-order
+/// difference snowballs into divergent outputs within a round or two.
 #[derive(Debug, Clone)]
 struct Chaos {
     acc: u64,
@@ -86,29 +88,36 @@ fn chaos_factory(seed_mix: u64) -> impl FnMut(usize, &mut rand::rngs::StdRng) ->
     }
 }
 
+/// Lockstep-steps an arena run and a default-config (unit latency, zero
+/// faults) async run, comparing metrics snapshots after every round so a
+/// divergence is pinned to the exact round it first appears in.
 fn assert_equivalent_run(graph: &Graph, seed: u64, budget: usize, rounds: u64) {
     let mut arena = Network::from_fn(graph, seed, budget, chaos_factory(seed));
-    let mut reference = ReferenceNetwork::from_fn(graph, seed, budget, chaos_factory(seed));
+    let mut evented = AsyncNetwork::from_fn(graph, seed, budget, chaos_factory(seed));
     arena.enable_trace();
-    reference.enable_trace();
+    evented.enable_trace();
 
-    // Step in lockstep, comparing metrics snapshots after every round so a
-    // divergence is pinned to the exact round it first appears in.
     let mut r = 0u64;
     while !arena.all_halted() && r < rounds {
         arena.step().expect("arena step");
-        reference.step().expect("reference step");
+        evented.step().expect("async step");
         assert_eq!(
             arena.metrics_snapshot(),
-            reference.metrics_snapshot(),
+            evented.metrics_snapshot(),
             "metrics diverged at round {r}"
         );
         r += 1;
     }
-    assert_eq!(arena.all_halted(), reference.all_halted());
-    assert_eq!(arena.round(), reference.round());
-    assert_eq!(arena.outputs(), reference.outputs(), "outputs diverged");
-    assert_eq!(arena.trace(), reference.trace(), "traces diverged");
+    assert_eq!(arena.all_halted(), evented.all_halted());
+    assert_eq!(arena.round(), evented.round());
+    assert_eq!(arena.outputs(), evented.outputs(), "outputs diverged");
+    assert_eq!(arena.trace(), evented.trace(), "traces diverged");
+    // Nothing may linger in the event queue once all senders halted: at
+    // unit latency every message was deliverable one tick after its send.
+    if evented.all_halted() {
+        evented.step().expect("drain tick");
+        assert_eq!(evented.in_flight(), 0, "stale events in the queue");
+    }
 }
 
 #[test]
@@ -140,25 +149,24 @@ fn equivalent_on_torus_graphs() {
 #[test]
 fn equivalent_on_an_implicit_torus() {
     // The O(1)-memory computed-neighbor backend must be invisible to the
-    // engines: an arena run on an implicit torus matches a reference run
-    // on the *explicit* twin of the same torus, trace for trace — so the
-    // engines can tell neither the backends nor each other apart.
+    // engines: an async run on an implicit torus matches an arena run on
+    // the *explicit* twin of the same torus, trace for trace.
     let implicit = Graph::from_implicit(ImplicitTopology::Torus { rows: 5, cols: 7 }).unwrap();
     assert!(implicit.is_implicit());
     let explicit = ale_graph::generators::grid2d(5, 7, true).unwrap();
     for seed in 0..8 {
-        let mut arena = Network::from_fn(&implicit, seed, 8, chaos_factory(seed));
-        let mut reference = ReferenceNetwork::from_fn(&explicit, seed, 8, chaos_factory(seed));
+        let mut evented = AsyncNetwork::from_fn(&implicit, seed, 8, chaos_factory(seed));
+        let mut arena = Network::from_fn(&explicit, seed, 8, chaos_factory(seed));
+        evented.enable_trace();
         arena.enable_trace();
-        reference.enable_trace();
         while !arena.all_halted() {
             arena.step().expect("arena step");
-            reference.step().expect("reference step");
+            evented.step().expect("async step");
         }
-        assert!(reference.all_halted());
-        assert_eq!(arena.outputs(), reference.outputs(), "outputs diverged");
-        assert_eq!(arena.metrics_snapshot(), reference.metrics_snapshot());
-        assert_eq!(arena.trace(), reference.trace(), "traces diverged");
+        assert!(evented.all_halted());
+        assert_eq!(arena.outputs(), evented.outputs(), "outputs diverged");
+        assert_eq!(arena.metrics_snapshot(), evented.metrics_snapshot());
+        assert_eq!(arena.trace(), evented.trace(), "traces diverged");
     }
 }
 
@@ -172,8 +180,8 @@ fn equivalent_with_tight_congest_budget() {
     }
 }
 
-/// Sends on a port the node does not have once `round == when`, on node
-/// draws where `trigger` is set; otherwise behaves like a quiet gossip.
+/// Sends on a port the node does not have once `round == when`, on nodes
+/// where `trigger` is set; otherwise behaves like a quiet gossip.
 #[derive(Debug)]
 struct Saboteur {
     trigger: bool,
@@ -188,7 +196,7 @@ impl Process for Saboteur {
     fn round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[Incoming<u64>], out: &mut OutCtx<'_, u64>) {
         self.sum += inbox.iter().map(|m| m.msg).sum::<u64>();
         if self.trigger && ctx.round == self.when {
-            out.send(0, 1); // legal send before the bug: dropped with the round
+            out.send(0, 1); // legal send before the bug: dropped with the tick
             out.send(0, 2); // multi-send: recorded before the failure, sticks
             out.send(ctx.degree + 3, 9); // the bug
             out.send(0, 3); // after the failure: ignored
@@ -219,31 +227,31 @@ fn invalid_port_drop_the_round_is_equivalent() {
     };
     for trigger_node in [0usize, 5, 11] {
         let mut arena = Network::from_fn(&g, 9, 8, make(trigger_node));
-        let mut reference = ReferenceNetwork::from_fn(&g, 9, 8, make(trigger_node));
+        let mut evented = AsyncNetwork::from_fn(&g, 9, 8, make(trigger_node));
         arena.enable_trace();
-        reference.enable_trace();
+        evented.enable_trace();
         for _ in 0..3 {
             arena.step().unwrap();
-            reference.step().unwrap();
+            evented.step().unwrap();
         }
         let ae = arena.step().unwrap_err();
-        let re = reference.step().unwrap_err();
-        assert_eq!(ae, re, "same InvalidPort error");
+        let ee = evented.step().unwrap_err();
+        assert_eq!(ae, ee, "same InvalidPort error");
         assert!(matches!(ae, CongestError::InvalidPort { .. }));
-        // The failed round delivered and metered nothing; multi-send
+        // The failed tick delivered and metered nothing; multi-send
         // violations recorded before the failure stick in both engines.
-        assert_eq!(arena.metrics_snapshot(), reference.metrics_snapshot());
-        assert_eq!(arena.round(), reference.round());
+        assert_eq!(arena.metrics_snapshot(), evented.metrics_snapshot());
+        assert_eq!(arena.round(), evented.round());
         assert_eq!(arena.round(), 3, "failed round must not advance the clock");
         // Inboxes were preserved: the next step re-runs the same round and
         // fails identically (processes re-observe their inboxes but RNGs
         // advanced — equivalently in both engines).
         let ae2 = arena.step().unwrap_err();
-        let re2 = reference.step().unwrap_err();
-        assert_eq!(ae2, re2);
-        assert_eq!(arena.metrics_snapshot(), reference.metrics_snapshot());
-        assert_eq!(arena.outputs(), reference.outputs());
-        assert_eq!(arena.trace(), reference.trace());
+        let ee2 = evented.step().unwrap_err();
+        assert_eq!(ae2, ee2);
+        assert_eq!(arena.metrics_snapshot(), evented.metrics_snapshot());
+        assert_eq!(arena.outputs(), evented.outputs());
+        assert_eq!(arena.trace(), evented.trace());
     }
 }
 
@@ -282,45 +290,45 @@ fn equivalent_dense_never_halting() {
     .build(0)
     .unwrap();
     let mut arena = Network::from_fn(&g, 5, 64, |_d, rng| Dense(rng.gen()));
-    let mut reference = ReferenceNetwork::from_fn(&g, 5, 64, |_d, rng| Dense(rng.gen()));
+    let mut evented = AsyncNetwork::from_fn(&g, 5, 64, |_d, rng| Dense(rng.gen()));
     arena.enable_trace();
-    reference.enable_trace();
+    evented.enable_trace();
     let sa = arena.run_for(40).unwrap();
-    let sr = reference.run_for(40).unwrap();
+    let se = evented.run_for(40).unwrap();
     assert_eq!(sa, RunStatus::RoundLimit);
-    assert_eq!(sr, RunStatus::RoundLimit);
-    assert_eq!(arena.outputs(), reference.outputs());
-    assert_eq!(arena.metrics_snapshot(), reference.metrics_snapshot());
-    assert_eq!(arena.trace(), reference.trace());
+    assert_eq!(se, RunStatus::RoundLimit);
+    assert_eq!(arena.outputs(), evented.outputs());
+    assert_eq!(arena.metrics_snapshot(), evented.metrics_snapshot());
+    assert_eq!(arena.trace(), evented.trace());
 }
 
 #[test]
 fn metrics_are_value_identical_not_just_equal() {
     // Belt and braces: compare the Metrics field by field (Metrics is
     // Copy + PartialEq, but spell the fields out so a future field added
-    // without equivalence coverage shows up here as a compile or test
-    // failure).
+    // without async-equivalence coverage shows up here as a compile or
+    // test failure).
     let g = Topology::RandomRegular { n: 30, d: 4 }.build(11).unwrap();
     let mut arena = Network::from_fn(&g, 13, 6, chaos_factory(13));
-    let mut reference = ReferenceNetwork::from_fn(&g, 13, 6, chaos_factory(13));
+    let mut evented = AsyncNetwork::from_fn(&g, 13, 6, chaos_factory(13));
     while !arena.all_halted() {
         arena.step().unwrap();
-        reference.step().unwrap();
+        evented.step().unwrap();
     }
     let a: Metrics = arena.metrics_snapshot();
-    let r: Metrics = reference.metrics_snapshot();
-    assert_eq!(a.rounds, r.rounds);
-    assert_eq!(a.congest_rounds, r.congest_rounds);
-    assert_eq!(a.messages, r.messages);
-    assert_eq!(a.bits, r.bits);
-    assert_eq!(a.budget_bits, r.budget_bits);
-    assert_eq!(a.oversize_messages, r.oversize_messages);
-    assert_eq!(a.max_message_bits, r.max_message_bits);
-    assert_eq!(a.multi_send_violations, r.multi_send_violations);
-    assert_eq!(a.delivered, r.delivered);
-    assert_eq!(a.dropped, r.dropped);
-    assert_eq!(a.duplicated, r.duplicated);
-    // Fault-free engines deliver exactly what they send.
-    assert_eq!(a.delivered, a.messages);
-    assert_eq!((a.dropped, a.duplicated), (0, 0));
+    let e: Metrics = evented.metrics_snapshot();
+    assert_eq!(a.rounds, e.rounds);
+    assert_eq!(a.congest_rounds, e.congest_rounds);
+    assert_eq!(a.messages, e.messages);
+    assert_eq!(a.bits, e.bits);
+    assert_eq!(a.budget_bits, e.budget_bits);
+    assert_eq!(a.oversize_messages, e.oversize_messages);
+    assert_eq!(a.max_message_bits, e.max_message_bits);
+    assert_eq!(a.multi_send_violations, e.multi_send_violations);
+    assert_eq!(a.delivered, e.delivered);
+    assert_eq!(a.dropped, e.dropped);
+    assert_eq!(a.duplicated, e.duplicated);
+    // Fault-free runs deliver exactly what they send, on both engines.
+    assert_eq!(e.delivered, e.messages);
+    assert_eq!((e.dropped, e.duplicated), (0, 0));
 }

@@ -43,7 +43,7 @@ pub mod record;
 
 use crate::error::CoreError;
 use crate::outcome::ElectionOutcome;
-use ale_congest::{congest_budget, Network, RunStatus};
+use ale_congest::{congest_budget, AsyncNetwork, ExecConfig, Network, RunStatus};
 use ale_graph::Graph;
 
 pub use msg::RevMsg;
@@ -103,6 +103,76 @@ pub fn run_revocable(
     // Stops on: stabilization (checked sparsely — the recorded round is at
     // most 16 late), the horizon freeze (all nodes halt in lockstep), or
     // the round cap (defensive; unreachable given the freeze).
+    let status = net.run_until(round_budget, |n| {
+        n.round() % 16 == 0 && stabilized(&n.outputs())
+    })?;
+    let verdicts_now = net.outputs();
+    if status == RunStatus::PredicateMet && stabilized(&verdicts_now) {
+        rounds_at_stability = Some(net.round());
+    }
+
+    let verdicts = verdicts_now;
+    let leaders = verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.leader)
+        .map(|(i, _)| i)
+        .collect();
+    let candidates = verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.id.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    let final_k = verdicts.iter().map(|v| v.k).max().unwrap_or(2);
+    let outcome = ElectionOutcome::new(leaders, candidates, *net.metrics(), status);
+    Ok(RevocableOutcome {
+        stabilized: rounds_at_stability.is_some(),
+        final_k,
+        rounds_at_stability,
+        verdicts,
+        outcome,
+    })
+}
+
+/// [`run_revocable`] on the event-driven asynchronous engine: the same
+/// protocol, horizon, and stabilization oracle, but message deliveries
+/// follow `exec`'s latency distribution and its adversary may crash
+/// nodes, drop sends, or inject duplicates.
+///
+/// With `ExecConfig::default()` (unit latency, zero faults) the run is
+/// byte-identical to [`run_revocable`] — same outputs, metrics, and
+/// rounds — which is what lets fault sweeps share the synchronous runs'
+/// baselines. Under faults the protocol keeps its absorbing-state
+/// structure (certificates only improve), so the oracle still reports
+/// stabilization among the *surviving* nodes when views converge; with
+/// crashes, "all nodes" means all non-crashed nodes that still execute.
+///
+/// # Errors
+///
+/// Propagates parameter-validation, execution-config, and simulation
+/// failures.
+pub fn run_revocable_async(
+    graph: &Graph,
+    params: &RevocableParams,
+    seed: u64,
+    max_k: u64,
+    exec: &ExecConfig,
+) -> Result<RevocableOutcome, CoreError> {
+    params.validate()?;
+    if max_k < 2 {
+        return Err(CoreError::InvalidConfig {
+            reason: "max_k must be at least 2".into(),
+        });
+    }
+    let budget = congest_budget(graph.n().max(2), params.congest_factor);
+    let p = *params;
+    let mut net = AsyncNetwork::from_fn_with(graph, seed, budget, *exec, |deg, _rng| {
+        RevocableProcess::with_horizon(p, deg, Some(max_k))
+    })?;
+    let round_budget = params.rounds_through(max_k).saturating_add(64);
+    let mut rounds_at_stability = None;
+
     let status = net.run_until(round_budget, |n| {
         n.round() % 16 == 0 && stabilized(&n.outputs())
     })?;
@@ -215,6 +285,42 @@ mod tests {
         let bad = RevocableParams::paper_blind(0.0, 0.1);
         assert!(run_revocable(&g, &bad, 0, 64).is_err());
         assert!(run_revocable(&g, &fast_params(), 0, 1).is_err());
+    }
+
+    #[test]
+    fn async_zero_fault_run_matches_the_synchronous_run_exactly() {
+        let g = generators::complete(4).unwrap();
+        for seed in [1, 5, 11] {
+            let sync = run_revocable(&g, &fast_params(), seed, 64).unwrap();
+            let evented =
+                run_revocable_async(&g, &fast_params(), seed, 64, &ExecConfig::default()).unwrap();
+            assert_eq!(sync, evented, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn async_faulty_run_reconciles_and_rejects_bad_configs() {
+        let g = generators::complete(4).unwrap();
+        let exec = ExecConfig {
+            faults: ale_congest::FaultSpec {
+                drop: 0.05,
+                duplicate: 0.025,
+                ..Default::default()
+            },
+            ..ExecConfig::default()
+        };
+        let r = run_revocable_async(&g, &fast_params(), 1, 16, &exec).unwrap();
+        let m = r.outcome.metrics;
+        assert_eq!(m.delivered, m.messages - m.dropped + m.duplicated);
+
+        let bad = ExecConfig {
+            faults: ale_congest::FaultSpec {
+                drop: 2.0,
+                ..Default::default()
+            },
+            ..ExecConfig::default()
+        };
+        assert!(run_revocable_async(&g, &fast_params(), 1, 16, &bad).is_err());
     }
 
     #[test]

@@ -22,7 +22,8 @@ use crate::fit::power_fit;
 use crate::params::{Axis, Block, ParamSpace, When};
 use crate::scenario::{GridPoint, Knowledge, LabError, Scenario, TrialFn, TrialRecord};
 use crate::table::Table;
-use ale_core::revocable::{run_revocable, RevocableParams};
+use ale_congest::{ExecConfig, FaultSpec, LatencyDist};
+use ale_core::revocable::{run_revocable, run_revocable_async, RevocableParams};
 use ale_graph::Topology;
 
 const EPS: f64 = 1.0;
@@ -148,6 +149,55 @@ impl Scenario for Revocable {
                 },
             )
             .when(When::SmallGrid),
+            // Mode 6: the fault sweep — the same scaled blind protocol on
+            // the event-driven asynchronous engine, with the adversary
+            // dropping each send with probability `fault-rate` (and
+            // duplicating with half of it) over `latency`-tick links.
+            Block::new(
+                "faults",
+                vec![
+                    Axis::floats("fault-rate", [0.0, 0.05])
+                        .help("per-send drop probability in [0,1] (duplicates at rate/2)"),
+                    Axis::ints("latency", [1, 3])
+                        .quick_ints([1])
+                        .help("max link latency in ticks (1 = synchronous schedule)"),
+                ],
+                |ctx| {
+                    let rate = ctx.float("fault-rate")?;
+                    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                        return Err(LabError::BadArgs(format!(
+                            "--param fault-rate={rate}: probability must be in [0, 1]"
+                        )));
+                    }
+                    let lat = ctx.int("latency")?;
+                    if lat < 1 {
+                        return Err(LabError::BadArgs(format!(
+                            "--param latency={lat}: must be at least 1 tick"
+                        )));
+                    }
+                    Ok(Some(
+                        GridPoint::new(format!("faults/rate={rate}/lat={lat}"))
+                            .on(Topology::Complete { n: 8 })
+                            .knowing(Knowledge::Blind)
+                            .with("mode", 6.0)
+                            .seeds(if ctx.quick { 2 } else { 3 }),
+                    ))
+                },
+            )
+            .when(When::SmallGrid),
+            // The fault sweep's synchronous baseline: one arena-engine
+            // point with the same graph, params, and seeds, so a CI gate
+            // can diff the zero-fault async summary rows against it.
+            Block::new("faults-sync", vec![], |ctx| {
+                Ok(Some(
+                    GridPoint::new("faults/sync".to_string())
+                        .on(Topology::Complete { n: 8 })
+                        .knowing(Knowledge::Blind)
+                        .with("mode", 7.0)
+                        .seeds(if ctx.quick { 2 } else { 3 }),
+                ))
+            })
+            .when(When::SmallGrid),
             // `--n` selects the mode-4 large-n engine ladder: the
             // revocable protocol at tens of thousands of nodes on sparse
             // topologies (complete graphs at those sizes would need 10⁸
@@ -202,19 +252,54 @@ impl Scenario for Revocable {
         } else {
             horizon_for(n, EPS)
         };
+        // Mode 6 runs on the event-driven asynchronous engine; the knobs
+        // were range-validated by the block builder, so here they only
+        // need translating into an `ExecConfig`.
+        let exec = if mode == 6 {
+            let rate = view.require_knob("fault-rate")?;
+            let lat = view.require_knob("latency")? as u64;
+            Some(ExecConfig {
+                latency: if lat <= 1 {
+                    LatencyDist::Unit
+                } else {
+                    LatencyDist::Uniform { min: 1, max: lat }
+                },
+                faults: FaultSpec {
+                    drop: rate,
+                    duplicate: rate / 2.0,
+                    ..FaultSpec::default()
+                },
+            })
+        } else {
+            None
+        };
         let point = point.clone();
         Ok(Box::new(move |seed| {
-            let run = run_revocable(&graph, &params, seed, max_k)?;
+            let run = match &exec {
+                Some(exec) => run_revocable_async(&graph, &params, seed, max_k, exec)?,
+                None => run_revocable(&graph, &params, seed, max_k)?,
+            };
             let mut r = TrialRecord::new("revocable", &point, seed);
             r.absorb_metrics(&run.outcome.metrics);
             r.leaders = run.outcome.leader_count() as u64;
-            // Ladder trials demonstrate engine scale, not Theorem 3: at
-            // k ≪ n^{1/(1+ε)} a unique stable leader is not predicted, so
-            // they are non-failing by construction.
-            r.ok = mode == 4 || run.outcome.leader_count() == 1;
+            // Ladder trials demonstrate engine scale, not Theorem 3 (at
+            // k ≪ n^{1/(1+ε)} a unique stable leader is not predicted),
+            // and fault-sweep trials measure degradation off the model —
+            // both are non-failing by construction. The faults/sync
+            // baseline shares the rule so its rows stay comparable.
+            r.ok = matches!(mode, 4 | 6 | 7) || run.outcome.leader_count() == 1;
             r.push_extra("stabilized", if run.stabilized { 1.0 } else { 0.0 });
             if let Some(rounds) = run.rounds_at_stability {
                 r.push_extra("rounds_at_stability", rounds as f64);
+            }
+            if matches!(mode, 6 | 7) {
+                // Delivery accounting: on the synchronous baseline these
+                // are delivered == messages, dropped == duplicated == 0,
+                // so the zero-fault async point's rows match it exactly.
+                let m = &run.outcome.metrics;
+                r.push_extra("delivered", m.delivered as f64);
+                r.push_extra("dropped", m.dropped as f64);
+                r.push_extra("duplicated", m.duplicated as f64);
             }
             if mode == 4 {
                 r.push_extra("final_k", run.final_k as f64);
@@ -345,6 +430,51 @@ impl Scenario for Revocable {
             ));
         }
 
+        // Mode 6/7: fault sweep on the asynchronous engine + sync baseline.
+        let faults: Vec<_> = run
+            .points
+            .iter()
+            .filter(|p| p.label.starts_with("faults/"))
+            .collect();
+        if !faults.is_empty() {
+            out.push_str(
+                "\n## Mode 6: fault sweep (async engine; drop=rate, dup=rate/2) vs sync baseline\n\n",
+            );
+            let mut tf = Table::new([
+                "point",
+                "stabilized",
+                "med rounds",
+                "med msgs",
+                "delivered",
+                "dropped",
+                "duplicated",
+            ]);
+            for p in &faults {
+                let stab = p
+                    .metric("stabilized")
+                    .map_or(0, |m| (m.mean() * m.count() as f64).round() as u64);
+                tf.push_row([
+                    p.label.trim_start_matches("faults/").to_string(),
+                    format!("{stab}/{}", p.trials),
+                    format!("{:.0}", p.median("rounds")),
+                    format!("{:.0}", p.median("messages")),
+                    format!("{:.0}", p.mean("delivered")),
+                    format!("{:.0}", p.mean("dropped")),
+                    format!("{:.0}", p.mean("duplicated")),
+                ]);
+            }
+            out.push_str(&tf.to_markdown());
+            out.push_str(
+                "The rate=0/lat=1 rows must equal the sync rows on every schedule and\n\
+                 delivery metric (rounds, messages, delivered/dropped/duplicated —\n\
+                 bit counts are seed-dependent and the two points draw different\n\
+                 positional seeds; byte-identity at equal seeds is pinned by\n\
+                 crates/congest/tests/async_equivalence.rs). Nonzero rates measure\n\
+                 how far the paper's round/bit bounds degrade off the synchronous\n\
+                 fault-free model.\n",
+            );
+        }
+
         // Mode 4: large-n engine ladder (present only under --n).
         let ladder: Vec<_> = run
             .points
@@ -455,5 +585,50 @@ mod tests {
             .iter()
             .filter(|p| p.label.starts_with("scaled/"))
             .all(|p| p.seeds == Some(2)));
+    }
+
+    #[test]
+    fn fault_blocks_declare_the_async_sweep_and_its_sync_baseline() {
+        let grid = Revocable
+            .grid(&GridConfig {
+                quick: true,
+                ..GridConfig::default()
+            })
+            .unwrap();
+        // Quick: rates {0, 0.05} x latency {1} plus the sync baseline.
+        let rates: Vec<_> = grid
+            .iter()
+            .filter(|p| p.label.starts_with("faults/rate="))
+            .collect();
+        assert_eq!(rates.len(), 2);
+        for p in &rates {
+            assert_eq!(p.param("mode"), Some(6.0));
+            assert_eq!(p.seeds, Some(2));
+            assert!(p.label.ends_with("/lat=1"), "{}", p.label);
+        }
+        let sync: Vec<_> = grid.iter().filter(|p| p.label == "faults/sync").collect();
+        assert_eq!(sync.len(), 1);
+        assert_eq!(sync[0].param("mode"), Some(7.0));
+        assert_eq!(sync[0].seeds, rates[0].seeds);
+    }
+
+    #[test]
+    fn fault_builders_reject_out_of_range_knobs() {
+        let err = Revocable
+            .grid(&GridConfig {
+                quick: true,
+                params: vec![("fault-rate".into(), vec!["1.5".into()])],
+                ..GridConfig::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, LabError::BadArgs(_)), "{err:?}");
+        let err = Revocable
+            .grid(&GridConfig {
+                quick: true,
+                params: vec![("latency".into(), vec!["0".into()])],
+                ..GridConfig::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, LabError::BadArgs(_)), "{err:?}");
     }
 }

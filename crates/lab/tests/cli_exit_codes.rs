@@ -50,6 +50,22 @@ fn usage_errors_exit_two() {
     assert_eq!(exit_code(&["run", "diffusion", "--param", "nope=1"]), 2);
     assert_eq!(exit_code(&["run", "diffusion", "--param", "gamma=abc"]), 2);
     assert_eq!(exit_code(&["run", "diffusion", "--param", "gamma"]), 2);
+    // Fault-sweep knobs: unparseable values and out-of-range
+    // probabilities/latencies are usage errors, validated by the block
+    // builder before any trial runs.
+    assert_eq!(
+        exit_code(&["run", "revocable", "--param", "fault-rate=abc"]),
+        2
+    );
+    assert_eq!(
+        exit_code(&["run", "revocable", "--param", "fault-rate=1.5"]),
+        2
+    );
+    assert_eq!(
+        exit_code(&["run", "revocable", "--param", "fault-rate=-0.1"]),
+        2
+    );
+    assert_eq!(exit_code(&["run", "revocable", "--param", "latency=0"]), 2);
     // --n / --topo parse failures are usage errors too.
     assert_eq!(exit_code(&["run", "diffusion", "--n", "many"]), 2);
     assert_eq!(exit_code(&["run", "diffusion", "--topo", "klein:4"]), 2);

@@ -8,7 +8,9 @@
 //!
 //! * [`graph`] — topology generators and graph properties (`Φ`, `i(G)`,
 //!   `t_mix`, diameter).
-//! * [`congest`] — the synchronous anonymous CONGEST simulator.
+//! * [`congest`] — the anonymous CONGEST simulator (synchronous arena +
+//!   reference engines, and the event-driven asynchronous engine with a
+//!   latency/fault adversary).
 //! * [`core`] — the paper's two protocols: irrevocable (known `n`) and
 //!   revocable (unknown `n`) leader election.
 //! * [`baselines`] — comparators from the related work.

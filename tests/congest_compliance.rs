@@ -4,9 +4,10 @@
 use ale::baselines::flood_max::{run_flood_max, FloodMaxConfig};
 use ale::baselines::gilbert::{run_gilbert, GilbertConfig};
 use ale::baselines::kutten::{run_kutten, KuttenConfig};
-use ale::core::irrevocable::{run_irrevocable, IrrevocableConfig};
-use ale::core::revocable::{run_revocable, RevocableParams};
-use ale::graph::Topology;
+use ale::congest::{congest_budget, AnyNetwork, EngineKind};
+use ale::core::irrevocable::{run_irrevocable, IrrevocableConfig, IrrevocableProcess};
+use ale::core::revocable::{run_revocable, run_revocable_async, RevocableParams};
+use ale::graph::{NetworkKnowledge, Topology};
 
 #[test]
 fn irrevocable_runs_are_congest_clean() {
@@ -65,13 +66,56 @@ fn baselines_are_congest_clean() {
 fn revocable_potentials_are_charged_not_smuggled() {
     // Potentials exceed O(log n) bits in later diffusion rounds; the run
     // must record oversize messages AND charge serialized rounds — the
-    // paper's own time accounting (Theorem 3 proof).
+    // paper's own time accounting (Theorem 3 proof). The serialization
+    // charging is an engine obligation, so the fault-free asynchronous
+    // engine must account identically.
     let g = Topology::Complete { n: 4 }.build(0).expect("graph");
     let params = RevocableParams::paper_blind(1.0, 0.2).with_scales(0.02, 0.25, 1.0);
     let r = run_revocable(&g, &params, 1, 8).expect("run");
     assert!(r.outcome.metrics.oversize_messages > 0);
     assert!(r.outcome.metrics.congest_rounds > r.outcome.metrics.rounds);
     assert_eq!(r.outcome.metrics.multi_send_violations, 0);
+    let a = run_revocable_async(&g, &params, 1, 8, &Default::default()).expect("async run");
+    assert_eq!(a, r, "fault-free async run must charge identically");
+}
+
+#[test]
+fn congest_accounting_is_engine_invariant() {
+    // The same protocol audited on every engine through the shared
+    // test-support constructor: all three must report identical,
+    // congest-clean accounting (and the async engine must additionally
+    // reconcile its delivery counters with the sent count).
+    let topo = Topology::Hypercube { dim: 4 };
+    let g = topo.build(1).expect("graph");
+    let knowledge = NetworkKnowledge {
+        n: g.n(),
+        tmix: 8,
+        phi: 0.25,
+    };
+    let cfg = IrrevocableConfig::from_knowledge(knowledge);
+    let budget = congest_budget(g.n(), cfg.congest_factor);
+    let mut snapshots = Vec::new();
+    for kind in EngineKind::ALL {
+        let procs: Vec<IrrevocableProcess> = (0..g.n())
+            .map(|v| {
+                let mut p = cfg.protocol_params(g.degree(v)).expect("params");
+                p.degree = g.degree(v);
+                IrrevocableProcess::with_candidacy(p, 1 + v as u64, v == 0)
+            })
+            .collect();
+        let mut net = AnyNetwork::new(kind, &g, procs, 3, budget).expect("network");
+        net.run_for(cfg.broadcast_rounds()).expect("run");
+        let m = net.metrics_snapshot();
+        assert!(m.congest_clean(), "{kind}");
+        assert_eq!(
+            m.delivered,
+            m.messages - m.dropped + m.duplicated,
+            "{kind}: delivery counters must reconcile with sends"
+        );
+        snapshots.push(m);
+    }
+    assert_eq!(snapshots[0], snapshots[1], "arena vs reference");
+    assert_eq!(snapshots[0], snapshots[2], "arena vs async");
 }
 
 #[test]

@@ -6,7 +6,7 @@
 //! offline, so the same properties run over a seeded random sweep of the
 //! topology space (deterministic, so failures reproduce exactly).
 
-use ale::congest::{congest_budget, Incoming, Network, NodeCtx, OutCtx, Process};
+use ale::congest::{congest_budget, AnyNetwork, EngineKind, Incoming, NodeCtx, OutCtx, Process};
 use ale::core::irrevocable::{IrrevocableConfig, IrrevocableProcess};
 use ale::graph::{GraphProps, NetworkKnowledge, Topology};
 use rand::rngs::StdRng;
@@ -174,32 +174,43 @@ impl Process for TokenForward {
 
 #[test]
 fn simulator_conserves_tokens() {
+    // Conservation is an engine invariant, so every engine must satisfy
+    // it: the shared constructor runs the same sweep on the arena,
+    // reference, and (fault-free) async engines.
     let mut start_rng = StdRng::seed_from_u64(7);
     for_cases(24, 5, |_case, topo, seed| {
         let start = start_rng.gen_range(1..8u64);
         let g = topo.build(seed).expect("build");
         let rounds = 6u64;
-        let mut net = Network::from_fn(&g, seed, 32, |_deg, _rng| TokenForward {
-            held: start,
-            sent_total: 0,
-            received_total: 0,
-            rounds_left: rounds,
-        });
-        net.run_to_halt(rounds + 2).expect("run");
-        let outs = net.outputs();
-        let held: u64 = outs.iter().map(|o| o.0).sum();
-        let sent: u64 = outs.iter().map(|o| o.1).sum();
-        let received: u64 = outs.iter().map(|o| o.2).sum();
-        // Tokens in flight at halt: sent but not yet absorbed (stuck in
-        // inboxes of halted processes). Everything else conserves.
-        let in_flight = sent - received;
-        assert_eq!(held + in_flight, start * g.n() as u64, "{topo}");
-        assert_eq!(net.metrics().messages, sent, "{topo}");
+        for kind in EngineKind::ALL {
+            let mut net = AnyNetwork::from_fn(kind, &g, seed, 32, |_deg, _rng| TokenForward {
+                held: start,
+                sent_total: 0,
+                received_total: 0,
+                rounds_left: rounds,
+            });
+            net.run_to_halt(rounds + 2).expect("run");
+            let outs = net.outputs();
+            let held: u64 = outs.iter().map(|o| o.0).sum();
+            let sent: u64 = outs.iter().map(|o| o.1).sum();
+            let received: u64 = outs.iter().map(|o| o.2).sum();
+            // Tokens in flight at halt: sent but not yet absorbed (stuck
+            // in inboxes of halted processes). Everything else conserves.
+            let in_flight = sent - received;
+            assert_eq!(held + in_flight, start * g.n() as u64, "{topo} {kind}");
+            assert_eq!(net.metrics().messages, sent, "{topo} {kind}");
+        }
     });
 }
 
-/// Runs a single-candidate cautious broadcast and returns the processes.
-fn broadcast_once(topo: Topology, seed: u64) -> (ale::graph::Graph, Vec<IrrevocableProcess>) {
+/// Runs a single-candidate cautious broadcast on the chosen engine and
+/// returns the processes — engine-generic, so the protocol-level tree
+/// invariants below audit every engine, not just the arena.
+fn broadcast_once(
+    kind: EngineKind,
+    topo: Topology,
+    seed: u64,
+) -> (ale::graph::Graph, Vec<IrrevocableProcess>) {
     let g = topo.build(seed).expect("build");
     let knowledge = NetworkKnowledge {
         n: g.n(),
@@ -215,17 +226,18 @@ fn broadcast_once(topo: Topology, seed: u64) -> (ale::graph::Graph, Vec<Irrevoca
         })
         .collect();
     let budget = congest_budget(g.n(), cfg.congest_factor);
-    let mut net = Network::new(&g, procs, seed, budget).expect("network");
+    let mut net = AnyNetwork::new(kind, &g, procs, seed, budget).expect("network");
     net.run_for(cfg.broadcast_rounds()).expect("run");
     let procs = net.processes().to_vec();
-    drop(net); // Network borrows `g` until its Drop (trace-sink flush)
+    drop(net); // the engine borrows `g` until its Drop (trace-sink flush)
     (g, procs)
 }
 
 #[test]
 fn cautious_broadcast_builds_a_tree() {
+    let mut kinds = EngineKind::ALL.iter().cycle();
     for_cases(12, 6, |_case, topo, seed| {
-        let (g, procs) = broadcast_once(topo, seed);
+        let (g, procs) = broadcast_once(*kinds.next().unwrap(), topo, seed);
         let src_id = 1u64; // node 0's ID
                            // Every member's parent port must point to another member; chains
                            // must terminate at the root without cycles.
@@ -260,8 +272,9 @@ fn cautious_broadcast_builds_a_tree() {
 
 #[test]
 fn territory_respects_doubling_overshoot() {
+    let mut kinds = EngineKind::ALL.iter().cycle();
     for_cases(12, 7, |_case, topo, seed| {
-        let (_, procs) = broadcast_once(topo, seed);
+        let (_, procs) = broadcast_once(*kinds.next().unwrap(), topo, seed);
         let src_id = 1u64;
         let territory = procs
             .iter()
