@@ -72,6 +72,16 @@ USAGE:
                                        BENCH_simulator.json and
                                        BENCH_diffusion.json (default: the
                                        current directory)
+    ale-lab serve <run-dir>... [--addr host:port] [--workers N]
+                                       serve mounted run directories
+                                       read-only over HTTP (default
+                                       127.0.0.1:7878): GET /runs,
+                                       /runs/{id}/manifest, …/summary,
+                                       …/trials?point=…&seed=…, …/space,
+                                       …/tail?from=N&wait=S (live journal
+                                       tail with a byte cursor), /healthz,
+                                       /metrics; incomplete runs are
+                                       served with \"complete\": false
     ale-lab help                       this text
 
 RUN OPTIONS:
@@ -85,7 +95,10 @@ RUN OPTIONS:
                       values exit 2. New sweeps need no code. The
                       engine-level pseudo-axis seeds-per-point=N sets
                       the per-point seed count like --seeds (exactly
-                      one positive integer; conflicts with --seeds)
+                      one positive integer; conflicts with --seeds);
+                      graph-seed=S1,S2 sweeps the random-topology
+                      build seed (distinct u64s), multiplying every
+                      grid point per listed seed
     --n A,B,...       sugar for --param n=A,B — engages the scenario's
                       size ladder (diffusion/thresholds/walks/revocable
                       build sparse large-n ladders)
@@ -136,6 +149,7 @@ EXAMPLES:
     ale-lab report /tmp/t.jsonl
     ale-lab describe revocable --json
     ale-lab bench --quick
+    ale-lab serve runs/table1 runs/shard0 --addr 127.0.0.1:7878
 ";
 
 fn parse_u64(flag: &str, value: Option<String>) -> Result<u64, LabError> {
@@ -294,27 +308,9 @@ fn cmd_describe(args: &[String]) -> Result<String, LabError> {
     // conflicting kinds would otherwise only surface on `run`).
     space.axis_kinds()?;
     if json {
-        use crate::json::Value;
-        return Ok(Value::obj(vec![
-            (
-                "scenario".to_string(),
-                Value::Str(scenario.name().to_string()),
-            ),
-            (
-                "description".to_string(),
-                Value::Str(scenario.description().to_string()),
-            ),
-            (
-                "default_seeds".to_string(),
-                Value::UInt(scenario.default_seeds(false)),
-            ),
-            (
-                "quick_seeds".to_string(),
-                Value::UInt(scenario.default_seeds(true)),
-            ),
-            ("space".to_string(), space.to_json()),
-        ])
-        .render_pretty());
+        // Shared with `GET /runs/{id}/space` so the served space stays
+        // byte-identical to this dump.
+        return Ok(crate::serve::describe_json(scenario.as_ref()).render_pretty());
     }
     Ok(format!(
         "{} — {}
@@ -509,6 +505,53 @@ fn cmd_bench(args: &[String]) -> Result<String, LabError> {
     crate::bench::run(quick, &out)
 }
 
+fn cmd_serve(args: &[String]) -> Result<String, LabError> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workers = ale_serve::ServerConfig::default().workers;
+    let mut it = args.iter().cloned();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .ok_or_else(|| LabError::BadArgs("--addr needs host:port".into()))?;
+            }
+            "--workers" => {
+                workers = parse_u64("--workers", it.next())? as usize;
+                if workers == 0 {
+                    return Err(LabError::BadArgs("--workers must be at least 1".into()));
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(LabError::BadArgs(format!("unknown serve option '{flag}'")))
+            }
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    let app = crate::serve::ServeApp::new(&dirs)?;
+    let cfg = ale_serve::ServerConfig {
+        workers,
+        ..ale_serve::ServerConfig::default()
+    };
+    // Bad addresses and ports already in use are usage errors (exit 2),
+    // same as an unservable run directory.
+    let server = ale_serve::Server::bind(&addr, cfg)
+        .map_err(|e| LabError::BadArgs(format!("cannot listen on '{addr}': {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| LabError::Io(format!("{addr}: {e}")))?;
+    for (id, dir) in app.mounts() {
+        eprintln!("mounted {} from {}", id, dir.display());
+    }
+    eprintln!("serving on http://{local} (GET /runs; ctrl-c to stop)");
+    let handler: ale_serve::Handler = std::sync::Arc::new(move |req| app.handle(req));
+    server
+        .run(handler)
+        .map_err(|e| LabError::Io(format!("serve: {e}")))?;
+    Ok(String::new())
+}
+
 /// Runs the CLI on pre-split arguments (no `argv\[0\]`), returning the text
 /// to print on success.
 ///
@@ -526,6 +569,7 @@ pub fn run(args: &[String]) -> Result<String, LabError> {
         Some("check") => cmd_check(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some(other) => Err(LabError::BadArgs(format!(
             "unknown command '{other}' (see `ale-lab help`)"
         ))),

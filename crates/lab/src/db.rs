@@ -29,6 +29,35 @@
 //! stops at the first entry that is malformed or runs past end-of-file:
 //! everything before it is the recovered prefix, everything after is the
 //! torn tail a crash left behind.
+//!
+//! ## Concurrent readers (the tail contract)
+//!
+//! `ale-lab serve` tails in-progress runs, so one process may append to
+//! `trials.db` while others read it. The contract that makes this safe
+//! without locks:
+//!
+//! 1. **Appends are atomic per entry.** [`Db::put`] on [`AofDb`] issues
+//!    exactly one `write` call carrying one fully framed entry, so a
+//!    concurrent reader observes either none or all of an entry's
+//!    bytes — except possibly the *last* entry, which may be mid-write.
+//! 2. **Bytes below the journal's length are immutable while the run's
+//!    manifest says `"complete": false`.** The writer only ever appends;
+//!    it never rewrites or truncates published bytes (crash recovery in
+//!    [`AofDb::open`] truncates only a torn tail that no reader can have
+//!    parsed as valid).
+//! 3. **Readers parse the valid prefix.** [`scan_entries`] (and
+//!    [`AofDb::open_read`], which uses the same parser) stop at the
+//!    first incomplete entry. The returned valid-prefix length is
+//!    therefore always an entry boundary, and — by (1) and (2) — remains
+//!    a stable cursor: a later read from that offset yields only whole,
+//!    newer entries.
+//! 4. **Compaction happens only at completion.** [`AofDb::compact`]
+//!    (called when a run finishes or resumes to completion) rewrites the
+//!    log via temp-file + rename, so a concurrent reader sees either the
+//!    old inode or the complete new file, never a partial rewrite. After
+//!    compaction old byte offsets are meaningless; readers detect this
+//!    by the manifest flipping to `"complete": true` (or by their cursor
+//!    no longer landing on an entry boundary) and must rescan from 0.
 
 use crate::scenario::LabError;
 use std::collections::BTreeMap;
@@ -129,17 +158,19 @@ fn replay(data: &[u8]) -> (BTreeMap<Vec<u8>, Vec<u8>>, usize) {
     let mut index = BTreeMap::new();
     let mut offset = 0usize;
     while offset < data.len() {
-        let Some(entry_len) = parse_entry(&data[offset..], &mut index) else {
+        let Some((key, value, entry_len)) = parse_entry(&data[offset..]) else {
             break;
         };
+        index.insert(key.to_vec(), value.to_vec());
         offset += entry_len;
     }
     (index, offset)
 }
 
-/// Parses one entry at the start of `data` into `index`; returns its
-/// total length, or `None` when the entry is malformed or incomplete.
-fn parse_entry(data: &[u8], index: &mut BTreeMap<Vec<u8>, Vec<u8>>) -> Option<usize> {
+/// Parses one entry at the start of `data`; returns its key and value
+/// slices plus its total length, or `None` when the entry is malformed
+/// or incomplete.
+fn parse_entry(data: &[u8]) -> Option<(&[u8], &[u8], usize)> {
     if data.first() != Some(&b'#') {
         return None;
     }
@@ -154,11 +185,45 @@ fn parse_entry(data: &[u8], index: &mut BTreeMap<Vec<u8>, Vec<u8>>) -> Option<us
     if data.len() < total || data[total - 1] != b'\n' {
         return None;
     }
-    index.insert(
-        data[body..body + klen].to_vec(),
-        data[body + klen..body + klen + vlen].to_vec(),
-    );
-    Some(total)
+    Some((
+        &data[body..body + klen],
+        &data[body + klen..body + klen + vlen],
+        total,
+    ))
+}
+
+/// One journal entry recovered in file order by [`scan_entries`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedEntry {
+    /// Byte offset of the entry's `#` header within the journal.
+    pub offset: u64,
+    /// The entry's key bytes.
+    pub key: Vec<u8>,
+    /// The entry's value bytes.
+    pub value: Vec<u8>,
+}
+
+/// Scans raw journal bytes in **file order** (append order, duplicates
+/// preserved), returning every complete entry with its byte offset plus
+/// the length of the valid prefix. This is the tail-cursor read path:
+/// per the concurrency contract above, the returned prefix length is a
+/// stable entry boundary in any journal whose run is still incomplete,
+/// so a later scan can resume from it.
+pub fn scan_entries(data: &[u8]) -> (Vec<ScannedEntry>, usize) {
+    let mut entries = Vec::new();
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let Some((key, value, entry_len)) = parse_entry(&data[offset..]) else {
+            break;
+        };
+        entries.push(ScannedEntry {
+            offset: offset as u64,
+            key: key.to_vec(),
+            value: value.to_vec(),
+        });
+        offset += entry_len;
+    }
+    (entries, offset)
 }
 
 /// Append-only-file [`Db`] backend.
@@ -457,6 +522,112 @@ mod tests {
         let back = AofDb::open(&path).unwrap();
         assert!(!back.truncated());
         assert_eq!(back.get(b"k\n1"), Some(value.to_vec()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scan_entries_preserves_file_order_offsets_and_duplicates() {
+        let path = tmp("scan.db");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut db = AofDb::create(&path).unwrap();
+            script(&mut db);
+        }
+        let data = std::fs::read(&path).unwrap();
+        let (entries, valid_len) = scan_entries(&data);
+        assert_eq!(valid_len, data.len());
+        // File order, not key order; the overwrite appears twice.
+        let keys: Vec<&[u8]> = entries.iter().map(|e| e.key.as_slice()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                b"t/a/01".as_slice(),
+                b"t/a/00",
+                b"s/a/rounds",
+                b"t/a/01",
+                b"t/b/00"
+            ]
+        );
+        assert_eq!(entries[0].offset, 0);
+        assert_eq!(entries[3].value, b"one-rewritten");
+        // Every offset is a parse boundary: rescanning from it yields
+        // exactly the remaining suffix.
+        for (i, e) in entries.iter().enumerate() {
+            let (rest, len) = scan_entries(&data[e.offset as usize..]);
+            assert_eq!(rest.len(), entries.len() - i);
+            assert_eq!(e.offset as usize + len, data.len());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The serve/tail concurrency contract: a reader opened with
+    /// [`AofDb::open_read`] (or scanning raw bytes) while a writer
+    /// appends only ever sees the valid framed prefix, and any valid
+    /// prefix length it observes stays an entry boundary as the journal
+    /// grows — including across a torn (partially written) tail.
+    #[test]
+    fn concurrent_reader_sees_only_the_valid_framed_prefix() {
+        let path = tmp("tail.db");
+        std::fs::remove_file(&path).ok();
+        let mut writer = AofDb::create(&path).unwrap();
+        let mut cursors = vec![0u64];
+        for i in 0..5u32 {
+            writer
+                .put(format!("t/x/{i:02}").as_bytes(), b"{\"rounds\":1}")
+                .unwrap();
+            writer.flush().unwrap();
+            // A second handle tails the same file mid-run.
+            let reader = AofDb::open_read(&path).unwrap();
+            assert!(!reader.truncated());
+            assert_eq!(reader.len(), i as usize + 1);
+            let data = std::fs::read(&path).unwrap();
+            let (entries, valid_len) = scan_entries(&data);
+            assert_eq!(entries.len(), i as usize + 1);
+            assert_eq!(valid_len, data.len());
+            cursors.push(valid_len as u64);
+        }
+        // Simulate a torn tail mid-write: append only the first half of
+        // a framed entry, as a kill mid-`write` would leave behind.
+        let full_entry = frame(b"t/x/05", b"{\"rounds\":2}");
+        let torn = &full_entry[..full_entry.len() / 2];
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(torn).unwrap();
+        }
+        let data = std::fs::read(&path).unwrap();
+        let (entries, valid_len) = scan_entries(&data);
+        assert_eq!(entries.len(), 5, "torn tail is not an entry");
+        assert_eq!(valid_len, data.len() - torn.len());
+        let reader = AofDb::open_read(&path).unwrap();
+        assert!(reader.truncated());
+        assert_eq!(reader.len(), 5);
+        // The write completes; the reader's old cursor is still a valid
+        // boundary and yields exactly the new entry.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&full_entry[torn.len()..]).unwrap();
+        }
+        let data = std::fs::read(&path).unwrap();
+        let (entries, full_len) = scan_entries(&data);
+        assert_eq!(entries.len(), 6);
+        assert_eq!(full_len, data.len());
+        for cursor in cursors {
+            let (suffix, _) = scan_entries(&data[cursor as usize..]);
+            assert!(
+                suffix.is_empty() || suffix[0].key.starts_with(b"t/x/"),
+                "cursor {cursor} no longer on an entry boundary"
+            );
+            let expect = entries.iter().filter(|e| e.offset >= cursor).count();
+            assert_eq!(suffix.len(), expect);
+        }
         std::fs::remove_file(&path).ok();
     }
 

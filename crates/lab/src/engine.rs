@@ -119,6 +119,57 @@ fn extract_seeds_per_point(grid: &GridConfig) -> Result<(GridConfig, Option<u64>
     Ok((cfg, seeds))
 }
 
+/// Extracts the engine-level `graph-seed` pseudo-axis: `--param
+/// graph-seed=s1,s2` multiplies every grid point per listed
+/// random-topology build seed (scenarios read it through
+/// [`crate::scenario::PointView::graph_seed`]; absent, their fixed
+/// per-scenario constants remain the defaults and the grid is
+/// untouched).
+///
+/// # Errors
+///
+/// [`LabError::BadArgs`] when the key is repeated, a value is not an
+/// unsigned integer, or the same seed is listed twice — the same exit-2
+/// contract real `--param` axes have.
+fn extract_graph_seeds(grid: &GridConfig) -> Result<(GridConfig, Option<Vec<u64>>), LabError> {
+    let mut cfg = grid.clone();
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut rest = Vec::with_capacity(cfg.params.len());
+    for (key, values) in std::mem::take(&mut cfg.params) {
+        if key != "graph-seed" {
+            rest.push((key, values));
+            continue;
+        }
+        if seeds.is_some() {
+            return Err(LabError::BadArgs(
+                "parameter 'graph-seed' given more than once".into(),
+            ));
+        }
+        if values.is_empty() {
+            return Err(LabError::BadArgs(
+                "--param graph-seed needs at least one seed".into(),
+            ));
+        }
+        let mut parsed = Vec::with_capacity(values.len());
+        for value in &values {
+            let seed: u64 = value.parse().map_err(|_| {
+                LabError::BadArgs(format!(
+                    "--param graph-seed: '{value}' is not an unsigned integer"
+                ))
+            })?;
+            if parsed.contains(&seed) {
+                return Err(LabError::BadArgs(format!(
+                    "--param graph-seed lists seed {seed} twice"
+                )));
+            }
+            parsed.push(seed);
+        }
+        seeds = Some(parsed);
+    }
+    cfg.params = rest;
+    Ok((cfg, seeds))
+}
+
 /// Executes `scenario` under `spec`.
 ///
 /// # Errors
@@ -246,12 +297,43 @@ fn execute_inner(
             "--param seeds-per-point conflicts with --seeds (give one)".into(),
         ));
     }
+    // The replayable config keeps `graph-seed` (unlike `seeds-per-point`,
+    // which `resume` re-injects via `--seeds`): a resumed run must
+    // re-multiply the grid exactly as the original invocation did.
+    let config_params = grid_cfg.params.clone();
+    let (grid_cfg, graph_seeds) = extract_graph_seeds(&grid_cfg)?;
 
     let expand_span = ale_telemetry::Span::begin("expand");
     let expansion = scenario.space().expand(&grid_cfg)?;
     drop(expand_span);
-    let resolved_space = expansion.resolved_lines();
-    let full_grid = expansion.points;
+    let mut resolved_space = expansion.resolved_lines();
+    let mut full_grid = expansion.points;
+    if let Some(graph_seeds) = &graph_seeds {
+        // Point-major × seed-minor, so a point's graph-seed variants are
+        // adjacent in the grid (and in every report).
+        let mut multiplied = Vec::with_capacity(full_grid.len() * graph_seeds.len());
+        for point in &full_grid {
+            for &seed in graph_seeds {
+                let mut p = point.clone();
+                p.label = format!("{}/gs={seed}", p.label);
+                p.values
+                    .push(("graph-seed", crate::params::AxisValue::Int(seed)));
+                p.params.push(("graph-seed".to_string(), seed as f64));
+                multiplied.push(p);
+            }
+        }
+        full_grid = multiplied;
+        // Recorded in the resolved space: the sweep identity (space_hash)
+        // and the manifest both see the axis.
+        resolved_space.push(format!(
+            "graph-seed={}",
+            graph_seeds
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+    }
     if full_grid.is_empty() {
         return Err(LabError::BadArgs(format!(
             "scenario '{}' produced an empty grid for these arguments",
@@ -368,7 +450,7 @@ fn execute_inner(
                 m.config = Some(RunConfig {
                     ns: grid_cfg.ns.iter().map(|&n| n as u64).collect(),
                     topos: grid_cfg.topologies.iter().map(|t| t.spec()).collect(),
-                    params: grid_cfg.params.clone(),
+                    params: config_params.clone(),
                     algos: spec.algos.iter().map(|a| a.to_string()).collect(),
                 });
                 RunWriter::create(dir, &m)?
@@ -1058,6 +1140,110 @@ mod tests {
             execute(&Synthetic, &spec),
             Err(LabError::BadArgs(_))
         ));
+    }
+
+    fn graph_seed_spec(values: &[&str]) -> RunSpec {
+        RunSpec {
+            grid: GridConfig {
+                params: vec![(
+                    "graph-seed".into(),
+                    values.iter().map(|v| v.to_string()).collect(),
+                )],
+                ..GridConfig::default()
+            },
+            ..RunSpec::default()
+        }
+    }
+
+    #[test]
+    fn graph_seed_param_multiplies_the_grid_point_major() {
+        let out = execute(&Synthetic, &graph_seed_spec(&["7", "9"])).unwrap();
+        let labels: Vec<&str> = out
+            .summary
+            .points
+            .iter()
+            .map(|p| p.label.as_str())
+            .collect();
+        assert_eq!(labels, ["p0/gs=7", "p0/gs=9", "p1/gs=7", "p1/gs=9"]);
+        // Per-point seed overrides survive the multiplication.
+        let trials: Vec<u64> = out.summary.points.iter().map(|p| p.trials).collect();
+        assert_eq!(trials, [5, 5, 3, 3]);
+        // Every variant carries the seed as a knob, so reports can split
+        // on it.
+        for p in &out.summary.points {
+            let gs = p.params.iter().find(|(k, _)| k == "graph-seed").unwrap().1;
+            assert!(p.label.ends_with(&format!("/gs={gs}")));
+        }
+        // Absent axis: the default expansion is untouched.
+        let base = execute(&Synthetic, &RunSpec::default()).unwrap();
+        let base_labels: Vec<&str> = base
+            .summary
+            .points
+            .iter()
+            .map(|p| p.label.as_str())
+            .collect();
+        assert_eq!(base_labels, ["p0", "p1"]);
+    }
+
+    #[test]
+    fn graph_seed_value_reaches_the_point_view() {
+        let mut point = GridPoint::new("x");
+        assert_eq!(point.view().graph_seed(3), 3, "absent axis → default");
+        point
+            .values
+            .push(("graph-seed", crate::params::AxisValue::Int(9)));
+        assert_eq!(point.view().graph_seed(3), 9);
+    }
+
+    #[test]
+    fn graph_seed_param_is_validated() {
+        for values in [
+            &["x"][..],      // not an integer
+            &["-1"][..],     // not unsigned
+            &["2", "2"][..], // the same seed twice
+            &[][..],         // empty value list
+        ] {
+            let err = execute(&Synthetic, &graph_seed_spec(values));
+            assert!(matches!(err, Err(LabError::BadArgs(_))), "{values:?}");
+        }
+        // Repeated key.
+        let mut spec = graph_seed_spec(&["2"]);
+        spec.grid
+            .params
+            .push(("graph-seed".into(), vec!["3".into()]));
+        assert!(matches!(
+            execute(&Synthetic, &spec),
+            Err(LabError::BadArgs(_))
+        ));
+    }
+
+    #[test]
+    fn graph_seed_is_recorded_in_space_and_replayable_config() {
+        let dir = std::env::temp_dir().join(format!("ale-lab-engine-gs-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut spec = graph_seed_spec(&["7", "9"]);
+        spec.out = Some(dir.clone());
+        execute(&Synthetic, &spec).unwrap();
+        let manifest = crate::store::load_manifest(&dir.join("manifest.json")).unwrap();
+        // The resolved space names the axis (so it feeds the sweep's
+        // space_hash), and the replayable config keeps it so `resume`
+        // re-multiplies the grid identically.
+        assert!(manifest.space.iter().any(|l| l == "graph-seed=7,9"));
+        assert_eq!(manifest.grid.len(), 4);
+        let config = manifest.config.expect("config stored");
+        assert!(config
+            .params
+            .iter()
+            .any(|(k, v)| k == "graph-seed" && v == &["7".to_string(), "9".to_string()]));
+        // A sweep with a different graph-seed list is a different sweep.
+        let hash_a = manifest.space_hash;
+        std::fs::remove_dir_all(&dir).ok();
+        let mut spec_b = graph_seed_spec(&["7"]);
+        spec_b.out = Some(dir.clone());
+        execute(&Synthetic, &spec_b).unwrap();
+        let manifest_b = crate::store::load_manifest(&dir.join("manifest.json")).unwrap();
+        assert_ne!(hash_a, manifest_b.space_hash);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

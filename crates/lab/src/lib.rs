@@ -29,13 +29,16 @@
 //! * [`store`] / [`json`] — the keyed run store (`trials.db` journal,
 //!   JSONL/CSV views, manifests with completion markers);
 //! * [`check`] — baseline regression gating over `summary.csv` files;
+//! * [`serve`] — read-only HTTP routes over the durable store (manifest
+//!   index, summary/trial queries, live journal tailing) behind
+//!   `ale-lab serve`, on the zero-dependency `ale-serve` transport;
 //! * [`telemetry`] — the JSONL event sink and engine round-batch adapter
 //!   behind `run --telemetry` (see also the zero-dependency
 //!   `ale-telemetry` crate);
 //! * [`report`] — per-phase wall-clock breakdown of a telemetry stream;
 //! * [`mod@bench`] — in-process microbenchmarks writing `BENCH_*.json`;
 //! * [`cli`] — the `ale-lab` binary
-//!   (`list | describe | run | export | merge | check | report | bench`),
+//!   (`list | describe | run | export | merge | check | report | bench | serve`),
 //!   also backing the legacy per-figure binaries in `ale-bench`;
 //! * [`runners`], [`table`], [`fit`] — the shared driver/report plumbing
 //!   (moved here from `ale-bench`, which re-exports them).
@@ -78,6 +81,7 @@ pub mod report;
 pub mod runners;
 pub mod scenario;
 pub mod scenarios;
+pub mod serve;
 pub mod stats;
 pub mod store;
 pub mod table;

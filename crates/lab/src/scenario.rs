@@ -281,6 +281,18 @@ impl PointView<'_> {
         }
     }
 
+    /// The seed this point builds its (random) topology with: the
+    /// engine-level `graph-seed` pseudo-axis when the sweep binds one
+    /// (`--param graph-seed=s1,s2` multiplies the grid per seed), else
+    /// `default` — each scenario's historical fixed constant, keeping
+    /// default expansions byte-identical.
+    pub fn graph_seed(&self, default: u64) -> u64 {
+        match self.value("graph-seed") {
+            Some(AxisValue::Int(v)) => v,
+            _ => default,
+        }
+    }
+
     /// A numeric knob — mirrored axis values and builder-derived
     /// parameters alike (see [`GridPoint::params`]).
     pub fn knob(&self, name: &str) -> Option<f64> {

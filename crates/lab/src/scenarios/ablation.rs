@@ -127,7 +127,7 @@ impl Scenario for AblationCautious {
         let discipline = discipline_from(view.knob("discipline").unwrap_or(0.0));
         let part = view.knob("part").unwrap_or(1.0);
         if part == 1.0 {
-            let graph = topo.build(GRAPH_SEED)?;
+            let graph = topo.build(view.graph_seed(GRAPH_SEED))?;
             let props = GraphProps::compute_for(&graph, &topo)?;
             let knowledge = NetworkKnowledge::from_props(&props);
             let mut cfg = IrrevocableConfig::from_knowledge(knowledge);
@@ -157,7 +157,7 @@ impl Scenario for AblationCautious {
                 Ok(r)
             }))
         } else {
-            let graph = topo.build(ELECTION_GRAPH_SEED)?;
+            let graph = topo.build(view.graph_seed(ELECTION_GRAPH_SEED))?;
             let mut cfg = IrrevocableConfig::derive_for(&graph, &topo)?;
             cfg.report_discipline = discipline;
             let point = point.clone();

@@ -73,7 +73,7 @@ impl Scenario for Cautious {
         let view = point.view();
         let topo = view.topology()?;
         let x = view.int("x")?;
-        let graph = topo.build(GRAPH_SEED)?;
+        let graph = topo.build(view.graph_seed(GRAPH_SEED))?;
         let props = GraphProps::compute_for(&graph, &topo)?;
         let knowledge = NetworkKnowledge::from_props(&props);
         let cfg = IrrevocableConfig::from_knowledge(knowledge);

@@ -115,7 +115,7 @@ impl Scenario for Diffusion {
         let view = point.view();
         let topo = view.topology()?;
         let gamma = view.float("gamma")?;
-        let graph = topo.build(0)?;
+        let graph = topo.build(view.graph_seed(0))?;
         let n = graph.n();
         // The cap knob marks the natural-alpha large/ladder regime.
         let large = view.knob("cap").is_some();

@@ -51,8 +51,9 @@ impl Scenario for Phases {
     }
 
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
-        let topo = point.view().topology()?;
-        let graph = topo.build(1)?;
+        let view = point.view();
+        let topo = view.topology()?;
+        let graph = topo.build(view.graph_seed(1))?;
         let cfg = IrrevocableConfig::derive_for(&graph, &topo)?;
         let budget = congest_budget(cfg.knowledge.n, cfg.congest_factor);
         let point = point.clone();

@@ -233,7 +233,7 @@ impl Scenario for Revocable {
         let view = point.view();
         let topo = view.topology()?;
         let mode = view.knob("mode").unwrap_or(1.0) as u64;
-        let graph = topo.build(0)?;
+        let graph = topo.build(view.graph_seed(0))?;
         let n = graph.n();
         let params = match mode {
             1 => {

@@ -101,7 +101,7 @@ impl Scenario for Scaling {
         let view = point.view();
         let topo = view.topology()?;
         let alg = view.algorithm()?;
-        let ctx = GraphContext::build(topo, GRAPH_SEED)?;
+        let ctx = GraphContext::build(topo, view.graph_seed(GRAPH_SEED))?;
         let q = theory_q(
             ctx.props.n as f64,
             ctx.knowledge.tmix as f64,

@@ -113,7 +113,7 @@ impl Scenario for Table1 {
         let view = point.view();
         let topo = view.topology()?;
         let alg = view.algorithm()?;
-        let ctx = GraphContext::build(topo, GRAPH_SEED)?;
+        let ctx = GraphContext::build(topo, view.graph_seed(GRAPH_SEED))?;
         let point = point.clone();
         Ok(Box::new(move |seed| {
             let outcome = ctx.run(alg, seed)?;

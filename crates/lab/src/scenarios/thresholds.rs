@@ -121,7 +121,7 @@ impl Scenario for Thresholds {
         let view = point.view();
         let topo = view.topology()?;
         let k = view.int("k")?;
-        let graph = topo.build(0)?;
+        let graph = topo.build(view.graph_seed(0))?;
         let n = graph.n();
         let ig = super::isoperimetric_estimate(&graph, &topo)?;
         let params = RevocableParams::paper_with_ig(EPS, XI, ig);

@@ -111,7 +111,7 @@ impl Scenario for Walks {
     fn bind(&self, point: &GridPoint) -> Result<TrialFn, LabError> {
         let view = point.view();
         let topo = view.topology()?;
-        let graph = topo.build(GRAPH_SEED)?;
+        let graph = topo.build(view.graph_seed(GRAPH_SEED))?;
         let props = GraphProps::compute_for(&graph, &topo)?;
         let knowledge = NetworkKnowledge::from_props(&props);
         let cfg = IrrevocableConfig::from_knowledge(knowledge);

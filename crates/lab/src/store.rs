@@ -931,8 +931,11 @@ pub fn load_summary_rows(dir: &Path) -> Result<Option<Vec<StoredSummaryRow>>, La
     if manifest_path.exists() {
         let manifest = load_manifest(&manifest_path)?;
         if !manifest.complete {
+            let expected: u64 = manifest.effective_counts().iter().sum();
+            let missing = missing_trials(dir, &manifest).unwrap_or(expected);
             return Err(LabError::BadRecord(format!(
-                "{}: run is incomplete (crashed or still running) — finish it with \
+                "{}: run is incomplete (crashed or still running; {missing} of {expected} \
+                 (point, seed-index) trials missing) — finish it with \
                  `ale-lab run --resume {}` first",
                 dir.display(),
                 dir.display()
@@ -990,6 +993,46 @@ pub fn load_summary_rows(dir: &Path) -> Result<Option<Vec<StoredSummaryRow>>, La
         return Ok(None);
     }
     Ok(Some(rows))
+}
+
+/// Counts the `(point, seed-index)` trials a run directory still lacks:
+/// the manifest's expected totals (Σ per-point counts) minus the
+/// distinct valid trial keys already journaled in `trials.db` for this
+/// sweep. A missing or empty journal leaves everything missing. This is
+/// the number `check`'s `--resume` hint and the serve/tail routes both
+/// report, so the two views of "what remains" always agree.
+///
+/// # Errors
+///
+/// Filesystem failures reading the journal as [`LabError::Io`].
+pub fn missing_trials(dir: &Path, manifest: &RunManifest) -> Result<u64, LabError> {
+    let positions = manifest.effective_positions();
+    let counts = manifest.effective_counts();
+    let expected: u64 = counts.iter().sum();
+    let db_path = dir.join("trials.db");
+    if !db_path.exists() {
+        return Ok(expected);
+    }
+    let db = AofDb::open_read(&db_path)?;
+    let mut present = 0u64;
+    // iter_prefix walks the recovered index, so duplicates are already
+    // collapsed and a torn tail is already excluded.
+    for (key, _) in db.iter_prefix(b"t/") {
+        let Ok(k) = TrialKey::decode(&key) else {
+            continue;
+        };
+        if k.scenario != manifest.scenario || k.space_hash != manifest.space_hash {
+            continue;
+        }
+        let in_range = positions
+            .iter()
+            .position(|&p| p == k.position)
+            .is_some_and(|i| k.seed_index < counts[i]);
+        if in_range {
+            present += 1;
+        }
+    }
+    Ok(expected.saturating_sub(present))
 }
 
 /// Renders records as flat CSV; extra metrics become columns (the union
@@ -1365,7 +1408,11 @@ mod tests {
         assert_eq!(a.mean, 40.0);
         assert_eq!(a.count, 1);
 
-        // An incomplete manifest blocks the read path loudly.
+        // The journaled trials all count as present.
+        assert_eq!(missing_trials(&dir, &manifest).unwrap(), 0);
+
+        // An incomplete manifest blocks the read path loudly, naming the
+        // missing-trial count next to the --resume hint.
         let mut m = manifest.clone();
         m.complete = false;
         write_atomic(
@@ -1373,10 +1420,21 @@ mod tests {
             (m.to_json().render_pretty() + "\n").as_bytes(),
         )
         .unwrap();
-        assert!(load_summary_rows(&dir)
-            .unwrap_err()
-            .to_string()
-            .contains("incomplete"));
+        let err = load_summary_rows(&dir).unwrap_err().to_string();
+        assert!(err.contains("incomplete"), "{err}");
+        assert!(err.contains("--resume"), "{err}");
+        assert!(err.contains("0 of 2 (point, seed-index) trials"), "{err}");
+
+        // Raising a point's expected count reopens a gap, and a missing
+        // journal leaves everything missing.
+        let mut wider = manifest.clone();
+        wider.positions = vec![0, 1];
+        wider.counts = vec![3, 1];
+        assert_eq!(missing_trials(&dir, &wider).unwrap(), 2);
+        let empty = std::env::temp_dir().join(format!("ale-lab-nodb-{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        assert_eq!(missing_trials(&empty, &manifest).unwrap(), 2);
+        std::fs::remove_dir_all(&empty).ok();
 
         // No journal → None (callers fall back to summary.csv).
         std::fs::remove_file(dir.join("trials.db")).unwrap();

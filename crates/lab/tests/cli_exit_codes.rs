@@ -134,6 +134,39 @@ fn resume_completes_torn_runs_and_resume_usage_errors_exit_two() {
 }
 
 #[test]
+fn serve_usage_errors_exit_two() {
+    // No run directory, a directory that does not exist, and a
+    // directory without a store are all usage errors, reported before
+    // the listener ever binds.
+    assert_eq!(exit_code(&["serve"]), 2);
+    assert_eq!(exit_code(&["serve", "/nonexistent-run-dir"]), 2);
+    let dir = std::env::temp_dir().join(format!("ale-lab-exit-serve-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.to_string_lossy().to_string();
+    // An empty directory has no manifest.json; with a manifest but no
+    // trials.db it is still not servable.
+    assert_eq!(exit_code(&["serve", &p]), 2);
+    std::fs::write(dir.join("manifest.json"), "{}").unwrap();
+    let out = ale_lab(&["serve", &p]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no trials.db"));
+    // Unparseable --addr / --workers, and unknown flags.
+    std::fs::write(dir.join("trials.db"), "").unwrap();
+    assert_eq!(exit_code(&["serve", &p, "--addr", "not-an-addr"]), 2);
+    assert_eq!(exit_code(&["serve", &p, "--workers", "0"]), 2);
+    assert_eq!(exit_code(&["serve", &p, "--workers", "many"]), 2);
+    assert_eq!(exit_code(&["serve", &p, "--bogus"]), 2);
+    // A port that is already taken is a bind error, not a hang.
+    let taken = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = taken.local_addr().unwrap().to_string();
+    let out = ale_lab(&["serve", &p, "--addr", &addr]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot listen"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn check_regressions_exit_one_but_check_usage_errors_exit_two() {
     let dir = std::env::temp_dir().join(format!("ale-lab-exitcodes-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

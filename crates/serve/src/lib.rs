@@ -1,0 +1,577 @@
+//! A minimal threaded HTTP/1.1 server built on `std::net` alone.
+//!
+//! `ale-serve` exists so `ale-lab serve` can expose the durable run
+//! store to dashboards without pulling a web framework into the
+//! offline-shim workspace. It is deliberately small:
+//!
+//! - a bounded worker pool (`ServerConfig::workers` threads) accepting
+//!   on a shared [`std::net::TcpListener`];
+//! - per-connection read and write timeouts so a stalled client cannot
+//!   pin a worker forever;
+//! - one request per connection (`Connection: close`) — dashboards and
+//!   `curl` poll, they do not pipeline;
+//! - responses either carry a `Content-Length` ([`Body::Full`]) or are
+//!   streamed with chunked transfer encoding ([`Body::Stream`]).
+//!
+//! The crate knows nothing about runs, stores, or JSON: a handler is
+//! any `Fn(&Request) -> Response`, and the route table lives in the
+//! caller (`crates/lab/src/serve.rs`).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers) in bytes.
+/// Anything longer is rejected with `431 Request Header Fields Too
+/// Large` — the lab's routes all fit comfortably in a fraction of this.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Worker-pool size and per-connection socket timeouts.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of accept/serve worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Read timeout applied to each accepted connection.
+    pub read_timeout: Duration,
+    /// Write timeout applied to each accepted connection.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A parsed HTTP request head. Bodies are not read: the lab's service
+/// is read-only, so every route is driven by method + path + query.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased as received (e.g. `GET`).
+    pub method: String,
+    /// Percent-decoded path component, e.g. `/runs/smoke/summary`.
+    pub path: String,
+    /// Percent-decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The first query parameter named `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A streaming body writes itself to the connection; the `dyn Write`
+/// it receives already applies chunked transfer encoding. It returns
+/// the number of payload bytes written (for the caller's metrics).
+pub type StreamFn = Box<dyn FnOnce(&mut dyn Write) -> io::Result<u64> + Send>;
+
+/// Response payload: either fully materialized (sent with
+/// `Content-Length`) or streamed chunk by chunk.
+pub enum Body {
+    /// Complete payload, sent with a `Content-Length` header.
+    Full(Vec<u8>),
+    /// Lazily produced payload, sent with `Transfer-Encoding: chunked`.
+    Stream(StreamFn),
+}
+
+/// An HTTP response assembled by a handler.
+pub struct Response {
+    /// Status code (200, 404, ...).
+    pub status: u16,
+    /// Value for the `Content-Type` header.
+    pub content_type: &'static str,
+    /// The payload.
+    pub body: Body,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: Body::Full(body.into()),
+        }
+    }
+
+    /// A plain-text response with the given status code.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: Body::Full(body.into()),
+        }
+    }
+
+    /// A `404 Not Found` with a short plain-text explanation.
+    pub fn not_found(msg: &str) -> Response {
+        Response::text(404, format!("not found: {msg}\n"))
+    }
+
+    /// A `400 Bad Request` with a short plain-text explanation.
+    pub fn bad_request(msg: &str) -> Response {
+        Response::text(400, format!("bad request: {msg}\n"))
+    }
+
+    /// A `200 OK` streamed response with chunked transfer encoding.
+    pub fn stream(content_type: &'static str, f: StreamFn) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            body: Body::Stream(f),
+        }
+    }
+}
+
+/// Request handler shared by all worker threads.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A bound-but-not-yet-serving HTTP server.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServerConfig,
+}
+
+impl Server {
+    /// Binds `addr` (any `host:port` form accepted by
+    /// [`TcpListener::bind`]). Fails if the address cannot be parsed
+    /// or the port is already in use.
+    pub fn bind(addr: &str, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, cfg })
+    }
+
+    /// The locally bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever on the calling thread plus `workers - 1` helper
+    /// threads. Only returns if accepting fails irrecoverably.
+    pub fn run(self, handler: Handler) -> io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = self.cfg.workers.max(1);
+        let mut helpers = Vec::new();
+        for _ in 1..workers {
+            let listener = self.listener.try_clone()?;
+            let handler = Arc::clone(&handler);
+            let cfg = self.cfg.clone();
+            let stop = Arc::clone(&stop);
+            helpers.push(thread::spawn(move || {
+                accept_loop(&listener, &cfg, &handler, &stop)
+            }));
+        }
+        accept_loop(&self.listener, &self.cfg, &handler, &stop);
+        for h in helpers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Spawns the worker pool in the background and returns a handle
+    /// for shutdown — the test-friendly counterpart of [`Server::run`].
+    pub fn spawn(self, handler: Handler) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = self.cfg.workers.max(1);
+        let mut threads = Vec::new();
+        for _ in 0..workers {
+            let listener = self.listener.try_clone()?;
+            let handler = Arc::clone(&handler);
+            let cfg = self.cfg.clone();
+            let stop = Arc::clone(&stop);
+            threads.push(thread::spawn(move || {
+                accept_loop(&listener, &cfg, &handler, &stop)
+            }));
+        }
+        Ok(ServerHandle {
+            addr,
+            stop,
+            threads,
+        })
+    }
+}
+
+/// Handle for a background server started with [`Server::spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops all workers and joins them. Each worker is unblocked from
+    /// `accept` by a throwaway local connection.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for _ in &self.threads {
+            // Wake one blocked accept per worker; errors are fine (the
+            // worker may already have observed the flag and exited).
+            let _ = TcpStream::connect(self.addr);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, cfg: &ServerConfig, handler: &Handler, stop: &AtomicBool) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = serve_connection(stream, cfg, handler);
+    }
+}
+
+fn serve_connection(stream: TcpStream, cfg: &ServerConfig, handler: &Handler) -> io::Result<()> {
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    match read_request(&mut reader) {
+        Ok(req) => {
+            let resp = handler(&req);
+            write_response(&mut stream, resp)
+        }
+        Err(ParseError::Io(e)) => Err(e),
+        Err(ParseError::Malformed(msg)) => {
+            write_response(&mut stream, Response::text(400, format!("{msg}\n")))?;
+            drain(&mut reader)
+        }
+        Err(ParseError::TooLarge) => {
+            write_response(&mut stream, Response::text(431, "request head too large\n"))?;
+            drain(&mut reader)
+        }
+    }
+}
+
+/// Discards (bounded) unread request bytes after an error response so
+/// closing the socket does not RST the connection before the client
+/// has read the response.
+fn drain(reader: &mut BufReader<TcpStream>) -> io::Result<()> {
+    let mut sink = [0u8; 4096];
+    let mut budget = 256 * 1024;
+    while budget > 0 {
+        match reader.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget -= n.min(budget),
+        }
+    }
+    Ok(())
+}
+
+enum ParseError {
+    Io(io::Error),
+    Malformed(&'static str),
+    TooLarge,
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn read_line_capped(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, ParseError> {
+    let mut line = String::new();
+    let n = reader
+        .take(*budget as u64)
+        .read_line(&mut line)
+        .map_err(ParseError::Io)?;
+    if n == 0 {
+        return Err(ParseError::Malformed("unexpected end of request"));
+    }
+    if !line.ends_with('\n') && n >= *budget {
+        return Err(ParseError::TooLarge);
+    }
+    *budget -= n;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ParseError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line_capped(reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path);
+    let query = raw_query.map(parse_query).unwrap_or_default();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_capped(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+    })
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Decodes `%XX` escapes and `+`-as-space. Invalid escapes are kept
+/// verbatim rather than rejected — the router will simply not match.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: Response) -> io::Result<()> {
+    let reason = status_reason(resp.status);
+    match resp.body {
+        Body::Full(bytes) => {
+            let head = format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                resp.status,
+                reason,
+                resp.content_type,
+                bytes.len()
+            );
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(&bytes)?;
+            stream.flush()
+        }
+        Body::Stream(f) => {
+            let head = format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+                resp.status, reason, resp.content_type
+            );
+            stream.write_all(head.as_bytes())?;
+            let mut chunked = ChunkWriter { inner: stream };
+            f(&mut chunked)?;
+            stream.write_all(b"0\r\n\r\n")?;
+            stream.flush()
+        }
+    }
+}
+
+/// Wraps a connection so every `write` becomes one HTTP chunk.
+struct ChunkWriter<'a> {
+    inner: &'a mut TcpStream,
+}
+
+impl Write for ChunkWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        write!(self.inner, "{:x}\r\n", buf.len())?;
+        self.inner.write_all(buf)?;
+        self.inner.write_all(b"\r\n")?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, target: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    fn echo_handler() -> Handler {
+        Arc::new(|req: &Request| {
+            if req.method != "GET" {
+                return Response::text(405, "GET only\n");
+            }
+            match req.path.as_str() {
+                "/hello" => Response::text(200, "world\n"),
+                "/echo" => {
+                    let q = req.query_param("q").unwrap_or("-");
+                    Response::json(format!("{{\"q\":\"{q}\"}}"))
+                }
+                "/stream" => Response::stream(
+                    "text/plain",
+                    Box::new(|w: &mut dyn Write| {
+                        w.write_all(b"part1\n")?;
+                        w.write_all(b"part2\n")?;
+                        Ok(12)
+                    }),
+                ),
+                other => Response::not_found(other),
+            }
+        })
+    }
+
+    #[test]
+    fn serves_full_and_streamed_bodies() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let handle = server.spawn(echo_handler()).expect("spawn");
+        let addr = handle.addr();
+
+        let ok = get(addr, "/hello");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("Content-Length: 6\r\n"), "{ok}");
+        assert!(ok.ends_with("\r\n\r\nworld\n"), "{ok}");
+
+        let echoed = get(addr, "/echo?q=a%20b+c");
+        assert!(echoed.contains("{\"q\":\"a b c\"}"), "{echoed}");
+
+        let streamed = get(addr, "/stream");
+        assert!(
+            streamed.contains("Transfer-Encoding: chunked"),
+            "{streamed}"
+        );
+        assert!(streamed.contains("6\r\npart1\n\r\n"), "{streamed}");
+        assert!(streamed.ends_with("0\r\n\r\n"), "{streamed}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized_requests() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let handle = server.spawn(echo_handler()).expect("spawn");
+        let addr = handle.addr();
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"NONSENSE\r\n\r\n").expect("send");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("shutdown");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let big = "x".repeat(MAX_HEAD_BYTES + 10);
+        write!(stream, "GET /{big} HTTP/1.1\r\n\r\n").expect("send");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("shutdown");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        assert!(out.starts_with("HTTP/1.1 431"), "{out}");
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn parses_query_pairs_in_order() {
+        let q = parse_query("a=1&b=two&flag&c=%2Fx");
+        assert_eq!(
+            q,
+            vec![
+                ("a".to_string(), "1".to_string()),
+                ("b".to_string(), "two".to_string()),
+                ("flag".to_string(), String::new()),
+                ("c".to_string(), "/x".to_string()),
+            ]
+        );
+    }
+}

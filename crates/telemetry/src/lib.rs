@@ -373,6 +373,11 @@ impl Counter {
         }
     }
 
+    /// The counter's name, as given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
     /// Adds `n`, returning the new cumulative value.
     pub fn add(&self, n: u64) -> u64 {
         self.value.fetch_add(n, Ordering::Relaxed) + n
@@ -453,6 +458,131 @@ impl Histogram {
             attrs,
         });
     }
+}
+
+/// A thread-shareable [`Histogram`]: same power-of-two buckets, but
+/// every slot is an atomic so concurrent recorders need no lock, and
+/// construction is `const` so histograms can live in statics (the
+/// serve-path latency metrics do). Counts are `Relaxed` — snapshots may
+/// lag in-flight records by a few samples, which is fine for metrics.
+#[derive(Debug)]
+pub struct SharedHistogram {
+    name: &'static str,
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+}
+
+impl SharedHistogram {
+    /// A new, empty histogram. `const` so histograms can be statics.
+    pub const fn new(name: &'static str) -> SharedHistogram {
+        SharedHistogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; 65],
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The histogram's name, as given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample (two relaxed atomic increments).
+    pub fn record(&self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, in increasing
+    /// bound order — the same encoding as [`Histogram::buckets`].
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(k, c)| {
+                let c = c.load(Ordering::Relaxed);
+                if c == 0 {
+                    return None;
+                }
+                let bound = if k >= 64 { u64::MAX } else { (1u64 << k) - 1 };
+                Some((bound, c))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metric registry
+// ---------------------------------------------------------------------------
+
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static HISTOGRAMS: Mutex<Vec<&'static SharedHistogram>> = Mutex::new(Vec::new());
+
+/// Registers a static counter for [`snapshot`] export. Registering the
+/// same counter again is a no-op, so registration can sit on any
+/// startup path without guards.
+pub fn register_counter(counter: &'static Counter) {
+    let mut reg = COUNTERS.lock().unwrap();
+    if !reg.iter().any(|c| std::ptr::eq(*c, counter)) {
+        reg.push(counter);
+    }
+}
+
+/// Registers a static shared histogram for [`snapshot`] export.
+/// Idempotent, like [`register_counter`].
+pub fn register_histogram(hist: &'static SharedHistogram) {
+    let mut reg = HISTOGRAMS.lock().unwrap();
+    if !reg.iter().any(|h| std::ptr::eq(*h, hist)) {
+        reg.push(hist);
+    }
+}
+
+/// One metric's current value, as captured by [`snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricSnapshot {
+    /// A registered [`Counter`]'s cumulative value.
+    Counter {
+        /// The counter's name.
+        name: &'static str,
+        /// Cumulative value at snapshot time.
+        value: u64,
+    },
+    /// A registered [`SharedHistogram`]'s buckets.
+    Histogram {
+        /// The histogram's name.
+        name: &'static str,
+        /// Total samples at snapshot time.
+        count: u64,
+        /// Non-empty `(upper_bound, count)` buckets, increasing.
+        buckets: Vec<(u64, u64)>,
+    },
+}
+
+/// Captures every registered counter and histogram, in registration
+/// order (counters first). This is the `/metrics` export path: always
+/// live, independent of whether a [`Sink`] is installed.
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    let mut out = Vec::new();
+    for c in COUNTERS.lock().unwrap().iter() {
+        out.push(MetricSnapshot::Counter {
+            name: c.name(),
+            value: c.value(),
+        });
+    }
+    for h in HISTOGRAMS.lock().unwrap().iter() {
+        out.push(MetricSnapshot::Histogram {
+            name: h.name(),
+            count: h.count(),
+            buckets: h.buckets(),
+        });
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -605,5 +735,60 @@ mod tests {
         assert_eq!(a_events.lock().unwrap().len(), 1);
         assert_eq!(b_events.lock().unwrap().len(), 1);
         assert!(!enabled());
+    }
+
+    #[test]
+    fn shared_histogram_matches_owned_buckets() {
+        static SHARED: SharedHistogram = SharedHistogram::new("shared");
+        let mut owned = Histogram::new("owned");
+        for v in [0, 1, 2, 3, 7, 8, 1024, u64::MAX] {
+            SHARED.record(v);
+            owned.record(v);
+        }
+        assert_eq!(SHARED.count(), owned.count());
+        assert_eq!(SHARED.buckets(), owned.buckets());
+        assert_eq!(SHARED.name(), "shared");
+    }
+
+    #[test]
+    fn registry_snapshots_in_registration_order_and_dedupes() {
+        static REQS: Counter = Counter::new("reg_requests");
+        static LAT: SharedHistogram = SharedHistogram::new("reg_latency");
+        register_counter(&REQS);
+        register_counter(&REQS);
+        register_histogram(&LAT);
+        register_histogram(&LAT);
+        REQS.add(3);
+        LAT.record(5);
+        let snap = snapshot();
+        let reqs: Vec<_> = snap
+            .iter()
+            .filter(
+                |m| matches!(m, MetricSnapshot::Counter { name, .. } if *name == "reg_requests"),
+            )
+            .collect();
+        assert_eq!(reqs.len(), 1, "duplicate registration must dedupe");
+        assert_eq!(
+            reqs[0],
+            &MetricSnapshot::Counter {
+                name: "reg_requests",
+                value: 3
+            }
+        );
+        let lats: Vec<_> = snap
+            .iter()
+            .filter(
+                |m| matches!(m, MetricSnapshot::Histogram { name, .. } if *name == "reg_latency"),
+            )
+            .collect();
+        assert_eq!(lats.len(), 1);
+        assert_eq!(
+            lats[0],
+            &MetricSnapshot::Histogram {
+                name: "reg_latency",
+                count: 1,
+                buckets: vec![(7, 1)]
+            }
+        );
     }
 }
